@@ -1,0 +1,130 @@
+// Command flowerbench regenerates the paper's evaluation artifacts:
+// Fig. 3 (hit ratio over time), Fig. 4 (lookup latency distribution),
+// Fig. 5 (transfer distance distribution) and Table 2 (scalability
+// sweep), plus the PetalUp flash-crowd extension experiment.
+//
+// By default it runs at a reduced scale that finishes in seconds; pass
+// -full for the paper's Table 1 scale (P up to 5000, 24 simulated
+// hours — several minutes of wall time per run).
+//
+// Usage:
+//
+//	flowerbench                 # all artifacts, quick scale
+//	flowerbench -fig 3          # just Fig. 3
+//	flowerbench -table 2 -full  # Table 2 at paper scale
+//	flowerbench -extra petalup  # flash-crowd load-bounding experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flowercdn"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "regenerate one figure (3, 4 or 5); 0 = all")
+		table = flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
+		extra = flag.String("extra", "", "extension experiment: 'petalup'")
+		full  = flag.Bool("full", false, "paper scale (P up to 5000, 24 h) instead of quick scale")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		pop   = flag.Int("p", 0, "override population P for figures")
+	)
+	flag.Parse()
+
+	cfg := flowercdn.QuickConfig()
+	pops := []int{200, 300, 400, 500}
+	if *full {
+		cfg = flowercdn.DefaultConfig()
+		pops = []int{2000, 3000, 4000, 5000}
+	}
+	cfg.Seed = *seed
+	if *pop > 0 {
+		cfg.Population = *pop
+	}
+
+	all := *fig == 0 && *table == 0 && *extra == ""
+
+	if all || *table == 1 {
+		t1, err := flowercdn.FormatTable1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(t1)
+		fmt.Println()
+	}
+
+	needComparison := all || *fig != 0
+	if needComparison {
+		start := time.Now()
+		fmt.Printf("running %s vs %s at P=%d for %d h (seed %d)...\n",
+			flowercdn.Flower, flowercdn.Squirrel, cfg.Population, cfg.Hours, cfg.Seed)
+		f, s, err := flowercdn.RunComparison(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
+		if all || *fig == 3 {
+			fmt.Print(flowercdn.FormatFig3(f, s))
+			fmt.Println()
+		}
+		if all || *fig == 4 {
+			fmt.Print(flowercdn.FormatFig4(f, s))
+			fmt.Println()
+		}
+		if all || *fig == 5 {
+			fmt.Print(flowercdn.FormatFig5(f, s))
+			fmt.Println()
+		}
+		fmt.Print(f.Summary())
+		fmt.Print(s.Summary())
+		fmt.Println()
+	}
+
+	if all || *table == 2 {
+		start := time.Now()
+		fmt.Printf("running Table 2 sweep over P=%v...\n", pops)
+		rows, err := flowercdn.RunScalability(cfg, pops)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Print(flowercdn.FormatTable2(rows))
+		fmt.Println()
+	}
+
+	if *extra == "petalup" || all {
+		runPetalUpExtra(cfg)
+	}
+}
+
+// runPetalUpExtra contrasts PetalUp-CDN with classic Flower-CDN on the
+// same settings: the per-directory load stays bounded while hit
+// performance is preserved (the Sec. 4 claim).
+func runPetalUpExtra(cfg flowercdn.Config) {
+	fmt.Println("PetalUp extension: directory-load bounding")
+	up := cfg
+	up.Protocol = flowercdn.PetalUp
+	up.PetalUpLoadLimit = 15
+	upRes, err := flowercdn.Run(up)
+	if err != nil {
+		fatal(err)
+	}
+	cl := cfg
+	cl.Protocol = flowercdn.Flower
+	clRes, err := flowercdn.Run(cl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  classic  : hit %.3f, lookup %.0f ms\n", clRes.TailHitRatio, clRes.MeanLookupMs)
+	fmt.Printf("  petalup  : hit %.3f, lookup %.0f ms (load limit %d)\n",
+		upRes.TailHitRatio, upRes.MeanLookupMs, up.PetalUpLoadLimit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flowerbench:", err)
+	os.Exit(1)
+}

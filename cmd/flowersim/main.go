@@ -1,0 +1,90 @@
+// Command flowersim runs a single simulation with every Table 1
+// parameter exposed as a flag and prints the run's metrics.
+//
+// Usage:
+//
+//	flowersim -protocol flower -p 3000 -hours 24
+//	flowersim -protocol squirrel -p 500 -hours 6 -seed 7
+//	flowersim -print-params
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flowercdn"
+)
+
+func main() {
+	var (
+		protocol    = flag.String("protocol", "flower", "flower | petalup | squirrel")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		p           = flag.Int("p", 400, "mean population size P")
+		hours       = flag.Int("hours", 8, "simulated duration in hours")
+		sites       = flag.Int("sites", 20, "number of websites |W|")
+		active      = flag.Int("active", 3, "number of active (queried) websites")
+		objects     = flag.Int("objects", 200, "objects per website")
+		localities  = flag.Int("k", 6, "number of localities")
+		uptime      = flag.Int("uptime", 60, "mean peer uptime m, minutes")
+		queryEvery  = flag.Int("query-every", 6, "mean minutes between queries")
+		gossipEvery = flag.Int("gossip-every", 60, "gossip/keepalive period, minutes")
+		push        = flag.Float64("push", 0.5, "push threshold")
+		alpha       = flag.Float64("zipf", 0.8, "Zipf popularity exponent")
+		collab      = flag.Bool("collab", true, "directory collaboration across localities")
+		loadLimit   = flag.Int("load-limit", 30, "PetalUp per-directory load limit")
+		series      = flag.Bool("series", false, "print the hourly hit-ratio series")
+		printParams = flag.Bool("print-params", false, "print the Table 1 parameter sheet and exit")
+	)
+	flag.Parse()
+
+	cfg := flowercdn.Config{
+		Protocol:           flowercdn.Protocol(*protocol),
+		Seed:               *seed,
+		Population:         *p,
+		Hours:              *hours,
+		Sites:              *sites,
+		ActiveSites:        *active,
+		ObjectsPerSite:     *objects,
+		Localities:         *localities,
+		MeanUptimeMinutes:  *uptime,
+		QueryEveryMinutes:  *queryEvery,
+		ZipfAlpha:          *alpha,
+		GossipEveryMinutes: *gossipEvery,
+		PushThreshold:      *push,
+		DirCollaboration:   *collab,
+		PetalUpLoadLimit:   *loadLimit,
+	}
+
+	if *printParams {
+		t1, err := flowercdn.FormatTable1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(t1)
+		return
+	}
+
+	start := time.Now()
+	res, err := flowercdn.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(res.Summary())
+	fmt.Printf("lookup: %.0f%% within 150 ms, %.0f%% beyond 1200 ms\n",
+		100*res.LookupWithin150ms, 100*res.LookupBeyond1200ms)
+	fmt.Printf("transfer: %.0f%% within 100 ms\n", 100*res.TransferWithin100ms)
+	if *series {
+		fmt.Println("hour  hit-ratio  queries")
+		for _, pt := range res.Series {
+			fmt.Printf("%4d  %9.3f  %7d\n", pt.Hour, pt.HitRatio, pt.Queries)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flowersim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,305 @@
+// Package flowercdn is a from-scratch reproduction of "Leveraging P2P
+// overlays for Large-scale and Highly Robust Content Distribution and
+// Search" (Manal El Dick, VLDB 2009 Ph.D. Workshop): the Flower-CDN
+// and PetalUp-CDN peer-to-peer content distribution networks, their
+// churn-maintenance protocols, and the simulation study comparing them
+// against the Squirrel decentralized web cache.
+//
+// The package is a façade over the full machinery in internal/: a
+// discrete-event engine, a landmark latency topology, a complete Chord
+// DHT, Cyclon-style gossip, the protocols themselves, workload and
+// churn generators, and the experiment harness. Typical use:
+//
+//	cfg := flowercdn.DefaultConfig()
+//	cfg.Population = 3000
+//	res, err := flowercdn.Run(cfg)
+//	fmt.Println(res.HitRatio, res.MeanLookupMs)
+//
+// or, for the paper's head-to-head figures:
+//
+//	f, s, _ := flowercdn.RunComparison(cfg)
+//	fmt.Print(flowercdn.FormatFig3(f, s))
+package flowercdn
+
+import (
+	"fmt"
+
+	"flowercdn/internal/harness"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/sim"
+)
+
+// Protocol selects which system a run simulates.
+type Protocol string
+
+// The three deployable systems.
+const (
+	// Flower is classic Flower-CDN (Sec. 3 of the paper).
+	Flower Protocol = "flower"
+	// PetalUp is Flower-CDN with directory splitting (Sec. 4).
+	PetalUp Protocol = "petalup"
+	// Squirrel is the baseline P2P web cache the paper compares against.
+	Squirrel Protocol = "squirrel"
+)
+
+// Config is the user-facing experiment configuration. The zero value is
+// not runnable; start from DefaultConfig (the paper's Table 1) and
+// adjust.
+type Config struct {
+	// Protocol selects the system under test.
+	Protocol Protocol
+	// Seed makes runs reproducible: equal seeds, equal results.
+	Seed uint64
+	// Population is P, the mean number of concurrently-online peers.
+	Population int
+	// Hours is the simulated experiment length.
+	Hours int
+
+	// Sites is |W|; ActiveSites of them receive queries.
+	Sites       int
+	ActiveSites int
+	// ObjectsPerSite is each website's catalog size.
+	ObjectsPerSite int
+	// Localities is k, the number of landmark localities.
+	Localities int
+	// MeanUptimeMinutes is m, the mean session length (fail-only churn).
+	MeanUptimeMinutes int
+	// QueryEveryMinutes is the mean think time between queries.
+	QueryEveryMinutes int
+	// ZipfAlpha shapes object popularity.
+	ZipfAlpha float64
+
+	// GossipEveryMinutes is the petal gossip/keepalive period.
+	GossipEveryMinutes int
+	// PushThreshold is the changed-store fraction that triggers a push.
+	PushThreshold float64
+	// DirCollaboration enables same-website directory collaboration.
+	DirCollaboration bool
+	// ExactSummaries swaps Bloom gossip summaries for exact key sets
+	// (ablation).
+	ExactSummaries bool
+	// PetalUpLoadLimit is the per-directory member limit when Protocol
+	// is PetalUp.
+	PetalUpLoadLimit int
+	// MessageLossRate injects random one-way message loss on top of
+	// churn (failure injection; 0 = the paper's reliable links).
+	MessageLossRate float64
+}
+
+// DefaultConfig returns the paper's Table 1 parameters (P = 3000,
+// 24 h, 100 websites with 6 active, 500 objects each, k = 6,
+// m = 60 min, one query per 6 min, gossip/keepalive hourly, push
+// threshold 0.5).
+func DefaultConfig() Config {
+	return Config{
+		Protocol:           Flower,
+		Seed:               1,
+		Population:         3000,
+		Hours:              24,
+		Sites:              100,
+		ActiveSites:        6,
+		ObjectsPerSite:     500,
+		Localities:         6,
+		MeanUptimeMinutes:  60,
+		QueryEveryMinutes:  6,
+		ZipfAlpha:          0.8,
+		GossipEveryMinutes: 60,
+		PushThreshold:      0.5,
+		DirCollaboration:   true,
+		PetalUpLoadLimit:   30,
+	}
+}
+
+// QuickConfig returns a scaled-down configuration (P = 400, 8 h, 20
+// sites) that preserves the paper's proportions but finishes in a few
+// seconds — what the examples and default benchmarks use.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Population = 400
+	cfg.Hours = 8
+	cfg.Sites = 20
+	cfg.ActiveSites = 3
+	cfg.ObjectsPerSite = 200
+	return cfg
+}
+
+// lower translates the façade config into the internal harness config.
+func (c Config) lower() (harness.Config, error) {
+	hc := harness.DefaultConfig()
+	switch c.Protocol {
+	case Flower:
+		hc.Protocol = harness.ProtocolFlower
+	case PetalUp:
+		hc.Protocol = harness.ProtocolPetalUp
+	case Squirrel:
+		hc.Protocol = harness.ProtocolSquirrel
+	case "":
+		hc.Protocol = harness.ProtocolFlower
+	default:
+		return hc, fmt.Errorf("flowercdn: unknown protocol %q", c.Protocol)
+	}
+	hc.Seed = c.Seed
+	hc.Population = c.Population
+	hc.Duration = int64(c.Hours) * sim.Hour
+	hc.Workload.Sites = c.Sites
+	hc.Workload.ActiveSites = c.ActiveSites
+	hc.Workload.ObjectsPerSite = c.ObjectsPerSite
+	hc.Workload.QueryMeanInterval = int64(c.QueryEveryMinutes) * sim.Minute
+	hc.Workload.ZipfAlpha = c.ZipfAlpha
+	hc.Topology.Localities = c.Localities
+	hc.MeanUptime = int64(c.MeanUptimeMinutes) * sim.Minute
+	hc.Flower.Gossip.Period = int64(c.GossipEveryMinutes) * sim.Minute
+	hc.Flower.KeepaliveInterval = int64(c.GossipEveryMinutes) * sim.Minute
+	hc.Flower.PushThreshold = c.PushThreshold
+	hc.Flower.DirCollaboration = c.DirCollaboration
+	hc.Flower.ExactSummaries = c.ExactSummaries
+	hc.PetalUpLoadLimit = c.PetalUpLoadLimit
+	hc.MessageLossRate = c.MessageLossRate
+	return hc, nil
+}
+
+// SeriesPoint is one window of the hit-ratio time series (Fig. 3).
+type SeriesPoint struct {
+	Hour     int
+	HitRatio float64
+	Queries  uint64
+}
+
+// Result is the outcome of one run — the paper's three metrics plus
+// diagnostics.
+type Result struct {
+	Protocol   Protocol
+	Population int
+
+	// HitRatio is cumulative; TailHitRatio covers the final hours (the
+	// numbers Table 2 reports).
+	HitRatio     float64
+	TailHitRatio float64
+	// MeanLookupMs is the mean lookup latency over served queries.
+	MeanLookupMs float64
+	// MeanTransferMs is the mean client→provider distance.
+	MeanTransferMs float64
+
+	// LookupWithin150ms and TransferWithin100ms are the headline
+	// distribution points of Fig. 4 and Fig. 5.
+	LookupWithin150ms   float64
+	LookupBeyond1200ms  float64
+	TransferWithin100ms float64
+
+	Series []SeriesPoint
+
+	Queries uint64
+	Hits    uint64
+	Misses  uint64
+
+	inner *harness.Result
+}
+
+func wrap(r *harness.Result) *Result {
+	out := &Result{
+		Protocol:            Protocol(r.Protocol),
+		Population:          r.Population,
+		HitRatio:            r.HitRatio,
+		TailHitRatio:        r.TailHitRatio,
+		MeanLookupMs:        r.MeanLookupMs,
+		MeanTransferMs:      r.MeanTransferMs,
+		LookupWithin150ms:   r.Lookup.CDFAt(150),
+		LookupBeyond1200ms:  r.Lookup.TailFraction(1200),
+		TransferWithin100ms: r.Transfer.CDFAt(100),
+		Queries:             r.Queries,
+		Hits:                r.Hits,
+		Misses:              r.Misses,
+		inner:               r,
+	}
+	for i, p := range r.Series {
+		out.Series = append(out.Series, SeriesPoint{Hour: i + 1, HitRatio: p.HitRatio, Queries: p.Queries})
+	}
+	return out
+}
+
+// LookupDistribution returns the Fig. 4 histogram.
+func (r *Result) LookupDistribution() metrics.Distribution { return r.inner.Lookup }
+
+// TransferDistribution returns the Fig. 5 histogram.
+func (r *Result) TransferDistribution() metrics.Distribution { return r.inner.Transfer }
+
+// Summary renders the run's headline numbers.
+func (r *Result) Summary() string { return harness.FormatSummary(r.inner) }
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	hc, err := cfg.lower()
+	if err != nil {
+		return nil, err
+	}
+	res, err := harness.Run(hc)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(res), nil
+}
+
+// RunComparison runs Flower-CDN and Squirrel on identical settings and
+// seed — the paper's head-to-head setup behind Fig. 3–5.
+func RunComparison(cfg Config) (flower, squirrel *Result, err error) {
+	hc, err := cfg.lower()
+	if err != nil {
+		return nil, nil, err
+	}
+	f, s, err := harness.RunComparison(hc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrap(f), wrap(s), nil
+}
+
+// ScalabilityRow is one Table 2 data point.
+type ScalabilityRow struct {
+	Population int
+	Flower     *Result
+	Squirrel   *Result
+}
+
+// RunScalability sweeps populations, reproducing Table 2.
+func RunScalability(cfg Config, populations []int) ([]ScalabilityRow, error) {
+	hc, err := cfg.lower()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := harness.RunTable2(hc, populations)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScalabilityRow, len(rows))
+	for i, r := range rows {
+		out[i] = ScalabilityRow{Population: r.Population, Flower: wrap(r.Flower), Squirrel: wrap(r.Squirrel)}
+	}
+	return out, nil
+}
+
+// FormatTable1 renders the parameter sheet of the run.
+func FormatTable1(cfg Config) (string, error) {
+	hc, err := cfg.lower()
+	if err != nil {
+		return "", err
+	}
+	return harness.FormatTable1(hc), nil
+}
+
+// FormatFig3 renders the hit-ratio-over-time comparison.
+func FormatFig3(f, s *Result) string { return harness.FormatFig3(f.inner, s.inner) }
+
+// FormatFig4 renders the lookup-latency distributions.
+func FormatFig4(f, s *Result) string { return harness.FormatFig4(f.inner, s.inner) }
+
+// FormatFig5 renders the transfer-distance distributions.
+func FormatFig5(f, s *Result) string { return harness.FormatFig5(f.inner, s.inner) }
+
+// FormatTable2 renders the scalability sweep.
+func FormatTable2(rows []ScalabilityRow) string {
+	inner := make([]harness.Table2Row, len(rows))
+	for i, r := range rows {
+		inner[i] = harness.Table2Row{Population: r.Population, Flower: r.Flower.inner, Squirrel: r.Squirrel.inner}
+	}
+	return harness.FormatTable2(inner)
+}

@@ -1,0 +1,166 @@
+// Package bloom implements the Bloom filters content peers exchange as
+// "summaries of their stored content" during petal gossip (paper
+// Sec. 3.1). A summary must be cheap to ship in a gossip message and
+// may safely report false positives — a peer that follows a stale or
+// false-positive summary simply falls back to its directory peer — but
+// must never report false negatives for the objects it was built from.
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is a classic Bloom filter over 64-bit keys. The zero value is
+// unusable; construct with New or NewForCapacity.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	count  int
+}
+
+// New creates a filter with the given number of bits (rounded up to a
+// multiple of 64) and hash functions.
+func New(nbits uint64, hashes int) *Filter {
+	if nbits == 0 {
+		nbits = 64
+	}
+	if hashes < 1 {
+		hashes = 1
+	}
+	words := (nbits + 63) / 64
+	return &Filter{
+		bits:   make([]uint64, words),
+		nbits:  words * 64,
+		hashes: hashes,
+	}
+}
+
+// NewForCapacity sizes a filter for n expected keys at the target
+// false-positive rate p, using the standard optimal formulas
+// m = -n·ln(p)/ln(2)² and k = (m/n)·ln(2).
+func NewForCapacity(n int, p float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2))
+	k := int(math.Round(m / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(uint64(m), k)
+}
+
+// mix is a strong 64-bit mixer (splitmix64 finalizer) used to derive
+// the double-hashing pair from one key.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// indexes derives the i-th probe position via Kirsch–Mitzenmacher
+// double hashing: g_i(x) = h1(x) + i·h2(x).
+func (f *Filter) index(key uint64, i int) uint64 {
+	h1 := mix(key)
+	h2 := mix(key ^ 0x9e3779b97f4a7c15)
+	h2 |= 1 // force odd so probes cycle through the whole table
+	return (h1 + uint64(i)*h2) % f.nbits
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key uint64) {
+	for i := 0; i < f.hashes; i++ {
+		pos := f.index(key, i)
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// Contains reports whether key may have been added. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key uint64) bool {
+	for i := 0; i < f.hashes; i++ {
+		pos := f.index(key, i)
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxCount returns the number of Add calls (an upper bound on
+// distinct keys).
+func (f *Filter) ApproxCount() int { return f.count }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.nbits }
+
+// Hashes returns the number of hash probes per key.
+func (f *Filter) Hashes() int { return f.hashes }
+
+// SizeBytes returns the wire size of the filter's bit array; gossip
+// messages report this for traffic accounting.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Clone returns an independent copy.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{
+		bits:   make([]uint64, len(f.bits)),
+		nbits:  f.nbits,
+		hashes: f.hashes,
+		count:  f.count,
+	}
+	copy(c.bits, f.bits)
+	return c
+}
+
+// Union merges other into f. Both filters must have identical geometry.
+func (f *Filter) Union(other *Filter) error {
+	if other == nil {
+		return fmt.Errorf("bloom: union with nil filter")
+	}
+	if f.nbits != other.nbits || f.hashes != other.hashes {
+		return fmt.Errorf("bloom: geometry mismatch: %d/%d bits, %d/%d hashes",
+			f.nbits, other.nbits, f.hashes, other.hashes)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.count += other.count
+	return nil
+}
+
+// Reset clears the filter in place.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.count = 0
+}
+
+// FillRatio returns the fraction of set bits — a diagnostic for
+// saturation (a saturated filter answers true for everything).
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.nbits)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,398 @@
+// Package chord implements the Chord distributed hash table (Stoica et
+// al., SIGCOMM 2001) on the simulated network, including recursive
+// routing with hop accounting, finger tables, successor lists,
+// periodic stabilization, and failure repair — "its routing and churn
+// stabilization protocols", which the paper simulates as the substrate
+// for both D-ring and the Squirrel baseline.
+//
+// Beyond textbook Chord, two features the paper's D-ring needs are
+// provided:
+//
+//   - joining at a *chosen* identifier (directory-peer positions are
+//     deterministic functions of (website, locality, instance));
+//   - a claim protocol that serializes concurrent attempts to occupy
+//     the same vacant position ("several peers may simultaneously
+//     target the same vacant position; the one that first integrates
+//     into D-ring succeeds", Sec. 5.2.2).
+//
+// A node is a component owned by an application peer: the application
+// implements simnet.Handler and delegates Chord traffic to the node via
+// HandleMessage/HandleRequest (both report whether they consumed the
+// input).
+package chord
+
+import (
+	"errors"
+	"fmt"
+
+	"flowercdn/internal/ids"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+)
+
+// Entry identifies a ring member: its network address and ring
+// position. The zero value is not meaningful; use NoEntry for "none".
+type Entry struct {
+	Node simnet.NodeID
+	ID   ids.ID
+}
+
+// NoEntry is the sentinel for an absent entry.
+var NoEntry = Entry{Node: simnet.None}
+
+// Valid reports whether the entry names a node.
+func (e Entry) Valid() bool { return e.Node != simnet.None }
+
+func (e Entry) String() string {
+	if !e.Valid() {
+		return "<none>"
+	}
+	return fmt.Sprintf("n%d@%s", e.Node, e.ID.Short())
+}
+
+// Config tunes the maintenance cadence.
+type Config struct {
+	// SuccessorListLen is the length of the successor list used for
+	// failure repair (Chord suggests O(log N); 8 covers our rings).
+	SuccessorListLen int
+	// StabilizeInterval is the period of the successor-pointer repair
+	// loop.
+	StabilizeInterval int64
+	// FixFingersInterval is the period of finger refresh; FingersPerFix
+	// fingers are refreshed per firing.
+	FixFingersInterval int64
+	FingersPerFix      int
+	// FingerPingInterval is the period of finger liveness probes;
+	// FingersPerPing distinct finger nodes are pinged per firing. Dead
+	// fingers black-hole one-way routed messages, so detecting them
+	// fast matters far more under churn than re-pointing them
+	// optimally.
+	FingerPingInterval int64
+	FingersPerPing     int
+	// CheckPredInterval is the period of predecessor liveness probes.
+	CheckPredInterval int64
+	// RPCTimeout bounds every maintenance RPC.
+	RPCTimeout int64
+	// MaxHops is the routing TTL; messages exceeding it are dropped
+	// (protects against transient ring inconsistency loops).
+	MaxHops int
+	// LookupTimeout bounds one routing attempt; LookupRetries is how
+	// many attempts a Lookup makes before reporting failure.
+	LookupTimeout int64
+	LookupRetries int
+	// ClaimTTL is how long a granted-but-not-yet-integrated position
+	// claim blocks rival claimants.
+	ClaimTTL int64
+}
+
+// DefaultConfig returns maintenance cadence suitable for the paper's
+// churn level (mean uptime 60 min): pointers repair within tens of
+// seconds, far faster than the mean failure interarrival per node.
+func DefaultConfig() Config {
+	return Config{
+		SuccessorListLen:   8,
+		StabilizeInterval:  30 * sim.Second,
+		FixFingersInterval: 40 * sim.Second,
+		FingersPerFix:      4,
+		FingerPingInterval: 20 * sim.Second,
+		FingersPerPing:     4,
+		CheckPredInterval:  45 * sim.Second,
+		RPCTimeout:         2 * sim.Second,
+		MaxHops:            2 * ids.Bits,
+		LookupTimeout:      5 * sim.Second,
+		LookupRetries:      3,
+		ClaimTTL:           30 * sim.Second,
+	}
+}
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.SuccessorListLen < 1 {
+		return errors.New("chord: successor list must hold at least 1 entry")
+	}
+	if c.StabilizeInterval <= 0 || c.FixFingersInterval <= 0 || c.CheckPredInterval <= 0 {
+		return errors.New("chord: maintenance intervals must be positive")
+	}
+	if c.FingersPerFix < 1 {
+		return errors.New("chord: FingersPerFix must be at least 1")
+	}
+	if c.FingerPingInterval <= 0 || c.FingersPerPing < 1 {
+		return errors.New("chord: finger ping cadence out of range")
+	}
+	if c.RPCTimeout <= 0 || c.LookupTimeout <= 0 {
+		return errors.New("chord: timeouts must be positive")
+	}
+	if c.MaxHops < 1 || c.LookupRetries < 1 {
+		return errors.New("chord: MaxHops and LookupRetries must be at least 1")
+	}
+	if c.ClaimTTL <= 0 {
+		return errors.New("chord: ClaimTTL must be positive")
+	}
+	return nil
+}
+
+// App receives application payloads routed over the ring.
+type App interface {
+	// OnRouted runs at the node that terminates routing for key. origin
+	// is the network address that issued Route (it may not be a ring
+	// member); hops is the number of overlay forwardings taken.
+	OnRouted(key ids.ID, payload any, origin simnet.NodeID, hops int)
+}
+
+// Errors reported by lookups and joins.
+var (
+	ErrLookupFailed = errors.New("chord: lookup failed after retries")
+	ErrOccupied     = errors.New("chord: position already occupied")
+	ErrClaimDenied  = errors.New("chord: position claimed by another peer")
+	ErrStopped      = errors.New("chord: node stopped")
+)
+
+// ---- wire messages ----
+
+// routeMsg is forwarded greedily toward the owner of Key.
+type routeMsg struct {
+	Key     ids.ID
+	Payload any    // nil for pure lookups
+	ReqID   uint64 // nonzero: owner must send lookupReply to Origin
+	Origin  simnet.NodeID
+	Hops    int
+	Deliver bool // set on the final hop: receiver is the owner
+}
+
+// lookupReply answers a Lookup directly to its origin.
+type lookupReply struct {
+	ReqID uint64
+	Owner Entry
+	Hops  int
+}
+
+// notifyMsg implements Chord's notify(n').
+type notifyMsg struct {
+	From Entry
+}
+
+// neighborsReq/neighborsResp implement the stabilize probe (fetch
+// predecessor and successor list in one RPC).
+type neighborsReq struct{}
+
+type neighborsResp struct {
+	Pred  Entry
+	Succs []Entry
+}
+
+// pingReq checks liveness.
+type pingReq struct{}
+type pingResp struct{}
+
+// claimReq asks the current owner of Pos's arc to reserve the vacant
+// position Pos for Claimant.
+type claimReq struct {
+	Pos      ids.ID
+	Claimant Entry
+}
+
+type claimResp struct {
+	Granted bool
+	// Current is the entry blocking the claim when not granted: either
+	// the node already at Pos, or the rival claimant holding the
+	// reservation.
+	Current Entry
+}
+
+// claimTransfer hands a reservation to the node that just became the
+// owner of the arc containing Pos. Without it, a rival claiming through
+// the new owner would be granted a duplicate position.
+type claimTransfer struct {
+	Pos      ids.ID
+	Claimant Entry
+}
+
+type pendingLookup struct {
+	cb      func(owner Entry, hops int, err error)
+	timer   *sim.Timer
+	retries int
+	key     ids.ID
+}
+
+// reqCounter hands out lookup request IDs unique across every resolver
+// in the process (the simulation is single-goroutine), so a peer that
+// owns both a ring Node and a non-member Client can tell their replies
+// apart.
+var reqCounter uint64
+
+func nextReqID() uint64 {
+	reqCounter++
+	return reqCounter
+}
+
+// resolver matches lookupReply messages to pending lookups. Both full
+// nodes and non-member Clients embed it.
+type resolver struct {
+	pending map[uint64]*pendingLookup
+}
+
+func (r *resolver) init() { r.pending = make(map[uint64]*pendingLookup) }
+
+// consumeReply reports whether the reply belonged to this resolver; an
+// unknown ID may belong to another component of the same peer (or be a
+// stale retry), so the caller must keep dispatching on false.
+func (r *resolver) consumeReply(m lookupReply) bool {
+	p, ok := r.pending[m.ReqID]
+	if !ok {
+		return false
+	}
+	delete(r.pending, m.ReqID)
+	p.timer.Cancel()
+	p.cb(m.Owner, m.Hops, nil)
+	return true
+}
+
+// Node is one Chord ring member.
+type Node struct {
+	resolver
+	cfg  Config
+	net  *simnet.Network
+	eng  *sim.Engine
+	rng  *sim.RNG
+	app  App
+	self Entry
+
+	pred     Entry
+	succs    []Entry // succs[0] is the immediate successor; never empty once started
+	fingers  []Entry
+	nextFix  int
+	nextPing int
+
+	claims map[ids.ID]claim // position reservations this node granted
+
+	// contacts is a small cache of recently seen ring members used for
+	// emergency re-joins: a node whose successor list drains completely
+	// (every entry died before repair) would otherwise be stranded at
+	// succ == self forever, invisible to the ring.
+	contacts []Entry
+
+	timers  []*sim.PeriodicTimer
+	stopped bool
+	started bool
+}
+
+type claim struct {
+	claimant Entry
+	expires  int64
+}
+
+// NewNode constructs a ring member for the application peer at nodeID
+// that will sit at ring position ringID. Call Create or Join to enter a
+// ring, after which the component must see all chord traffic via
+// HandleMessage/HandleRequest.
+func NewNode(cfg Config, net *simnet.Network, rng *sim.RNG, app App, nodeID simnet.NodeID, ringID ids.ID) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if app == nil {
+		return nil, errors.New("chord: nil app")
+	}
+	n := &Node{
+		cfg:     cfg,
+		net:     net,
+		eng:     net.Engine(),
+		rng:     rng,
+		app:     app,
+		self:    Entry{Node: nodeID, ID: ringID},
+		pred:    NoEntry,
+		fingers: make([]Entry, ids.Bits),
+		claims:  make(map[ids.ID]claim),
+	}
+	for i := range n.fingers {
+		n.fingers[i] = NoEntry
+	}
+	n.resolver.init()
+	return n, nil
+}
+
+// Self returns this node's entry.
+func (n *Node) Self() Entry { return n.self }
+
+// Successor returns the immediate successor (self on a fresh ring).
+func (n *Node) Successor() Entry {
+	if len(n.succs) == 0 {
+		return n.self
+	}
+	return n.succs[0]
+}
+
+// SuccessorList returns a copy of the successor list.
+func (n *Node) SuccessorList() []Entry {
+	out := make([]Entry, len(n.succs))
+	copy(out, n.succs)
+	return out
+}
+
+// Predecessor returns the current predecessor (possibly NoEntry).
+func (n *Node) Predecessor() Entry { return n.pred }
+
+// Stopped reports whether Stop was called.
+func (n *Node) Stopped() bool { return n.stopped }
+
+// Create starts a brand-new ring with this node as its only member.
+func (n *Node) Create() {
+	n.succs = []Entry{n.self}
+	n.pred = n.self
+	n.start()
+}
+
+// Join enters the ring known through gateway. cb runs once with nil on
+// success or an error when the gateway could not resolve our position.
+func (n *Node) Join(gateway Entry, cb func(error)) {
+	if n.started {
+		panic("chord: Join on started node")
+	}
+	n.lookupVia(gateway, n.self.ID, func(owner Entry, _ int, err error) {
+		if n.stopped {
+			return
+		}
+		if err != nil {
+			cb(err)
+			return
+		}
+		if owner.Node == n.self.Node {
+			cb(fmt.Errorf("chord: join resolved to self"))
+			return
+		}
+		n.succs = []Entry{owner}
+		n.pred = NoEntry
+		n.start()
+		// Stabilize immediately: a single-entry successor list is a
+		// single point of failure until the first merge, and under heavy
+		// churn that successor may not survive a full interval.
+		n.stabilize()
+		cb(nil)
+	})
+}
+
+func (n *Node) start() {
+	n.started = true
+	jitter := func(p int64) int64 { return n.rng.UniformDuration(0, p) }
+	n.timers = append(n.timers,
+		n.eng.Every(jitter(n.cfg.StabilizeInterval), n.cfg.StabilizeInterval, n.stabilize),
+		n.eng.Every(jitter(n.cfg.FixFingersInterval), n.cfg.FixFingersInterval, n.fixFingers),
+		n.eng.Every(jitter(n.cfg.FingerPingInterval), n.cfg.FingerPingInterval, n.pingFingers),
+		n.eng.Every(jitter(n.cfg.CheckPredInterval), n.cfg.CheckPredInterval, n.checkPredecessor),
+	)
+}
+
+// Stop cancels all maintenance. The owning peer calls it when failing
+// or leaving.
+func (n *Node) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	for _, t := range n.timers {
+		t.Cancel()
+	}
+	for id, p := range n.pending {
+		p.timer.Cancel()
+		delete(n.pending, id)
+	}
+}

@@ -1,0 +1,77 @@
+package chord
+
+import (
+	"flowercdn/internal/ids"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+)
+
+// Client lets a peer that is NOT a ring member issue lookups and route
+// payloads through a gateway member. This is how new clients use
+// D-ring in the paper: they submit queries to the overlay without
+// joining the structured layer themselves.
+type Client struct {
+	resolver
+	cfg Config
+	net *simnet.Network
+	eng *sim.Engine
+	me  simnet.NodeID
+}
+
+// NewClient builds a lookup client for the peer at me.
+func NewClient(cfg Config, net *simnet.Network, me simnet.NodeID) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Client{cfg: cfg, net: net, eng: net.Engine(), me: me}
+	c.resolver.init()
+	return c, nil
+}
+
+// LookupVia resolves key's owner through the gateway ring member,
+// retrying on timeout like Node.Lookup.
+func (c *Client) LookupVia(gateway Entry, key ids.ID, cb func(owner Entry, hops int, err error)) {
+	c.attempt(gateway, key, c.cfg.LookupRetries, cb)
+}
+
+func (c *Client) attempt(gateway Entry, key ids.ID, attempts int, cb func(Entry, int, error)) {
+	req := nextReqID()
+	p := &pendingLookup{cb: cb, retries: attempts - 1, key: key}
+	c.pending[req] = p
+	p.timer = c.eng.Schedule(c.cfg.LookupTimeout, func() { c.timedOut(req, gateway) })
+	c.net.Send(c.me, gateway.Node, routeMsg{Key: key, ReqID: req, Origin: c.me})
+}
+
+func (c *Client) timedOut(req uint64, gateway Entry) {
+	p, ok := c.pending[req]
+	if !ok {
+		return
+	}
+	if p.retries <= 0 {
+		delete(c.pending, req)
+		p.cb(NoEntry, 0, ErrLookupFailed)
+		return
+	}
+	p.retries--
+	delete(c.pending, req)
+	fresh := nextReqID()
+	c.pending[fresh] = p
+	p.timer = c.eng.Schedule(c.cfg.LookupTimeout, func() { c.timedOut(fresh, gateway) })
+	c.net.Send(c.me, gateway.Node, routeMsg{Key: p.key, ReqID: fresh, Origin: c.me})
+}
+
+// RouteVia sends an application payload toward key's owner through the
+// gateway. One-way and best-effort; the owner's application answers the
+// origin directly.
+func (c *Client) RouteVia(gateway Entry, key ids.ID, payload any) {
+	c.net.Send(c.me, gateway.Node, routeMsg{Key: key, Payload: payload, Origin: c.me})
+}
+
+// HandleMessage consumes lookup replies addressed to this client. It
+// reports whether the message was Chord client traffic.
+func (c *Client) HandleMessage(_ simnet.NodeID, msg any) bool {
+	if m, ok := msg.(lookupReply); ok {
+		return c.consumeReply(m)
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package chord
+
+import (
+	"flowercdn/internal/ids"
+	"flowercdn/internal/simnet"
+)
+
+// Lookup resolves the owner (successor) of key, retrying on timeout.
+// cb runs exactly once with (owner, overlay hops, nil) or (NoEntry, 0,
+// ErrLookupFailed). The accumulated simulated time until cb runs is the
+// lookup latency the metrics record.
+func (n *Node) Lookup(key ids.ID, cb func(owner Entry, hops int, err error)) {
+	n.lookupAttempt(key, n.cfg.LookupRetries, cb, n.routeLocal)
+}
+
+// lookupVia resolves key through an external gateway — used while
+// joining, before this node can route itself.
+func (n *Node) lookupVia(gateway Entry, key ids.ID, cb func(Entry, int, error)) {
+	n.lookupAttempt(key, n.cfg.LookupRetries, cb, func(m routeMsg) {
+		n.net.Send(n.self.Node, gateway.Node, m)
+	})
+}
+
+// lookupAttempt registers a pending lookup and injects the route
+// message with the given starter, retrying until attempts run out.
+func (n *Node) lookupAttempt(key ids.ID, attempts int, cb func(Entry, int, error), start func(routeMsg)) {
+	req := nextReqID()
+	p := &pendingLookup{cb: cb, retries: attempts - 1, key: key}
+	n.pending[req] = p
+	p.timer = n.eng.Schedule(n.cfg.LookupTimeout, func() { n.lookupTimedOut(req, start) })
+	start(routeMsg{Key: key, ReqID: req, Origin: n.self.Node})
+}
+
+func (n *Node) lookupTimedOut(req uint64, start func(routeMsg)) {
+	p, ok := n.pending[req]
+	if !ok {
+		return
+	}
+	if n.stopped {
+		delete(n.pending, req)
+		p.cb(NoEntry, 0, ErrStopped)
+		return
+	}
+	if p.retries <= 0 {
+		delete(n.pending, req)
+		p.cb(NoEntry, 0, ErrLookupFailed)
+		return
+	}
+	p.retries--
+	// Re-key the pending entry under a fresh request id so a straggler
+	// reply to the old attempt is ignored (it would double-fire cb).
+	delete(n.pending, req)
+	fresh := nextReqID()
+	n.pending[fresh] = p
+	p.timer = n.eng.Schedule(n.cfg.LookupTimeout, func() { n.lookupTimedOut(fresh, start) })
+	start(routeMsg{Key: p.key, ReqID: fresh, Origin: n.self.Node})
+}
+
+// Route forwards an application payload to the owner of key; the
+// owner's App.OnRouted fires. Delivery is best-effort one-way, exactly
+// like the paper's query routing: a lost query is recovered by the
+// application's own retry (a client re-submits).
+func (n *Node) Route(key ids.ID, payload any) {
+	n.routeLocal(routeMsg{Key: key, Payload: payload, Origin: n.self.Node})
+}
+
+// routeLocal treats this node as the current routing step without
+// consuming network latency (a node consulting itself is local work).
+func (n *Node) routeLocal(m routeMsg) {
+	n.routeStep(m)
+}
+
+// routeStep implements one step of recursive Chord routing.
+func (n *Node) routeStep(m routeMsg) {
+	if n.stopped {
+		return
+	}
+	if m.Deliver {
+		n.deliver(m)
+		return
+	}
+	if m.Hops >= n.cfg.MaxHops {
+		return // TTL exceeded: drop; origin's timeout recovers
+	}
+	succ := n.Successor()
+	// Single-node ring or self-owned key: deliver locally.
+	if succ.Node == n.self.Node || m.Key == n.self.ID {
+		n.deliver(m)
+		return
+	}
+	if ids.BetweenRightIncl(m.Key, n.self.ID, succ.ID) {
+		// Our successor owns the key: final hop.
+		m.Deliver = true
+		m.Hops++
+		n.net.Send(n.self.Node, succ.Node, m)
+		return
+	}
+	next := n.closestPreceding(m.Key)
+	if next.Node == n.self.Node || !next.Valid() {
+		// Routing state offers nothing closer; fall forward along the
+		// ring to guarantee progress.
+		next = succ
+	}
+	m.Hops++
+	n.net.Send(n.self.Node, next.Node, m)
+}
+
+// deliver terminates routing at this node.
+func (n *Node) deliver(m routeMsg) {
+	if m.ReqID != 0 {
+		reply := lookupReply{ReqID: m.ReqID, Owner: n.self, Hops: m.Hops}
+		if m.Origin == n.self.Node {
+			// Local lookup that resolved to ourselves.
+			n.consumeReply(reply)
+		} else {
+			n.net.Send(n.self.Node, m.Origin, reply)
+		}
+	}
+	if m.Payload != nil {
+		n.app.OnRouted(m.Key, m.Payload, m.Origin, m.Hops)
+	}
+}
+
+// closestPreceding scans fingers and the successor list for the node
+// with the largest ID in (self, key) — the classic greedy step.
+func (n *Node) closestPreceding(key ids.ID) Entry {
+	best := NoEntry
+	consider := func(e Entry) {
+		if !e.Valid() || e.Node == n.self.Node {
+			return
+		}
+		if !ids.Between(e.ID, n.self.ID, key) {
+			return
+		}
+		if !best.Valid() || ids.Between(best.ID, n.self.ID, e.ID) {
+			best = e
+		}
+	}
+	for i := len(n.fingers) - 1; i >= 0; i-- {
+		consider(n.fingers[i])
+	}
+	for _, s := range n.succs {
+		consider(s)
+	}
+	return best
+}
+
+// HandleMessage consumes Chord one-way messages. It reports whether the
+// message belonged to Chord; the owning peer tries other components
+// when it returns false.
+func (n *Node) HandleMessage(from simnet.NodeID, msg any) bool {
+	switch m := msg.(type) {
+	case routeMsg:
+		n.routeStep(m)
+		return true
+	case lookupReply:
+		return n.consumeReply(m)
+	case notifyMsg:
+		n.onNotify(m.From)
+		return true
+	case claimTransfer:
+		n.onClaimTransfer(m)
+		return true
+	default:
+		return false
+	}
+}
+
+// HandleRequest consumes Chord RPCs; handled reports whether the
+// request was Chord traffic.
+func (n *Node) HandleRequest(from simnet.NodeID, req any) (resp any, err error, handled bool) {
+	switch r := req.(type) {
+	case neighborsReq:
+		resp, err = n.onNeighbors()
+		return resp, err, true
+	case pingReq:
+		return pingResp{}, nil, true
+	case claimReq:
+		resp, err = n.onClaim(r)
+		return resp, err, true
+	default:
+		return nil, nil, false
+	}
+}

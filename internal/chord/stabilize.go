@@ -1,0 +1,370 @@
+package chord
+
+import (
+	"flowercdn/internal/ids"
+	"flowercdn/internal/simnet"
+)
+
+// stabilize is Chord's periodic successor repair: ask the successor for
+// its predecessor and successor list, adopt a closer successor if one
+// appeared, merge the list, and notify.
+func (n *Node) stabilize() {
+	if n.stopped {
+		return
+	}
+	succ := n.Successor()
+	if succ.Node == n.self.Node {
+		// Alone on the ring; if someone notified us, adopt them.
+		if n.pred.Valid() && n.pred.Node != n.self.Node {
+			n.succs = []Entry{n.pred}
+			return
+		}
+		// Stranded: every known successor died before repair. Try an
+		// emergency re-join through a cached contact.
+		n.rescue()
+		return
+	}
+	n.net.Request(n.self.Node, succ.Node, neighborsReq{}, n.cfg.RPCTimeout,
+		func(resp any, err error) {
+			if n.stopped {
+				return
+			}
+			if err != nil {
+				n.dropSuccessor(succ)
+				return
+			}
+			nb := resp.(neighborsResp)
+			if nb.Pred.Valid() && nb.Pred.Node != n.self.Node &&
+				ids.Between(nb.Pred.ID, n.self.ID, succ.ID) {
+				// A node slid in between us and our successor.
+				n.adoptSuccessor(nb.Pred, nil)
+			} else {
+				n.mergeSuccList(succ, nb.Succs)
+			}
+			n.notifySuccessor()
+		})
+}
+
+// rememberContact keeps a bounded, deduplicated cache of ring members
+// seen through maintenance traffic, newest last.
+func (n *Node) rememberContact(e Entry) {
+	if !e.Valid() || e.Node == n.self.Node {
+		return
+	}
+	const cap = 16
+	for i, c := range n.contacts {
+		if c.Node == e.Node {
+			// Move to the back (freshest).
+			n.contacts = append(append(n.contacts[:i:i], n.contacts[i+1:]...), e)
+			return
+		}
+	}
+	n.contacts = append(n.contacts, e)
+	if len(n.contacts) > cap {
+		n.contacts = n.contacts[len(n.contacts)-cap:]
+	}
+}
+
+// rescue attempts an emergency re-join via the freshest cached contact:
+// resolve our own successor through it and re-enter the ring. One
+// attempt per stabilize round; dead contacts are discarded.
+func (n *Node) rescue() {
+	for len(n.contacts) > 0 {
+		c := n.contacts[len(n.contacts)-1]
+		n.contacts = n.contacts[:len(n.contacts)-1]
+		if c.Node == n.self.Node {
+			continue
+		}
+		n.lookupVia(c, n.self.ID, func(owner Entry, _ int, err error) {
+			if n.stopped || err != nil {
+				return
+			}
+			if owner.Node == n.self.Node || !owner.Valid() {
+				return
+			}
+			if n.Successor().Node != n.self.Node {
+				return // already rescued through another path
+			}
+			n.succs = []Entry{owner}
+			n.notifySuccessor()
+			n.stabilize()
+		})
+		return
+	}
+}
+
+// adoptSuccessor makes e the immediate successor and keeps the tail.
+func (n *Node) adoptSuccessor(e Entry, tail []Entry) {
+	n.rememberContact(e)
+	list := make([]Entry, 0, n.cfg.SuccessorListLen)
+	list = append(list, e)
+	for _, s := range n.succs {
+		if len(list) >= n.cfg.SuccessorListLen {
+			break
+		}
+		if s.Node != e.Node && s.Node != n.self.Node {
+			list = append(list, s)
+		}
+	}
+	for _, s := range tail {
+		if len(list) >= n.cfg.SuccessorListLen {
+			break
+		}
+		if s.Node != e.Node && s.Node != n.self.Node && !containsNode(list, s.Node) {
+			list = append(list, s)
+		}
+	}
+	n.succs = list
+}
+
+// mergeSuccList rebuilds the successor list as succ followed by succ's
+// own list.
+func (n *Node) mergeSuccList(succ Entry, theirs []Entry) {
+	list := make([]Entry, 0, n.cfg.SuccessorListLen)
+	list = append(list, succ)
+	n.rememberContact(succ)
+	for _, s := range theirs {
+		n.rememberContact(s)
+		if len(list) >= n.cfg.SuccessorListLen {
+			continue
+		}
+		if s.Node != n.self.Node && !containsNode(list, s.Node) {
+			list = append(list, s)
+		}
+	}
+	n.succs = list
+}
+
+func containsNode(list []Entry, node simnet.NodeID) bool {
+	for _, e := range list {
+		if e.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
+// dropSuccessor removes a dead successor and falls back to the next
+// live candidate in the list; with the list exhausted the node points
+// at itself and waits to be re-discovered (it still owns its arc).
+func (n *Node) dropSuccessor(dead Entry) {
+	out := n.succs[:0]
+	for _, s := range n.succs {
+		if s.Node != dead.Node {
+			out = append(out, s)
+		}
+	}
+	n.succs = out
+	if len(n.succs) == 0 {
+		n.succs = []Entry{n.self}
+	}
+	n.clearFingersFor(dead)
+}
+
+func (n *Node) notifySuccessor() {
+	succ := n.Successor()
+	if succ.Node == n.self.Node {
+		return
+	}
+	n.net.Send(n.self.Node, succ.Node, notifyMsg{From: n.self})
+}
+
+// onNotify implements notify(n'): adopt n' as predecessor if closer.
+// Adopting a closer predecessor shrinks this node's arc, so claim
+// records for positions that now fall on the new predecessor's arc are
+// transferred to it — otherwise the new arc owner would re-grant a
+// position that is already reserved (the duplicate-directory race).
+func (n *Node) onNotify(from Entry) {
+	if n.stopped || from.Node == n.self.Node {
+		return
+	}
+	n.rememberContact(from)
+	if !n.pred.Valid() || n.pred.Node == n.self.Node ||
+		ids.Between(from.ID, n.pred.ID, n.self.ID) {
+		old := n.pred
+		n.pred = from
+		n.transferClaims(old, from)
+	}
+	// A lone node adopts its first contact as successor too.
+	if n.Successor().Node == n.self.Node {
+		n.succs = []Entry{from}
+	}
+}
+
+// transferClaims ships reservations for positions in (old, new] to the
+// new predecessor, which now owns that arc.
+func (n *Node) transferClaims(old, new Entry) {
+	for pos, c := range n.claims {
+		if pos == new.ID {
+			// The new predecessor IS the position's holder (the granted
+			// claimant that just integrated). It rejects rival claims by
+			// identity; we keep the record so rivals that still route to
+			// us are denied too — deleting it would let us double-grant.
+			continue
+		}
+		var moved bool
+		if !old.Valid() || old.Node == n.self.Node {
+			// We previously answered for the whole reachable arc; keep
+			// only what is still ours: (new, self].
+			moved = !ids.BetweenRightIncl(pos, new.ID, n.self.ID)
+		} else {
+			moved = ids.BetweenRightIncl(pos, old.ID, new.ID)
+		}
+		if moved {
+			n.net.Send(n.self.Node, new.Node, claimTransfer{Pos: pos, Claimant: c.claimant})
+			delete(n.claims, pos)
+		}
+	}
+}
+
+// onClaimTransfer installs a reservation handed over by the previous
+// arc owner; an existing local record wins (it is newer information).
+func (n *Node) onClaimTransfer(m claimTransfer) {
+	if n.stopped {
+		return
+	}
+	if _, ok := n.claims[m.Pos]; ok {
+		return
+	}
+	n.claims[m.Pos] = claim{claimant: m.Claimant, expires: n.eng.Now() + n.cfg.ClaimTTL}
+}
+
+// onNeighbors answers a stabilize probe.
+func (n *Node) onNeighbors() (neighborsResp, error) {
+	succs := make([]Entry, len(n.succs))
+	copy(succs, n.succs)
+	return neighborsResp{Pred: n.pred, Succs: succs}, nil
+}
+
+// checkPredecessor probes the predecessor and clears it on timeout, so
+// a dead predecessor's slot can be re-taken via notify.
+func (n *Node) checkPredecessor() {
+	if n.stopped || !n.pred.Valid() || n.pred.Node == n.self.Node {
+		return
+	}
+	pred := n.pred
+	n.net.Request(n.self.Node, pred.Node, pingReq{}, n.cfg.RPCTimeout,
+		func(_ any, err error) {
+			if n.stopped {
+				return
+			}
+			if err != nil && n.pred.Node == pred.Node {
+				n.pred = NoEntry
+				n.clearFingersFor(pred)
+			}
+		})
+}
+
+// fixFingers refreshes FingersPerFix finger entries per firing, cycling
+// through the table. Finger i targets self.ID + 2^i.
+func (n *Node) fixFingers() {
+	if n.stopped {
+		return
+	}
+	for k := 0; k < n.cfg.FingersPerFix; k++ {
+		i := n.nextFix
+		n.nextFix = (n.nextFix + 1) % ids.Bits
+		target := n.self.ID.AddPow2(i)
+		idx := i
+		n.Lookup(target, func(owner Entry, _ int, err error) {
+			if n.stopped {
+				return
+			}
+			if err != nil {
+				n.fingers[idx] = NoEntry
+				return
+			}
+			if owner.Node == n.self.Node {
+				n.fingers[idx] = NoEntry // own arc: no shortcut needed
+				return
+			}
+			n.fingers[idx] = owner
+		})
+	}
+}
+
+// pingFingers probes a rotating window of distinct finger nodes and
+// clears entries whose node fails to answer. A stale-but-alive finger
+// merely costs extra hops; a dead finger silently swallows every
+// one-way routed message sent through it, so under heavy churn this
+// probe is what keeps lookup latency bounded.
+func (n *Node) pingFingers() {
+	if n.stopped {
+		return
+	}
+	// Collect distinct finger nodes in table order.
+	var nodes []Entry
+	seen := make(map[simnet.NodeID]struct{}, n.cfg.FingersPerPing*2)
+	for _, f := range n.fingers {
+		if !f.Valid() || f.Node == n.self.Node {
+			continue
+		}
+		if _, dup := seen[f.Node]; dup {
+			continue
+		}
+		seen[f.Node] = struct{}{}
+		nodes = append(nodes, f)
+	}
+	if len(nodes) == 0 {
+		return
+	}
+	start := n.nextPing % len(nodes)
+	count := n.cfg.FingersPerPing
+	if count > len(nodes) {
+		count = len(nodes)
+	}
+	n.nextPing += count
+	for k := 0; k < count; k++ {
+		target := nodes[(start+k)%len(nodes)]
+		n.net.Request(n.self.Node, target.Node, pingReq{}, n.cfg.RPCTimeout,
+			func(_ any, err error) {
+				if n.stopped || err == nil {
+					return
+				}
+				n.clearFingersFor(target)
+				n.dropIfSuccessor(target)
+			})
+	}
+}
+
+// dropIfSuccessor removes a node discovered dead from the successor
+// list without waiting for the next stabilize round.
+func (n *Node) dropIfSuccessor(dead Entry) {
+	if containsNode(n.succs, dead.Node) {
+		n.dropSuccessor(dead)
+	}
+}
+
+// clearFingersFor wipes table entries pointing at a node believed dead,
+// so routing stops forwarding into a black hole before the next
+// refresh.
+func (n *Node) clearFingersFor(dead Entry) {
+	for i, f := range n.fingers {
+		if f.Valid() && f.Node == dead.Node {
+			n.fingers[i] = NoEntry
+		}
+	}
+}
+
+// Announce sends a notify to an arbitrary ring member, volunteering
+// this node as its predecessor if closer. Applications use it to
+// restore visibility when an ownership audit shows the ring routing
+// around them.
+func (n *Node) Announce(to Entry) {
+	if n.stopped || !to.Valid() || to.Node == n.self.Node {
+		return
+	}
+	n.net.Send(n.self.Node, to.Node, notifyMsg{From: n.self})
+}
+
+// FingerTable returns a copy of the non-empty finger entries, for
+// diagnostics and tests.
+func (n *Node) FingerTable() []Entry {
+	var out []Entry
+	for _, f := range n.fingers {
+		if f.Valid() {
+			out = append(out, f)
+		}
+	}
+	return out
+}

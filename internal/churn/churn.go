@@ -1,0 +1,134 @@
+// Package churn implements the paper's dynamicity model (Sec. 6.1,
+// following Stutzbach & Rejaie's churn characterization): the P2P
+// population converges to a target size P because peers arrive in a
+// Poisson process whose rate equals the mean departure rate P/m, where
+// m is the mean peer uptime. Uptimes are exponential with mean m
+// (60 minutes in Table 1 — a very high churn rate), and a peer always
+// *fails* when its lifetime expires: it never says goodbye, so every
+// departure must be discovered by timeout. A peer may re-join later
+// with a fresh identity and a fresh uptime draw.
+package churn
+
+import (
+	"fmt"
+
+	"flowercdn/internal/sim"
+)
+
+// Config controls the churn process.
+type Config struct {
+	// TargetPopulation is P, the size the population converges to.
+	TargetPopulation int
+	// MeanUptime is m in milliseconds (Table 1: 60 minutes).
+	MeanUptime int64
+}
+
+// DefaultConfig returns Table 1's churn parameters for P = 3000.
+func DefaultConfig() Config {
+	return Config{TargetPopulation: 3000, MeanUptime: 60 * sim.Minute}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TargetPopulation < 1 {
+		return fmt.Errorf("churn: target population %d", c.TargetPopulation)
+	}
+	if c.MeanUptime < 1 {
+		return fmt.Errorf("churn: mean uptime %d", c.MeanUptime)
+	}
+	return nil
+}
+
+// MeanInterarrival returns the expected gap between arrivals, m/P.
+func (c Config) MeanInterarrival() int64 {
+	gap := c.MeanUptime / int64(c.TargetPopulation)
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// Process drives arrivals. For every arrival it calls spawn, which
+// creates a protocol peer and returns a kill function; the process then
+// schedules that kill after an exponential lifetime. spawn may return
+// nil to decline the arrival (e.g. after the run's cool-down).
+type Process struct {
+	cfg   Config
+	eng   *sim.Engine
+	rng   *sim.RNG
+	spawn func() (kill func())
+
+	arrivals uint64
+	failures uint64
+	ticker   *sim.Timer
+	stopped  bool
+}
+
+// NewProcess builds a churn process; Start must be called to begin.
+func NewProcess(cfg Config, eng *sim.Engine, rng *sim.RNG, spawn func() func()) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if spawn == nil {
+		return nil, fmt.Errorf("churn: nil spawn")
+	}
+	return &Process{cfg: cfg, eng: eng, rng: rng, spawn: spawn}, nil
+}
+
+// Start schedules the first arrival.
+func (p *Process) Start() {
+	p.scheduleNext()
+}
+
+func (p *Process) scheduleNext() {
+	if p.stopped {
+		return
+	}
+	gap := p.rng.ExpDuration(p.cfg.MeanInterarrival())
+	p.ticker = p.eng.Schedule(gap, func() {
+		p.arrive()
+		p.scheduleNext()
+	})
+}
+
+func (p *Process) arrive() {
+	kill := p.spawn()
+	if kill == nil {
+		return
+	}
+	p.arrivals++
+	life := p.Lifetime()
+	p.eng.Schedule(life, func() {
+		p.failures++
+		kill()
+	})
+}
+
+// SpawnInitial performs n immediate arrivals (used to seed the warm-up
+// population); each gets its own exponential lifetime like any other
+// arrival.
+func (p *Process) SpawnInitial(n int) {
+	for i := 0; i < n; i++ {
+		p.arrive()
+	}
+}
+
+// Lifetime draws one exponential uptime with mean m.
+func (p *Process) Lifetime() int64 {
+	return p.rng.ExpDuration(p.cfg.MeanUptime)
+}
+
+// Stop halts future arrivals; peers already alive still fail on
+// schedule.
+func (p *Process) Stop() {
+	p.stopped = true
+	if p.ticker != nil {
+		p.ticker.Cancel()
+	}
+}
+
+// Arrivals returns the number of successful spawns so far.
+func (p *Process) Arrivals() uint64 { return p.arrivals }
+
+// Failures returns the number of lifetime expiries executed so far.
+func (p *Process) Failures() uint64 { return p.failures }

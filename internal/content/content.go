@@ -1,0 +1,160 @@
+// Package content models the requestable content of the supported
+// websites: object naming, per-peer stores with the push-delta
+// accounting the maintenance protocol needs (paper Sec. 5.1: a content
+// peer pushes updates "whenever the percentage of its changes reaches a
+// threshold"), and Bloom summaries for gossip.
+//
+// Cache expiration and replacement are deliberately not modelled; the
+// paper assumes "a content peer has enough storage potential to avoid
+// replacing its content through the experiment's duration".
+package content
+
+import (
+	"fmt"
+	"sort"
+
+	"flowercdn/internal/bloom"
+)
+
+// SiteID identifies a website in W.
+type SiteID int32
+
+// ObjectID identifies one object within a website (0..ObjectsPerSite-1).
+type ObjectID int32
+
+// Key names one web object globally.
+type Key struct {
+	Site   SiteID
+	Object ObjectID
+}
+
+// Uint64 packs the key for hashing and Bloom membership.
+func (k Key) Uint64() uint64 {
+	return uint64(uint32(k.Site))<<32 | uint64(uint32(k.Object))
+}
+
+// String renders "site/object".
+func (k Key) String() string { return fmt.Sprintf("%d/%d", k.Site, k.Object) }
+
+// Catalog describes the universe of content: |W| websites with a fixed
+// number of requestable, cacheable objects each (Table 1: 100 websites,
+// 500 objects per site).
+type Catalog struct {
+	sites          int
+	objectsPerSite int
+}
+
+// NewCatalog validates and builds a catalog.
+func NewCatalog(sites, objectsPerSite int) (*Catalog, error) {
+	if sites < 1 {
+		return nil, fmt.Errorf("content: need at least 1 site, got %d", sites)
+	}
+	if objectsPerSite < 1 {
+		return nil, fmt.Errorf("content: need at least 1 object per site, got %d", objectsPerSite)
+	}
+	return &Catalog{sites: sites, objectsPerSite: objectsPerSite}, nil
+}
+
+// Sites returns |W|.
+func (c *Catalog) Sites() int { return c.sites }
+
+// ObjectsPerSite returns the per-site object count.
+func (c *Catalog) ObjectsPerSite() int { return c.objectsPerSite }
+
+// Valid reports whether a key is inside the catalog.
+func (c *Catalog) Valid(k Key) bool {
+	return int(k.Site) >= 0 && int(k.Site) < c.sites &&
+		int(k.Object) >= 0 && int(k.Object) < c.objectsPerSite
+}
+
+// Store is one peer's local content cache for the single website it is
+// interested in, with the delta accounting used by the push protocol.
+// The zero value is not usable; use NewStore.
+type Store struct {
+	have  map[Key]struct{}
+	delta []Key // keys added since the last MarkPushed
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{have: make(map[Key]struct{})}
+}
+
+// Add records that the peer now caches k. It reports whether the key
+// was new. Re-adding an existing key does not count as a change.
+func (s *Store) Add(k Key) bool {
+	if _, ok := s.have[k]; ok {
+		return false
+	}
+	s.have[k] = struct{}{}
+	s.delta = append(s.delta, k)
+	return true
+}
+
+// Has reports whether the peer caches k.
+func (s *Store) Has(k Key) bool {
+	_, ok := s.have[k]
+	return ok
+}
+
+// Len returns the number of cached objects.
+func (s *Store) Len() int { return len(s.have) }
+
+// Keys returns all cached keys in deterministic (sorted) order.
+func (s *Store) Keys() []Key {
+	out := make([]Key, 0, len(s.have))
+	for k := range s.have {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// PendingChanges returns how many keys were added since the last push.
+func (s *Store) PendingChanges() int { return len(s.delta) }
+
+// ChangedFraction is the push trigger from Sec. 5.1: the number of
+// changes since the last push divided by the current store size. A
+// brand-new peer's first object yields 1.0, so it pushes immediately;
+// thereafter pushes happen roughly each time the store grows by the
+// threshold fraction.
+func (s *Store) ChangedFraction() float64 {
+	if len(s.have) == 0 {
+		return 0
+	}
+	return float64(len(s.delta)) / float64(len(s.have))
+}
+
+// TakeDelta returns the keys accumulated since the last push and resets
+// the delta, i.e. "the push happened". The returned slice is owned by
+// the caller.
+func (s *Store) TakeDelta() []Key {
+	d := s.delta
+	s.delta = nil
+	return d
+}
+
+// SummaryFPRate is the Bloom false-positive target for gossip
+// summaries. A false positive only costs one wasted fetch attempt
+// followed by a directory fallback, so 2% is plenty.
+const SummaryFPRate = 0.02
+
+// Summary builds a Bloom filter of everything in the store, sized for
+// the store's current population (minimum capacity keeps tiny stores
+// from degenerate geometry).
+func (s *Store) Summary() *bloom.Filter {
+	capacity := len(s.have)
+	if capacity < 16 {
+		capacity = 16
+	}
+	f := bloom.NewForCapacity(capacity, SummaryFPRate)
+	for k := range s.have {
+		f.Add(k.Uint64())
+	}
+	return f
+}

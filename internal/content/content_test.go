@@ -1,0 +1,174 @@
+package content
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyUint64Injective(t *testing.T) {
+	f := func(s1, o1, s2, o2 int32) bool {
+		a := Key{SiteID(s1), ObjectID(o1)}
+		b := Key{SiteID(s2), ObjectID(o2)}
+		if a == b {
+			return a.Uint64() == b.Uint64()
+		}
+		return a.Uint64() != b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog(0, 500); err == nil {
+		t.Fatal("0 sites accepted")
+	}
+	if _, err := NewCatalog(100, 0); err == nil {
+		t.Fatal("0 objects accepted")
+	}
+	c, err := NewCatalog(100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sites() != 100 || c.ObjectsPerSite() != 500 {
+		t.Fatal("catalog dimensions wrong")
+	}
+	cases := []struct {
+		k    Key
+		want bool
+	}{
+		{Key{0, 0}, true},
+		{Key{99, 499}, true},
+		{Key{100, 0}, false},
+		{Key{0, 500}, false},
+		{Key{-1, 0}, false},
+		{Key{0, -1}, false},
+	}
+	for _, c2 := range cases {
+		if c.Valid(c2.k) != c2.want {
+			t.Fatalf("Valid(%v) = %v, want %v", c2.k, !c2.want, c2.want)
+		}
+	}
+}
+
+func TestStoreAddHasLen(t *testing.T) {
+	s := NewStore()
+	k := Key{1, 2}
+	if s.Has(k) || s.Len() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	if !s.Add(k) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(k) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !s.Has(k) || s.Len() != 1 {
+		t.Fatal("store contents wrong after Add")
+	}
+}
+
+func TestKeysSortedDeterministic(t *testing.T) {
+	s := NewStore()
+	ks := []Key{{2, 1}, {1, 9}, {1, 2}, {2, 0}}
+	for _, k := range ks {
+		s.Add(k)
+	}
+	got := s.Keys()
+	want := []Key{{1, 2}, {1, 9}, {2, 0}, {2, 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChangedFractionPushSchedule(t *testing.T) {
+	// Reproduce the exponential-ish push schedule from DESIGN: with
+	// threshold 0.5, pushes should trigger after objects 1, 2, 4, 8...
+	s := NewStore()
+	const threshold = 0.5
+	var pushAt []int
+	for i := 0; i < 16; i++ {
+		s.Add(Key{0, ObjectID(i)})
+		if s.ChangedFraction() >= threshold {
+			pushAt = append(pushAt, s.Len())
+			s.TakeDelta()
+		}
+	}
+	want := []int{1, 2, 4, 8, 16}
+	if len(pushAt) != len(want) {
+		t.Fatalf("pushes at %v, want %v", pushAt, want)
+	}
+	for i := range want {
+		if pushAt[i] != want[i] {
+			t.Fatalf("pushes at %v, want %v", pushAt, want)
+		}
+	}
+}
+
+func TestChangedFractionEmptyStore(t *testing.T) {
+	s := NewStore()
+	if s.ChangedFraction() != 0 {
+		t.Fatal("empty store should report 0 changed fraction")
+	}
+}
+
+func TestTakeDeltaSemantics(t *testing.T) {
+	s := NewStore()
+	s.Add(Key{0, 1})
+	s.Add(Key{0, 2})
+	s.Add(Key{0, 1}) // duplicate: not a change
+	if s.PendingChanges() != 2 {
+		t.Fatalf("PendingChanges = %d, want 2", s.PendingChanges())
+	}
+	d := s.TakeDelta()
+	if len(d) != 2 {
+		t.Fatalf("delta = %v, want 2 keys", d)
+	}
+	if s.PendingChanges() != 0 {
+		t.Fatal("delta not reset")
+	}
+	s.Add(Key{0, 3})
+	d2 := s.TakeDelta()
+	if len(d2) != 1 || d2[0] != (Key{0, 3}) {
+		t.Fatalf("second delta = %v", d2)
+	}
+}
+
+func TestSummaryContainsAllStored(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 40; i++ {
+		s.Add(Key{3, ObjectID(i)})
+	}
+	sum := s.Summary()
+	for i := 0; i < 40; i++ {
+		if !sum.Contains(Key{3, ObjectID(i)}.Uint64()) {
+			t.Fatalf("summary missing stored object %d", i)
+		}
+	}
+}
+
+func TestSummaryOfEmptyStore(t *testing.T) {
+	sum := NewStore().Summary()
+	if sum.Contains(Key{1, 1}.Uint64()) {
+		t.Fatal("empty summary reported membership")
+	}
+}
+
+func TestSummaryFalsePositivesBounded(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		s.Add(Key{0, ObjectID(i)})
+	}
+	sum := s.Summary()
+	fp := 0
+	for i := 100; i < 600; i++ {
+		if sum.Contains(Key{0, ObjectID(i)}.Uint64()) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 500; rate > SummaryFPRate*4 {
+		t.Fatalf("summary FP rate %.3f too high", rate)
+	}
+}

@@ -1,0 +1,115 @@
+package flower
+
+import (
+	"errors"
+	"fmt"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/sim"
+)
+
+// Config gathers every protocol parameter of Flower-CDN and PetalUp-CDN.
+type Config struct {
+	// Chord configures the D-ring substrate.
+	Chord chord.Config
+	// Gossip configures petal membership (Table 1: 1 hour period).
+	Gossip gossip.Config
+
+	// KeepaliveInterval is the period of content-peer keepalives to the
+	// directory (Table 1 ties it to the gossip period: 1 hour).
+	KeepaliveInterval int64
+	// MemberTTLFactor: a directory expires members silent for
+	// MemberTTLFactor * KeepaliveInterval.
+	MemberTTLFactor float64
+	// PushThreshold is the changed fraction of the local store beyond
+	// which a content peer pushes its delta (Table 1: 0.5).
+	PushThreshold float64
+
+	// AuditInterval is how often a directory verifies through a
+	// third-party lookup that the ring still routes its position to it,
+	// demoting itself when a duplicate won the seat and re-announcing
+	// itself when the ring routes around it.
+	AuditInterval int64
+	// QueryTimeout bounds one attempt of a client query over D-ring.
+	QueryTimeout int64
+	// QueryRetries is how many gateways a new client tries before
+	// falling back to claiming the position itself.
+	QueryRetries int
+	// GossipCandidates bounds how many summary-matching petal contacts
+	// a query probes before falling back to the directory.
+	GossipCandidates int
+	// ProviderAttempts bounds how many directory-suggested providers a
+	// client probes before falling back to the origin.
+	ProviderAttempts int
+
+	// DirLoadLimit is PetalUp-CDN's per-instance load limit, measured —
+	// as in Sec. 4 — in content peers per directory view. Zero disables
+	// splitting, which is classic Flower-CDN.
+	DirLoadLimit int
+
+	// DirCollaboration lets a directory that cannot resolve a query ask
+	// the same website's directory in another locality before declaring
+	// a miss (Sec. 3.2: "directory peers of the same website may
+	// collaborate to provide content of ws").
+	DirCollaboration bool
+
+	// ExactSummaries replaces Bloom content summaries with exact key
+	// sets — the ablation quantifying what Bloom false positives cost
+	// (wasted probes) against what they save (summary bytes).
+	ExactSummaries bool
+}
+
+// DefaultConfig returns the paper's Table 1 parameters for classic
+// Flower-CDN.
+func DefaultConfig() Config {
+	return Config{
+		Chord:             chord.DefaultConfig(),
+		Gossip:            gossip.DefaultConfig(),
+		KeepaliveInterval: 1 * sim.Hour,
+		MemberTTLFactor:   1.6,
+		PushThreshold:     0.5,
+		AuditInterval:     4 * sim.Minute,
+		QueryTimeout:      10 * sim.Second,
+		QueryRetries:      3,
+		GossipCandidates:  3,
+		ProviderAttempts:  2,
+		DirLoadLimit:      0,
+		DirCollaboration:  true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Chord.Validate(); err != nil {
+		return fmt.Errorf("flower: %w", err)
+	}
+	if err := c.Gossip.Validate(); err != nil {
+		return fmt.Errorf("flower: %w", err)
+	}
+	if c.KeepaliveInterval <= 0 {
+		return errors.New("flower: keepalive interval must be positive")
+	}
+	if c.MemberTTLFactor <= 1 {
+		return errors.New("flower: member TTL factor must exceed 1 keepalive period")
+	}
+	if c.PushThreshold <= 0 || c.PushThreshold > 1 {
+		return errors.New("flower: push threshold must be in (0, 1]")
+	}
+	if c.AuditInterval <= 0 {
+		return errors.New("flower: audit interval must be positive")
+	}
+	if c.QueryTimeout <= 0 {
+		return errors.New("flower: query timeout must be positive")
+	}
+	if c.QueryRetries < 1 {
+		return errors.New("flower: need at least one query attempt")
+	}
+	if c.GossipCandidates < 0 || c.ProviderAttempts < 1 {
+		return errors.New("flower: candidate limits out of range")
+	}
+	if c.DirLoadLimit < 0 {
+		return errors.New("flower: negative directory load limit")
+	}
+	return nil
+}

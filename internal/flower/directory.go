@@ -1,0 +1,670 @@
+package flower
+
+import (
+	"fmt"
+	"sort"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/content"
+	"flowercdn/internal/dring"
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/ids"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+)
+
+// directoryState is the extra state a peer carries while holding a
+// D-ring directory position (Sec. 3.2): the directory-index mapping
+// objects to the content peers that cache them, the member view with
+// keepalive freshness, and — right after promotion — the content
+// summaries retained from its life as a content peer, used to answer
+// queries while the index rebuilds (Sec. 5.2.2).
+type directoryState struct {
+	pos      ids.ID
+	instance int
+
+	index   map[content.Key]map[simnet.NodeID]struct{}
+	members map[simnet.NodeID]*memberInfo
+
+	// oldSummaries is the gossip-view snapshot taken at promotion.
+	oldSummaries []gossip.Entry
+	// summaryDeadline is when oldSummaries stop being trusted.
+	summaryDeadline int64
+
+	sweep *sim.PeriodicTimer
+	audit *sim.PeriodicTimer
+
+	// pendingPromotion guards against promoting several members at
+	// once; it names the instance being created and when the attempt
+	// expires.
+	pendingPromotionPos ids.ID
+	pendingPromotionExp int64
+
+	queriesHandled uint64
+	queriesScanned uint64 // PetalUp forwards to the next instance
+}
+
+type memberInfo struct {
+	lastSeen int64
+	keys     map[content.Key]struct{}
+}
+
+// Pos returns the directory's ring position.
+func (d *directoryState) Pos() ids.ID { return d.pos }
+
+// Instance returns the PetalUp instance number i of d^i.
+func (d *directoryState) Instance() int { return d.instance }
+
+// MemberCount returns the directory's load measure: "the number of
+// content peers in its view" (Sec. 4).
+func (d *directoryState) MemberCount() int { return len(d.members) }
+
+// IndexSize returns the number of indexed objects.
+func (d *directoryState) IndexSize() int { return len(d.index) }
+
+// QueriesHandled returns how many client queries this instance
+// processed.
+func (d *directoryState) QueriesHandled() uint64 { return d.queriesHandled }
+
+// exactSummary adapts a directory's per-member key set to the
+// SummaryProvider interface so view seeds carry usable summaries.
+type exactSummary map[content.Key]struct{}
+
+func (s exactSummary) Contains(key uint64) bool {
+	_, ok := s[content.Key{
+		Site:   content.SiteID(key >> 32),
+		Object: content.ObjectID(uint32(key)),
+	}]
+	return ok
+}
+
+func (s exactSummary) SizeBytes() int { return len(s) * 8 }
+
+// becomeFoundingDirectory creates a brand-new D-ring with this peer as
+// its first member at pos.
+func (p *Peer) becomeFoundingDirectory(pos ids.ID) {
+	node, err := chord.NewNode(p.sys.cfg.Chord, p.sys.net, p.rng.Split("chord"), p, p.nid, pos)
+	if err != nil {
+		panic(err)
+	}
+	p.chordNode = node
+	node.Create()
+	p.becomeDirectory(pos)
+}
+
+// claimDirectoryPosition tries to occupy pos on D-ring, serializing
+// with rivals through the claim protocol. done (optional) receives the
+// outcome; on errors `current` names the node holding or winning the
+// position when known.
+func (p *Peer) claimDirectoryPosition(pos ids.ID, exclude simnet.NodeID, done func(current chord.Entry, err error)) {
+	if p.dead || p.chordNode != nil {
+		if done != nil {
+			done(chord.NoEntry, fmt.Errorf("flower: peer cannot claim (dead or already on ring)"))
+		}
+		return
+	}
+	gw := p.sys.gateway(exclude)
+	if !gw.Valid() {
+		// No ring to join: found a new one. This only happens when every
+		// registered directory is dead — the ring is gone.
+		p.becomeFoundingDirectory(pos)
+		if done != nil {
+			done(chord.NoEntry, nil)
+		}
+		return
+	}
+	node, err := chord.NewNode(p.sys.cfg.Chord, p.sys.net, p.rng.Split("chord"), p, p.nid, pos)
+	if err != nil {
+		panic(err)
+	}
+	p.chordNode = node
+	node.JoinAt(gw, func(current chord.Entry, err error) {
+		if p.dead {
+			return
+		}
+		if err != nil {
+			// Not ours: discard the unstarted chord component.
+			p.chordNode.Stop()
+			p.chordNode = nil
+			if done != nil {
+				done(current, err)
+			}
+			return
+		}
+		p.becomeDirectory(pos)
+		if done != nil {
+			done(chord.NoEntry, nil)
+		}
+	})
+}
+
+// becomeDirectory installs the directory role once the peer holds pos.
+func (p *Peer) becomeDirectory(pos ids.ID) {
+	wasContent := p.role == RoleContent
+	p.role = RoleDirectory
+	p.dir = &directoryState{
+		pos:      pos,
+		instance: dring.InstanceOf(pos),
+		index:    make(map[content.Key]map[simnet.NodeID]struct{}),
+		members:  make(map[simnet.NodeID]*memberInfo),
+	}
+	// Keep the content summaries gathered while a content peer; they
+	// answer queries until pushes rebuild the index (Sec. 5.2.2: "p can
+	// try to answer first received queries from its content summaries").
+	if wasContent {
+		for _, e := range p.gsp.Entries() {
+			if meta, ok := e.Meta.(ContactMeta); ok && meta.Summary != nil {
+				p.dir.oldSummaries = append(p.dir.oldSummaries, e)
+				_ = meta
+			}
+		}
+		p.dir.summaryDeadline = p.eng().Now() + 2*p.sys.cfg.KeepaliveInterval
+	}
+	// Directories answer to themselves.
+	p.dirInfo = DirInfo{Pos: pos, Node: p.nid, Age: 0}
+	// The member keepalive loop is replaced by the directory sweep.
+	if p.keepaliveTimer != nil {
+		p.keepaliveTimer.Cancel()
+		p.keepaliveTimer = nil
+	}
+	p.dir.sweep = p.eng().Every(p.sys.cfg.KeepaliveInterval, p.sys.cfg.KeepaliveInterval, p.directorySweep)
+	// Audit soon after integration — duplicate-position races surface
+	// within a stabilization period or two — and keep auditing: one
+	// cheap lookup per AuditInterval keeps the one-directory-per-
+	// position invariant self-healing under heavy ring churn.
+	p.eng().Schedule(3*p.sys.cfg.Chord.StabilizeInterval, p.auditPosition)
+	p.dir.audit = p.eng().Every(p.sys.cfg.AuditInterval, p.sys.cfg.AuditInterval, p.auditPosition)
+	// A directory is still a petal member: keep gossiping so its own
+	// summary and (self-pointing) dir-info spread.
+	p.gsp.Start()
+	p.sys.registerDirectory(chord.Entry{Node: p.nid, ID: pos})
+	// Directory peers of active websites query like any other peer.
+	p.ensureQueryLoop()
+}
+
+// memberTTL is how long a silent member stays in the view/index.
+func (p *Peer) memberTTL() int64 {
+	return int64(p.sys.cfg.MemberTTLFactor * float64(p.sys.cfg.KeepaliveInterval))
+}
+
+// directorySweep expires members that stopped sending keepalives
+// (Sec. 5.1: the directory "can discover and remove expired pointers
+// from its view and directory-index") and audits ring ownership.
+func (p *Peer) directorySweep() {
+	if p.dead || p.dir == nil {
+		return
+	}
+	cutoff := p.eng().Now() - p.memberTTL()
+	for nid, m := range p.dir.members {
+		if m.lastSeen < cutoff {
+			p.removeMember(nid)
+		}
+	}
+	if p.dir.oldSummaries != nil && p.eng().Now() > p.dir.summaryDeadline {
+		p.dir.oldSummaries = nil
+	}
+	p.auditPosition()
+}
+
+// auditPosition asks a third-party ring member who owns our position.
+// Claim serialization can transiently double-grant while the ring heals
+// (rival lookups resolving to different arc owners); whichever
+// duplicate the converged ring does NOT route to demotes itself back to
+// a content peer, restoring the one-directory-per-position invariant.
+func (p *Peer) auditPosition() {
+	if p.dead || p.dir == nil {
+		return
+	}
+	gw := p.sys.gateway(p.nid)
+	if !gw.Valid() {
+		return
+	}
+	if p.chordClient == nil {
+		cl, err := chord.NewClient(p.sys.cfg.Chord, p.sys.net, p.nid)
+		if err != nil {
+			panic(err)
+		}
+		p.chordClient = cl
+	}
+	pos := p.dir.pos
+	p.chordClient.LookupVia(gw, pos, func(owner chord.Entry, _ int, err error) {
+		if p.dead || p.dir == nil || p.dir.pos != pos || err != nil {
+			return
+		}
+		if owner.Node == p.nid {
+			return // the ring routes to us: all good
+		}
+		if owner.ID == pos {
+			// A rival holds the position and the ring routes to it.
+			p.demoteToContentPeer(owner)
+			return
+		}
+		// The ring routes around us entirely (the arc owner doesn't know
+		// us): volunteer as its predecessor to restore visibility.
+		p.chordNode.Announce(owner)
+	})
+}
+
+// demoteToContentPeer resolves a duplicate-position race: this peer
+// yields the directory role to the peer the ring actually routes to.
+func (p *Peer) demoteToContentPeer(winner chord.Entry) {
+	if p.dir == nil {
+		return
+	}
+	p.chordNode.Stop()
+	p.chordNode = nil
+	if p.dir.sweep != nil {
+		p.dir.sweep.Cancel()
+	}
+	if p.dir.audit != nil {
+		p.dir.audit.Cancel()
+	}
+	p.dir = nil
+	p.role = RoleContent
+	p.sys.demotions++
+	p.sys.unregisterDirectory(p.nid)
+	p.dirInfo = DirInfo{Pos: winner.ID, Node: winner.Node, Age: 0}
+	p.syncedDir = simnet.None
+	p.startKeepalive()
+	p.maybePush()
+}
+
+func (p *Peer) removeMember(nid simnet.NodeID) {
+	m, ok := p.dir.members[nid]
+	if !ok {
+		return
+	}
+	delete(p.dir.members, nid)
+	for k := range m.keys {
+		if ps, ok := p.dir.index[k]; ok {
+			delete(ps, nid)
+			if len(ps) == 0 {
+				delete(p.dir.index, k)
+			}
+		}
+	}
+}
+
+// admitMember records (or refreshes) a content peer in the view.
+func (p *Peer) admitMember(nid simnet.NodeID) *memberInfo {
+	m, ok := p.dir.members[nid]
+	if !ok {
+		m = &memberInfo{keys: make(map[content.Key]struct{})}
+		p.dir.members[nid] = m
+	}
+	m.lastSeen = p.eng().Now()
+	return m
+}
+
+// ---- RPC handlers (directory side) ----
+
+var errNotDirectory = fmt.Errorf("flower: not a directory peer")
+
+func (p *Peer) onKeepalive(from simnet.NodeID, _ keepaliveReq) (any, error) {
+	if p.dir == nil {
+		return nil, errNotDirectory
+	}
+	p.admitMember(from)
+	return keepaliveResp{}, nil
+}
+
+func (p *Peer) onPush(from simnet.NodeID, r pushReq) (any, error) {
+	if p.dir == nil {
+		return nil, errNotDirectory
+	}
+	m := p.admitMember(from)
+	for _, k := range r.Keys {
+		m.keys[k] = struct{}{}
+		ps, ok := p.dir.index[k]
+		if !ok {
+			ps = make(map[simnet.NodeID]struct{})
+			p.dir.index[k] = ps
+		}
+		ps[from] = struct{}{}
+	}
+	return pushResp{}, nil
+}
+
+func (p *Peer) onMemberQuery(from simnet.NodeID, r dirQueryReq) (any, error) {
+	if p.dir == nil {
+		return nil, errNotDirectory
+	}
+	if !r.Foreign {
+		p.admitMember(from)
+	}
+	p.dir.queriesHandled++
+	providers, fromSummary := p.dir.lookupProviders(p, r.Key, from)
+	// The directory itself may cache the object.
+	if p.store.Has(r.Key) && from != p.nid && len(providers) < p.sys.cfg.ProviderAttempts+1 {
+		providers = append(providers, p.nid)
+	}
+	reply := dirQueryReply{Providers: providers, FromSummary: fromSummary}
+	if len(providers) == 0 && !r.Foreign {
+		reply.CollabWith = p.collabSiblings()
+	}
+	return reply, nil
+}
+
+// collabSiblings returns same-website directory peers drawn from this
+// node's ring neighbourhood. D-ring's key layout makes all of a
+// website's directory positions successive identifiers, so the
+// successor list and predecessor are exactly where siblings live — no
+// extra lookups needed. Collaboration effectively widens a query's
+// reach from one petal to the website's whole set of petals, which is
+// what lets hit ratios grow with scale (Sec. 6.2.2).
+func (p *Peer) collabSiblings() []chord.Entry {
+	if !p.sys.cfg.DirCollaboration || p.chordNode == nil {
+		return nil
+	}
+	const maxSiblings = 5 // at most k-1 other localities matter
+	var out []chord.Entry
+	seen := map[simnet.NodeID]bool{p.nid: true}
+	consider := func(e chord.Entry) {
+		if len(out) >= maxSiblings || !e.Valid() || seen[e.Node] {
+			return
+		}
+		if dring.SameSite(e.ID, p.site) {
+			out = append(out, e)
+			seen[e.Node] = true
+		}
+	}
+	for _, e := range p.chordNode.SuccessorList() {
+		consider(e)
+	}
+	consider(p.chordNode.Predecessor())
+	return out
+}
+
+// lookupProviders resolves a key to candidate content peers: the
+// directory-index first, then (within the trust window) the promoted
+// peer's old content summaries. Providers are ordered by latency to the
+// asking client — the locality-aware server selection that keeps
+// transfer distances short. The asker itself is never returned.
+func (d *directoryState) lookupProviders(p *Peer, key content.Key, asker simnet.NodeID) (providers []simnet.NodeID, fromSummary bool) {
+	if ps, ok := d.index[key]; ok {
+		for nid := range ps {
+			if nid != asker {
+				providers = append(providers, nid)
+			}
+		}
+	}
+	if len(providers) == 0 && d.oldSummaries != nil {
+		for _, e := range d.oldSummaries {
+			meta, ok := e.Meta.(ContactMeta)
+			if !ok || meta.Summary == nil || e.Peer == asker {
+				continue
+			}
+			if meta.Summary.Contains(key.Uint64()) {
+				providers = append(providers, e.Peer)
+			}
+		}
+		fromSummary = len(providers) > 0
+	}
+	sort.Slice(providers, func(i, j int) bool {
+		li, lj := p.net().Latency(asker, providers[i]), p.net().Latency(asker, providers[j])
+		if li != lj {
+			return li < lj
+		}
+		return providers[i] < providers[j]
+	})
+	max := p.sys.cfg.ProviderAttempts + 1
+	if len(providers) > max {
+		providers = providers[:max]
+	}
+	return providers, fromSummary
+}
+
+// viewSeed samples member contacts for a joining client's initial view,
+// with exact-set summaries built from pushed keys (Sec. 4: a directory
+// "provides them with a subset of its old view so that they initialize
+// their view of the petal").
+func (p *Peer) viewSeed(exclude simnet.NodeID) []gossip.Entry {
+	const seedSize = 8
+	var nids []simnet.NodeID
+	for nid := range p.dir.members {
+		if nid != exclude {
+			nids = append(nids, nid)
+		}
+	}
+	sort.Slice(nids, func(i, j int) bool { return nids[i] < nids[j] })
+	p.rng.Shuffle(len(nids), func(i, j int) { nids[i], nids[j] = nids[j], nids[i] })
+	if len(nids) > seedSize {
+		nids = nids[:seedSize]
+	}
+	seed := make([]gossip.Entry, 0, len(nids)+len(p.dir.oldSummaries)+1)
+	// The directory itself is a petal member with cached content; seeding
+	// it keeps the directory inside the gossip mesh.
+	if p.nid != exclude {
+		seed = append(seed, gossip.Entry{Peer: p.nid, Meta: p.selfMeta()})
+	}
+	for _, nid := range nids {
+		seed = append(seed, gossip.Entry{
+			Peer: nid,
+			Meta: ContactMeta{
+				Summary: exactSummary(p.dir.members[nid].keys),
+				Dir:     p.dirInfo,
+			},
+		})
+	}
+	// A fresh PetalUp instance has no members yet: hand out its old view
+	// so first clients can reach content peers managed by other
+	// instances (Sec. 4's seeding of first clients).
+	if len(seed) < seedSize {
+		for _, e := range p.dir.oldSummaries {
+			if len(seed) >= seedSize {
+				break
+			}
+			if e.Peer != exclude {
+				seed = append(seed, e)
+			}
+		}
+	}
+	return seed
+}
+
+// ---- client query processing ----
+
+// OnRouted implements chord.App: a clientQueryMsg routed over D-ring
+// lands here, at the node owning the queried position's arc.
+func (p *Peer) OnRouted(key ids.ID, payload any, origin simnet.NodeID, hops int) {
+	m, ok := payload.(clientQueryMsg)
+	if !ok || p.dead {
+		return
+	}
+	p.handleClientQuery(key, m)
+}
+
+// onDirectClientQuery serves a clientQueryMsg that arrived as a plain
+// message (scan forward or post-claim direct query) rather than through
+// ring routing. A recipient that no longer serves the petal redirects
+// the client back to D-ring discovery via a vacancy signal.
+func (p *Peer) onDirectClientQuery(m clientQueryMsg) {
+	if p.dir != nil && dring.SamePetal(p.dir.pos, m.Site, m.Loc) {
+		p.handleClientQuery(p.dir.pos, m)
+		return
+	}
+	p.net().Send(p.nid, m.Client, vacantResp{Seq: m.Seq, Pos: dringPosition(m.Site, m.Loc, 0)})
+}
+
+// handleClientQuery serves a routed or directly-sent client query.
+func (p *Peer) handleClientQuery(routedKey ids.ID, m clientQueryMsg) {
+	if p.dir == nil || p.dir.pos != routedKey {
+		// We merely cover the arc containing the position: it is vacant
+		// (Sec. 5.2.2 join case 2 trigger).
+		p.net().Send(p.nid, m.Client, vacantResp{Seq: m.Seq, Pos: routedKey})
+		return
+	}
+	// PetalUp sequential scan (Sec. 4): an overloaded instance passes
+	// the query along to d^{i+1}; the final instance absorbs it and, if
+	// itself overloaded, recruits a new instance.
+	if p.overloaded() {
+		next := dringPosition(m.Site, m.Loc, p.dir.instance+1)
+		succ := p.chordNode.Successor()
+		if succ.Valid() && succ.ID == next && m.Scanned < dring.MaxInstances {
+			m.Scanned++
+			p.dir.queriesScanned++
+			p.net().Send(p.nid, succ.Node, m)
+			return
+		}
+		p.maybePromoteInstance(next)
+	}
+	p.dir.queriesHandled++
+	p.admitMember(m.Client)
+	resp := dirQueryResp{
+		Seq:  m.Seq,
+		Dir:  chord.Entry{Node: p.nid, ID: p.dir.pos},
+		Seed: p.viewSeed(m.Client),
+	}
+	if !m.JoinOnly {
+		resp.Providers, resp.FromSummary = p.dir.lookupProviders(p, m.Key, m.Client)
+		// The directory itself may cache the object (it is a content
+		// peer too): offer ourselves last.
+		if p.store.Has(m.Key) && len(resp.Providers) < p.sys.cfg.ProviderAttempts+1 {
+			resp.Providers = append(resp.Providers, p.nid)
+		}
+		if len(resp.Providers) == 0 {
+			resp.CollabWith = p.collabSiblings()
+		}
+	}
+	p.net().Send(p.nid, m.Client, resp)
+}
+
+// overloaded applies PetalUp's load rule; classic Flower-CDN
+// (DirLoadLimit == 0) is never overloaded.
+func (p *Peer) overloaded() bool {
+	return p.sys.cfg.DirLoadLimit > 0 && len(p.dir.members) >= p.sys.cfg.DirLoadLimit
+}
+
+// maybePromoteInstance recruits a content peer from the view as the
+// next directory instance, at most one attempt at a time.
+func (p *Peer) maybePromoteInstance(pos ids.ID) {
+	d := p.dir
+	now := p.eng().Now()
+	if d.pendingPromotionPos == pos && now < d.pendingPromotionExp {
+		return
+	}
+	if dring.InstanceOf(pos) >= dring.MaxInstances-1 {
+		return
+	}
+	// Pick the most recently seen member: likeliest to be alive.
+	var best simnet.NodeID = simnet.None
+	var bestSeen int64 = -1
+	for nid, m := range d.members {
+		if m.lastSeen > bestSeen {
+			best, bestSeen = nid, m.lastSeen
+		}
+	}
+	if best == simnet.None {
+		return
+	}
+	d.pendingPromotionPos = pos
+	d.pendingPromotionExp = now + p.sys.cfg.Chord.ClaimTTL
+	p.net().Send(p.nid, best, promoteMsg{Pos: pos})
+}
+
+// onPromote runs at the content peer chosen to become d^{i+1}.
+func (p *Peer) onPromote(m promoteMsg) {
+	if p.dead || p.role != RoleContent {
+		return
+	}
+	oldDir := p.dirInfo.Node
+	p.claimDirectoryPosition(m.Pos, simnet.None, func(current chord.Entry, err error) {
+		if p.dead {
+			return
+		}
+		if err != nil {
+			return // somebody else got it, or the ring misbehaved; stay a content peer
+		}
+		p.sys.dirPromotions++
+		// Tell the old directory so it removes us from its index
+		// (Sec. 4: "the replacing content peer is then removed from the
+		// directory-index of d^i").
+		if oldDir != simnet.None {
+			p.net().Send(p.nid, oldDir, promotedMsg{NewDir: p.selfEntry()})
+		}
+	})
+}
+
+// onPromoted runs at the old directory when its promotee integrated.
+func (p *Peer) onPromoted(from simnet.NodeID, m promotedMsg) {
+	if p.dir == nil {
+		return
+	}
+	p.removeMember(from)
+	if p.dir.pendingPromotionPos == m.NewDir.ID {
+		p.dir.pendingPromotionExp = 0
+	}
+}
+
+// Leave performs a graceful departure (Sec. 5.2.2's voluntary-leave
+// path): a directory hands its view and index to a member before going;
+// any peer then leaves the network. The evaluation's churn never calls
+// this — peers always fail — but the protocol supports it.
+func (p *Peer) Leave() {
+	if p.dead {
+		return
+	}
+	if p.dir != nil {
+		var best simnet.NodeID = simnet.None
+		var bestSeen int64 = -1
+		for nid, m := range p.dir.members {
+			if m.lastSeen > bestSeen {
+				best, bestSeen = nid, m.lastSeen
+			}
+		}
+		if best != simnet.None {
+			h := handoffMsg{Pos: p.dir.pos, Index: make(map[content.Key][]simnet.NodeID, len(p.dir.index))}
+			for k, ps := range p.dir.index {
+				for nid := range ps {
+					h.Index[k] = append(h.Index[k], nid)
+				}
+				sort.Slice(h.Index[k], func(i, j int) bool { return h.Index[k][i] < h.Index[k][j] })
+			}
+			for nid := range p.dir.members {
+				h.Members = append(h.Members, nid)
+			}
+			sort.Slice(h.Members, func(i, j int) bool { return h.Members[i] < h.Members[j] })
+			p.net().Send(p.nid, best, h)
+		}
+	}
+	p.kill()
+}
+
+// onHandoff runs at the member receiving a leaving directory's state:
+// it claims the position and, on success, seeds its directory state
+// with the transferred copy.
+func (p *Peer) onHandoff(m handoffMsg) {
+	if p.dead || p.role != RoleContent {
+		return
+	}
+	index := m.Index
+	members := m.Members
+	p.claimDirectoryPosition(m.Pos, simnet.None, func(current chord.Entry, err error) {
+		if p.dead || err != nil {
+			return
+		}
+		p.sys.dirReplacement++
+		now := p.eng().Now()
+		for _, nid := range members {
+			if nid == p.nid {
+				continue
+			}
+			p.dir.members[nid] = &memberInfo{lastSeen: now, keys: make(map[content.Key]struct{})}
+		}
+		for k, ps := range index {
+			set := make(map[simnet.NodeID]struct{}, len(ps))
+			for _, nid := range ps {
+				if nid == p.nid {
+					continue
+				}
+				set[nid] = struct{}{}
+				if mi, ok := p.dir.members[nid]; ok {
+					mi.keys[k] = struct{}{}
+				}
+			}
+			if len(set) > 0 {
+				p.dir.index[k] = set
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package flower
+
+import (
+	"flowercdn/internal/chord"
+	"flowercdn/internal/content"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+)
+
+// startKeepalive arms the content-peer maintenance loop (Sec. 5.1):
+// each period the peer ages its dir-info, pings its directory, and —
+// through the ping's failure — detects directory departures.
+func (p *Peer) startKeepalive() {
+	if p.keepaliveTimer != nil {
+		return
+	}
+	period := p.sys.cfg.KeepaliveInterval
+	p.keepaliveTimer = p.eng().Every(p.rng.UniformDuration(period/4, period), period, p.keepaliveTick)
+}
+
+func (p *Peer) keepaliveTick() {
+	if p.dead || p.role != RoleContent {
+		return
+	}
+	if !p.dirInfo.Valid() {
+		// Orphaned: rediscover the petal's directory over D-ring.
+		p.rejoinPetal()
+		return
+	}
+	p.dirInfo.Age++
+	if p.needsFullPush() {
+		// A push both registers us and rebuilds the new directory's
+		// index; it doubles as this period's keepalive.
+		p.maybePush()
+		return
+	}
+	dirNode := p.dirInfo.Node
+	p.net().Request(p.nid, dirNode, keepaliveReq{Site: p.site, Loc: p.loc},
+		p.sys.cfg.Chord.RPCTimeout, func(_ any, err error) {
+			if p.dead {
+				return
+			}
+			if err != nil {
+				p.dirContactFailed(dirNode)
+				return
+			}
+			if p.dirInfo.Node == dirNode {
+				p.dirMisses = 0
+				p.dirInfo.Age = 0
+			}
+		})
+}
+
+// needsFullPush reports whether the current directory has never
+// received our full store.
+func (p *Peer) needsFullPush() bool {
+	return p.dirInfo.Valid() && p.dirInfo.Node != p.syncedDir && p.store.Len() > 0
+}
+
+// maybePush sends stored-content updates to the directory: the full
+// store when the directory node changed since our last sync
+// (replacement/promotion recovery, Sec. 5.2.2), otherwise the delta
+// once the changed fraction reaches the threshold (Sec. 5.1). A push
+// doubles as a keepalive: the directory refreshes the member's
+// freshness on receipt.
+func (p *Peer) maybePush() {
+	if p.dead || p.role != RoleContent || !p.dirInfo.Valid() {
+		return
+	}
+	full := p.needsFullPush()
+	if !full && p.store.ChangedFraction() < p.sys.cfg.PushThreshold {
+		return
+	}
+	var keys []content.Key
+	if full {
+		keys = p.store.Keys()
+		p.store.TakeDelta() // the full set subsumes any pending delta
+	} else {
+		keys = p.store.TakeDelta()
+	}
+	if len(keys) == 0 {
+		return
+	}
+	dirNode := p.dirInfo.Node
+	p.net().Request(p.nid, dirNode, pushReq{Site: p.site, Loc: p.loc, Keys: keys},
+		p.sys.cfg.Chord.RPCTimeout, func(_ any, err error) {
+			if p.dead {
+				return
+			}
+			if err != nil {
+				p.dirContactFailed(dirNode)
+				return
+			}
+			if p.dirInfo.Node == dirNode {
+				p.dirMisses = 0
+				p.dirInfo.Age = 0
+			}
+			p.syncedDir = dirNode
+		})
+}
+
+// dirContactFailed handles one failed exchange with the directory. A
+// single lost message is not death: the peer probes once more before
+// starting the replacement protocol, which keeps lossy links (the
+// failure-injection configurations) from churning directories that are
+// alive and well.
+func (p *Peer) dirContactFailed(dirNode simnet.NodeID) {
+	if p.dead || p.dirInfo.Node != dirNode {
+		return
+	}
+	p.dirMisses++
+	if p.dirMisses < 2 {
+		p.eng().Schedule(2*sim.Second, func() {
+			if p.dead || p.dirInfo.Node != dirNode {
+				return
+			}
+			p.net().Request(p.nid, dirNode, keepaliveReq{Site: p.site, Loc: p.loc},
+				p.sys.cfg.Chord.RPCTimeout, func(_ any, err error) {
+					if p.dead {
+						return
+					}
+					if err != nil {
+						p.dirContactFailed(dirNode)
+						return
+					}
+					if p.dirInfo.Node == dirNode {
+						p.dirMisses = 0
+						p.dirInfo.Age = 0
+					}
+				})
+		})
+		return
+	}
+	p.dirMisses = 0
+	p.onDirectoryDead(dirNode)
+}
+
+// onDirectoryDead reacts to a confirmed-dead directory
+// (Sec. 5.2.1): "the replacement is performed by the first peer related
+// to ws and loc that detects the failure". Every detector races through
+// the claim protocol; losers adopt the winner.
+func (p *Peer) onDirectoryDead(deadNode simnet.NodeID) {
+	if p.dead || p.replacing {
+		return
+	}
+	if p.dirInfo.Node != deadNode {
+		return // stale detection: we already moved on
+	}
+	if p.role != RoleContent {
+		// Clients just forget the pointer; their next query re-routes
+		// over D-ring.
+		p.dirInfo = DirInfo{Node: simnet.None}
+		return
+	}
+	pos := p.dirInfo.Pos
+	p.dirInfo = DirInfo{Pos: pos, Node: simnet.None, Age: 0}
+	p.lastDeadDir = deadNode
+	p.replacing = true
+	p.claimDirectoryPosition(pos, deadNode, func(current chord.Entry, err error) {
+		p.replacing = false
+		if p.dead {
+			return
+		}
+		if err == nil {
+			p.sys.dirReplacement++
+			return
+		}
+		if current.Valid() && current.Node != deadNode {
+			// Somebody else won (or already held) the position: adopt
+			// them and sync our store into their rebuilding index; the
+			// push also registers us in their view, and gossip spreads
+			// the fresh dir-info (age 0) through the petal.
+			p.dirInfo = DirInfo{Pos: pos, Node: current.Node, Age: 0}
+			if p.needsFullPush() {
+				p.maybePush()
+				return
+			}
+			p.net().Request(p.nid, current.Node, keepaliveReq{Site: p.site, Loc: p.loc},
+				p.sys.cfg.Chord.RPCTimeout, func(_ any, kerr error) {
+					if p.dead {
+						return
+					}
+					if kerr != nil && p.dirInfo.Node == current.Node {
+						p.dirInfo = DirInfo{Pos: pos, Node: simnet.None}
+					}
+				})
+			return
+		}
+		// Claim failed without a visible incumbent (ring trouble).
+		// Rediscover through the normal D-ring path shortly — waiting a
+		// whole keepalive period would leave the petal orphaned.
+		p.eng().Schedule(45*sim.Second, func() {
+			if !p.dead && p.role == RoleContent && !p.dirInfo.Valid() {
+				p.rejoinPetal()
+			}
+		})
+	})
+}
+
+// rejoinPetal routes a membership-only query over D-ring to rediscover
+// (or trigger recreation of) the petal's directory.
+func (p *Peer) rejoinPetal() {
+	if p.query != nil {
+		return // an active query will re-establish contact by itself
+	}
+	p.startClientQuery(content.Key{}, true)
+}

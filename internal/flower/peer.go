@@ -1,0 +1,313 @@
+package flower
+
+import (
+	"fmt"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/content"
+	"flowercdn/internal/dring"
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/ids"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/workload"
+)
+
+// dringPosition is a thin alias so protocol code reads like the paper.
+func dringPosition(site content.SiteID, loc topology.Locality, instance int) ids.ID {
+	return dring.Position(site, loc, instance)
+}
+
+// Role describes what a peer currently is.
+type Role int
+
+const (
+	// RoleClient: arrived, not yet admitted to a petal.
+	RoleClient Role = iota
+	// RoleContent: member of a petal, serving and querying content.
+	RoleContent
+	// RoleDirectory: content peer additionally holding a D-ring
+	// directory position.
+	RoleDirectory
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleClient:
+		return "client"
+	case RoleContent:
+		return "content"
+	case RoleDirectory:
+		return "directory"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Peer is one Flower-CDN participant. It implements simnet.Handler and
+// dispatches to its Chord, gossip and protocol components.
+type Peer struct {
+	sys  *System
+	nid  simnet.NodeID
+	rng  *sim.RNG
+	site content.SiteID
+	loc  topology.Locality
+
+	role  Role
+	store *content.Store
+
+	gsp     *gossip.Protocol
+	dirInfo DirInfo
+
+	// Directory role state (nil unless RoleDirectory).
+	dir       *directoryState
+	chordNode *chord.Node
+
+	// Client-mode D-ring access.
+	chordClient *chord.Client
+
+	// Active query state machine (a peer has at most one outstanding
+	// query: the mean think time of 6 minutes dwarfs resolution time).
+	query *activeQuery
+
+	keepaliveTimer *sim.PeriodicTimer
+	queryTimer     *sim.Timer
+	dead           bool
+	replacing      bool // a directory-replacement attempt is in flight
+	// lastDeadDir remembers the most recently detected dead directory so
+	// stale gossip cannot re-install a pointer to it.
+	lastDeadDir simnet.NodeID
+	// dirMisses counts consecutive failed directory exchanges; the
+	// replacement protocol starts only after a confirming probe also
+	// fails (one lost message is not death).
+	dirMisses int
+	// syncedDir is the directory node that holds our full store in its
+	// index. When dir-info moves to a different node (replacement,
+	// promotion, adoption), the next push ships the whole store — the
+	// Sec. 5.2.2 reconstruction: a new directory "gradually constructs
+	// its view and directory-index as its content peers discover its
+	// join and send it push messages".
+	syncedDir simnet.NodeID
+}
+
+// NodeID returns the peer's network address.
+func (p *Peer) NodeID() simnet.NodeID { return p.nid }
+
+// Role returns the peer's current role.
+func (p *Peer) Role() Role { return p.role }
+
+// Site returns the website the peer is interested in.
+func (p *Peer) Site() content.SiteID { return p.site }
+
+// Locality returns the peer's physical locality.
+func (p *Peer) Locality() topology.Locality { return p.loc }
+
+// Store exposes the local content cache (read-mostly; tests use it).
+func (p *Peer) Store() *content.Store { return p.store }
+
+// DirInfo returns the peer's current record of its directory.
+func (p *Peer) DirInfo() DirInfo { return p.dirInfo }
+
+// ViewSize returns the gossip view size (tests and load metrics).
+func (p *Peer) ViewSize() int { return p.gsp.Size() }
+
+// Directory exposes directory-role state, nil for non-directories.
+func (p *Peer) Directory() *directoryState { return p.dir }
+
+// Alive reports whether the peer is still running.
+func (p *Peer) Alive() bool { return !p.dead }
+
+func (p *Peer) initGossip() {
+	g, err := gossip.New(p.sys.cfg.Gossip, p.sys.net, p.rng.Split("gossip"), p.nid, (*gossipApp)(p))
+	if err != nil {
+		panic(fmt.Sprintf("flower: gossip init: %v", err)) // config was validated
+	}
+	p.gsp = g
+	p.dirInfo = DirInfo{Node: simnet.None}
+	p.lastDeadDir = simnet.None
+	p.syncedDir = simnet.None
+}
+
+// startLife begins the arrival behaviour: active-site peers start the
+// query loop; others request petal membership immediately.
+func (p *Peer) startLife() {
+	if p.sys.work.Active(p.site) {
+		p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+	} else {
+		p.eng().Schedule(p.rng.UniformDuration(0, 30*sim.Second), func() {
+			if !p.dead && p.role == RoleClient {
+				p.startClientQuery(content.Key{}, true)
+			}
+		})
+	}
+}
+
+// scheduleNextQuery arms the query loop: a peer submits queries "on a
+// regular basis, as soon as it arrives until it fails" (Sec. 6.1).
+func (p *Peer) scheduleNextQuery(delay int64) {
+	p.queryTimer = p.eng().Schedule(delay, func() {
+		if p.dead {
+			return
+		}
+		p.issueQuery()
+		p.scheduleNextQuery(p.sys.work.NextQueryDelay(p.rng))
+	})
+}
+
+// kill fails the peer: all components stop and the network drops it.
+func (p *Peer) kill() {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	p.gsp.Stop()
+	if p.chordNode != nil {
+		p.chordNode.Stop()
+	}
+	if p.keepaliveTimer != nil {
+		p.keepaliveTimer.Cancel()
+	}
+	if p.queryTimer != nil {
+		p.queryTimer.Cancel()
+	}
+	p.query = nil
+	p.sys.net.Fail(p.nid)
+}
+
+func (p *Peer) eng() *sim.Engine     { return p.sys.eng }
+func (p *Peer) net() *simnet.Network { return p.sys.net }
+
+// selfEntry returns the peer's ring identity (only meaningful for
+// directories).
+func (p *Peer) selfEntry() chord.Entry {
+	if p.chordNode != nil {
+		return p.chordNode.Self()
+	}
+	return chord.NoEntry
+}
+
+// selfMeta builds the descriptor gossip ships about this peer: a fresh
+// content summary (Bloom by default, exact sets under the ablation)
+// plus the current dir-info.
+func (p *Peer) selfMeta() ContactMeta {
+	var sum SummaryProvider
+	if p.sys.cfg.ExactSummaries {
+		set := make(exactSummary, p.store.Len())
+		for _, k := range p.store.Keys() {
+			set[k] = struct{}{}
+		}
+		sum = set
+	} else {
+		sum = p.store.Summary()
+	}
+	return ContactMeta{Summary: sum, Dir: p.dirInfo}
+}
+
+// ---- simnet.Handler ----
+
+// HandleMessage dispatches one-way messages to components and protocol
+// handlers.
+func (p *Peer) HandleMessage(from simnet.NodeID, msg any) {
+	if p.dead {
+		return
+	}
+	if p.chordNode != nil && p.chordNode.HandleMessage(from, msg) {
+		return
+	}
+	if p.chordClient != nil && p.chordClient.HandleMessage(from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case clientQueryMsg:
+		// Reaches us outside D-ring routing: either a PetalUp scan
+		// forward from the previous instance (Sec. 4) or a direct query
+		// from a client that learned our address through a denied claim.
+		p.onDirectClientQuery(m)
+	case dirQueryResp:
+		p.onDirQueryResp(m)
+	case vacantResp:
+		p.onVacantResp(m)
+	case promoteMsg:
+		p.onPromote(m)
+	case promotedMsg:
+		p.onPromoted(from, m)
+	case handoffMsg:
+		p.onHandoff(m)
+	case deadProviderReport:
+		// Trust the reporter: a timeout is the only way anyone learns of
+		// a death, and the member re-registers on its next keepalive if
+		// the report was spurious.
+		if p.dir != nil {
+			p.removeMember(m.Dead)
+		}
+	}
+}
+
+// HandleRequest dispatches RPCs.
+func (p *Peer) HandleRequest(from simnet.NodeID, req any) (any, error) {
+	if p.dead {
+		return nil, fmt.Errorf("flower: dead peer")
+	}
+	if p.chordNode != nil {
+		if resp, err, ok := p.chordNode.HandleRequest(from, req); ok {
+			return resp, err
+		}
+	}
+	if resp, err, ok := p.gsp.HandleRequest(from, req); ok {
+		return resp, err
+	}
+	switch r := req.(type) {
+	case workload.FetchReq:
+		return workload.FetchResp{Key: r.Key, Served: p.store.Has(r.Key)}, nil
+	case keepaliveReq:
+		return p.onKeepalive(from, r)
+	case pushReq:
+		return p.onPush(from, r)
+	case dirQueryReq:
+		return p.onMemberQuery(from, r)
+	default:
+		return nil, fmt.Errorf("flower: unhandled request %T", req)
+	}
+}
+
+// ---- gossip hooks ----
+
+// gossipApp adapts Peer to the gossip.App interface without polluting
+// Peer's method set.
+type gossipApp Peer
+
+func (g *gossipApp) SelfDescriptor() any { return (*Peer)(g).selfMeta() }
+
+func (g *gossipApp) OnExchange(peer simnet.NodeID, received []gossip.Entry) {
+	p := (*Peer)(g)
+	if p.dead {
+		return
+	}
+	// Reconcile dir-info (Sec. 5.1): same position, keep smaller age.
+	// Directories are their own authority and never adopt.
+	if p.role == RoleDirectory {
+		return
+	}
+	adopted := false
+	for _, e := range received {
+		meta, ok := e.Meta.(ContactMeta)
+		if !ok {
+			continue
+		}
+		if meta.Dir.Node != p.lastDeadDir && meta.Dir.Fresher(p.dirInfo) {
+			p.dirInfo = meta.Dir
+			adopted = true
+		}
+	}
+	if adopted && p.needsFullPush() {
+		// Learned of a replacement directory through gossip: rebuild its
+		// index with our store without waiting for the next keepalive.
+		p.maybePush()
+	}
+}
+
+func (g *gossipApp) OnContactDead(peer simnet.NodeID) {
+	// Nothing beyond the view eviction gossip already did; the
+	// directory finds out through missing keepalives.
+}

@@ -1,0 +1,523 @@
+package flower
+
+import (
+	"sort"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/content"
+	"flowercdn/internal/gossip"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/workload"
+)
+
+// querySource tags which resolution path produced the provider, mapping
+// onto the metrics outcome taxonomy.
+type querySource int
+
+const (
+	srcGossip querySource = iota
+	srcDirectory
+	srcDirSummary
+)
+
+func (s querySource) outcome() metrics.Outcome {
+	switch s {
+	case srcGossip:
+		return metrics.HitLocalGossip
+	case srcDirSummary:
+		return metrics.HitDirectorySummary
+	default:
+		return metrics.HitDirectory
+	}
+}
+
+// activeQuery is the in-flight query state machine. A peer runs at most
+// one at a time (think time, 6 min mean, dwarfs resolution time).
+type activeQuery struct {
+	seq      uint64
+	key      content.Key
+	start    int64
+	joinOnly bool
+
+	attempt int // gateway attempts for D-ring routed queries
+	timeout *sim.Timer
+
+	source     querySource
+	candidates []simnet.NodeID // remaining providers to probe
+
+	// collab holds same-website sibling directories still to consult
+	// before declaring a miss. Siblings never hand out further siblings
+	// (Foreign queries carry no CollabWith), so collaboration is one
+	// level deep.
+	collab []chord.Entry
+}
+
+// ensureQueryLoop starts the periodic query process once, for peers of
+// active websites.
+func (p *Peer) ensureQueryLoop() {
+	if p.dead || p.queryTimer != nil || !p.sys.work.Active(p.site) {
+		return
+	}
+	p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+}
+
+// issueQuery begins one query for an object the peer does not cache.
+func (p *Peer) issueQuery() {
+	if p.dead || p.query != nil {
+		// An unresolved previous query is still in flight; skip this
+		// round rather than interleave state machines.
+		return
+	}
+	key, ok := p.sys.work.PickObject(p.rng, p.site, p.store)
+	if !ok {
+		return // caches the whole catalog: nothing left to request
+	}
+	q := &activeQuery{
+		seq:   p.sys.nextQuerySeq(),
+		key:   key,
+		start: p.eng().Now(),
+	}
+	p.query = q
+	if p.role == RoleClient {
+		p.sendRoutedQuery(q)
+		return
+	}
+	p.contentQuery(q)
+}
+
+// startClientQuery is the arrival path: joinOnly requests petal
+// membership for peers of non-active websites.
+func (p *Peer) startClientQuery(key content.Key, joinOnly bool) {
+	if p.query != nil {
+		return
+	}
+	q := &activeQuery{
+		seq:      p.sys.nextQuerySeq(),
+		key:      key,
+		start:    p.eng().Now(),
+		joinOnly: joinOnly,
+	}
+	p.query = q
+	p.sendRoutedQuery(q)
+}
+
+// sendRoutedQuery submits the query to D-ring through a bootstrap
+// gateway (Sec. 3.2: "a client located in loc submits its query to
+// D-ring and gets redirected to the directory peer in charge").
+func (p *Peer) sendRoutedQuery(q *activeQuery) {
+	if p.dead || p.query != q {
+		return
+	}
+	gw := p.sys.gateway(simnet.None)
+	if !gw.Valid() {
+		// No known ring member: we are (or believe we are) the first
+		// participant; claim the petal's root directory position.
+		p.claimFromQuery(q)
+		return
+	}
+	if p.chordClient == nil {
+		cl, err := chord.NewClient(p.sys.cfg.Chord, p.sys.net, p.nid)
+		if err != nil {
+			panic(err) // config validated at system construction
+		}
+		p.chordClient = cl
+	}
+	pos := dringPosition(p.site, p.loc, 0)
+	p.chordClient.RouteVia(gw, pos, clientQueryMsg{
+		Seq:      q.seq,
+		Key:      q.key,
+		Client:   p.nid,
+		Site:     p.site,
+		Loc:      p.loc,
+		JoinOnly: q.joinOnly,
+	})
+	q.attempt++
+	q.timeout = p.eng().Schedule(p.sys.cfg.QueryTimeout, func() { p.routedQueryTimedOut(q) })
+}
+
+func (p *Peer) routedQueryTimedOut(q *activeQuery) {
+	if p.dead || p.query != q {
+		return
+	}
+	if q.attempt < p.sys.cfg.QueryRetries {
+		p.sendRoutedQuery(q)
+		return
+	}
+	// Routing keeps failing: either the position is vacant behind dead
+	// gateways or the ring is in bad shape. Try to claim the position
+	// (join case 2); claimFromQuery falls back to the origin on defeat.
+	p.claimFromQuery(q)
+}
+
+// claimFromQuery attempts to become the petal's directory because
+// D-ring has no (reachable) directory for it — join case 2 of
+// Sec. 5.2.2 for new clients, and the rejoin path for orphaned content
+// peers.
+func (p *Peer) claimFromQuery(q *activeQuery) {
+	if p.dead || p.query != q {
+		return
+	}
+	if p.chordNode != nil {
+		// Already on the ring (a racing replacement promoted us while
+		// this query was in flight): resolve from our own directory.
+		if q.joinOnly {
+			p.finishJoinOnly(q)
+			return
+		}
+		p.directoryQuery(q)
+		return
+	}
+	pos := dringPosition(p.site, p.loc, 0)
+	p.claimDirectoryPosition(pos, simnet.None, func(current chord.Entry, err error) {
+		if p.dead || p.query != q {
+			return
+		}
+		if err == nil {
+			// We are the directory now; resolve our own query from what
+			// we know (old summaries for a former content peer, the
+			// origin for a brand-new client).
+			p.sys.vacancyClaims++
+			if q.joinOnly {
+				p.finishJoinOnly(q)
+				return
+			}
+			p.directoryQuery(q)
+			return
+		}
+		if current.Valid() {
+			// Somebody holds (or just won) the position: adopt and ask
+			// them directly.
+			p.dirInfo = DirInfo{Pos: pos, Node: current.Node, Age: 0}
+			p.net().Send(p.nid, current.Node, clientQueryMsg{
+				Seq: q.seq, Key: q.key, Client: p.nid,
+				Site: p.site, Loc: p.loc, JoinOnly: q.joinOnly,
+			})
+			q.timeout = p.eng().Schedule(p.sys.cfg.QueryTimeout, func() { p.routedQueryTimedOut(q) })
+			return
+		}
+		// Ring unreachable altogether.
+		if q.joinOnly {
+			p.finishJoinOnly(q)
+			return
+		}
+		p.fallbackOrigin(q)
+	})
+}
+
+// onDirQueryResp handles the directory's answer to a routed query.
+func (p *Peer) onDirQueryResp(m dirQueryResp) {
+	q := p.query
+	if q == nil || q.seq != m.Seq {
+		return // stale or duplicate answer
+	}
+	if q.timeout != nil {
+		q.timeout.Cancel()
+	}
+	// Adopt the directory and join the petal (Sec. 3.2: the client
+	// "can join petal(ws, loc) as a content peer"). A peer that became
+	// a directory itself while this answer travelled keeps pointing at
+	// itself.
+	if m.Dir.Valid() && p.role != RoleDirectory {
+		p.dirInfo = DirInfo{Pos: m.Dir.ID, Node: m.Dir.Node, Age: 0}
+	}
+	p.joinPetal(m.Seed)
+	// A re-joining content peer syncs its store with the (possibly new)
+	// directory right away.
+	p.maybePush()
+	if q.joinOnly {
+		p.finishJoinOnly(q)
+		return
+	}
+	if m.FromSummary {
+		q.source = srcDirSummary
+	} else {
+		q.source = srcDirectory
+	}
+	q.candidates = m.Providers
+	q.collab = m.CollabWith
+	p.probeCandidate(q, false)
+}
+
+// onVacantResp handles the "position vacant" signal from the ring node
+// covering our directory position's arc.
+func (p *Peer) onVacantResp(m vacantResp) {
+	q := p.query
+	if q == nil || q.seq != m.Seq {
+		return
+	}
+	if q.timeout != nil {
+		q.timeout.Cancel()
+	}
+	p.claimFromQuery(q)
+}
+
+// joinPetal transitions a client to content peer and seeds its view
+// from the directory-provided contacts.
+func (p *Peer) joinPetal(seed []gossip.Entry) {
+	for _, e := range seed {
+		if e.Peer == p.nid {
+			continue
+		}
+		p.gsp.AddContact(e.Peer, e.Meta)
+	}
+	if p.role != RoleClient {
+		return // already a member (re-join after directory change)
+	}
+	p.role = RoleContent
+	p.gsp.Start()
+	p.startKeepalive()
+}
+
+// finishJoinOnly completes a membership-only arrival (non-active
+// websites are "simply added to [their] petal upon arrival"; no metrics
+// are recorded because no content was requested).
+func (p *Peer) finishJoinOnly(q *activeQuery) {
+	if p.query == q {
+		p.query = nil
+	}
+}
+
+// contentQuery is the resolution path for petal members (Sec. 3.1):
+// first the gossip view's content summaries, then the directory, then
+// the origin.
+func (p *Peer) contentQuery(q *activeQuery) {
+	// Locality-aware candidate selection: every petal contact whose
+	// summary claims the object, nearest first.
+	type cand struct {
+		peer simnet.NodeID
+		lat  int64
+	}
+	var cands []cand
+	for _, e := range p.gsp.Entries() {
+		meta, ok := e.Meta.(ContactMeta)
+		if !ok || meta.Summary == nil {
+			continue
+		}
+		if meta.Summary.Contains(q.key.Uint64()) {
+			cands = append(cands, cand{peer: e.Peer, lat: p.net().Latency(p.nid, e.Peer)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lat != cands[j].lat {
+			return cands[i].lat < cands[j].lat
+		}
+		return cands[i].peer < cands[j].peer
+	})
+	limit := p.sys.cfg.GossipCandidates
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	q.source = srcGossip
+	q.candidates = q.candidates[:0]
+	for _, c := range cands {
+		q.candidates = append(q.candidates, c.peer)
+	}
+	if len(q.candidates) > 0 {
+		p.probeCandidate(q, true)
+		return
+	}
+	p.directoryQuery(q)
+}
+
+// probeCandidate fetch-probes the head of q.candidates; gossipPath
+// selects the fallback when candidates run out.
+func (p *Peer) probeCandidate(q *activeQuery, gossipPath bool) {
+	if p.dead || p.query != q {
+		return
+	}
+	if len(q.candidates) == 0 {
+		if gossipPath {
+			p.directoryQuery(q)
+		} else if len(q.collab) > 0 {
+			p.collabQuery(q)
+		} else {
+			p.fallbackOrigin(q)
+		}
+		return
+	}
+	target := q.candidates[0]
+	q.candidates = q.candidates[1:]
+	// The prober knows its RTT estimate to the target; waiting a fixed
+	// multi-second timeout for a neighbour 40 ms away would dominate
+	// lookup latency under churn.
+	timeout := 2*p.net().Latency(p.nid, target) + 300*sim.Millisecond
+	p.net().Request(p.nid, target, workload.FetchReq{Key: q.key}, timeout,
+		func(resp any, err error) {
+			if p.dead || p.query != q {
+				return
+			}
+			if err != nil {
+				if gossipPath {
+					// The contact is gone; drop it from the view so
+					// searches stop considering it.
+					p.gsp.RemoveContact(target)
+				} else if p.dirInfo.Valid() {
+					// Tell the directory its pointer is stale so the
+					// index stops advertising a dead provider.
+					p.net().Send(p.nid, p.dirInfo.Node, deadProviderReport{Dead: target})
+				}
+				p.probeCandidate(q, gossipPath)
+				return
+			}
+			fr := resp.(workload.FetchResp)
+			if !fr.Served {
+				// Stale summary or Bloom false positive.
+				p.probeCandidate(q, gossipPath)
+				return
+			}
+			p.resolve(q, q.source.outcome(), target)
+		})
+}
+
+// directoryQuery consults the peer's directory (its own index when the
+// peer IS a directory).
+func (p *Peer) directoryQuery(q *activeQuery) {
+	if p.dead || p.query != q {
+		return
+	}
+	if p.dir != nil {
+		// We are a directory: resolve from our own index/summaries.
+		providers, fromSummary := p.dir.lookupProviders(p, q.key, p.nid)
+		if fromSummary {
+			q.source = srcDirSummary
+		} else {
+			q.source = srcDirectory
+		}
+		q.candidates = providers
+		p.probeCandidate(q, false)
+		return
+	}
+	if !p.dirInfo.Valid() {
+		// No directory known: resolve via origin now; petal membership
+		// recovery happens through the keepalive loop.
+		p.fallbackOrigin(q)
+		return
+	}
+	dirNode := p.dirInfo.Node
+	p.net().Request(p.nid, dirNode, dirQueryReq{Key: q.key, Client: p.nid}, p.sys.cfg.Chord.RPCTimeout,
+		func(resp any, err error) {
+			if p.dead || p.query != q {
+				if err != nil && !p.dead {
+					p.dirContactFailed(dirNode)
+				}
+				return
+			}
+			if err != nil {
+				p.dirContactFailed(dirNode)
+				p.fallbackOrigin(q)
+				return
+			}
+			p.dirMisses = 0
+			p.dirInfo.Age = 0 // fresh contact
+			rep := resp.(dirQueryReply)
+			if rep.FromSummary {
+				q.source = srcDirSummary
+			} else {
+				q.source = srcDirectory
+			}
+			q.candidates = rep.Providers
+			q.collab = rep.CollabWith
+			p.probeCandidate(q, false)
+		})
+}
+
+// collabQuery asks the next same-website sibling directory for
+// providers before conceding a miss (Sec. 3.2's directory
+// collaboration). A sibling hit is served from another locality's
+// petal — farther than the local petal but still a P2P hit. Siblings
+// are consulted sequentially until one yields providers or the list
+// runs out.
+func (p *Peer) collabQuery(q *activeQuery) {
+	if p.dead || p.query != q {
+		return
+	}
+	if len(q.collab) == 0 {
+		p.fallbackOrigin(q)
+		return
+	}
+	sib := q.collab[0]
+	q.collab = q.collab[1:]
+	p.net().Request(p.nid, sib.Node, dirQueryReq{Key: q.key, Client: p.nid, Foreign: true},
+		p.sys.cfg.Chord.RPCTimeout, func(resp any, err error) {
+			if p.dead || p.query != q {
+				return
+			}
+			if err != nil {
+				p.collabQuery(q)
+				return
+			}
+			rep := resp.(dirQueryReply)
+			if len(rep.Providers) == 0 {
+				p.collabQuery(q)
+				return
+			}
+			q.source = srcDirectory
+			q.candidates = rep.Providers
+			p.probeCandidate(q, false)
+		})
+}
+
+// fallbackOrigin resolves the query at the origin web server — a miss
+// for the P2P system.
+func (p *Peer) fallbackOrigin(q *activeQuery) {
+	if p.dead || p.query != q {
+		return
+	}
+	origin := p.sys.origins.Node(q.key.Site)
+	p.resolve(q, metrics.Miss, origin)
+}
+
+// resolve finalizes a query: record the paper's three metrics, then
+// perform the transfer (fetch + store + push bookkeeping).
+func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider simnet.NodeID) {
+	if p.query != q {
+		return
+	}
+	if q.timeout != nil {
+		q.timeout.Cancel()
+	}
+	p.query = nil
+	now := p.eng().Now()
+	dist := p.net().Latency(p.nid, provider)
+	// Lookup latency is the paper's "latency taken to resolve a query
+	// and reach the destination that will provide the requested
+	// object". For verified hits the destination was reached one
+	// response leg before now; for misses the query still has to travel
+	// to the origin.
+	lookup := now - q.start
+	if outcome == metrics.Miss {
+		lookup += dist
+	} else if lookup > dist {
+		lookup -= dist
+	}
+	p.sys.coll.Record(metrics.Query{
+		When:             now,
+		Outcome:          outcome,
+		LookupLatency:    lookup,
+		TransferDistance: dist,
+	})
+	if outcome == metrics.Miss {
+		// The object still has to travel from the origin.
+		p.net().Request(p.nid, provider, workload.FetchReq{Key: q.key}, 0,
+			func(resp any, err error) {
+				if p.dead || err != nil {
+					return
+				}
+				p.acquire(q.key)
+			})
+		return
+	}
+	// Hit paths already verified the provider served the object.
+	p.acquire(q.key)
+}
+
+// acquire stores a fetched object and runs the push-threshold check
+// (Sec. 5.1).
+func (p *Peer) acquire(key content.Key) {
+	if !p.store.Add(key) {
+		return
+	}
+	p.maybePush()
+}

@@ -1,0 +1,337 @@
+// Package flower implements the paper's primary contribution: the
+// Flower-CDN hybrid P2P content distribution network (Sec. 3), its
+// PetalUp-CDN scalability extension (Sec. 4, enabled by
+// Config.DirLoadLimit), and the churn maintenance protocols (Sec. 5).
+//
+// The architecture is two-layered:
+//
+//   - petals: per-(website, locality) gossip clusters of content peers
+//     that cache and serve the website's objects to nearby clients;
+//   - D-ring: a Chord overlay populated only by directory peers, one
+//     (or, under PetalUp, several) per petal, at deterministic ring
+//     positions derived from (website, locality, instance), serving as
+//     the lookup entry point for new clients.
+//
+// A peer's life: it arrives as a *client*, submits its first query over
+// D-ring, is served (from the petal or the origin), then joins the
+// petal as a *content peer* — resolving its later queries through petal
+// gossip and its directory, and serving other peers in turn. Content
+// peers may be promoted to *directory peers* to replace failures
+// (Sec. 5.2) or to absorb load (Sec. 4).
+package flower
+
+import (
+	"fmt"
+	"sort"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/content"
+	"flowercdn/internal/dring"
+	"flowercdn/internal/ids"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/workload"
+)
+
+// System is one Flower-CDN deployment inside a simulation run. It owns
+// the shared environment and the bootstrap directory registry — the
+// stand-in for the out-of-band entry points (the supported websites
+// themselves) through which real clients would discover D-ring.
+type System struct {
+	cfg     Config
+	net     *simnet.Network
+	eng     *sim.Engine
+	rng     *sim.RNG
+	work    *workload.Workload
+	origins *workload.Origins
+	coll    *metrics.Collector
+
+	// registry holds entries believed to be alive D-ring members; dead
+	// ones are pruned lazily as they are handed out.
+	registry []chord.Entry
+	// peers tracks every spawned peer for measurement only; protocol
+	// logic never consults it (that would be cheating the distribution).
+	peers []*Peer
+
+	peersSpawned   uint64
+	dirPromotions  uint64
+	dirReplacement uint64
+	vacancyClaims  uint64
+	demotions      uint64
+	querySeq       uint64
+}
+
+// Deps are the substrate handles a System runs on.
+type Deps struct {
+	Net      *simnet.Network
+	RNG      *sim.RNG
+	Workload *workload.Workload
+	Origins  *workload.Origins
+	Metrics  *metrics.Collector
+}
+
+// NewSystem validates the config and builds an empty deployment.
+func NewSystem(cfg Config, d Deps) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Net == nil || d.RNG == nil || d.Workload == nil || d.Origins == nil || d.Metrics == nil {
+		return nil, fmt.Errorf("flower: missing dependency in %+v", d)
+	}
+	return &System{
+		cfg:     cfg,
+		net:     d.Net,
+		eng:     d.Net.Engine(),
+		rng:     d.RNG,
+		work:    d.Workload,
+		origins: d.Origins,
+		coll:    d.Metrics,
+	}, nil
+}
+
+// Config returns the deployment's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats exposes protocol-level counters for the harness.
+type Stats struct {
+	PeersSpawned    uint64
+	DirPromotions   uint64 // PetalUp splits
+	DirReplacements uint64 // failure repairs (Sec. 5.2.1)
+	VacancyClaims   uint64 // new-client joins at vacant positions
+	Demotions       uint64 // duplicate-position audits resolved
+}
+
+// Stats returns a snapshot of protocol counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		PeersSpawned:    s.peersSpawned,
+		DirPromotions:   s.dirPromotions,
+		DirReplacements: s.dirReplacement,
+		VacancyClaims:   s.vacancyClaims,
+		Demotions:       s.demotions,
+	}
+}
+
+// DuplicatePositions counts alive directory peers beyond one per
+// position — the invariant the audit protocol drives back to zero.
+func (s *System) DuplicatePositions() int {
+	per := map[ids.ID]int{}
+	for _, p := range s.peers {
+		if p.Alive() && p.dir != nil {
+			per[p.dir.pos]++
+		}
+	}
+	dups := 0
+	for _, n := range per {
+		if n > 1 {
+			dups += n - 1
+		}
+	}
+	return dups
+}
+
+// registerDirectory records a new ring member as a bootstrap gateway.
+func (s *System) registerDirectory(e chord.Entry) {
+	s.registry = append(s.registry, e)
+}
+
+// unregisterDirectory removes a demoted peer from the gateway registry
+// (dead ones are pruned lazily, but a demoted peer is alive and would
+// otherwise swallow routed queries).
+func (s *System) unregisterDirectory(nid simnet.NodeID) {
+	for i, e := range s.registry {
+		if e.Node == nid {
+			s.registry[i] = s.registry[len(s.registry)-1]
+			s.registry = s.registry[:len(s.registry)-1]
+			return
+		}
+	}
+}
+
+// gateway returns an alive registry entry, excluding one node (usually
+// the directory just observed dead), pruning dead entries as it scans.
+// Returns NoEntry when the registry is empty.
+func (s *System) gateway(exclude simnet.NodeID) chord.Entry {
+	for len(s.registry) > 0 {
+		i := s.rng.Intn(len(s.registry))
+		e := s.registry[i]
+		if s.net.Alive(e.Node) && e.Node != exclude {
+			return e
+		}
+		// Prune: swap-remove. (Excluded-but-alive entries are also
+		// removed from this scan's perspective only if dead; keep alive
+		// excluded ones by tolerating a few extra draws.)
+		if !s.net.Alive(e.Node) {
+			s.registry[i] = s.registry[len(s.registry)-1]
+			s.registry = s.registry[:len(s.registry)-1]
+			continue
+		}
+		// Alive but excluded: try again; with only the excluded node
+		// left, give up to avoid spinning.
+		if len(s.registry) == 1 {
+			return chord.NoEntry
+		}
+	}
+	return chord.NoEntry
+}
+
+// DirectoryCount returns the number of currently-alive registered
+// directory peers (diagnostic).
+func (s *System) DirectoryCount() int {
+	n := 0
+	for _, e := range s.registry {
+		if s.net.Alive(e.Node) {
+			n++
+		}
+	}
+	return n
+}
+
+// Peers returns every peer ever spawned (measurement only; includes
+// dead ones — filter with Peer.Alive).
+func (s *System) Peers() []*Peer { return s.peers }
+
+// PetalDirectories returns the alive directory instances currently
+// serving petal (site, loc), in instance order (measurement only).
+func (s *System) PetalDirectories(site content.SiteID, loc topology.Locality) []*Peer {
+	var out []*Peer
+	for _, p := range s.peers {
+		if p.Alive() && p.dir != nil && dring.SamePetal(p.dir.pos, site, loc) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dir.instance < out[j].dir.instance })
+	return out
+}
+
+// AlivePeerCount returns the number of alive peers (diagnostic).
+func (s *System) AlivePeerCount() int {
+	n := 0
+	for _, p := range s.peers {
+		if p.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// Identity is the persistent part of a participant. The paper's churn
+// model (total network size 1.3·P) cycles a fixed population of
+// individuals through online sessions: every session gets a fresh
+// network address, but the individual's interest, physical location
+// and — crucially — its cached content survive offline periods ("a
+// content peer has enough storage potential to avoid replacing its
+// content through the experiment's duration").
+type Identity struct {
+	Site      content.SiteID
+	Placement topology.Placement
+	Store     *content.Store
+}
+
+// NewIdentity draws a fresh individual interested in site, located in
+// loc, with an empty cache.
+func (s *System) NewIdentity(site content.SiteID, loc topology.Locality) Identity {
+	return Identity{
+		Site:      site,
+		Placement: s.net.Topology().PlaceAt(loc, s.rng),
+		Store:     content.NewStore(),
+	}
+}
+
+// SpawnIdentity brings an individual online as a new client; its
+// persistent store comes back with it (and will be re-indexed by its
+// petal's directory through the full push on re-join).
+func (s *System) SpawnIdentity(id Identity) (*Peer, func()) {
+	p := s.newPeer(id)
+	p.startLife()
+	return p, p.kill
+}
+
+// SpawnSeedDirectory creates the initial directory peer for (site,
+// loc) at a position-0 D-ring slot. The first seed creates the ring;
+// later seeds join through an existing member. The paper starts each
+// run with k*|W| = 600 such peers ("one directory peer per couple
+// (website, locality)"). The returned kill function fails the peer.
+func (s *System) SpawnSeedDirectory(site content.SiteID, loc topology.Locality) (*Peer, func()) {
+	return s.SpawnSeedDirectoryIdentity(s.NewIdentity(site, loc))
+}
+
+// SpawnSeedDirectoryIdentity is SpawnSeedDirectory for a persistent
+// individual.
+func (s *System) SpawnSeedDirectoryIdentity(id Identity) (*Peer, func()) {
+	p := s.newPeer(id)
+	site, loc := id.Site, id.Placement.Loc
+	pos := dringPosition(site, loc, 0)
+	if len(s.registry) == 0 {
+		p.becomeFoundingDirectory(pos)
+	} else {
+		p.seedClaim(pos, 5)
+	}
+	return p, p.kill
+}
+
+// seedClaim claims a seed position with retries: during the initial
+// join storm the forming ring occasionally fails a lookup or denies a
+// claim while an arc boundary is unknown.
+func (p *Peer) seedClaim(pos ids.ID, attempts int) {
+	p.claimDirectoryPosition(pos, simnet.None, func(current chord.Entry, err error) {
+		if p.dead || err == nil {
+			return
+		}
+		if current.Valid() {
+			// Somebody genuinely beat us to the seat; live on as a
+			// plain client of that directory.
+			p.dirInfo = DirInfo{Pos: pos, Node: current.Node, Age: 0}
+			p.startLife()
+			return
+		}
+		// Transient failure (lookup timeout or healing denial): retry.
+		if attempts <= 1 {
+			p.startLife()
+			return
+		}
+		p.eng().Schedule(30*sim.Second, func() { p.seedClaim(pos, attempts-1) })
+	})
+}
+
+// SpawnClient creates a fresh participant with the given interest at a
+// random placement: an active-site client starts its query loop, any
+// other peer immediately requests petal membership. The returned kill
+// function fails the peer (fail-only churn).
+func (s *System) SpawnClient(site content.SiteID) (*Peer, func()) {
+	loc := topology.Locality(s.rng.Intn(s.net.Topology().Localities()))
+	return s.SpawnClientAt(site, loc)
+}
+
+// SpawnClientAt is SpawnClient pinned to a locality — used by the
+// PetalUp flash-crowd experiments.
+func (s *System) SpawnClientAt(site content.SiteID, loc topology.Locality) (*Peer, func()) {
+	return s.SpawnIdentity(s.NewIdentity(site, loc))
+}
+
+func (s *System) newPeer(id Identity) *Peer {
+	s.peersSpawned++
+	store := id.Store
+	if store == nil {
+		store = content.NewStore()
+	}
+	p := &Peer{
+		sys:   s,
+		site:  id.Site,
+		loc:   id.Placement.Loc,
+		store: store,
+		rng:   s.rng.Split(fmt.Sprintf("peer-%d", s.peersSpawned)),
+	}
+	p.nid = s.net.Join(p, id.Placement)
+	p.initGossip()
+	s.peers = append(s.peers, p)
+	return p
+}
+
+// nextQuerySeq hands out query correlation tags.
+func (s *System) nextQuerySeq() uint64 {
+	s.querySeq++
+	return s.querySeq
+}

@@ -1,0 +1,457 @@
+// Package harness assembles full simulation runs reproducing the
+// paper's evaluation (Sec. 6): it wires the engine, topology, network,
+// workload, origins, churn and one protocol deployment together, runs
+// the experiment, and renders the same tables and figures the paper
+// reports — Fig. 3 (hit ratio over time), Fig. 4 (lookup latency
+// distribution), Fig. 5 (transfer distance distribution) and Table 2
+// (scalability sweep), plus the Table 1 parameter sheet.
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"flowercdn/internal/churn"
+	"flowercdn/internal/content"
+	"flowercdn/internal/flower"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/squirrel"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/workload"
+)
+
+// Protocol selects the deployment under test.
+type Protocol string
+
+const (
+	// ProtocolFlower is classic Flower-CDN.
+	ProtocolFlower Protocol = "flower"
+	// ProtocolPetalUp is Flower-CDN with directory splitting enabled.
+	ProtocolPetalUp Protocol = "petalup"
+	// ProtocolSquirrel is the baseline.
+	ProtocolSquirrel Protocol = "squirrel"
+)
+
+// Config describes one experiment run. DefaultConfig reproduces
+// Table 1.
+type Config struct {
+	Protocol Protocol
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// Population is P, the mean population size churn converges to.
+	Population int
+	// Duration is the experiment length (Table 1 runs: 24 h).
+	Duration int64
+	// SeedStagger is the gap between initial directory-peer joins.
+	SeedStagger int64
+
+	Topology topology.Config
+	Workload workload.Config
+	// MeanUptime is m (Table 1: 60 min).
+	MeanUptime int64
+	// MessageLossRate injects random one-way message loss on top of
+	// churn (0 = the paper's reliable links).
+	MessageLossRate float64
+
+	Flower   flower.Config
+	Squirrel squirrel.Config
+
+	// PetalUpLoadLimit applies when Protocol == ProtocolPetalUp.
+	PetalUpLoadLimit int
+
+	// SeriesWindow is the Fig. 3 bucketing (1 h).
+	SeriesWindow int64
+	// TailWindows is how many final windows Table 2's hit ratio
+	// averages over.
+	TailWindows int
+}
+
+// DefaultConfig returns the paper's simulation parameters (Table 1)
+// for P = 3000 and Flower-CDN.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:         ProtocolFlower,
+		Seed:             1,
+		Population:       3000,
+		Duration:         24 * sim.Hour,
+		SeedStagger:      time2sPerSeed,
+		Topology:         topology.DefaultConfig(),
+		Workload:         workload.DefaultConfig(),
+		MeanUptime:       60 * sim.Minute,
+		Flower:           flower.DefaultConfig(),
+		Squirrel:         squirrel.DefaultConfig(),
+		PetalUpLoadLimit: 30,
+		SeriesWindow:     1 * sim.Hour,
+		TailWindows:      3,
+	}
+}
+
+const time2sPerSeed = 2 * sim.Second
+
+// QuickConfig returns a scaled-down experiment that preserves the
+// paper's proportions (active-site share, per-petal densities, churn
+// ratio) while running in seconds instead of minutes. Tests, examples
+// and the default benchmarks use it; cmd/flowerbench runs the full
+// Table 1 scale.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Population = 400
+	cfg.Duration = 8 * sim.Hour
+	cfg.Workload.Sites = 20
+	cfg.Workload.ActiveSites = 3
+	cfg.Workload.ObjectsPerSite = 200
+	cfg.SeedStagger = 1 * sim.Second
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.Protocol {
+	case ProtocolFlower, ProtocolPetalUp, ProtocolSquirrel:
+	default:
+		return fmt.Errorf("harness: unknown protocol %q", c.Protocol)
+	}
+	if c.Population < 1 {
+		return errors.New("harness: population must be positive")
+	}
+	if c.Duration <= 0 {
+		return errors.New("harness: duration must be positive")
+	}
+	if c.SeriesWindow <= 0 {
+		return errors.New("harness: series window must be positive")
+	}
+	if c.MeanUptime <= 0 {
+		return errors.New("harness: mean uptime must be positive")
+	}
+	if err := c.Flower.Validate(); err != nil {
+		return err
+	}
+	if err := c.Squirrel.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Protocol   Protocol
+	Population int
+	Duration   int64
+
+	// HitRatio is cumulative over the run; TailHitRatio covers the
+	// final TailWindows windows (the "after 24 simulation hours" view).
+	HitRatio     float64
+	TailHitRatio float64
+
+	MeanLookupMs   float64
+	MeanTransferMs float64
+
+	// Quantiles complement the paper's means.
+	LookupQuantiles   metrics.LatencySummary
+	TransferQuantiles metrics.LatencySummary
+
+	Series   []metrics.SeriesPoint
+	Lookup   metrics.Distribution
+	Transfer metrics.Distribution
+
+	Queries    uint64
+	Hits       uint64
+	Misses     uint64
+	Unresolved uint64
+
+	// Outcome breakdown for the Flower paths.
+	GossipHits     uint64
+	DirectoryHits  uint64
+	DirSummaryHits uint64
+
+	// Population diagnostics at the end of the run.
+	AlivePeers      int
+	AliveDirs       int
+	DuplicateDirs   int
+	FlowerStats     flower.Stats
+	NetStats        simnet.Stats
+	EventsProcessed uint64
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	master := sim.NewRNG(cfg.Seed)
+	topo, err := topology.New(cfg.Topology, master.Split("topology"))
+	if err != nil {
+		return nil, err
+	}
+	net := simnet.New(eng, topo)
+	if cfg.MessageLossRate > 0 {
+		net.SetLossRate(cfg.MessageLossRate, master.Split("loss"))
+	}
+	work, err := workload.New(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	origins := workload.NewOrigins(work, net, master.Split("origins"))
+	coll := metrics.NewCollector(cfg.SeriesWindow)
+
+	churnCfg := churn.Config{TargetPopulation: cfg.Population, MeanUptime: cfg.MeanUptime}
+
+	res := &Result{Protocol: cfg.Protocol, Population: cfg.Population, Duration: cfg.Duration}
+
+	switch cfg.Protocol {
+	case ProtocolFlower, ProtocolPetalUp:
+		fcfg := cfg.Flower
+		if cfg.Protocol == ProtocolPetalUp {
+			fcfg.DirLoadLimit = cfg.PetalUpLoadLimit
+		}
+		sys, err := flower.NewSystem(fcfg, flower.Deps{
+			Net: net, RNG: master.Split("flower"), Workload: work, Origins: origins, Metrics: coll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := runFlower(cfg, eng, master, work, topo, churnCfg, sys); err != nil {
+			return nil, err
+		}
+		res.AlivePeers = sys.AlivePeerCount()
+		res.AliveDirs = sys.DirectoryCount()
+		res.DuplicateDirs = sys.DuplicatePositions()
+		res.FlowerStats = sys.Stats()
+	case ProtocolSquirrel:
+		sys, err := squirrel.NewSystem(cfg.Squirrel, squirrel.Deps{
+			Net: net, RNG: master.Split("squirrel"), Workload: work, Origins: origins, Metrics: coll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := runSquirrel(cfg, eng, master, work, churnCfg, sys); err != nil {
+			return nil, err
+		}
+		res.AlivePeers = sys.AliveMembers()
+	}
+
+	res.HitRatio = coll.HitRatio()
+	res.TailHitRatio = coll.TailHitRatio(cfg.TailWindows)
+	res.MeanLookupMs = coll.MeanLookupLatency()
+	res.MeanTransferMs = coll.MeanTransferDistance()
+	res.LookupQuantiles = coll.LookupSummary()
+	res.TransferQuantiles = coll.TransferSummary()
+	res.Series = coll.HitRatioSeries()
+	res.Lookup = coll.LookupDistribution(metrics.Fig4Bounds)
+	res.Transfer = coll.TransferDistribution(metrics.Fig5Bounds)
+	res.Queries = coll.Total()
+	res.Hits = coll.Hits()
+	res.Misses = coll.Count(metrics.Miss)
+	res.Unresolved = coll.Count(metrics.Unresolved)
+	res.GossipHits = coll.Count(metrics.HitLocalGossip)
+	res.DirectoryHits = coll.Count(metrics.HitDirectory)
+	res.DirSummaryHits = coll.Count(metrics.HitDirectorySummary)
+	res.NetStats = net.Stats()
+	res.EventsProcessed = eng.Processed()
+	return res, nil
+}
+
+// PopulationFactor is Table 1's "Total network size P * 1.3": the pool
+// of persistent individuals churn cycles through online sessions. An
+// individual's interest, location and cached content survive offline
+// periods; each session is a fresh network identity.
+const PopulationFactor = 1.3
+
+// flowerPool manages persistent individuals for the Flower runs.
+type flowerPool struct {
+	rng     *sim.RNG
+	inds    []flower.Identity
+	offline []int // indexes into inds
+	cap     int
+}
+
+func (fp *flowerPool) take() (int, flower.Identity, bool) {
+	if len(fp.offline) > 0 {
+		i := fp.rng.Intn(len(fp.offline))
+		idx := fp.offline[i]
+		fp.offline[i] = fp.offline[len(fp.offline)-1]
+		fp.offline = fp.offline[:len(fp.offline)-1]
+		return idx, fp.inds[idx], true
+	}
+	if len(fp.inds) >= fp.cap {
+		return 0, flower.Identity{}, false // everyone is online already
+	}
+	return -1, flower.Identity{}, true // caller mints a new individual
+}
+
+// runFlower seeds the initial D-ring (one directory peer per (website,
+// locality), "which have limited uptimes and form the initial
+// D-ring"), then lets churn cycle the persistent population through
+// online sessions until the run ends.
+func runFlower(cfg Config, eng *sim.Engine, master *sim.RNG, work *workload.Workload,
+	topo *topology.Topology, churnCfg churn.Config, sys *flower.System) error {
+
+	churnRNG := master.Split("churn")
+	pool := &flowerPool{
+		rng: churnRNG,
+		cap: int(float64(cfg.Population) * PopulationFactor),
+	}
+
+	spawn := func() func() {
+		idx, id, ok := pool.take()
+		if !ok {
+			return nil
+		}
+		if idx < 0 {
+			site := work.AssignInterest(churnRNG)
+			loc := topology.Locality(churnRNG.Intn(topo.Localities()))
+			id = sys.NewIdentity(site, loc)
+			pool.inds = append(pool.inds, id)
+			idx = len(pool.inds) - 1
+		}
+		_, kill := sys.SpawnIdentity(id)
+		i := idx
+		return func() {
+			kill()
+			pool.offline = append(pool.offline, i)
+		}
+	}
+
+	proc, err := churn.NewProcess(churnCfg, eng, churnRNG, spawn)
+	if err != nil {
+		return err
+	}
+
+	// Seed directories, staggered to let the ring form; each is a
+	// persistent individual with a limited uptime like any other peer.
+	k := topo.Localities()
+	i := 0
+	for s := 0; s < cfg.Workload.Sites; s++ {
+		for l := 0; l < k; l++ {
+			site, loc := content.SiteID(s), topology.Locality(l)
+			at := int64(i) * cfg.SeedStagger
+			i++
+			eng.Schedule(at, func() {
+				id := sys.NewIdentity(site, loc)
+				pool.inds = append(pool.inds, id)
+				idx := len(pool.inds) - 1
+				_, kill := sys.SpawnSeedDirectoryIdentity(id)
+				eng.Schedule(proc.Lifetime(), func() {
+					kill()
+					pool.offline = append(pool.offline, idx)
+				})
+			})
+		}
+	}
+
+	// Client arrivals start once the initial ring is up.
+	eng.Schedule(int64(i)*cfg.SeedStagger, proc.Start)
+	eng.Run(cfg.Duration)
+	return nil
+}
+
+// squirrelPool is the persistent-individual pool for the baseline.
+type squirrelPool struct {
+	rng     *sim.RNG
+	inds    []squirrel.Identity
+	offline []int
+	cap     int
+}
+
+func (sp *squirrelPool) take() (int, squirrel.Identity, bool) {
+	if len(sp.offline) > 0 {
+		i := sp.rng.Intn(len(sp.offline))
+		idx := sp.offline[i]
+		sp.offline[i] = sp.offline[len(sp.offline)-1]
+		sp.offline = sp.offline[:len(sp.offline)-1]
+		return idx, sp.inds[idx], true
+	}
+	if len(sp.inds) >= sp.cap {
+		return 0, squirrel.Identity{}, false
+	}
+	return -1, squirrel.Identity{}, true
+}
+
+// runSquirrel seeds the same number of initial members, then churns
+// the same persistent-population model.
+func runSquirrel(cfg Config, eng *sim.Engine, master *sim.RNG, work *workload.Workload,
+	churnCfg churn.Config, sys *squirrel.System) error {
+
+	churnRNG := master.Split("churn")
+	pool := &squirrelPool{
+		rng: churnRNG,
+		cap: int(float64(cfg.Population) * PopulationFactor),
+	}
+	spawn := func() func() {
+		idx, id, ok := pool.take()
+		if !ok {
+			return nil
+		}
+		if idx < 0 {
+			id = sys.NewIdentity(work.AssignInterest(churnRNG))
+			pool.inds = append(pool.inds, id)
+			idx = len(pool.inds) - 1
+		}
+		_, kill := sys.SpawnIdentity(id)
+		i := idx
+		return func() {
+			kill()
+			pool.offline = append(pool.offline, i)
+		}
+	}
+	proc, err := churn.NewProcess(churnCfg, eng, churnRNG, spawn)
+	if err != nil {
+		return err
+	}
+	seeds := cfg.Workload.Sites * cfg.Topology.Localities
+	for i := 0; i < seeds; i++ {
+		at := int64(i) * cfg.SeedStagger
+		eng.Schedule(at, func() {
+			kill := spawn()
+			if kill != nil {
+				eng.Schedule(proc.Lifetime(), kill)
+			}
+		})
+	}
+	eng.Schedule(int64(seeds)*cfg.SeedStagger, proc.Start)
+	eng.Run(cfg.Duration)
+	return nil
+}
+
+// RunComparison executes the same configuration under Flower-CDN and
+// Squirrel with the same seed — the paper's head-to-head setup.
+func RunComparison(cfg Config) (flowerRes, squirrelRes *Result, err error) {
+	fc := cfg
+	fc.Protocol = ProtocolFlower
+	flowerRes, err = Run(fc)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := cfg
+	sc.Protocol = ProtocolSquirrel
+	squirrelRes, err = Run(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return flowerRes, squirrelRes, nil
+}
+
+// Table2Row is one scalability data point.
+type Table2Row struct {
+	Population int
+	Flower     *Result
+	Squirrel   *Result
+}
+
+// RunTable2 sweeps the population sizes of Table 2.
+func RunTable2(base Config, populations []int) ([]Table2Row, error) {
+	rows := make([]Table2Row, 0, len(populations))
+	for _, p := range populations {
+		cfg := base
+		cfg.Population = p
+		f, s, err := RunComparison(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{Population: p, Flower: f, Squirrel: s})
+	}
+	return rows, nil
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"flowercdn/internal/sim"
+)
+
+func tinyConfig() Config {
+	cfg := QuickConfig()
+	cfg.Population = 150
+	cfg.Duration = 4 * sim.Hour
+	cfg.Workload.Sites = 10
+	cfg.Workload.ActiveSites = 2
+	cfg.Workload.ObjectsPerSite = 100
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.Protocol = "bogus" },
+		func(c *Config) { c.Population = 0 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.SeriesWindow = 0 },
+		func(c *Config) { c.MeanUptime = 0 },
+		func(c *Config) { c.Flower.PushThreshold = 0 },
+		func(c *Config) { c.Squirrel.DirectoryCap = 0 },
+	}
+	for i, mut := range bads {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run accepted zero config")
+	}
+}
+
+func TestFlowerRunProducesActivity(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != ProtocolFlower {
+		t.Fatalf("protocol = %q", res.Protocol)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+	if res.Hits == 0 {
+		t.Fatal("no hits at all after hours of petal life")
+	}
+	if res.AlivePeers == 0 || res.AliveDirs == 0 {
+		t.Fatalf("population died out: peers=%d dirs=%d", res.AlivePeers, res.AliveDirs)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no hit-ratio series")
+	}
+	if res.EventsProcessed == 0 || res.NetStats.MessagesSent == 0 {
+		t.Fatal("no simulation activity recorded")
+	}
+}
+
+func TestSquirrelRunProducesActivity(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Protocol = ProtocolSquirrel
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+	if res.AlivePeers == 0 {
+		t.Fatal("population died out")
+	}
+	if res.MeanLookupMs <= 0 {
+		t.Fatal("no lookup latency recorded")
+	}
+}
+
+func TestPetalUpRunWorks(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Protocol = ProtocolPetalUp
+	cfg.PetalUpLoadLimit = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Duration = 2 * sim.Hour
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Queries != b.Queries || a.Hits != b.Hits || a.EventsProcessed != b.EventsProcessed {
+		t.Fatalf("same seed diverged: %d/%d/%d vs %d/%d/%d",
+			a.Queries, a.Hits, a.EventsProcessed, b.Queries, b.Hits, b.EventsProcessed)
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Duration = 2 * sim.Hour
+	a, _ := Run(cfg)
+	cfg.Seed = 999
+	b, _ := Run(cfg)
+	if a.EventsProcessed == b.EventsProcessed && a.Queries == b.Queries && a.Hits == b.Hits {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestComparisonShape(t *testing.T) {
+	// The headline claims at reduced scale: Flower-CDN beats Squirrel on
+	// hit ratio under churn, and resolves queries much faster.
+	cfg := tinyConfig()
+	cfg.Duration = 6 * sim.Hour
+	f, s, err := RunComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TailHitRatio <= s.TailHitRatio {
+		t.Fatalf("Flower tail hit ratio %.3f not above Squirrel %.3f",
+			f.TailHitRatio, s.TailHitRatio)
+	}
+	if f.MeanLookupMs >= s.MeanLookupMs {
+		t.Fatalf("Flower lookup %.0f ms not below Squirrel %.0f ms",
+			f.MeanLookupMs, s.MeanLookupMs)
+	}
+	if f.MeanTransferMs >= s.MeanTransferMs {
+		t.Fatalf("Flower transfer %.0f ms not below Squirrel %.0f ms",
+			f.MeanTransferMs, s.MeanTransferMs)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Duration = 2 * sim.Hour
+	f, s, err := RunComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := FormatTable1(cfg)
+	if !strings.Contains(t1, "Push threshold") || !strings.Contains(t1, "10") {
+		t.Fatalf("Table 1 render incomplete:\n%s", t1)
+	}
+	f3 := FormatFig3(f, s)
+	if !strings.Contains(f3, "Flower-CDN") || !strings.Contains(f3, "hour") {
+		t.Fatalf("Fig 3 render incomplete:\n%s", f3)
+	}
+	f4 := FormatFig4(f, s)
+	if !strings.Contains(f4, "within 150 ms") {
+		t.Fatalf("Fig 4 render incomplete:\n%s", f4)
+	}
+	f5 := FormatFig5(f, s)
+	if !strings.Contains(f5, "within 100 ms") {
+		t.Fatalf("Fig 5 render incomplete:\n%s", f5)
+	}
+	rows := []Table2Row{{Population: cfg.Population, Flower: f, Squirrel: s}}
+	t2 := FormatTable2(rows)
+	if !strings.Contains(t2, "Squirrel") || !strings.Contains(t2, "Flower-CDN") {
+		t.Fatalf("Table 2 render incomplete:\n%s", t2)
+	}
+	sum := FormatSummary(f)
+	if !strings.Contains(sum, "hit ratio") {
+		t.Fatalf("summary render incomplete:\n%s", sum)
+	}
+}
+
+func TestRunTable2SmallSweep(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Duration = 2 * sim.Hour
+	rows, err := RunTable2(cfg, []int{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Population != 100 || rows[1].Population != 200 {
+		t.Fatalf("rows wrong: %+v", rows)
+	}
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"flowercdn/internal/sim"
+)
+
+// TestFlowerInvariantsAfterRun checks structural invariants the
+// protocol must maintain through a whole churny run.
+func TestFlowerInvariantsAfterRun(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Duration = 5 * sim.Hour
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One directory per position: the audit protocol's invariant.
+	if res.DuplicateDirs != 0 {
+		t.Fatalf("%d duplicate directory positions after the run", res.DuplicateDirs)
+	}
+	// The population stabilized near the target.
+	if math.Abs(float64(res.AlivePeers-cfg.Population)) > 0.4*float64(cfg.Population) {
+		t.Fatalf("alive population %d too far from target %d", res.AlivePeers, cfg.Population)
+	}
+	// Hit ratio trends upward: the last third of the run beats the
+	// first third (the paper's "keeps on improving despite failures").
+	n := len(res.Series)
+	if n >= 3 {
+		var early, late float64
+		var earlyN, lateN int
+		for i := 0; i < n/3; i++ {
+			if res.Series[i].Queries > 0 {
+				early += res.Series[i].HitRatio
+				earlyN++
+			}
+		}
+		for i := 2 * n / 3; i < n; i++ {
+			if res.Series[i].Queries > 0 {
+				late += res.Series[i].HitRatio
+				lateN++
+			}
+		}
+		if earlyN > 0 && lateN > 0 && late/float64(lateN) <= early/float64(earlyN) {
+			t.Fatalf("hit ratio not improving: early %.3f late %.3f",
+				early/float64(earlyN), late/float64(lateN))
+		}
+	}
+	// Quantiles are populated and ordered.
+	q := res.LookupQuantiles
+	if q.P50 <= 0 || q.P50 > q.P90 || q.P90 > q.P99 {
+		t.Fatalf("lookup quantiles malformed: %+v", q)
+	}
+}
+
+// TestMessageLossInjection runs Flower-CDN over lossy links: the
+// protocol must keep functioning (timeouts recover everything), with a
+// hit ratio that degrades rather than collapses.
+func TestMessageLossInjection(t *testing.T) {
+	base := tinyConfig()
+	base.Duration = 4 * sim.Hour
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := base
+	lossy.MessageLossRate = 0.05
+	lossyRes, err := Run(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossyRes.Queries == 0 || lossyRes.Hits == 0 {
+		t.Fatal("protocol stopped functioning under 5% message loss")
+	}
+	// 5% loss should not cost more than half the hit ratio.
+	if lossyRes.TailHitRatio < clean.TailHitRatio/2 {
+		t.Fatalf("hit ratio collapsed under loss: %.3f vs clean %.3f",
+			lossyRes.TailHitRatio, clean.TailHitRatio)
+	}
+	if lossyRes.NetStats.MessagesDropped == 0 {
+		t.Fatal("loss injection did not drop anything")
+	}
+}
+
+// TestSquirrelInvariantsAfterRun sanity-checks the baseline the same
+// way.
+func TestSquirrelInvariantsAfterRun(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Protocol = ProtocolSquirrel
+	cfg.Duration = 4 * sim.Hour
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries")
+	}
+	// Squirrel's lookups pay multi-hop routing: its mean must exceed
+	// the topology's maximum single link latency.
+	if res.MeanLookupMs < 500 {
+		t.Fatalf("squirrel lookup mean %.0f ms implausibly low", res.MeanLookupMs)
+	}
+	if res.AlivePeers == 0 {
+		t.Fatal("population died out")
+	}
+}
+
+// TestPetalUpKeepsHitRatio: splitting directories must not cost
+// significant hit ratio relative to classic Flower.
+func TestPetalUpKeepsHitRatio(t *testing.T) {
+	base := tinyConfig()
+	base.Duration = 4 * sim.Hour
+	classic, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := base
+	up.Protocol = ProtocolPetalUp
+	up.PetalUpLoadLimit = 4
+	upRes, err := Run(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upRes.TailHitRatio < classic.TailHitRatio*0.5 {
+		t.Fatalf("PetalUp hit ratio %.3f collapsed vs classic %.3f",
+			upRes.TailHitRatio, classic.TailHitRatio)
+	}
+}

@@ -1,0 +1,95 @@
+// Package ids implements the circular 64-bit identifier space shared by
+// the Chord substrate, the D-ring key-management service and the
+// Squirrel baseline. Identifiers live on a ring of size 2^64; all
+// arithmetic is modular.
+//
+// The paper's D-ring assigns directory peers *structured* identifiers
+// derived from (website, locality, instance) rather than uniformly
+// hashed ones; both styles are constructed here so that every overlay
+// shares one notion of "between", "distance" and "successor of".
+package ids
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// ID is a position on the 2^64 identifier ring.
+type ID uint64
+
+// Bits is the width of the identifier space.
+const Bits = 64
+
+// HashString maps an arbitrary string to a ring position using SHA-1,
+// as Chord does, truncated to 64 bits.
+func HashString(s string) ID {
+	sum := sha1.Sum([]byte(s))
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashBytes maps a byte slice to a ring position.
+func HashBytes(b []byte) ID {
+	sum := sha1.Sum(b)
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// Hash2 maps a pair of integers to a ring position. It is used for
+// object keys (site, object) in Squirrel.
+func Hash2(a, b uint64) ID {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[0:8], a)
+	binary.BigEndian.PutUint64(buf[8:16], b)
+	return HashBytes(buf[:])
+}
+
+// Add returns the ring position k + d (mod 2^64).
+func (k ID) Add(d uint64) ID { return k + ID(d) }
+
+// AddPow2 returns k + 2^i (mod 2^64). It panics if i is outside
+// [0, Bits).
+func (k ID) AddPow2(i int) ID {
+	if i < 0 || i >= Bits {
+		panic(fmt.Sprintf("ids: AddPow2 exponent %d out of range", i))
+	}
+	return k + ID(uint64(1)<<uint(i))
+}
+
+// Between reports whether k lies on the arc (a, b) exclusive of both
+// endpoints, walking clockwise from a to b. When a == b the arc is the
+// entire ring minus the single point a, matching Chord's convention.
+func Between(k, a, b ID) bool {
+	if a < b {
+		return a < k && k < b
+	}
+	if a > b {
+		return k > a || k < b
+	}
+	// a == b: full circle, everything except a itself.
+	return k != a
+}
+
+// BetweenRightIncl reports whether k lies on the half-open arc (a, b]
+// walking clockwise — the interval Chord uses for successor ownership:
+// node b owns key k iff k ∈ (predecessor(b), b].
+func BetweenRightIncl(k, a, b ID) bool {
+	if a < b {
+		return a < k && k <= b
+	}
+	if a > b {
+		return k > a || k <= b
+	}
+	return true // a == b: single node owns everything
+}
+
+// Distance returns the clockwise distance from a to b, i.e. the number
+// of positions a must advance to reach b.
+func Distance(a, b ID) uint64 {
+	return uint64(b - a)
+}
+
+// String formats an identifier as fixed-width hexadecimal.
+func (k ID) String() string { return fmt.Sprintf("%016x", uint64(k)) }
+
+// Short returns an abbreviated form used in logs and traces.
+func (k ID) Short() string { return fmt.Sprintf("%04x", uint64(k)>>48) }

@@ -1,0 +1,187 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBetweenSimpleArc(t *testing.T) {
+	if !Between(5, 1, 10) {
+		t.Fatal("5 should be in (1,10)")
+	}
+	if Between(1, 1, 10) {
+		t.Fatal("endpoints are exclusive: 1 not in (1,10)")
+	}
+	if Between(10, 1, 10) {
+		t.Fatal("endpoints are exclusive: 10 not in (1,10)")
+	}
+	if Between(15, 1, 10) {
+		t.Fatal("15 not in (1,10)")
+	}
+}
+
+func TestBetweenWrappedArc(t *testing.T) {
+	// Arc wrapping the top of the ring: (2^64-10, 5).
+	a := ID(^uint64(0) - 9)
+	if !Between(0, a, 5) {
+		t.Fatal("0 should be in wrapped arc")
+	}
+	if !Between(a+1, a, 5) {
+		t.Fatal("a+1 should be in wrapped arc")
+	}
+	if Between(100, a, 5) {
+		t.Fatal("100 should not be in wrapped arc")
+	}
+	if Between(a, a, 5) || Between(5, a, 5) {
+		t.Fatal("wrapped arc endpoints are exclusive")
+	}
+}
+
+func TestBetweenFullCircle(t *testing.T) {
+	if Between(7, 7, 7) {
+		t.Fatal("a==b arc excludes a itself")
+	}
+	if !Between(8, 7, 7) {
+		t.Fatal("a==b arc includes everything else")
+	}
+}
+
+func TestBetweenRightIncl(t *testing.T) {
+	if !BetweenRightIncl(10, 1, 10) {
+		t.Fatal("right endpoint included")
+	}
+	if BetweenRightIncl(1, 1, 10) {
+		t.Fatal("left endpoint excluded")
+	}
+	if !BetweenRightIncl(3, 1, 10) {
+		t.Fatal("interior point")
+	}
+	// Single node ring: the node owns every key.
+	if !BetweenRightIncl(42, 9, 9) {
+		t.Fatal("single-node ring owns all keys")
+	}
+	// Wrapped ownership interval.
+	if !BetweenRightIncl(2, ID(^uint64(0)-4), 3) {
+		t.Fatal("wrapped (pred, succ] ownership")
+	}
+}
+
+// Property: Between(k,a,b) is equivalent to Distance(a,k) < Distance(a,b)
+// with both distances nonzero, for a != b. This ties the interval test to
+// the clockwise-distance definition.
+func TestBetweenMatchesDistance(t *testing.T) {
+	f := func(k, a, b uint64) bool {
+		ka, aa, bb := ID(k), ID(a), ID(b)
+		if aa == bb {
+			return true
+		}
+		want := Distance(aa, ka) != 0 && Distance(aa, ka) < Distance(aa, bb)
+		return Between(ka, aa, bb) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exactly one of k==a, k==b, Between(k,a,b), Between(k,b,a)
+// holds when a != b — the two open arcs and the two endpoints partition
+// the ring.
+func TestArcsPartitionRing(t *testing.T) {
+	f := func(k, a, b uint64) bool {
+		ka, aa, bb := ID(k), ID(a), ID(b)
+		if aa == bb {
+			return true
+		}
+		n := 0
+		if ka == aa {
+			n++
+		}
+		if ka == bb {
+			n++
+		}
+		if Between(ka, aa, bb) {
+			n++
+		}
+		if Between(ka, bb, aa) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(a, b uint64) bool {
+		aa, bb := ID(a), ID(b)
+		d1, d2 := Distance(aa, bb), Distance(bb, aa)
+		if aa == bb {
+			return d1 == 0 && d2 == 0
+		}
+		return d1+d2 == 0 // full circle wraps to 0 in uint64 arithmetic
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPow2(t *testing.T) {
+	k := ID(10)
+	if k.AddPow2(0) != 11 {
+		t.Fatal("AddPow2(0) should add 1")
+	}
+	if k.AddPow2(3) != 18 {
+		t.Fatal("AddPow2(3) should add 8")
+	}
+	// Wraparound.
+	top := ID(^uint64(0))
+	if top.AddPow2(0) != 0 {
+		t.Fatal("AddPow2 should wrap")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddPow2(64) should panic")
+		}
+	}()
+	k.AddPow2(64)
+}
+
+func TestHashStability(t *testing.T) {
+	a := HashString("example.org")
+	b := HashString("example.org")
+	if a != b {
+		t.Fatal("HashString not deterministic")
+	}
+	if HashString("example.org") == HashString("example.net") {
+		t.Fatal("distinct strings collided (astronomically unlikely)")
+	}
+	if Hash2(1, 2) == Hash2(2, 1) {
+		t.Fatal("Hash2 should not be symmetric")
+	}
+	if Hash2(3, 4) != Hash2(3, 4) {
+		t.Fatal("Hash2 not deterministic")
+	}
+}
+
+func TestHashDispersion(t *testing.T) {
+	// Hash values of consecutive inputs should scatter across the ring:
+	// check that the top byte takes many distinct values.
+	seen := map[byte]bool{}
+	for i := 0; i < 256; i++ {
+		seen[byte(uint64(Hash2(uint64(i), 0))>>56)] = true
+	}
+	if len(seen) < 150 {
+		t.Fatalf("top-byte dispersion too low: %d/256", len(seen))
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	k := ID(0xDEADBEEF12345678)
+	if k.String() != "deadbeef12345678" {
+		t.Fatalf("String() = %q", k.String())
+	}
+	if k.Short() != "dead" {
+		t.Fatalf("Short() = %q", k.Short())
+	}
+}

@@ -1,0 +1,314 @@
+// Package metrics implements the paper's three evaluation metrics
+// (Sec. 6): hit ratio ("the fraction of queries successfully served
+// from the P2P system"), lookup latency ("the latency taken to resolve
+// a query and reach the destination that will provide the requested
+// object"), and transfer distance ("the network distance, in latency,
+// from the querying peer to the peer that will provide the requested
+// object") — plus the time-series and distribution views behind Fig. 3,
+// Fig. 4 and Fig. 5.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flowercdn/internal/sim"
+)
+
+// Outcome classifies how a query was served.
+type Outcome int
+
+const (
+	// HitLocalGossip: served by a petal contact found via gossip
+	// summaries, without involving the directory.
+	HitLocalGossip Outcome = iota
+	// HitDirectory: served by a content peer the directory redirected
+	// to.
+	HitDirectory
+	// HitDirectorySummary: served via a freshly promoted directory
+	// peer's old content summaries (the Sec. 5.2.2 recovery path).
+	HitDirectorySummary
+	// Miss: served from the origin web server.
+	Miss
+	// Unresolved: the query could not be completed at all (routing
+	// failure with the client gone, etc.). Counted as a non-hit.
+	Unresolved
+	numOutcomes
+)
+
+// String names an outcome.
+func (o Outcome) String() string {
+	switch o {
+	case HitLocalGossip:
+		return "hit-gossip"
+	case HitDirectory:
+		return "hit-directory"
+	case HitDirectorySummary:
+		return "hit-dir-summary"
+	case Miss:
+		return "miss"
+	case Unresolved:
+		return "unresolved"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// IsHit reports whether the outcome counts as a P2P hit.
+func (o Outcome) IsHit() bool {
+	return o == HitLocalGossip || o == HitDirectory || o == HitDirectorySummary
+}
+
+// Query is one completed query observation.
+type Query struct {
+	// When is the completion time.
+	When int64
+	// Outcome classifies the provider.
+	Outcome Outcome
+	// LookupLatency is the simulated time from issuing the query to
+	// knowing the provider, in ms.
+	LookupLatency int64
+	// TransferDistance is the one-way latency from the querying peer to
+	// the provider (content peer or origin), in ms.
+	TransferDistance int64
+}
+
+// Collector accumulates query observations for one run.
+type Collector struct {
+	window int64
+	counts [numOutcomes]uint64
+
+	lookupSum   int64
+	transferSum int64
+	served      uint64 // queries with a provider (hits + misses)
+
+	lookups   []int64
+	transfers []int64
+
+	// windows[i] covers [i*window, (i+1)*window).
+	windows []windowCounts
+}
+
+type windowCounts struct {
+	hits, total uint64
+}
+
+// NewCollector builds a collector with the given time-series window
+// (Fig. 3 uses 1 simulated hour).
+func NewCollector(window int64) *Collector {
+	if window <= 0 {
+		window = sim.Hour
+	}
+	return &Collector{window: window}
+}
+
+// Record ingests one query observation.
+func (c *Collector) Record(q Query) {
+	if q.Outcome < 0 || q.Outcome >= numOutcomes {
+		q.Outcome = Unresolved
+	}
+	c.counts[q.Outcome]++
+	w := int(q.When / c.window)
+	for len(c.windows) <= w {
+		c.windows = append(c.windows, windowCounts{})
+	}
+	c.windows[w].total++
+	if q.Outcome.IsHit() {
+		c.windows[w].hits++
+	}
+	if q.Outcome != Unresolved {
+		c.served++
+		c.lookupSum += q.LookupLatency
+		c.transferSum += q.TransferDistance
+		c.lookups = append(c.lookups, q.LookupLatency)
+		c.transfers = append(c.transfers, q.TransferDistance)
+	}
+}
+
+// Total returns the number of recorded queries.
+func (c *Collector) Total() uint64 {
+	var t uint64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+// Count returns the number of queries with the given outcome.
+func (c *Collector) Count(o Outcome) uint64 {
+	if o < 0 || o >= numOutcomes {
+		return 0
+	}
+	return c.counts[o]
+}
+
+// Hits returns the total number of P2P hits.
+func (c *Collector) Hits() uint64 {
+	return c.counts[HitLocalGossip] + c.counts[HitDirectory] + c.counts[HitDirectorySummary]
+}
+
+// HitRatio returns hits / total over the whole run.
+func (c *Collector) HitRatio() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Hits()) / float64(t)
+}
+
+// MeanLookupLatency returns the average lookup latency over served
+// queries, in ms.
+func (c *Collector) MeanLookupLatency() float64 {
+	if c.served == 0 {
+		return 0
+	}
+	return float64(c.lookupSum) / float64(c.served)
+}
+
+// MeanTransferDistance returns the average transfer distance over
+// served queries, in ms.
+func (c *Collector) MeanTransferDistance() float64 {
+	if c.served == 0 {
+		return 0
+	}
+	return float64(c.transferSum) / float64(c.served)
+}
+
+// SeriesPoint is one window of the hit-ratio time series.
+type SeriesPoint struct {
+	// Start of the window, ms.
+	Start int64
+	// HitRatio within the window (0 when the window saw no queries).
+	HitRatio float64
+	// Queries in the window.
+	Queries uint64
+}
+
+// HitRatioSeries returns the Fig. 3 time series.
+func (c *Collector) HitRatioSeries() []SeriesPoint {
+	out := make([]SeriesPoint, len(c.windows))
+	for i, w := range c.windows {
+		p := SeriesPoint{Start: int64(i) * c.window, Queries: w.total}
+		if w.total > 0 {
+			p.HitRatio = float64(w.hits) / float64(w.total)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// TailHitRatio returns the hit ratio over the last n windows — the
+// "after 24 simulation hours" numbers Table 2 reports.
+func (c *Collector) TailHitRatio(n int) float64 {
+	if n <= 0 || len(c.windows) == 0 {
+		return c.HitRatio()
+	}
+	start := len(c.windows) - n
+	if start < 0 {
+		start = 0
+	}
+	var hits, total uint64
+	for _, w := range c.windows[start:] {
+		hits += w.hits
+		total += w.total
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Distribution is a histogram over latency values with inclusive upper
+// bucket bounds; the last bucket is unbounded.
+type Distribution struct {
+	Bounds []int64  // e.g. 150, 300, ... ; implicit +inf final bucket
+	Counts []uint64 // len(Bounds)+1
+	Total  uint64
+}
+
+// NewDistribution bins values against bounds (which must be sorted
+// ascending).
+func NewDistribution(bounds []int64, values []int64) Distribution {
+	d := Distribution{
+		Bounds: append([]int64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+	for _, v := range values {
+		idx := sort.Search(len(bounds), func(i int) bool { return v <= bounds[i] })
+		d.Counts[idx]++
+		d.Total++
+	}
+	return d
+}
+
+// Fraction returns the share of values in bucket i.
+func (d Distribution) Fraction(i int) float64 {
+	if d.Total == 0 || i < 0 || i >= len(d.Counts) {
+		return 0
+	}
+	return float64(d.Counts[i]) / float64(d.Total)
+}
+
+// CDFAt returns the fraction of values <= bound, where bound must be
+// one of the bucket bounds (the paper quotes e.g. "66% of queries
+// resolved within 150 ms").
+func (d Distribution) CDFAt(bound int64) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	var cum uint64
+	for i, b := range d.Bounds {
+		cum += d.Counts[i]
+		if b == bound {
+			return float64(cum) / float64(d.Total)
+		}
+		if b > bound {
+			break
+		}
+	}
+	return float64(cum) / float64(d.Total)
+}
+
+// TailFraction returns the share of values strictly above bound.
+func (d Distribution) TailFraction(bound int64) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	return 1 - d.CDFAt(bound)
+}
+
+// String renders the histogram for harness output.
+func (d Distribution) String() string {
+	var b strings.Builder
+	lo := int64(0)
+	for i := range d.Counts {
+		var label string
+		if i < len(d.Bounds) {
+			label = fmt.Sprintf("(%4d,%4d]", lo, d.Bounds[i])
+			lo = d.Bounds[i]
+		} else {
+			label = fmt.Sprintf("(%4d, inf)", lo)
+		}
+		fmt.Fprintf(&b, "%s %6.1f%%  ", label, 100*d.Fraction(i))
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// LookupDistribution bins the recorded lookup latencies (Fig. 4).
+func (c *Collector) LookupDistribution(bounds []int64) Distribution {
+	return NewDistribution(bounds, c.lookups)
+}
+
+// TransferDistribution bins the recorded transfer distances (Fig. 5).
+func (c *Collector) TransferDistribution(bounds []int64) Distribution {
+	return NewDistribution(bounds, c.transfers)
+}
+
+// Fig4Bounds are the lookup-latency buckets used in our Fig. 4
+// rendition (ms).
+var Fig4Bounds = []int64{150, 300, 600, 900, 1200, 1800, 2400}
+
+// Fig5Bounds are the transfer-distance buckets used in our Fig. 5
+// rendition (ms).
+var Fig5Bounds = []int64{50, 100, 150, 200, 300, 400}

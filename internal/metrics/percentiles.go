@@ -1,0 +1,62 @@
+package metrics
+
+import "sort"
+
+// Percentile returns the p-quantile (0 < p <= 1) of the recorded
+// lookup latencies using nearest-rank on a sorted copy. Returns 0 with
+// no observations.
+func (c *Collector) LookupPercentile(p float64) int64 {
+	return percentile(c.lookups, p)
+}
+
+// TransferPercentile is Percentile over transfer distances.
+func (c *Collector) TransferPercentile(p float64) int64 {
+	return percentile(c.transfers, p)
+}
+
+func percentile(values []int64, p float64) int64 {
+	if len(values) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 0.0000001
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := make([]int64, len(values))
+	copy(sorted, values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// LatencySummary bundles the quantiles reported alongside the paper's
+// means.
+type LatencySummary struct {
+	P50, P90, P99 int64
+}
+
+// LookupSummary returns lookup-latency quantiles.
+func (c *Collector) LookupSummary() LatencySummary {
+	return LatencySummary{
+		P50: c.LookupPercentile(0.50),
+		P90: c.LookupPercentile(0.90),
+		P99: c.LookupPercentile(0.99),
+	}
+}
+
+// TransferSummary returns transfer-distance quantiles.
+func (c *Collector) TransferSummary() LatencySummary {
+	return LatencySummary{
+		P50: c.TransferPercentile(0.50),
+		P90: c.TransferPercentile(0.90),
+		P99: c.TransferPercentile(0.99),
+	}
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowercdn/internal/sim"
+)
+
+func collectorWith(lookups []int64) *Collector {
+	c := NewCollector(sim.Hour)
+	for _, v := range lookups {
+		c.Record(Query{Outcome: HitDirectory, LookupLatency: v, TransferDistance: v * 2})
+	}
+	return c
+}
+
+func TestPercentileBasics(t *testing.T) {
+	c := collectorWith([]int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	if got := c.LookupPercentile(0.5); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := c.LookupPercentile(1.0); got != 100 {
+		t.Fatalf("p100 = %d, want 100", got)
+	}
+	if got := c.LookupPercentile(0.1); got != 10 {
+		t.Fatalf("p10 = %d, want 10", got)
+	}
+	// Transfer distances are doubled in the fixture.
+	if got := c.TransferPercentile(0.5); got != 100 {
+		t.Fatalf("transfer p50 = %d, want 100", got)
+	}
+}
+
+func TestPercentileEmptyAndClamped(t *testing.T) {
+	c := NewCollector(sim.Hour)
+	if c.LookupPercentile(0.5) != 0 {
+		t.Fatal("empty collector percentile should be 0")
+	}
+	c2 := collectorWith([]int64{42})
+	if c2.LookupPercentile(-1) != 42 || c2.LookupPercentile(2) != 42 {
+		t.Fatal("out-of-range p not clamped")
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	c := collectorWith([]int64{90, 10, 50, 30, 70})
+	if got := c.LookupPercentile(0.5); got != 50 {
+		t.Fatalf("p50 over unsorted input = %d, want 50", got)
+	}
+}
+
+func TestPercentileMonotoneInP(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		c := collectorWith(vals)
+		prev := int64(-1)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			cur := c.LookupPercentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileWithinObservedRange(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		lo, hi := int64(raw[0]), int64(raw[0])
+		for i, v := range raw {
+			vals[i] = int64(v)
+			if vals[i] < lo {
+				lo = vals[i]
+			}
+			if vals[i] > hi {
+				hi = vals[i]
+			}
+		}
+		c := collectorWith(vals)
+		p := float64(pRaw%100+1) / 100
+		got := c.LookupPercentile(p)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i + 1)
+	}
+	c := collectorWith(vals)
+	ls := c.LookupSummary()
+	if ls.P50 != 50 || ls.P90 != 90 || ls.P99 != 99 {
+		t.Fatalf("lookup summary %+v", ls)
+	}
+	ts := c.TransferSummary()
+	if ts.P50 != 100 {
+		t.Fatalf("transfer summary %+v", ts)
+	}
+}

@@ -1,0 +1,245 @@
+// Package sim provides the discrete-event simulation engine that every
+// other package in this repository runs on. It plays the role PeerSim's
+// event-driven framework plays in the paper: a virtual clock with
+// millisecond resolution, an ordered event queue, and cancellable and
+// periodic timers. The engine models latency only — bandwidth and CPU
+// are deliberately out of scope, matching the paper's simulator.
+//
+// All times are int64 milliseconds of simulated time. The constants
+// Millisecond, Second, Minute and Hour mirror the time package at that
+// resolution.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time unit constants, in simulated milliseconds.
+const (
+	Millisecond int64 = 1
+	Second            = 1000 * Millisecond
+	Minute            = 60 * Second
+	Hour              = 60 * Minute
+)
+
+// Timer is a handle for a scheduled event. It can be cancelled before it
+// fires; cancelling an already-fired or already-cancelled timer is a
+// no-op. The zero value is not a valid timer.
+type Timer struct {
+	when      int64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// Cancel prevents the timer's function from running when its time
+// arrives. It reports whether the cancellation had any effect (i.e. the
+// timer had neither fired nor been cancelled already).
+func (t *Timer) Cancel() bool {
+	if t == nil || t.cancelled || t.fired {
+		return false
+	}
+	t.cancelled = true
+	t.fn = nil // release closure for GC
+	return true
+}
+
+// Fired reports whether the timer's function has already run.
+func (t *Timer) Fired() bool { return t != nil && t.fired }
+
+// Cancelled reports whether Cancel was called before the timer fired.
+func (t *Timer) Cancelled() bool { return t != nil && t.cancelled }
+
+// When returns the simulated time at which the timer is (or was)
+// scheduled to fire.
+func (t *Timer) When() int64 { return t.when }
+
+// eventQueue is a binary heap ordered by (when, seq). The sequence
+// number guarantees FIFO order among events scheduled for the same
+// instant, which keeps runs deterministic.
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Timer)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; an entire simulation runs on one goroutine, which
+// is what makes runs bit-for-bit reproducible.
+type Engine struct {
+	now       int64
+	seq       uint64
+	queue     eventQueue
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time in milliseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently queued, including
+// cancelled ones that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay milliseconds of simulated time. A
+// negative delay is treated as zero (fn runs at the current instant,
+// after all events already queued for it). It returns a cancellable
+// Timer handle.
+func (e *Engine) Schedule(delay int64, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute simulated time t. Times in the past are
+// clamped to the current instant.
+func (e *Engine) At(t int64, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	timer := &Timer{when: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, timer)
+	return timer
+}
+
+// Every schedules fn to run every period milliseconds, with the first
+// execution after firstDelay. The returned PeriodicTimer keeps firing
+// until cancelled. Period must be positive.
+func (e *Engine) Every(firstDelay, period int64, fn func()) *PeriodicTimer {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every called with non-positive period %d", period))
+	}
+	p := &PeriodicTimer{eng: e, period: period, fn: fn}
+	p.arm(firstDelay)
+	return p
+}
+
+// PeriodicTimer re-schedules itself after each firing until Cancel is
+// called.
+type PeriodicTimer struct {
+	eng       *Engine
+	period    int64
+	fn        func()
+	inner     *Timer
+	cancelled bool
+}
+
+func (p *PeriodicTimer) arm(delay int64) {
+	p.inner = p.eng.Schedule(delay, func() {
+		if p.cancelled {
+			return
+		}
+		p.fn()
+		if !p.cancelled {
+			p.arm(p.period)
+		}
+	})
+}
+
+// Cancel stops all future firings.
+func (p *PeriodicTimer) Cancel() {
+	if p.cancelled {
+		return
+	}
+	p.cancelled = true
+	p.inner.Cancel()
+	p.fn = nil
+}
+
+// Cancelled reports whether the periodic timer has been stopped.
+func (p *PeriodicTimer) Cancelled() bool { return p.cancelled }
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		t := heap.Pop(&e.queue).(*Timer)
+		if t.cancelled {
+			continue
+		}
+		e.now = t.when
+		t.fired = true
+		fn := t.fn
+		t.fn = nil
+		e.processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the clock would pass `until` or the queue
+// drains, whichever comes first. Events stamped exactly at `until` are
+// executed. It returns the number of events processed by this call.
+// After Run returns, the clock is at min(until, time of last event) —
+// it is advanced to `until` if the queue drained early, so subsequent
+// Schedule calls behave consistently.
+func (e *Engine) Run(until int64) uint64 {
+	start := e.processed
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.when > until {
+			break
+		}
+		e.Step()
+	}
+	// Advance the clock to the boundary only if we were not stopped
+	// mid-run; a Stop leaves the clock at the last executed event so the
+	// caller can resume exactly where it left off.
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+	e.stopped = false
+	return e.processed - start
+}
+
+// RunAll executes events until the queue is empty. Useful in tests;
+// beware of self-rescheduling periodic timers, which never drain.
+func (e *Engine) RunAll() uint64 {
+	start := e.processed
+	for e.Step() {
+		if e.stopped {
+			break
+		}
+	}
+	e.stopped = false
+	return e.processed - start
+}
+
+// Stop makes the currently executing Run/RunAll return after the
+// current event completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }

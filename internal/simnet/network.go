@@ -1,0 +1,330 @@
+// Package simnet is the message layer every protocol node in this
+// repository communicates through. It binds the discrete-event engine
+// (internal/sim) to the latency model (internal/topology) and provides:
+//
+//   - a registry of nodes with join/fail lifecycle (fail-only churn, as
+//     in the paper's evaluation: peers never leave gracefully unless a
+//     protocol explicitly models it);
+//   - one-way Send with per-link latency;
+//   - Request/response RPCs with timeouts, used for everything that is
+//     conversational (stabilization probes, keepalives, directory
+//     queries, shuffle exchanges);
+//   - message and byte accounting for overhead measurements.
+//
+// Messages to dead nodes are silently dropped, so failure detection is
+// always timeout-driven, like on a real network.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"flowercdn/internal/sim"
+	"flowercdn/internal/topology"
+)
+
+// NodeID names a node for the lifetime of a simulation. IDs are never
+// reused: a peer that re-joins after failing gets a fresh NodeID, which
+// mirrors the paper's model where a returning peer is a new participant.
+type NodeID int32
+
+// None is the zero-ish sentinel for "no node".
+const None NodeID = -1
+
+// Handler is implemented by every protocol node. HandleMessage receives
+// one-way messages; RPC requests arrive through HandleRequest.
+type Handler interface {
+	// HandleMessage processes a one-way message. from is the sender at
+	// the time of sending (it may already be dead on delivery).
+	HandleMessage(from NodeID, msg any)
+	// HandleRequest processes an RPC and returns the response or an
+	// application error. A non-nil error is delivered to the caller as
+	// a failed call (same as a timeout, but immediate on response
+	// arrival); protocols use it for "not my role" style rejections.
+	HandleRequest(from NodeID, req any) (any, error)
+}
+
+// Errors surfaced to Request callers.
+var (
+	// ErrTimeout: no response within the deadline (dead target, dead
+	// requester-side delivery, or dropped en route).
+	ErrTimeout = errors.New("simnet: request timed out")
+	// ErrNoSuchNode: the target NodeID was never registered.
+	ErrNoSuchNode = errors.New("simnet: no such node")
+)
+
+// Sizer lets a message report its approximate wire size in bytes for
+// overhead accounting. Messages that do not implement it are counted
+// with DefaultMessageBytes.
+type Sizer interface {
+	WireBytes() int
+}
+
+// DefaultMessageBytes approximates a small control message (headers +
+// a few identifiers).
+const DefaultMessageBytes = 64
+
+// Stats accumulates traffic counters for a run.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64 // target dead or unregistered at delivery
+	BytesSent         uint64
+	RequestsIssued    uint64
+	RequestsTimedOut  uint64
+}
+
+type nodeState struct {
+	handler Handler
+	place   topology.Placement
+	alive   bool
+	joined  int64
+	died    int64
+}
+
+// Network is the central message switch. Like the engine it is
+// single-goroutine only.
+type Network struct {
+	eng   *sim.Engine
+	topo  *topology.Topology
+	nodes []nodeState
+	alive int
+	stats Stats
+
+	// DefaultRPCTimeout is used when Request is called with timeout <= 0.
+	DefaultRPCTimeout int64
+
+	// lossRate drops each one-way transmission with this probability —
+	// failure injection beyond churn. Zero (the default) is the paper's
+	// reliable-link model.
+	lossRate float64
+	lossRNG  *sim.RNG
+}
+
+// New builds an empty network over the given engine and topology.
+func New(eng *sim.Engine, topo *topology.Topology) *Network {
+	return &Network{
+		eng:               eng,
+		topo:              topo,
+		DefaultRPCTimeout: 4 * sim.Second,
+	}
+}
+
+// Engine exposes the underlying engine (protocol nodes schedule their
+// periodic work through it).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Topology exposes the latency model.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetLossRate enables random message loss: every one-way transmission
+// (sends, RPC requests and RPC responses independently) is dropped with
+// probability p. Used by the failure-injection tests and ablations;
+// p = 0 restores reliable links. Panics on p outside [0, 1) or a nil
+// rng with p > 0.
+func (n *Network) SetLossRate(p float64, rng *sim.RNG) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("simnet: loss rate %g out of [0, 1)", p))
+	}
+	if p > 0 && rng == nil {
+		panic("simnet: loss rate needs an RNG")
+	}
+	n.lossRate = p
+	n.lossRNG = rng
+}
+
+// lost draws one loss decision.
+func (n *Network) lost() bool {
+	return n.lossRate > 0 && n.lossRNG.Bool(n.lossRate)
+}
+
+// Join registers a handler at the given placement and returns its fresh
+// NodeID.
+func (n *Network) Join(h Handler, place topology.Placement) NodeID {
+	if h == nil {
+		panic("simnet: Join with nil handler")
+	}
+	id := NodeID(len(n.nodes))
+	n.nodes = append(n.nodes, nodeState{
+		handler: h,
+		place:   place,
+		alive:   true,
+		joined:  n.eng.Now(),
+		died:    -1,
+	})
+	n.alive++
+	return id
+}
+
+// Fail marks a node dead. In-flight messages to it will be dropped on
+// delivery; it stops receiving forever (re-joining means a new NodeID).
+// Failing an already-dead node is a no-op.
+func (n *Network) Fail(id NodeID) {
+	if !n.valid(id) {
+		return
+	}
+	st := &n.nodes[id]
+	if !st.alive {
+		return
+	}
+	st.alive = false
+	st.died = n.eng.Now()
+	st.handler = nil // release protocol state for GC
+	n.alive--
+}
+
+func (n *Network) valid(id NodeID) bool {
+	return id >= 0 && int(id) < len(n.nodes)
+}
+
+// Alive reports whether id is registered and not failed.
+func (n *Network) Alive(id NodeID) bool {
+	return n.valid(id) && n.nodes[id].alive
+}
+
+// AliveCount returns the number of currently-alive nodes.
+func (n *Network) AliveCount() int { return n.alive }
+
+// TotalJoined returns how many nodes have ever joined.
+func (n *Network) TotalJoined() int { return len(n.nodes) }
+
+// Placement returns where a node sits in the topology. It remains valid
+// after the node fails (used for post-mortem metrics).
+func (n *Network) Placement(id NodeID) topology.Placement {
+	if !n.valid(id) {
+		panic(fmt.Sprintf("simnet: Placement of unknown node %d", id))
+	}
+	return n.nodes[id].place
+}
+
+// Locality returns the physical locality of a node.
+func (n *Network) Locality(id NodeID) topology.Locality {
+	return n.Placement(id).Loc
+}
+
+// Latency returns the one-way latency between two nodes in ms.
+func (n *Network) Latency(a, b NodeID) int64 {
+	return n.topo.Latency(n.Placement(a).Pos, n.Placement(b).Pos)
+}
+
+func messageBytes(msg any) int {
+	if s, ok := msg.(Sizer); ok {
+		return s.WireBytes()
+	}
+	return DefaultMessageBytes
+}
+
+// Send delivers msg to `to` after the one-way link latency. If the
+// target is dead at delivery time the message is dropped. Sending from
+// a dead node is allowed (the datagram was on the wire when it died is
+// the mental model for zero-delay sequences, and it keeps protocol code
+// simpler); sends to unregistered IDs panic, because they indicate a
+// protocol bug rather than churn.
+func (n *Network) Send(from, to NodeID, msg any) {
+	if !n.valid(to) {
+		panic(fmt.Sprintf("simnet: Send to unregistered node %d", to))
+	}
+	n.stats.MessagesSent++
+	n.stats.BytesSent += uint64(messageBytes(msg))
+	if n.lost() {
+		n.stats.MessagesDropped++
+		return
+	}
+	delay := n.Latency(from, to)
+	n.eng.Schedule(delay, func() {
+		st := &n.nodes[to]
+		if !st.alive {
+			n.stats.MessagesDropped++
+			return
+		}
+		n.stats.MessagesDelivered++
+		st.handler.HandleMessage(from, msg)
+	})
+}
+
+// Request performs an RPC: req travels to the target (one-way latency),
+// the target's HandleRequest runs, and the response travels back
+// (one-way latency). cb runs exactly once: with the response, with the
+// handler's application error, or with ErrTimeout if either leg fails
+// or the deadline expires first. A timeout <= 0 selects
+// DefaultRPCTimeout.
+//
+// If the *requester* is dead when the response arrives, cb is not run:
+// dead peers take no actions.
+func (n *Network) Request(from, to NodeID, req any, timeout int64, cb func(resp any, err error)) {
+	if cb == nil {
+		panic("simnet: Request with nil callback")
+	}
+	if !n.valid(to) {
+		panic(fmt.Sprintf("simnet: Request to unregistered node %d", to))
+	}
+	if timeout <= 0 {
+		timeout = n.DefaultRPCTimeout
+	}
+	n.stats.RequestsIssued++
+	n.stats.MessagesSent++
+	n.stats.BytesSent += uint64(messageBytes(req))
+
+	done := false
+	finish := func(resp any, err error) {
+		if done {
+			return
+		}
+		done = true
+		// A dead requester never observes the outcome.
+		if !n.Alive(from) {
+			return
+		}
+		cb(resp, err)
+	}
+
+	// Deadline: fires unless a response beat it.
+	deadline := n.eng.Schedule(timeout, func() {
+		if !done {
+			n.stats.RequestsTimedOut++
+		}
+		finish(nil, ErrTimeout)
+	})
+
+	if n.lost() {
+		// Request leg dropped in transit; the deadline will fire.
+		n.stats.MessagesDropped++
+		return
+	}
+	out := n.Latency(from, to)
+	n.eng.Schedule(out, func() {
+		st := &n.nodes[to]
+		if !st.alive {
+			// Dropped on the floor; the deadline will fire.
+			n.stats.MessagesDropped++
+			return
+		}
+		n.stats.MessagesDelivered++
+		resp, err := st.handler.HandleRequest(from, req)
+		// Response leg.
+		n.stats.MessagesSent++
+		n.stats.BytesSent += uint64(messageBytes(resp))
+		if n.lost() {
+			n.stats.MessagesDropped++
+			return
+		}
+		back := n.Latency(to, from)
+		n.eng.Schedule(back, func() {
+			deadline.Cancel()
+			finish(resp, err)
+		})
+	})
+}
+
+// ForEachAlive visits every alive node id (ascending). The visitor must
+// not join or fail nodes while iterating.
+func (n *Network) ForEachAlive(visit func(id NodeID)) {
+	for i := range n.nodes {
+		if n.nodes[i].alive {
+			visit(NodeID(i))
+		}
+	}
+}

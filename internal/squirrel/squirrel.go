@@ -1,0 +1,508 @@
+// Package squirrel implements the comparison baseline of the paper's
+// evaluation: Squirrel (Iyer, Rowstron, Druschel, PODC 2002), the
+// decentralized P2P web cache, in its *directory* (redirection)
+// variant — the one the paper describes as sharing "some similarities
+// with Flower-CDN wrt. the directory structure".
+//
+// Every participant joins one Chord ring at a uniformly hashed
+// identifier. The *home node* of an object is the ring successor of
+// hash(object). The home keeps a small directory of recent downloaders
+// (delegates) of the object and redirects clients to a RANDOM delegate
+// — no locality awareness, the property the paper's Fig. 5 exposes.
+// The directory lives only at the home node: when the home fails, the
+// directory is "abruptly lost" (Sec. 2), which is what breaks
+// Squirrel's hit ratio under churn in Fig. 3.
+package squirrel
+
+import (
+	"errors"
+	"fmt"
+
+	"flowercdn/internal/chord"
+	"flowercdn/internal/content"
+	"flowercdn/internal/ids"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/workload"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// Chord configures the overlay all peers join.
+	Chord chord.Config
+	// DirectoryCap bounds the number of delegates a home remembers per
+	// object (Squirrel's paper uses ~4).
+	DirectoryCap int
+	// ProviderAttempts bounds how many suggested delegates a client
+	// probes before the origin.
+	ProviderAttempts int
+	// QueryTimeout bounds one routed query attempt; QueryRetries is the
+	// number of attempts.
+	QueryTimeout int64
+	QueryRetries int
+}
+
+// DefaultConfig returns the baseline parameters. ProviderAttempts is 1
+// because Squirrel's home redirects the client to a single randomly
+// chosen delegate; the protocol was designed for a stable corporate
+// LAN and has no delegate-failure recovery — exactly the behaviour the
+// paper's churn evaluation exposes.
+func DefaultConfig() Config {
+	return Config{
+		Chord:            chord.DefaultConfig(),
+		DirectoryCap:     4,
+		ProviderAttempts: 1,
+		QueryTimeout:     10 * sim.Second,
+		QueryRetries:     3,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Chord.Validate(); err != nil {
+		return fmt.Errorf("squirrel: %w", err)
+	}
+	if c.DirectoryCap < 1 {
+		return errors.New("squirrel: directory cap must be at least 1")
+	}
+	if c.ProviderAttempts < 1 {
+		return errors.New("squirrel: need at least one provider attempt")
+	}
+	if c.QueryTimeout <= 0 || c.QueryRetries < 1 {
+		return errors.New("squirrel: query timeout/retries out of range")
+	}
+	return nil
+}
+
+// Deps are the substrate handles (identical shape to flower.Deps so the
+// harness can drive both protocols uniformly).
+type Deps struct {
+	Net      *simnet.Network
+	RNG      *sim.RNG
+	Workload *workload.Workload
+	Origins  *workload.Origins
+	Metrics  *metrics.Collector
+}
+
+// System is one Squirrel deployment.
+type System struct {
+	cfg     Config
+	net     *simnet.Network
+	eng     *sim.Engine
+	rng     *sim.RNG
+	work    *workload.Workload
+	origins *workload.Origins
+	coll    *metrics.Collector
+
+	registry []chord.Entry
+	spawned  uint64
+	querySeq uint64
+}
+
+// NewSystem validates and builds a deployment.
+func NewSystem(cfg Config, d Deps) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Net == nil || d.RNG == nil || d.Workload == nil || d.Origins == nil || d.Metrics == nil {
+		return nil, errors.New("squirrel: missing dependency")
+	}
+	return &System{
+		cfg:     cfg,
+		net:     d.Net,
+		eng:     d.Net.Engine(),
+		rng:     d.RNG,
+		work:    d.Workload,
+		origins: d.Origins,
+		coll:    d.Metrics,
+	}, nil
+}
+
+func (s *System) gateway(exclude simnet.NodeID) chord.Entry {
+	for len(s.registry) > 0 {
+		i := s.rng.Intn(len(s.registry))
+		e := s.registry[i]
+		if s.net.Alive(e.Node) && e.Node != exclude {
+			return e
+		}
+		if !s.net.Alive(e.Node) {
+			s.registry[i] = s.registry[len(s.registry)-1]
+			s.registry = s.registry[:len(s.registry)-1]
+			continue
+		}
+		if len(s.registry) == 1 {
+			return chord.NoEntry
+		}
+	}
+	return chord.NoEntry
+}
+
+// Identity is the persistent part of a participant (see
+// flower.Identity): interest, location and cached content survive
+// offline periods; only the network address and ring position are per
+// session. Squirrel's distributed directory does NOT survive — it
+// lives at whatever node is currently home.
+type Identity struct {
+	Site      content.SiteID
+	Placement topology.Placement
+	Store     *content.Store
+}
+
+// NewIdentity draws a fresh individual at a random placement.
+func (s *System) NewIdentity(site content.SiteID) Identity {
+	return Identity{
+		Site:      site,
+		Placement: s.net.Topology().Place(s.rng),
+		Store:     content.NewStore(),
+	}
+}
+
+// SpawnPeer creates a brand-new participant with the given interest at
+// a random placement and returns it with its kill function.
+func (s *System) SpawnPeer(site content.SiteID) (*Peer, func()) {
+	return s.SpawnIdentity(s.NewIdentity(site))
+}
+
+// SpawnIdentity brings an individual online for one session.
+func (s *System) SpawnIdentity(id Identity) (*Peer, func()) {
+	s.spawned++
+	store := id.Store
+	if store == nil {
+		store = content.NewStore()
+	}
+	p := &Peer{
+		sys:   s,
+		site:  id.Site,
+		store: store,
+		rng:   s.rng.Split(fmt.Sprintf("squirrel-%d", s.spawned)),
+		dir:   make(map[content.Key][]simnet.NodeID),
+	}
+	p.nid = s.net.Join(p, id.Placement)
+	ringID := ids.HashString(fmt.Sprintf("squirrel-peer-%d", p.nid))
+	node, err := chord.NewNode(s.cfg.Chord, s.net, p.rng.Split("chord"), p, p.nid, ringID)
+	if err != nil {
+		panic(err) // config validated
+	}
+	p.node = node
+	p.enterRing(3)
+	return p, p.kill
+}
+
+func (s *System) nextSeq() uint64 {
+	s.querySeq++
+	return s.querySeq
+}
+
+// AliveMembers counts registered alive ring members (diagnostics).
+func (s *System) AliveMembers() int {
+	n := 0
+	for _, e := range s.registry {
+		if s.net.Alive(e.Node) {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- wire messages ----
+
+// queryMsg routes over Chord to the home node of Key.
+type queryMsg struct {
+	Seq    uint64
+	Key    content.Key
+	Client simnet.NodeID
+}
+
+// homeResp is the home node's redirect, sent directly to the client.
+type homeResp struct {
+	Seq       uint64
+	Providers []simnet.NodeID
+}
+
+// Peer is one Squirrel participant.
+type Peer struct {
+	sys   *System
+	nid   simnet.NodeID
+	rng   *sim.RNG
+	site  content.SiteID
+	store *content.Store
+	node  *chord.Node
+
+	// dir is this node's slice of the distributed directory: object →
+	// recent delegates, newest last, capped at DirectoryCap. It dies
+	// with the node.
+	dir map[content.Key][]simnet.NodeID
+
+	query      *activeQuery
+	queryTimer *sim.Timer
+	joined     bool
+	dead       bool
+}
+
+type activeQuery struct {
+	seq        uint64
+	key        content.Key
+	start      int64
+	attempt    int
+	timeout    *sim.Timer
+	candidates []simnet.NodeID
+}
+
+// NodeID returns the peer's network address.
+func (p *Peer) NodeID() simnet.NodeID { return p.nid }
+
+// Store exposes the local cache.
+func (p *Peer) Store() *content.Store { return p.store }
+
+// Joined reports ring membership.
+func (p *Peer) Joined() bool { return p.joined }
+
+// DirectorySize returns the number of objects this home node indexes.
+func (p *Peer) DirectorySize() int { return len(p.dir) }
+
+// Alive reports liveness.
+func (p *Peer) Alive() bool { return !p.dead }
+
+// enterRing joins the Chord overlay, retrying a few times during
+// bootstrap storms; the first peer creates the ring.
+func (p *Peer) enterRing(attempts int) {
+	if p.dead {
+		return
+	}
+	gw := p.sys.gateway(simnet.None)
+	if !gw.Valid() {
+		p.node.Create()
+		p.onJoined()
+		return
+	}
+	p.node.Join(gw, func(err error) {
+		if p.dead {
+			return
+		}
+		if err != nil {
+			if attempts > 1 {
+				p.sys.eng.Schedule(10*sim.Second, func() { p.enterRing(attempts - 1) })
+			}
+			return
+		}
+		p.onJoined()
+	})
+}
+
+func (p *Peer) onJoined() {
+	p.joined = true
+	p.sys.registry = append(p.sys.registry, p.node.Self())
+	if p.sys.work.Active(p.site) {
+		p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+	}
+}
+
+func (p *Peer) scheduleNextQuery(delay int64) {
+	p.queryTimer = p.sys.eng.Schedule(delay, func() {
+		if p.dead {
+			return
+		}
+		p.issueQuery()
+		p.scheduleNextQuery(p.sys.work.NextQueryDelay(p.rng))
+	})
+}
+
+func (p *Peer) kill() {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	p.node.Stop()
+	if p.queryTimer != nil {
+		p.queryTimer.Cancel()
+	}
+	p.query = nil
+	p.sys.net.Fail(p.nid)
+}
+
+// objectKey hashes an object name onto the ring (home = successor).
+func objectKey(k content.Key) ids.ID {
+	return ids.Hash2(uint64(uint32(k.Site)), uint64(uint32(k.Object)))
+}
+
+// issueQuery starts one query through the distributed directory.
+func (p *Peer) issueQuery() {
+	if p.dead || p.query != nil || !p.joined {
+		return
+	}
+	key, ok := p.sys.work.PickObject(p.rng, p.site, p.store)
+	if !ok {
+		return
+	}
+	q := &activeQuery{seq: p.sys.nextSeq(), key: key, start: p.sys.eng.Now()}
+	p.query = q
+	p.sendQuery(q)
+}
+
+func (p *Peer) sendQuery(q *activeQuery) {
+	if p.dead || p.query != q {
+		return
+	}
+	q.attempt++
+	p.node.Route(objectKey(q.key), queryMsg{Seq: q.seq, Key: q.key, Client: p.nid})
+	q.timeout = p.sys.eng.Schedule(p.sys.cfg.QueryTimeout, func() {
+		if p.dead || p.query != q {
+			return
+		}
+		if q.attempt < p.sys.cfg.QueryRetries {
+			p.sendQuery(q)
+			return
+		}
+		// The overlay failed us entirely: origin.
+		p.resolve(q, metrics.Miss, p.sys.origins.Node(q.key.Site))
+	})
+}
+
+// OnRouted implements chord.App: this node is the home for the queried
+// object.
+func (p *Peer) OnRouted(_ ids.ID, payload any, _ simnet.NodeID, _ int) {
+	m, ok := payload.(queryMsg)
+	if !ok || p.dead {
+		return
+	}
+	delegates := p.dir[m.Key]
+	// Random redirection — Squirrel has no locality information.
+	resp := homeResp{Seq: m.Seq}
+	perm := p.rng.Perm(len(delegates))
+	for _, i := range perm {
+		if len(resp.Providers) >= p.sys.cfg.ProviderAttempts {
+			break
+		}
+		if delegates[i] != m.Client {
+			resp.Providers = append(resp.Providers, delegates[i])
+		}
+	}
+	// Optimistically record the requester as a future delegate: it is
+	// about to fetch the object (from a delegate or the origin).
+	p.addDelegate(m.Key, m.Client)
+	p.sys.net.Send(p.nid, m.Client, resp)
+}
+
+func (p *Peer) addDelegate(k content.Key, nid simnet.NodeID) {
+	ds := p.dir[k]
+	for _, d := range ds {
+		if d == nid {
+			return
+		}
+	}
+	ds = append(ds, nid)
+	if len(ds) > p.sys.cfg.DirectoryCap {
+		ds = ds[len(ds)-p.sys.cfg.DirectoryCap:]
+	}
+	p.dir[k] = ds
+}
+
+// onHomeResp continues the query with the home's redirect.
+func (p *Peer) onHomeResp(m homeResp) {
+	q := p.query
+	if q == nil || q.seq != m.Seq {
+		return
+	}
+	if q.timeout != nil {
+		q.timeout.Cancel()
+	}
+	q.candidates = m.Providers
+	p.probeDelegate(q)
+}
+
+func (p *Peer) probeDelegate(q *activeQuery) {
+	if p.dead || p.query != q {
+		return
+	}
+	if len(q.candidates) == 0 {
+		p.resolve(q, metrics.Miss, p.sys.origins.Node(q.key.Site))
+		return
+	}
+	target := q.candidates[0]
+	q.candidates = q.candidates[1:]
+	timeout := 2*p.sys.net.Latency(p.nid, target) + 300*sim.Millisecond
+	p.sys.net.Request(p.nid, target, workload.FetchReq{Key: q.key}, timeout,
+		func(resp any, err error) {
+			if p.dead || p.query != q {
+				return
+			}
+			if err != nil {
+				p.probeDelegate(q)
+				return
+			}
+			if !resp.(workload.FetchResp).Served {
+				p.probeDelegate(q)
+				return
+			}
+			p.resolve(q, metrics.HitDirectory, target)
+		})
+}
+
+// resolve records metrics and performs the transfer.
+func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider simnet.NodeID) {
+	if p.query != q {
+		return
+	}
+	if q.timeout != nil {
+		q.timeout.Cancel()
+	}
+	p.query = nil
+	now := p.sys.eng.Now()
+	dist := p.sys.net.Latency(p.nid, provider)
+	// Same lookup-latency definition as Flower-CDN: time to reach the
+	// destination that will provide the object (see flower.resolve).
+	lookup := now - q.start
+	if outcome == metrics.Miss {
+		lookup += dist
+	} else if lookup > dist {
+		lookup -= dist
+	}
+	p.sys.coll.Record(metrics.Query{
+		When:             now,
+		Outcome:          outcome,
+		LookupLatency:    lookup,
+		TransferDistance: dist,
+	})
+	if outcome == metrics.Miss {
+		p.sys.net.Request(p.nid, provider, workload.FetchReq{Key: q.key}, 0,
+			func(_ any, err error) {
+				if p.dead || err != nil {
+					return
+				}
+				p.store.Add(q.key)
+			})
+		return
+	}
+	p.store.Add(q.key)
+}
+
+// ---- simnet.Handler ----
+
+// HandleMessage dispatches Chord traffic and protocol messages.
+func (p *Peer) HandleMessage(from simnet.NodeID, msg any) {
+	if p.dead {
+		return
+	}
+	if p.node.HandleMessage(from, msg) {
+		return
+	}
+	if m, ok := msg.(homeResp); ok {
+		p.onHomeResp(m)
+	}
+}
+
+// HandleRequest dispatches Chord RPCs and content fetches.
+func (p *Peer) HandleRequest(from simnet.NodeID, req any) (any, error) {
+	if p.dead {
+		return nil, errors.New("squirrel: dead peer")
+	}
+	if resp, err, ok := p.node.HandleRequest(from, req); ok {
+		return resp, err
+	}
+	if r, ok := req.(workload.FetchReq); ok {
+		return workload.FetchResp{Key: r.Key, Served: p.store.Has(r.Key)}, nil
+	}
+	return nil, fmt.Errorf("squirrel: unhandled request %T", req)
+}

@@ -1,0 +1,219 @@
+package squirrel
+
+import (
+	"testing"
+
+	"flowercdn/internal/content"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/workload"
+)
+
+type fixture struct {
+	t       *testing.T
+	eng     *sim.Engine
+	net     *simnet.Network
+	rng     *sim.RNG
+	work    *workload.Workload
+	origins *workload.Origins
+	coll    *metrics.Collector
+	sys     *System
+	peers   []*Peer
+	kills   []func()
+}
+
+func newFixture(t *testing.T, seed uint64) *fixture {
+	t.Helper()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	topo := topology.MustNew(topology.DefaultConfig(), rng.Split("topo"))
+	net := simnet.New(eng, topo)
+	wcfg := workload.DefaultConfig()
+	wcfg.Sites = 4
+	wcfg.ObjectsPerSite = 50
+	wcfg.ActiveSites = 2
+	wcfg.QueryMeanInterval = 2 * sim.Minute
+	work, err := workload.New(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origins := workload.NewOrigins(work, net, rng.Split("origins"))
+	coll := metrics.NewCollector(sim.Hour)
+	sys, err := NewSystem(DefaultConfig(), Deps{Net: net, RNG: rng.Split("squirrel"), Workload: work, Origins: origins, Metrics: coll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, eng: eng, net: net, rng: rng, work: work, origins: origins, coll: coll, sys: sys}
+}
+
+func (f *fixture) spawn(site content.SiteID) *Peer {
+	p, kill := f.sys.SpawnPeer(site)
+	f.peers = append(f.peers, p)
+	f.kills = append(f.kills, kill)
+	return p
+}
+
+func (f *fixture) run(d int64) { f.eng.Run(f.eng.Now() + d) }
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.DirectoryCap = 0 },
+		func(c *Config) { c.ProviderAttempts = 0 },
+		func(c *Config) { c.QueryTimeout = 0 },
+		func(c *Config) { c.QueryRetries = 0 },
+		func(c *Config) { c.Chord.SuccessorListLen = 0 },
+	}
+	for i, mut := range bads {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewSystem(DefaultConfig(), Deps{}); err == nil {
+		t.Fatal("missing deps accepted")
+	}
+}
+
+func TestPeersFormRing(t *testing.T) {
+	f := newFixture(t, 1)
+	for i := 0; i < 12; i++ {
+		f.spawn(content.SiteID(i % 4))
+		f.run(30 * sim.Second)
+	}
+	f.run(10 * sim.Minute)
+	for i, p := range f.peers {
+		if !p.Joined() {
+			t.Fatalf("peer %d never joined the ring", i)
+		}
+	}
+	if f.sys.AliveMembers() != 12 {
+		t.Fatalf("AliveMembers = %d, want 12", f.sys.AliveMembers())
+	}
+}
+
+func TestFirstQueryMissesThenDelegateHit(t *testing.T) {
+	f := newFixture(t, 2)
+	for i := 0; i < 10; i++ {
+		f.spawn(0) // all on the active site
+		f.run(30 * sim.Second)
+	}
+	f.run(3 * sim.Hour)
+	if f.coll.Count(metrics.Miss) == 0 {
+		t.Fatal("no misses: first fetches must come from the origin")
+	}
+	if f.coll.Count(metrics.HitDirectory) == 0 {
+		t.Fatal("no delegate hits despite popular Zipf objects and shared homes")
+	}
+	// The directory state must actually live on home nodes.
+	totalDir := 0
+	for _, p := range f.peers {
+		totalDir += p.DirectorySize()
+	}
+	if totalDir == 0 {
+		t.Fatal("no home node holds any directory entries")
+	}
+}
+
+func TestHomeFailureLosesDirectory(t *testing.T) {
+	f := newFixture(t, 3)
+	for i := 0; i < 10; i++ {
+		f.spawn(0)
+		f.run(30 * sim.Second)
+	}
+	f.run(2 * sim.Hour)
+	// Kill the peer holding the largest directory slice.
+	var victim *Peer
+	for _, p := range f.peers {
+		if victim == nil || p.DirectorySize() > victim.DirectorySize() {
+			victim = p
+		}
+	}
+	if victim.DirectorySize() == 0 {
+		t.Fatal("setup: no directory accumulated")
+	}
+	victim.kill()
+	if victim.Alive() {
+		t.Fatal("kill did not mark peer dead")
+	}
+	// The directory died with it; the ring heals and new homes start
+	// empty. Fresh peers keep querying and the system keeps operating.
+	before := f.coll.Total()
+	for i := 0; i < 3; i++ {
+		f.spawn(0)
+	}
+	f.run(2 * sim.Hour)
+	if f.coll.Total() == before {
+		t.Fatal("queries stopped after a home failure")
+	}
+}
+
+func TestNonActivePeersDoNotQuery(t *testing.T) {
+	f := newFixture(t, 4)
+	p := f.spawn(3) // inactive site
+	f.run(sim.Hour)
+	if !p.Joined() {
+		t.Fatal("inactive-site peer should still join the ring (churn load)")
+	}
+	if p.Store().Len() != 0 {
+		t.Fatal("inactive-site peer fetched content")
+	}
+}
+
+func TestDelegateCapBounded(t *testing.T) {
+	f := newFixture(t, 5)
+	home := f.spawn(3)
+	f.run(sim.Minute)
+	k := content.Key{Site: 0, Object: 1}
+	for i := 0; i < 20; i++ {
+		home.addDelegate(k, simnet.NodeID(100+i))
+	}
+	if got := len(home.dir[k]); got != f.sys.cfg.DirectoryCap {
+		t.Fatalf("directory holds %d delegates, want cap %d", got, f.sys.cfg.DirectoryCap)
+	}
+	// Most recent delegates are retained.
+	last := home.dir[k][len(home.dir[k])-1]
+	if last != simnet.NodeID(119) {
+		t.Fatalf("newest delegate lost: tail is %d", last)
+	}
+	// Duplicates are not re-added.
+	home.addDelegate(k, simnet.NodeID(119))
+	if len(home.dir[k]) != f.sys.cfg.DirectoryCap {
+		t.Fatal("duplicate delegate changed directory size")
+	}
+}
+
+func TestLookupLatencyReflectsMultiHopRouting(t *testing.T) {
+	f := newFixture(t, 6)
+	const n = 24
+	for i := 0; i < n; i++ {
+		f.spawn(0)
+		f.run(20 * sim.Second)
+	}
+	f.run(4 * sim.Hour)
+	if f.coll.Total() < 50 {
+		t.Fatalf("too few queries recorded: %d", f.coll.Total())
+	}
+	// Multi-hop DHT routing across random localities must produce mean
+	// lookup latencies far above one intra-locality RTT.
+	if mean := f.coll.MeanLookupLatency(); mean < 200 {
+		t.Fatalf("mean lookup latency %.0f ms suspiciously low for DHT routing", mean)
+	}
+}
+
+func TestKillIdempotentAndSilent(t *testing.T) {
+	f := newFixture(t, 7)
+	p := f.spawn(0)
+	f.run(sim.Minute)
+	p.kill()
+	p.kill()
+	f.run(sim.Hour) // no panics from stray timers
+	if p.Alive() {
+		t.Fatal("peer alive after kill")
+	}
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"fmt"
+
+	"flowercdn/internal/content"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/topology"
+)
+
+// Config mirrors the workload rows of the paper's Table 1.
+type Config struct {
+	// Sites is |W|, the number of supported websites (paper: 100).
+	Sites int
+	// ObjectsPerSite is the per-site catalog size (paper: 500).
+	ObjectsPerSite int
+	// ActiveSites restricts query generation: only peers interested in
+	// the first ActiveSites websites submit queries; all others are
+	// involved only in churn and maintenance (paper: 6 active of 100).
+	ActiveSites int
+	// QueryMeanInterval is the mean time between queries at an active
+	// peer (paper: 1 query every 6 minutes).
+	QueryMeanInterval int64
+	// ZipfAlpha is the object-popularity exponent (Breslau et al.
+	// measure 0.64–0.83 for web traces; 0.8 is our default).
+	ZipfAlpha float64
+}
+
+// DefaultConfig returns Table 1's workload parameters.
+func DefaultConfig() Config {
+	return Config{
+		Sites:             100,
+		ObjectsPerSite:    500,
+		ActiveSites:       6,
+		QueryMeanInterval: 6 * sim.Minute,
+		ZipfAlpha:         0.8,
+	}
+}
+
+// Workload owns the catalog, the popularity distribution and interest
+// assignment for one run.
+type Workload struct {
+	cfg     Config
+	catalog *content.Catalog
+	zipf    *Zipf
+}
+
+// New validates cfg and builds the workload.
+func New(cfg Config) (*Workload, error) {
+	if cfg.ActiveSites < 1 || cfg.ActiveSites > cfg.Sites {
+		return nil, fmt.Errorf("workload: active sites %d out of [1, %d]", cfg.ActiveSites, cfg.Sites)
+	}
+	if cfg.QueryMeanInterval <= 0 {
+		return nil, fmt.Errorf("workload: non-positive query interval %d", cfg.QueryMeanInterval)
+	}
+	cat, err := content.NewCatalog(cfg.Sites, cfg.ObjectsPerSite)
+	if err != nil {
+		return nil, err
+	}
+	z, err := NewZipf(cfg.ObjectsPerSite, cfg.ZipfAlpha)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{cfg: cfg, catalog: cat, zipf: z}, nil
+}
+
+// Config returns the configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Catalog returns the content catalog.
+func (w *Workload) Catalog() *content.Catalog { return w.catalog }
+
+// AssignInterest draws the website a new peer is interested in,
+// uniformly over W (paper: "each peer is randomly assigned a website
+// from |W| to which it has interest throughout the experiment").
+func (w *Workload) AssignInterest(rng *sim.RNG) content.SiteID {
+	return content.SiteID(rng.Intn(w.cfg.Sites))
+}
+
+// Active reports whether queries are generated for the given site.
+func (w *Workload) Active(site content.SiteID) bool {
+	return int(site) < w.cfg.ActiveSites
+}
+
+// NextQueryDelay draws the exponential gap to a peer's next query.
+func (w *Workload) NextQueryDelay(rng *sim.RNG) int64 {
+	return rng.ExpDuration(w.cfg.QueryMeanInterval)
+}
+
+// PickObject draws the object for a peer's next query: Zipf-popular
+// objects of its site, skipping anything the peer already caches (the
+// paper's peers "only pose queries for objects unavailable in local
+// storage"). It returns false when the peer caches the entire site
+// catalog and therefore has nothing left to request.
+func (w *Workload) PickObject(rng *sim.RNG, site content.SiteID, store *content.Store) (content.Key, bool) {
+	n := w.cfg.ObjectsPerSite
+	if store.Len() >= n {
+		return content.Key{}, false
+	}
+	// Rejection sampling over the Zipf draw: with up to ~30-peer petals
+	// and 500-object catalogs, stores stay small relative to the
+	// catalog, so a handful of draws almost always suffices. Fall back
+	// to a popularity-ordered scan if the peer is close to complete.
+	for attempt := 0; attempt < 24; attempt++ {
+		k := content.Key{Site: site, Object: content.ObjectID(w.zipf.Rank(rng))}
+		if !store.Has(k) {
+			return k, true
+		}
+	}
+	for rank := 0; rank < n; rank++ {
+		k := content.Key{Site: site, Object: content.ObjectID(rank)}
+		if !store.Has(k) {
+			return k, true
+		}
+	}
+	return content.Key{}, false
+}
+
+// originServer is the trivially-available web server for one site. It
+// answers any request affirmatively; origins never fail and are not
+// P2P participants — they are the infrastructure the P2P CDN relieves.
+type originServer struct {
+	site content.SiteID
+}
+
+// FetchReq asks an origin (or a content peer — protocols reuse it) for
+// an object.
+type FetchReq struct {
+	Key content.Key
+}
+
+// FetchResp acknowledges a fetch. Served reports whether the provider
+// actually had the object; origins always do, content peers may not
+// (stale summary, Bloom false positive).
+type FetchResp struct {
+	Key    content.Key
+	Served bool
+}
+
+// WireBytes sizes a fetch response as a small web object (the simulator
+// models latency only, but byte accounting still distinguishes object
+// transfers from control traffic).
+func (FetchResp) WireBytes() int { return 8 * 1024 }
+
+func (o *originServer) HandleMessage(simnet.NodeID, any) {}
+
+func (o *originServer) HandleRequest(_ simnet.NodeID, req any) (any, error) {
+	switch r := req.(type) {
+	case FetchReq:
+		return FetchResp{Key: r.Key, Served: true}, nil
+	default:
+		return nil, fmt.Errorf("workload: origin got unexpected request %T", req)
+	}
+}
+
+// Origins places one origin server per website at a uniformly random
+// topology point (paper websites are "under-provisioned" external
+// servers with no locality relationship to any petal).
+type Origins struct {
+	nodes []simnet.NodeID
+}
+
+// NewOrigins registers all origin servers on the network.
+func NewOrigins(w *Workload, net *simnet.Network, rng *sim.RNG) *Origins {
+	o := &Origins{nodes: make([]simnet.NodeID, w.cfg.Sites)}
+	for s := 0; s < w.cfg.Sites; s++ {
+		pos := topology.Point{X: rng.Float64(), Y: rng.Float64()}
+		pl := topology.Placement{Pos: pos, Loc: net.Topology().LocalityOf(pos)}
+		o.nodes[s] = net.Join(&originServer{site: content.SiteID(s)}, pl)
+	}
+	return o
+}
+
+// Node returns the origin server for a site.
+func (o *Origins) Node(site content.SiteID) simnet.NodeID {
+	return o.nodes[site]
+}
