@@ -1,13 +1,30 @@
-// Command flowerbench regenerates the paper's evaluation artifacts:
-// Fig. 3 (hit ratio over time), Fig. 4 (lookup latency distribution),
-// Fig. 5 (transfer distance distribution) and Table 2 (scalability
-// sweep), plus the PetalUp flash-crowd extension experiment.
+// Command flowerbench regenerates the paper's evaluation artifacts and
+// runs parallel multi-seed sweeps over configuration grids.
 //
-// By default it runs at a reduced scale that finishes in seconds; pass
-// -full for the paper's Table 1 scale (P up to 5000, 24 simulated
-// hours — several minutes of wall time per run).
+// Sweep mode (-grid) is the primary interface: it expands a named grid
+// of configurations, runs every cell under -seeds seeds across
+// -workers concurrent simulations, and prints per-cell mean ± 95% CI
+// aggregates (with optional CSV output). Aggregates are identical for
+// any worker count; only the wall clock changes.
 //
-// Usage:
+//	flowerbench -grid compare -seeds 5                 # 3 protocols x 5 seeds
+//	flowerbench -grid scalability -seeds 10 -workers 8 # Table 2 with error bars
+//	flowerbench -grid churn -scenario flash-crowd      # churn axis, hot-site workload
+//	flowerbench -grid compare -csv out.csv             # machine-readable aggregates
+//
+// Grids: compare (flower vs petalup vs squirrel), scalability
+// (flower/squirrel x population), churn (mean-uptime axis), gossip
+// (gossip-period axis). Scenarios: table1 (default), flash-crowd,
+// locality-skew.
+//
+// Without -grid it renders the paper's single-run artifacts: Fig. 3
+// (hit ratio over time), Fig. 4 (lookup latency distribution), Fig. 5
+// (transfer distance distribution) and Table 2 (scalability sweep),
+// plus the PetalUp flash-crowd extension experiment.
+//
+// By default everything runs at a reduced scale that finishes in
+// seconds; pass -full for the paper's Table 1 scale (P up to 5000, 24
+// simulated hours — several minutes of wall time per run).
 //
 //	flowerbench                 # all artifacts, quick scale
 //	flowerbench -fig 3          # just Fig. 3
@@ -30,8 +47,14 @@ func main() {
 		table = flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 		extra = flag.String("extra", "", "extension experiment: 'petalup'")
 		full  = flag.Bool("full", false, "paper scale (P up to 5000, 24 h) instead of quick scale")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		pop   = flag.Int("p", 0, "override population P for figures")
+		seed  = flag.Uint64("seed", 1, "simulation seed (sweeps use seeds seed..seed+n-1)")
+		pop   = flag.Int("p", 0, "override population P")
+
+		grid     = flag.String("grid", "", "run a sweep over a named grid: compare, scalability, churn, gossip")
+		scenario = flag.String("scenario", "table1", "workload scenario: table1, flash-crowd, locality-skew")
+		seeds    = flag.Int("seeds", 5, "number of seeds per sweep cell")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		csvPath  = flag.String("csv", "", "also write sweep aggregates as CSV to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -44,6 +67,11 @@ func main() {
 	cfg.Seed = *seed
 	if *pop > 0 {
 		cfg.Population = *pop
+	}
+
+	if *grid != "" {
+		runSweep(cfg, pops, *grid, *scenario, *seed, *seeds, *workers, *csvPath)
+		return
 	}
 
 	all := *fig == 0 && *table == 0 && *extra == ""
@@ -98,6 +126,89 @@ func main() {
 
 	if *extra == "petalup" || all {
 		runPetalUpExtra(cfg)
+	}
+}
+
+// buildGrid expands the named grid preset around the base config.
+func buildGrid(base flowercdn.Config, pops []int, name string) ([]flowercdn.SweepCell, error) {
+	switch name {
+	case "compare":
+		return flowercdn.Grid{
+			Base:      base,
+			Protocols: []flowercdn.Protocol{flowercdn.Flower, flowercdn.PetalUp, flowercdn.Squirrel},
+		}.Cells(), nil
+	case "scalability":
+		return flowercdn.Grid{
+			Base:        base,
+			Protocols:   []flowercdn.Protocol{flowercdn.Flower, flowercdn.Squirrel},
+			Populations: pops,
+		}.Cells(), nil
+	case "churn":
+		return flowercdn.Grid{
+			Base:        base,
+			Protocols:   []flowercdn.Protocol{flowercdn.Flower, flowercdn.Squirrel},
+			MeanUptimes: []int{15, 30, 60, 120},
+		}.Cells(), nil
+	case "gossip":
+		return flowercdn.Grid{
+			Base:          base,
+			Protocols:     []flowercdn.Protocol{flowercdn.Flower},
+			GossipPeriods: []int{15, 30, 60, 120},
+		}.Cells(), nil
+	default:
+		return nil, fmt.Errorf("unknown grid %q (have compare, scalability, churn, gossip)", name)
+	}
+}
+
+// runSweep is the -grid entry point: expand, fan out, aggregate, print.
+func runSweep(base flowercdn.Config, pops []int, gridName, scenarioName string,
+	seedBase uint64, nSeeds, workers int, csvPath string) {
+
+	cfg, err := flowercdn.ApplyScenario(base, flowercdn.Scenario(scenarioName))
+	if err != nil {
+		fatal(err)
+	}
+	cells, err := buildGrid(cfg, pops, gridName)
+	if err != nil {
+		fatal(err)
+	}
+	if nSeeds < 1 {
+		fatal(fmt.Errorf("need at least one seed, got %d", nSeeds))
+	}
+	// Fail on an unwritable CSV path before the sweep, not after
+	// minutes of simulation (O_CREATE without O_TRUNC keeps any
+	// existing content until the real write).
+	if csvPath != "" && csvPath != "-" {
+		f, err := os.OpenFile(csvPath, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	seedSet := flowercdn.SeedSet(seedBase, nSeeds)
+
+	fmt.Printf("sweep %q (scenario %s): %d cells x %d seeds...\n",
+		gridName, scenarioName, len(cells), nSeeds)
+	start := time.Now()
+	res, err := flowercdn.Sweep(cells, seedSet, workers)
+	if err != nil {
+		fatal(err)
+	}
+	// res.Workers is the resolved parallelism (GOMAXPROCS default,
+	// capped at the job count) — the sweep's own number, not a
+	// re-derivation that could drift from it.
+	fmt.Printf("done in %v (%d runs, %d workers)\n\n",
+		time.Since(start).Round(time.Millisecond), res.TotalRuns, res.Workers)
+	fmt.Print(res.Table())
+
+	if csvPath == "-" {
+		fmt.Println()
+		fmt.Print(res.CSV())
+	} else if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(res.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", csvPath)
 	}
 }
 

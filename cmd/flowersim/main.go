@@ -34,6 +34,10 @@ func main() {
 		alpha       = flag.Float64("zipf", 0.8, "Zipf popularity exponent")
 		collab      = flag.Bool("collab", true, "directory collaboration across localities")
 		loadLimit   = flag.Int("load-limit", 30, "PetalUp per-directory load limit")
+		loss        = flag.Float64("loss", 0, "one-way message loss rate (0 = reliable links)")
+		exact       = flag.Bool("exact-summaries", false, "exact key sets instead of Bloom gossip summaries (ablation)")
+		locSkew     = flag.Float64("locality-skew", 0, "Zipf skew of client arrivals over localities (0 = uniform)")
+		intSkew     = flag.Float64("interest-skew", 0, "Zipf skew of peer interest over websites (0 = uniform)")
 		series      = flag.Bool("series", false, "print the hourly hit-ratio series")
 		printParams = flag.Bool("print-params", false, "print the Table 1 parameter sheet and exit")
 	)
@@ -54,7 +58,11 @@ func main() {
 		GossipEveryMinutes: *gossipEvery,
 		PushThreshold:      *push,
 		DirCollaboration:   *collab,
+		ExactSummaries:     *exact,
 		PetalUpLoadLimit:   *loadLimit,
+		MessageLossRate:    *loss,
+		LocalitySkew:       *locSkew,
+		InterestSkew:       *intSkew,
 	}
 
 	if *printParams {

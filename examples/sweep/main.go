@@ -1,0 +1,41 @@
+// Sweep: run a small protocol-comparison grid under several seeds in
+// parallel and print mean ± 95% CI aggregates — the multi-seed version
+// of the paper's single-run Fig. 3/Table 2 numbers. The aggregates are
+// identical for any worker count; only the wall clock changes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowercdn"
+)
+
+func main() {
+	// One cell per protocol, everything else from the quick-scale
+	// Table 1 proportions. Grid axes left nil inherit the base config.
+	base := flowercdn.QuickConfig()
+	base.Population = 200
+	base.Hours = 4
+	grid := flowercdn.Grid{
+		Base:      base,
+		Protocols: []flowercdn.Protocol{flowercdn.Flower, flowercdn.PetalUp, flowercdn.Squirrel},
+	}
+
+	// Five seeds per cell, fanned out over GOMAXPROCS workers (0).
+	res, err := flowercdn.Sweep(grid.Cells(), flowercdn.SeedSet(1, 5), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Table())
+	fmt.Println()
+
+	// Per-cell aggregates carry the full Stat (mean, stddev, CI95,
+	// min/max) and the underlying per-seed results.
+	for _, c := range res.Cells {
+		fmt.Printf("%-10s tail hit ratio %.3f ±%.3f (seeds %d, min %.3f, max %.3f)\n",
+			c.Name, c.TailHitRatio.Mean, c.TailHitRatio.CI95,
+			c.TailHitRatio.N, c.TailHitRatio.Min, c.TailHitRatio.Max)
+	}
+}

@@ -84,6 +84,14 @@ type Config struct {
 	// MessageLossRate injects random one-way message loss on top of
 	// churn (failure injection; 0 = the paper's reliable links).
 	MessageLossRate float64
+	// LocalitySkew biases client arrivals toward low-index localities
+	// (Zipf exponent; 0 = the paper's uniform spread). See the
+	// locality-skew scenario preset.
+	LocalitySkew float64
+	// InterestSkew biases peer interest toward low-index websites (Zipf
+	// exponent; 0 = the paper's uniform assignment), turning site 0
+	// into a hot site. See the flash-crowd scenario preset.
+	InterestSkew float64
 }
 
 // DefaultConfig returns the paper's Table 1 parameters (P = 3000,
@@ -146,6 +154,7 @@ func (c Config) lower() (harness.Config, error) {
 	hc.Workload.ObjectsPerSite = c.ObjectsPerSite
 	hc.Workload.QueryMeanInterval = int64(c.QueryEveryMinutes) * sim.Minute
 	hc.Workload.ZipfAlpha = c.ZipfAlpha
+	hc.Workload.InterestSkew = c.InterestSkew
 	hc.Topology.Localities = c.Localities
 	hc.MeanUptime = int64(c.MeanUptimeMinutes) * sim.Minute
 	hc.Flower.Gossip.Period = int64(c.GossipEveryMinutes) * sim.Minute
@@ -155,6 +164,7 @@ func (c Config) lower() (harness.Config, error) {
 	hc.Flower.ExactSummaries = c.ExactSummaries
 	hc.PetalUpLoadLimit = c.PetalUpLoadLimit
 	hc.MessageLossRate = c.MessageLossRate
+	hc.LocalitySkew = c.LocalitySkew
 	return hc, nil
 }
 

@@ -24,6 +24,7 @@ package chord
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"flowercdn/internal/ids"
 	"flowercdn/internal/sim"
@@ -215,14 +216,15 @@ type pendingLookup struct {
 }
 
 // reqCounter hands out lookup request IDs unique across every resolver
-// in the process (the simulation is single-goroutine), so a peer that
-// owns both a ring Node and a non-member Client can tell their replies
-// apart.
-var reqCounter uint64
+// in the process, so a peer that owns both a ring Node and a non-member
+// Client can tell their replies apart. It is atomic because a process
+// may run many independent simulations concurrently (internal/sweep);
+// ID values only key reply matching, so cross-run interleaving cannot
+// influence any run's behavior.
+var reqCounter atomic.Uint64
 
 func nextReqID() uint64 {
-	reqCounter++
-	return reqCounter
+	return reqCounter.Add(1)
 }
 
 // resolver matches lookupReply messages to pending lookups. Both full

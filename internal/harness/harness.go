@@ -51,6 +51,14 @@ type Config struct {
 	Workload workload.Config
 	// MeanUptime is m (Table 1: 60 min).
 	MeanUptime int64
+	// LocalitySkew biases which locality a joining client lands in: 0
+	// (the paper's setting) distributes arrivals uniformly over the k
+	// localities; larger values Zipf-concentrate them into low-index
+	// localities (exponent = LocalitySkew), modelling a geographically
+	// skewed audience. Seed directories still cover every locality so
+	// the D-ring stays complete. Applies to the locality-aware Flower
+	// protocols; Squirrel has no locality notion.
+	LocalitySkew float64
 	// MessageLossRate injects random one-way message loss on top of
 	// churn (0 = the paper's reliable links).
 	MessageLossRate float64
@@ -124,6 +132,12 @@ func (c Config) Validate() error {
 	}
 	if c.MeanUptime <= 0 {
 		return errors.New("harness: mean uptime must be positive")
+	}
+	if c.LocalitySkew < 0 {
+		return errors.New("harness: locality skew must be non-negative")
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
 	}
 	if err := c.Flower.Validate(); err != nil {
 		return err
@@ -295,6 +309,23 @@ func runFlower(cfg Config, eng *sim.Engine, master *sim.RNG, work *workload.Work
 		cap: int(float64(cfg.Population) * PopulationFactor),
 	}
 
+	// Locality assignment for arriving clients: uniform by default, a
+	// Zipf over locality indexes when LocalitySkew > 0. The uniform path
+	// keeps the exact RNG draw sequence of skew-free runs, so existing
+	// seeds reproduce bit-identically.
+	pickLocality := func() topology.Locality {
+		return topology.Locality(churnRNG.Intn(topo.Localities()))
+	}
+	if cfg.LocalitySkew > 0 {
+		locZipf, err := workload.NewZipf(topo.Localities(), cfg.LocalitySkew)
+		if err != nil {
+			return err
+		}
+		pickLocality = func() topology.Locality {
+			return topology.Locality(locZipf.Rank(churnRNG))
+		}
+	}
+
 	spawn := func() func() {
 		idx, id, ok := pool.take()
 		if !ok {
@@ -302,7 +333,7 @@ func runFlower(cfg Config, eng *sim.Engine, master *sim.RNG, work *workload.Work
 		}
 		if idx < 0 {
 			site := work.AssignInterest(churnRNG)
-			loc := topology.Locality(churnRNG.Intn(topo.Localities()))
+			loc := pickLocality()
 			id = sys.NewIdentity(site, loc)
 			pool.inds = append(pool.inds, id)
 			idx = len(pool.inds) - 1

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stat summarizes one metric over repeated runs: the sample mean and
+// standard deviation plus a 95% confidence half-width for the mean
+// (Student's t), the shape multi-seed sweeps report each cell in.
+type Stat struct {
+	// N is the number of observations.
+	N int
+	// Mean is the sample mean; 0 when N == 0.
+	Mean float64
+	// Stddev is the sample (n-1) standard deviation; 0 when N < 2.
+	Stddev float64
+	// CI95 is the half-width of the two-sided 95% confidence interval
+	// for the mean, so the interval is Mean ± CI95; 0 when N < 2.
+	CI95 float64
+	// Min and Max bound the observations; 0 when N == 0.
+	Min, Max float64
+}
+
+// Summarize computes a Stat over the given observations.
+func Summarize(values []float64) Stat {
+	s := Stat{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = tCritical95(s.N-1) * s.Stddev / math.Sqrt(float64(s.N))
+	return s
+}
+
+// String renders "mean ± ci95" (or just the mean for a single run).
+func (s Stat) String() string {
+	if s.N < 2 {
+		return fmt.Sprintf("%.3f", s.Mean)
+	}
+	return fmt.Sprintf("%.3f ±%.3f", s.Mean, s.CI95)
+}
+
+// tTable95 holds two-sided 95% Student's t critical values for 1–30
+// degrees of freedom (index 0 is df=1).
+var tTable95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical95 returns the two-sided 95% Student's t critical value for
+// the given degrees of freedom, falling back to the normal-approximation
+// 1.96 beyond the table.
+func tCritical95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tTable95) {
+		return tTable95[df-1]
+	}
+	return 1.96
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stddev != 0 || s.CI95 != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{4.2})
+	if s.N != 1 || s.Mean != 4.2 || s.Stddev != 0 || s.CI95 != 0 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+	if s.Min != 4.2 || s.Max != 4.2 {
+		t.Fatalf("single min/max wrong: %+v", s)
+	}
+	if got := s.String(); got != "4.200" {
+		t.Fatalf("single String = %q", got)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// 1..5: mean 3, sample stddev sqrt(2.5), t(4 df) = 2.776.
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bounds wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("mean = %v, want 3", s.Mean)
+	}
+	wantSD := math.Sqrt(2.5)
+	if math.Abs(s.Stddev-wantSD) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, wantSD)
+	}
+	wantCI := 2.776 * wantSD / math.Sqrt(5)
+	if math.Abs(s.CI95-wantCI) > 1e-9 {
+		t.Fatalf("ci95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if got := tCritical95(0); got != 0 {
+		t.Fatalf("df=0: %v", got)
+	}
+	if got := tCritical95(1); got != 12.706 {
+		t.Fatalf("df=1: %v", got)
+	}
+	if got := tCritical95(30); got != 2.042 {
+		t.Fatalf("df=30: %v", got)
+	}
+	if got := tCritical95(1000); got != 1.96 {
+		t.Fatalf("df=1000: %v", got)
+	}
+}

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"flowercdn/internal/metrics"
+)
+
+// Table renders the sweep as an aligned text table, one row per cell,
+// with mean ± 95% CI for each metric.
+func (r *Result) Table() string {
+	var b strings.Builder
+	// Worker count is deliberately absent: the table depends only on
+	// the grid and seeds, never on how the sweep was scheduled.
+	fmt.Fprintf(&b, "Sweep: %d cells x %d seeds (%d runs)\n",
+		len(r.Cells), seedsPerCell(r), r.TotalRuns)
+	fmt.Fprintf(&b, "  %-28s %-10s %-7s %-16s %-16s %-18s %-18s\n",
+		"cell", "protocol", "P", "hit ratio", "tail hit", "lookup (ms)", "transfer (ms)")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %-28s %-10s %-7d %-16s %-16s %-18s %-18s\n",
+			c.Name, c.Protocol, c.Population,
+			c.HitRatio, c.TailHitRatio, msStat(c.MeanLookupMs), msStat(c.MeanTransferMs))
+	}
+	return b.String()
+}
+
+func seedsPerCell(r *Result) int {
+	if len(r.Cells) == 0 {
+		return 0
+	}
+	return len(r.Cells[0].Seeds)
+}
+
+func msStat(s metrics.Stat) string {
+	if s.N < 2 {
+		return fmt.Sprintf("%.0f", s.Mean)
+	}
+	return fmt.Sprintf("%.0f ±%.0f", s.Mean, s.CI95)
+}
+
+// csvHeader is the fixed column set CSV emits.
+var csvHeader = []string{
+	"cell", "protocol", "population", "seeds",
+	"hit_mean", "hit_stddev", "hit_ci95",
+	"tail_hit_mean", "tail_hit_stddev", "tail_hit_ci95",
+	"lookup_ms_mean", "lookup_ms_stddev", "lookup_ms_ci95",
+	"transfer_ms_mean", "transfer_ms_stddev", "transfer_ms_ci95",
+	"queries_mean", "unresolved_mean",
+}
+
+// CSV renders the sweep as RFC-4180-ish comma-separated values with a
+// header row — the machine-readable companion to Table.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(csvHeader, ","))
+	b.WriteByte('\n')
+	for _, c := range r.Cells {
+		fields := []string{
+			csvEscape(c.Name),
+			string(c.Protocol),
+			fmt.Sprintf("%d", c.Population),
+			fmt.Sprintf("%d", len(c.Seeds)),
+		}
+		for _, s := range []metrics.Stat{c.HitRatio, c.TailHitRatio, c.MeanLookupMs, c.MeanTransferMs} {
+			fields = append(fields,
+				fmt.Sprintf("%g", s.Mean),
+				fmt.Sprintf("%g", s.Stddev),
+				fmt.Sprintf("%g", s.CI95))
+		}
+		fields = append(fields,
+			fmt.Sprintf("%g", c.Queries.Mean),
+			fmt.Sprintf("%g", c.Unresolved.Mean))
+		b.WriteString(strings.Join(fields, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// csvEscape quotes a field if it contains a comma, quote or newline.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -25,6 +25,12 @@ type Config struct {
 	// ZipfAlpha is the object-popularity exponent (Breslau et al.
 	// measure 0.64–0.83 for web traces; 0.8 is our default).
 	ZipfAlpha float64
+	// InterestSkew biases which website a peer is assigned interest in:
+	// 0 (the paper's setting) is uniform over |W|; larger values
+	// Zipf-concentrate interest into low-index sites (exponent =
+	// InterestSkew), so site 0 becomes a hot site most of the
+	// population cares about — the flash-crowd situation.
+	InterestSkew float64
 }
 
 // DefaultConfig returns Table 1's workload parameters.
@@ -44,15 +50,39 @@ type Workload struct {
 	cfg     Config
 	catalog *content.Catalog
 	zipf    *Zipf
+	// interest is nil when InterestSkew == 0 (uniform assignment).
+	interest *Zipf
+}
+
+// Validate checks the full workload configuration. It is also what
+// upstream config validation (harness, sweep specs) calls to reject a
+// bad workload before any simulation work starts.
+func (c Config) Validate() error {
+	if c.Sites < 1 {
+		return fmt.Errorf("workload: need at least 1 site, got %d", c.Sites)
+	}
+	if c.ObjectsPerSite < 1 {
+		return fmt.Errorf("workload: need at least 1 object per site, got %d", c.ObjectsPerSite)
+	}
+	if c.ActiveSites < 1 || c.ActiveSites > c.Sites {
+		return fmt.Errorf("workload: active sites %d out of [1, %d]", c.ActiveSites, c.Sites)
+	}
+	if c.QueryMeanInterval <= 0 {
+		return fmt.Errorf("workload: non-positive query interval %d", c.QueryMeanInterval)
+	}
+	if c.ZipfAlpha < 0 {
+		return fmt.Errorf("workload: negative zipf exponent %g", c.ZipfAlpha)
+	}
+	if c.InterestSkew < 0 {
+		return fmt.Errorf("workload: negative interest skew %g", c.InterestSkew)
+	}
+	return nil
 }
 
 // New validates cfg and builds the workload.
 func New(cfg Config) (*Workload, error) {
-	if cfg.ActiveSites < 1 || cfg.ActiveSites > cfg.Sites {
-		return nil, fmt.Errorf("workload: active sites %d out of [1, %d]", cfg.ActiveSites, cfg.Sites)
-	}
-	if cfg.QueryMeanInterval <= 0 {
-		return nil, fmt.Errorf("workload: non-positive query interval %d", cfg.QueryMeanInterval)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cat, err := content.NewCatalog(cfg.Sites, cfg.ObjectsPerSite)
 	if err != nil {
@@ -62,7 +92,13 @@ func New(cfg Config) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Workload{cfg: cfg, catalog: cat, zipf: z}, nil
+	w := &Workload{cfg: cfg, catalog: cat, zipf: z}
+	if cfg.InterestSkew > 0 {
+		if w.interest, err = NewZipf(cfg.Sites, cfg.InterestSkew); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
 }
 
 // Config returns the configuration.
@@ -71,10 +107,15 @@ func (w *Workload) Config() Config { return w.cfg }
 // Catalog returns the content catalog.
 func (w *Workload) Catalog() *content.Catalog { return w.catalog }
 
-// AssignInterest draws the website a new peer is interested in,
-// uniformly over W (paper: "each peer is randomly assigned a website
-// from |W| to which it has interest throughout the experiment").
+// AssignInterest draws the website a new peer is interested in:
+// uniformly over W by default (paper: "each peer is randomly assigned a
+// website from |W| to which it has interest throughout the
+// experiment"), Zipf-weighted toward low-index sites when InterestSkew
+// is set.
 func (w *Workload) AssignInterest(rng *sim.RNG) content.SiteID {
+	if w.interest != nil {
+		return content.SiteID(w.interest.Rank(rng))
+	}
 	return content.SiteID(rng.Intn(w.cfg.Sites))
 }
 

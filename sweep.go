@@ -1,0 +1,211 @@
+package flowercdn
+
+import (
+	"fmt"
+	"strings"
+
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/sweep"
+)
+
+// SweepCell is one grid point of a sweep: a named Config. The Seed
+// field of the config is ignored; the sweep substitutes each seed of
+// the seed set in turn.
+type SweepCell struct {
+	Name   string
+	Config Config
+}
+
+// SweepCellResult aggregates one cell over every seed: the paper's
+// metrics as mean / stddev / 95% CI (Stat), plus the per-seed Results.
+type SweepCellResult struct {
+	Name       string
+	Protocol   Protocol
+	Population int
+	Seeds      []uint64
+
+	HitRatio       metrics.Stat
+	TailHitRatio   metrics.Stat
+	MeanLookupMs   metrics.Stat
+	MeanTransferMs metrics.Stat
+	Queries        metrics.Stat
+	Unresolved     metrics.Stat
+
+	// Runs holds the underlying per-seed results, index-aligned with
+	// Seeds.
+	Runs []*Result
+}
+
+// SweepResult is the outcome of a Sweep. Its aggregates depend only on
+// the grid and seed set — never on the worker count.
+type SweepResult struct {
+	Cells     []SweepCellResult
+	Workers   int
+	TotalRuns int
+
+	inner *sweep.Result
+}
+
+// Table renders the sweep as an aligned text table.
+func (r *SweepResult) Table() string { return r.inner.Table() }
+
+// CSV renders the sweep as comma-separated values with a header row.
+func (r *SweepResult) CSV() string { return r.inner.CSV() }
+
+// Sweep runs every cell under every seed, fanning the independent
+// simulations out over at most workers goroutines (workers <= 0 uses
+// GOMAXPROCS). Identical cells and seeds produce identical results at
+// any worker count.
+func Sweep(cells []SweepCell, seeds []uint64, workers int) (*SweepResult, error) {
+	spec := sweep.Spec{Seeds: seeds, Workers: workers}
+	for _, c := range cells {
+		hc, err := c.Config.lower()
+		if err != nil {
+			return nil, fmt.Errorf("flowercdn: sweep cell %q: %w", c.Name, err)
+		}
+		spec.Cells = append(spec.Cells, sweep.Cell{Name: c.Name, Config: hc})
+	}
+	res, err := sweep.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Workers: res.Workers, TotalRuns: res.TotalRuns, inner: res}
+	for _, c := range res.Cells {
+		cr := SweepCellResult{
+			Name:           c.Name,
+			Protocol:       Protocol(c.Protocol),
+			Population:     c.Population,
+			Seeds:          c.Seeds,
+			HitRatio:       c.HitRatio,
+			TailHitRatio:   c.TailHitRatio,
+			MeanLookupMs:   c.MeanLookupMs,
+			MeanTransferMs: c.MeanTransferMs,
+			Queries:        c.Queries,
+			Unresolved:     c.Unresolved,
+		}
+		for _, r := range c.Runs {
+			cr.Runs = append(cr.Runs, wrap(r))
+		}
+		out.Cells = append(out.Cells, cr)
+	}
+	return out, nil
+}
+
+// SeedSet returns n consecutive seeds starting at base — the usual way
+// to name a sweep's seed set ("seeds 1..10").
+func SeedSet(base uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)
+	}
+	return seeds
+}
+
+// Grid expands a cross-product of configuration axes into sweep cells.
+// Every axis left nil inherits the base config's value, so a Grid with
+// only Protocols set varies just the protocol. Cell names encode only
+// the axes that actually vary ("flower/P=3000/m=30").
+type Grid struct {
+	// Base supplies every parameter the axes don't override.
+	Base Config
+	// Protocols varies the system under test.
+	Protocols []Protocol
+	// Populations varies P.
+	Populations []int
+	// MeanUptimes varies the churn intensity m, in minutes.
+	MeanUptimes []int
+	// GossipPeriods varies the gossip/keepalive period, in minutes.
+	GossipPeriods []int
+}
+
+// Cells expands the grid in deterministic order (protocol-major).
+func (g Grid) Cells() []SweepCell {
+	protos := g.Protocols
+	if len(protos) == 0 {
+		protos = []Protocol{g.Base.Protocol}
+	}
+	pops := g.Populations
+	if len(pops) == 0 {
+		pops = []int{g.Base.Population}
+	}
+	uptimes := g.MeanUptimes
+	if len(uptimes) == 0 {
+		uptimes = []int{g.Base.MeanUptimeMinutes}
+	}
+	gossips := g.GossipPeriods
+	if len(gossips) == 0 {
+		gossips = []int{g.Base.GossipEveryMinutes}
+	}
+	var cells []SweepCell
+	for _, proto := range protos {
+		for _, p := range pops {
+			for _, m := range uptimes {
+				for _, gp := range gossips {
+					cfg := g.Base
+					cfg.Protocol = proto
+					cfg.Population = p
+					cfg.MeanUptimeMinutes = m
+					cfg.GossipEveryMinutes = gp
+					var parts []string
+					parts = append(parts, string(proto))
+					if len(pops) > 1 {
+						parts = append(parts, fmt.Sprintf("P=%d", p))
+					}
+					if len(uptimes) > 1 {
+						parts = append(parts, fmt.Sprintf("m=%d", m))
+					}
+					if len(gossips) > 1 {
+						parts = append(parts, fmt.Sprintf("g=%d", gp))
+					}
+					cells = append(cells, SweepCell{Name: strings.Join(parts, "/"), Config: cfg})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Scenario names a preset workload shape layered on top of a base
+// configuration (so quick- and paper-scale bases both work).
+type Scenario string
+
+const (
+	// ScenarioTable1 is the paper's Table 1 workload, unchanged.
+	ScenarioTable1 Scenario = "table1"
+	// ScenarioFlashCrowd concentrates the whole query mix on a single
+	// hot website queried 3x as often with a sharper popularity curve —
+	// the flash-crowd situation PetalUp-CDN's directory splitting
+	// targets (Sec. 4).
+	ScenarioFlashCrowd Scenario = "flash-crowd"
+	// ScenarioLocalitySkew Zipf-concentrates client arrivals into a few
+	// localities instead of the paper's uniform spread, stressing the
+	// per-locality petal sizing.
+	ScenarioLocalitySkew Scenario = "locality-skew"
+)
+
+// Scenarios lists the presets.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioTable1, ScenarioFlashCrowd, ScenarioLocalitySkew}
+}
+
+// ApplyScenario overlays a scenario preset on cfg.
+func ApplyScenario(cfg Config, s Scenario) (Config, error) {
+	switch s {
+	case ScenarioTable1, "":
+		return cfg, nil
+	case ScenarioFlashCrowd:
+		// One active site everyone piles onto: interest Zipf-concentrates
+		// on site 0 (~60% of peers at skew 2), which is queried 3x as
+		// often with a sharper object-popularity curve.
+		cfg.ActiveSites = 1
+		cfg.InterestSkew = 2.0
+		cfg.QueryEveryMinutes = 2
+		cfg.ZipfAlpha = 1.2
+		return cfg, nil
+	case ScenarioLocalitySkew:
+		cfg.LocalitySkew = 1.2
+		return cfg, nil
+	default:
+		return cfg, fmt.Errorf("flowercdn: unknown scenario %q (have %v)", s, Scenarios())
+	}
+}

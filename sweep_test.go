@@ -1,0 +1,168 @@
+package flowercdn
+
+import (
+	"strings"
+	"testing"
+)
+
+// sweepTiny is a CI-sized cell so grids finish in seconds.
+func sweepTiny() Config {
+	cfg := tiny()
+	cfg.Population = 100
+	cfg.Hours = 2
+	cfg.Sites = 8
+	cfg.ObjectsPerSite = 50
+	return cfg
+}
+
+func TestSeedSet(t *testing.T) {
+	got := SeedSet(5, 3)
+	if len(got) != 3 || got[0] != 5 || got[1] != 6 || got[2] != 7 {
+		t.Fatalf("SeedSet(5, 3) = %v", got)
+	}
+	if got := SeedSet(1, 0); len(got) != 0 {
+		t.Fatalf("SeedSet(1, 0) = %v", got)
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := Grid{
+		Base:        sweepTiny(),
+		Protocols:   []Protocol{Flower, Squirrel},
+		Populations: []int{100, 200, 300},
+	}
+	cells := g.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("expanded %d cells, want 6", len(cells))
+	}
+	// Protocol-major order, names encode only varying axes.
+	if cells[0].Name != "flower/P=100" || cells[5].Name != "squirrel/P=300" {
+		t.Fatalf("names: %q ... %q", cells[0].Name, cells[5].Name)
+	}
+	if cells[4].Config.Protocol != Squirrel || cells[4].Config.Population != 200 {
+		t.Fatalf("cell 4 config: %+v", cells[4].Config)
+	}
+	// Axes left nil inherit the base.
+	if cells[0].Config.MeanUptimeMinutes != g.Base.MeanUptimeMinutes {
+		t.Fatal("nil axis did not inherit base")
+	}
+
+	// A single-valued axis keeps names bare.
+	solo := Grid{Base: sweepTiny()}.Cells()
+	if len(solo) != 1 || solo[0].Name != "flower" {
+		t.Fatalf("solo grid: %+v", solo)
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	g := Grid{Base: sweepTiny(), Protocols: []Protocol{Flower, Squirrel}}
+	seeds := SeedSet(1, 3)
+	res, err := Sweep(g.Cells(), seeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRuns != 6 || len(res.Cells) != 2 {
+		t.Fatalf("runs=%d cells=%d", res.TotalRuns, len(res.Cells))
+	}
+	fl := res.Cells[0]
+	if fl.Protocol != Flower || fl.HitRatio.N != 3 || len(fl.Runs) != 3 {
+		t.Fatalf("flower cell: %+v", fl)
+	}
+	if fl.HitRatio.Mean <= 0 {
+		t.Fatal("flower hit ratio zero")
+	}
+	// Façade Runs are fully wrapped results.
+	if fl.Runs[0].Queries == 0 || len(fl.Runs[0].Series) == 0 {
+		t.Fatal("wrapped run empty")
+	}
+	if !strings.Contains(res.Table(), "flower") || !strings.Contains(res.CSV(), "hit_mean") {
+		t.Fatal("table/CSV render broken")
+	}
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	g := Grid{Base: sweepTiny(), Protocols: []Protocol{Flower, Squirrel}}
+	seeds := SeedSet(1, 3)
+	a, err := Sweep(g.Cells(), seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(g.Cells(), seeds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatalf("CSV differs between worker counts:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	if _, err := Sweep(nil, SeedSet(1, 2), 1); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := Sweep(Grid{Base: sweepTiny()}.Cells(), nil, 1); err == nil {
+		t.Fatal("empty seed set accepted")
+	}
+	bad := sweepTiny()
+	bad.Protocol = "gopherswarm"
+	if _, err := Sweep([]SweepCell{{Name: "x", Config: bad}}, SeedSet(1, 1), 1); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	base := sweepTiny()
+
+	same, err := ApplyScenario(base, ScenarioTable1)
+	if err != nil || same != base {
+		t.Fatalf("table1 changed config: %v %+v", err, same)
+	}
+
+	fc, err := ApplyScenario(base, ScenarioFlashCrowd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.ActiveSites != 1 || fc.QueryEveryMinutes >= base.QueryEveryMinutes {
+		t.Fatalf("flash crowd preset wrong: %+v", fc)
+	}
+
+	ls, err := ApplyScenario(base, ScenarioLocalitySkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.LocalitySkew <= 0 {
+		t.Fatalf("locality skew preset wrong: %+v", ls)
+	}
+
+	if _, err := ApplyScenario(base, "heat-death"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+
+	// Every listed scenario must apply cleanly and produce a runnable
+	// config.
+	for _, s := range Scenarios() {
+		cfg, err := ApplyScenario(base, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if _, err := cfg.lower(); err != nil {
+			t.Fatalf("%s: lower: %v", s, err)
+		}
+	}
+}
+
+func TestScenarioRunsEndToEnd(t *testing.T) {
+	for _, s := range []Scenario{ScenarioFlashCrowd, ScenarioLocalitySkew} {
+		cfg, err := ApplyScenario(sweepTiny(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.Queries == 0 {
+			t.Fatalf("%s: no queries", s)
+		}
+	}
+}
