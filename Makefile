@@ -1,0 +1,50 @@
+# Developer entry points. CI runs the same targets (see
+# .github/workflows/ci.yml), so a green `make check bench-smoke` locally
+# predicts a green pipeline.
+
+# pipefail: the bench targets pipe `go test` into benchjson, and a
+# benchmark failure must fail the target, not vanish behind the
+# pipe's last exit status.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+PR ?= 2
+BENCH_JSON := BENCH_PR$(PR).json
+
+.PHONY: build test race vet fmt check bench bench-smoke clean
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# race runs the suite under the race detector — the sweep fan-out is the
+# only concurrency in the repo, but it is the one that matters.
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+check: fmt vet build test
+
+# bench runs the full benchmark suite and records the trajectory file
+# for this PR (BENCH_PR$(PR).json): every table/figure regeneration
+# bench with its headline custom metrics, plus the engine
+# microbenchmarks. Takes a few minutes.
+bench:
+	go test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | go run ./cmd/benchjson > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+# bench-smoke is the CI-sized slice: one iteration of the cheap
+# benchmarks, just enough to catch rot in the bench harness itself.
+bench-smoke:
+	go test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkPeriodic|BenchmarkEngine|BenchmarkTable1' -benchtime 1x -benchmem ./... | go run ./cmd/benchjson
+
+clean:
+	rm -f BENCH_PR*.json.tmp

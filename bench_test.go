@@ -276,8 +276,37 @@ func BenchmarkAblationMessageLoss(b *testing.B) {
 	}
 }
 
+// BenchmarkBaselineBracket runs the two reference baselines the
+// pluggable runtime added: origin-only (the floor) and chord-global
+// (directory caching without locality). Their headline hit ratios are
+// reported so the trajectory files track the comparison's bracket.
+func BenchmarkBaselineBracket(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		og := benchConfig()
+		og.Protocol = OriginOnly
+		og.Seed = uint64(i + 1)
+		ogRes, err := Run(og)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cg := benchConfig()
+		cg.Protocol = ChordGlobal
+		cg.Seed = uint64(i + 1)
+		cgRes, err := Run(cg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ogRes.TailHitRatio, "origin-hit")
+		b.ReportMetric(cgRes.TailHitRatio, "chord-global-hit")
+		b.ReportMetric(cgRes.MeanTransferMs, "chord-global-transfer-ms")
+	}
+}
+
 // BenchmarkEngineThroughput measures the raw discrete-event engine —
-// the substrate every experiment's cost reduces to.
+// the substrate every experiment's cost reduces to. The engine's
+// allocation work (slab timers, reused periodic timers, pre-sized
+// heap) is measured in detail by internal/sim's benchmarks; this one
+// tracks the end-to-end schedule+run cost (0 allocs/op steady-state).
 func BenchmarkEngineThroughput(b *testing.B) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(1)

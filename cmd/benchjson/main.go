@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so benchmark trajectories can be committed
+// and diffed across PRs (see the Makefile's bench target, which emits
+// BENCH_PR<n>.json).
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_PR2.json
+//
+// Each benchmark line becomes one record keyed by its full name, with
+// every reported metric (ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units like flower-hit) parsed into a metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	// Name is the benchmark's full name including sub-benchmark path
+	// and the -cpu suffix (BenchmarkFoo/case-8).
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in ("" when the
+	// input carries no pkg: header, e.g. single-package runs piped
+	// without verbose headers).
+	Package string `json:"package,omitempty"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value ("ns/op": 205.2, "allocs/op": 0, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the document structure.
+type Output struct {
+	// Env echoes the goos/goarch/cpu headers go test prints.
+	Env map[string]string `json:"env,omitempty"`
+	// Benchmarks holds one record per result line, in input order.
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	out := Output{Env: map[string]string{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			out.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if rec, ok := parseLine(line); ok {
+				rec.Package = pkg
+				out.Benchmarks = append(out.Benchmarks, rec)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   1000   123.4 ns/op   56 B/op   2 allocs/op   0.71 hit
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false // e.g. "BenchmarkFoo   --- FAIL" lines
+	}
+	rec := Record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The rest alternates value unit pairs.
+	rest := fields[2:]
+	for i := 0; i+1 < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			continue
+		}
+		rec.Metrics[rest[i+1]] = v
+	}
+	return rec, len(rec.Metrics) > 0
+}

@@ -7,15 +7,16 @@
 // aggregates (with optional CSV output). Aggregates are identical for
 // any worker count; only the wall clock changes.
 //
-//	flowerbench -grid compare -seeds 5                 # 3 protocols x 5 seeds
+//	flowerbench -grid compare -seeds 5                 # all registered protocols x 5 seeds
 //	flowerbench -grid scalability -seeds 10 -workers 8 # Table 2 with error bars
 //	flowerbench -grid churn -scenario flash-crowd      # churn axis, hot-site workload
 //	flowerbench -grid compare -csv out.csv             # machine-readable aggregates
 //
-// Grids: compare (flower vs petalup vs squirrel), scalability
-// (flower/squirrel x population), churn (mean-uptime axis), gossip
-// (gossip-period axis). Scenarios: table1 (default), flash-crowd,
-// locality-skew.
+// Grids: compare (every protocol registered with the runtime: flower,
+// petalup, squirrel, chord-global — origin-only is reachable via
+// flowersim -protocol origin-only), scalability (flower/squirrel x
+// population), churn (mean-uptime axis), gossip (gossip-period axis).
+// Scenarios: table1 (default), flash-crowd, locality-skew.
 //
 // Without -grid it renders the paper's single-run artifacts: Fig. 3
 // (hit ratio over time), Fig. 4 (lookup latency distribution), Fig. 5
@@ -133,9 +134,13 @@ func main() {
 func buildGrid(base flowercdn.Config, pops []int, name string) ([]flowercdn.SweepCell, error) {
 	switch name {
 	case "compare":
+		// Every registered comparable protocol, automatically: a new
+		// deployment only has to register itself with internal/proto to
+		// appear here. (origin-only is the degenerate floor; run it via
+		// flowersim -protocol origin-only.)
 		return flowercdn.Grid{
 			Base:      base,
-			Protocols: []flowercdn.Protocol{flowercdn.Flower, flowercdn.PetalUp, flowercdn.Squirrel},
+			Protocols: flowercdn.CompareProtocols(),
 		}.Cells(), nil
 	case "scalability":
 		return flowercdn.Grid{

@@ -5,6 +5,8 @@
 //
 //	flowersim -protocol flower -p 3000 -hours 24
 //	flowersim -protocol squirrel -p 500 -hours 6 -seed 7
+//	flowersim -protocol origin-only -p 400   # the floor any CDN must beat
+//	flowersim -protocols                     # list registered protocols
 //	flowersim -print-params
 package main
 
@@ -19,7 +21,8 @@ import (
 
 func main() {
 	var (
-		protocol    = flag.String("protocol", "flower", "flower | petalup | squirrel")
+		protocol    = flag.String("protocol", "flower", fmt.Sprintf("one of %v", flowercdn.Protocols()))
+		listProtos  = flag.Bool("protocols", false, "list registered protocols and exit")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		p           = flag.Int("p", 400, "mean population size P")
 		hours       = flag.Int("hours", 8, "simulated duration in hours")
@@ -42,6 +45,13 @@ func main() {
 		printParams = flag.Bool("print-params", false, "print the Table 1 parameter sheet and exit")
 	)
 	flag.Parse()
+
+	if *listProtos {
+		for _, p := range flowercdn.Protocols() {
+			fmt.Printf("%-14s %s\n", p, flowercdn.ProtocolSummary(p))
+		}
+		return
+	}
 
 	cfg := flowercdn.Config{
 		Protocol:           flowercdn.Protocol(*protocol),

@@ -26,13 +26,16 @@ import (
 
 	"flowercdn/internal/harness"
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/proto"
+	_ "flowercdn/internal/protocols" // register every built-in protocol driver
 	"flowercdn/internal/sim"
 )
 
-// Protocol selects which system a run simulates.
+// Protocol selects which system a run simulates. Any name registered
+// with the protocol runtime is valid; Protocols lists them.
 type Protocol string
 
-// The three deployable systems.
+// The built-in deployable systems.
 const (
 	// Flower is classic Flower-CDN (Sec. 3 of the paper).
 	Flower Protocol = "flower"
@@ -40,7 +43,41 @@ const (
 	PetalUp Protocol = "petalup"
 	// Squirrel is the baseline P2P web cache the paper compares against.
 	Squirrel Protocol = "squirrel"
+	// ChordGlobal is a single global Chord directory with no locality
+	// petals — it isolates how much of Flower-CDN's win comes from
+	// locality awareness versus from directory caching at all.
+	ChordGlobal Protocol = "chord-global"
+	// OriginOnly sends every query to the origin server — the floor any
+	// CDN must beat (hit ratio zero by construction).
+	OriginOnly Protocol = "origin-only"
 )
+
+// Protocols returns every registered protocol, in presentation order.
+func Protocols() []Protocol {
+	return toProtocols(proto.Names())
+}
+
+// CompareProtocols returns the protocols that belong in head-to-head
+// comparison grids (everything registered except degenerate floors
+// like origin-only, which stays reachable by name).
+func CompareProtocols() []Protocol {
+	return toProtocols(proto.CompareNames())
+}
+
+// ProtocolSummary returns the one-line description of a registered
+// protocol ("" for unknown names).
+func ProtocolSummary(p Protocol) string {
+	info, _ := proto.Lookup(string(p))
+	return info.Summary
+}
+
+func toProtocols(names []string) []Protocol {
+	out := make([]Protocol, len(names))
+	for i, n := range names {
+		out[i] = Protocol(n)
+	}
+	return out
+}
 
 // Config is the user-facing experiment configuration. The zero value is
 // not runnable; start from DefaultConfig (the paper's Table 1) and
@@ -131,20 +168,20 @@ func QuickConfig() Config {
 	return cfg
 }
 
-// lower translates the façade config into the internal harness config.
+// lower translates the façade config into the internal harness config:
+// generic experiment knobs map onto harness fields, protocol knobs onto
+// the generic options map each registered driver reads its own keys
+// from (keys a protocol does not understand are ignored, so one option
+// set serves a whole comparison grid).
 func (c Config) lower() (harness.Config, error) {
 	hc := harness.DefaultConfig()
-	switch c.Protocol {
-	case Flower:
+	switch {
+	case c.Protocol == "":
 		hc.Protocol = harness.ProtocolFlower
-	case PetalUp:
-		hc.Protocol = harness.ProtocolPetalUp
-	case Squirrel:
-		hc.Protocol = harness.ProtocolSquirrel
-	case "":
-		hc.Protocol = harness.ProtocolFlower
+	case proto.Registered(string(c.Protocol)):
+		hc.Protocol = harness.Protocol(c.Protocol)
 	default:
-		return hc, fmt.Errorf("flowercdn: unknown protocol %q", c.Protocol)
+		return hc, fmt.Errorf("flowercdn: unknown protocol %q (have %v)", c.Protocol, Protocols())
 	}
 	hc.Seed = c.Seed
 	hc.Population = c.Population
@@ -157,14 +194,16 @@ func (c Config) lower() (harness.Config, error) {
 	hc.Workload.InterestSkew = c.InterestSkew
 	hc.Topology.Localities = c.Localities
 	hc.MeanUptime = int64(c.MeanUptimeMinutes) * sim.Minute
-	hc.Flower.Gossip.Period = int64(c.GossipEveryMinutes) * sim.Minute
-	hc.Flower.KeepaliveInterval = int64(c.GossipEveryMinutes) * sim.Minute
-	hc.Flower.PushThreshold = c.PushThreshold
-	hc.Flower.DirCollaboration = c.DirCollaboration
-	hc.Flower.ExactSummaries = c.ExactSummaries
-	hc.PetalUpLoadLimit = c.PetalUpLoadLimit
 	hc.MessageLossRate = c.MessageLossRate
 	hc.LocalitySkew = c.LocalitySkew
+	hc.Options = proto.Options{
+		"gossip-period":      int64(c.GossipEveryMinutes) * sim.Minute,
+		"keepalive-interval": int64(c.GossipEveryMinutes) * sim.Minute,
+		"push-threshold":     c.PushThreshold,
+		"dir-collaboration":  c.DirCollaboration,
+		"exact-summaries":    c.ExactSummaries,
+		"load-limit":         c.PetalUpLoadLimit,
+	}
 	return hc, nil
 }
 
@@ -235,6 +274,11 @@ func (r *Result) TransferDistribution() metrics.Distribution { return r.inner.Tr
 
 // Summary renders the run's headline numbers.
 func (r *Result) Summary() string { return harness.FormatSummary(r.inner) }
+
+// ProtoStat reads one of the run's generic protocol counters/gauges
+// ("alive_directories", "dir_promotions", "summary_pushes", ... — each
+// driver documents its vocabulary; 0 when absent).
+func (r *Result) ProtoStat(name string) float64 { return r.inner.ProtoStat(name) }
 
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {

@@ -1,0 +1,179 @@
+// Package baseline provides the two reference deployments that bracket
+// Flower-CDN in the evaluation:
+//
+//   - origin-only: no P2P system at all — every query goes straight to
+//     the website's origin server. This is the floor any CDN must beat:
+//     hit ratio zero by construction, transfer distance equal to the
+//     client-origin latency.
+//   - chord-global: a single global Chord directory with no locality
+//     petals — peers index their cached content at a per-website home
+//     node and queries are redirected to random providers. It isolates
+//     how much of Flower-CDN's win comes from locality awareness
+//     versus from having a P2P directory at all.
+//
+// Both register with the protocol runtime (internal/proto) and are
+// driven by the harness exactly like the paper's protocols.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"flowercdn/internal/content"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/proto"
+	"flowercdn/internal/sim"
+	"flowercdn/internal/simnet"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/workload"
+)
+
+func init() {
+	proto.Register(proto.Info{
+		Name:    "origin-only",
+		Summary: "no P2P system: every query fetches from the origin server (the floor)",
+		Compare: false, // degenerate floor; reachable by name, excluded from default grids
+		Order:   4,
+	}, NewOriginOnlyDriver)
+}
+
+// Identity is the persistent participant state both baselines share:
+// interest, placement and cache survive offline periods.
+type Identity struct {
+	Site      content.SiteID
+	Placement topology.Placement
+	Store     *content.Store
+}
+
+// NewOriginOnlyDriver builds the origin-only deployment. It reads no
+// options.
+func NewOriginOnlyDriver(env proto.Env, _ proto.Options) (proto.System, error) {
+	if env.Net == nil || env.RNG == nil || env.Workload == nil || env.Origins == nil || env.Metrics == nil {
+		return nil, errors.New("baseline: missing dependency for origin-only")
+	}
+	return &originDriver{env: env, idRNG: env.RNG.Split("identities")}, nil
+}
+
+type originDriver struct {
+	env     proto.Env
+	idRNG   *sim.RNG
+	spawned uint64
+	alive   int
+}
+
+func (d *originDriver) Start() {}
+func (d *originDriver) Stop()  {}
+
+// SeedCount matches the other deployments' bootstrap population so the
+// ramps are comparable; origin-only seeds are ordinary clients.
+func (d *originDriver) SeedCount() int { return proto.DefaultSeedCount(d.env) }
+
+func (d *originDriver) SpawnSeed(int) (proto.Individual, func()) {
+	ind := d.NewIndividual()
+	return ind, d.Spawn(ind)
+}
+
+func (d *originDriver) NewIndividual() proto.Individual {
+	return Identity{
+		Site:      d.env.Workload.AssignInterest(d.idRNG),
+		Placement: d.env.Topo.Place(d.idRNG),
+		Store:     content.NewStore(),
+	}
+}
+
+func (d *originDriver) Spawn(ind proto.Individual) func() {
+	id := ind.(Identity)
+	d.spawned++
+	d.alive++
+	p := &originPeer{
+		d:     d,
+		site:  id.Site,
+		store: id.Store,
+		rng:   d.env.RNG.Split(fmt.Sprintf("origin-peer-%d", d.spawned)),
+	}
+	p.nid = d.env.Net.Join(p, id.Placement)
+	if d.env.Workload.Active(p.site) {
+		p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+	}
+	return p.kill
+}
+
+func (d *originDriver) Stats() proto.Stats {
+	return proto.Stats{
+		proto.StatPeersSpawned: float64(d.spawned),
+		proto.StatAlivePeers:   float64(d.alive),
+	}
+}
+
+// originPeer is a pure client: it never serves, never joins an
+// overlay, and resolves every query at the origin.
+type originPeer struct {
+	d     *originDriver
+	nid   simnet.NodeID
+	site  content.SiteID
+	store *content.Store
+	rng   *sim.RNG
+	timer *sim.Timer
+	dead  bool
+}
+
+func (p *originPeer) scheduleNextQuery(delay int64) {
+	p.timer = p.d.env.Eng.Schedule(delay, func() {
+		if p.dead {
+			return
+		}
+		p.issueQuery()
+		p.scheduleNextQuery(p.d.env.Workload.NextQueryDelay(p.rng))
+	})
+}
+
+func (p *originPeer) issueQuery() {
+	key, ok := p.d.env.Workload.PickObject(p.rng, p.site, p.store)
+	if !ok {
+		return
+	}
+	env := p.d.env
+	origin := env.Origins.Node(key.Site)
+	now := env.Eng.Now()
+	dist := env.Net.Latency(p.nid, origin)
+	// The provider is known a priori; the lookup "resolves" in the one
+	// leg it takes to reach the origin, and the transfer covers the
+	// same distance back.
+	env.Metrics.Emit(metrics.QueryEvent(now, metrics.Miss, dist, dist))
+	env.Metrics.Emit(metrics.CounterEvent(now, "origin_fetches", 1))
+	env.Net.Request(p.nid, origin, workload.FetchReq{Key: key}, 0,
+		func(_ any, err error) {
+			if p.dead || err != nil {
+				return
+			}
+			p.store.Add(key)
+		})
+}
+
+func (p *originPeer) kill() {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	p.d.alive--
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	p.d.env.Net.Fail(p.nid)
+}
+
+// HandleMessage implements simnet.Handler; origin-only peers receive
+// no protocol traffic.
+func (p *originPeer) HandleMessage(simnet.NodeID, any) {}
+
+// HandleRequest answers direct fetch probes for symmetry with the
+// other deployments (nothing addresses them in this protocol).
+func (p *originPeer) HandleRequest(_ simnet.NodeID, req any) (any, error) {
+	if p.dead {
+		return nil, errors.New("baseline: dead peer")
+	}
+	if r, ok := req.(workload.FetchReq); ok {
+		return workload.FetchResp{Key: r.Key, Served: p.store.Has(r.Key)}, nil
+	}
+	return nil, fmt.Errorf("baseline: unhandled request %T", req)
+}

@@ -1,6 +1,8 @@
 package chord
 
 import (
+	"sort"
+
 	"flowercdn/internal/ids"
 	"flowercdn/internal/simnet"
 )
@@ -192,9 +194,21 @@ func (n *Node) onNotify(from Entry) {
 }
 
 // transferClaims ships reservations for positions in (old, new] to the
-// new predecessor, which now owns that arc.
+// new predecessor, which now owns that arc. Positions are visited in
+// sorted order: every Send consumes a message-loss draw when loss
+// injection is on, so map-iteration order here would otherwise make
+// lossy runs nondeterministic.
 func (n *Node) transferClaims(old, new Entry) {
-	for pos, c := range n.claims {
+	if len(n.claims) == 0 {
+		return
+	}
+	positions := make([]ids.ID, 0, len(n.claims))
+	for pos := range n.claims {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		c := n.claims[pos]
 		if pos == new.ID {
 			// The new predecessor IS the position's holder (the granted
 			// claimant that just integrated). It rejects rival claims by

@@ -546,11 +546,13 @@ func (p *Peer) maybePromoteInstance(pos ids.ID) {
 	if dring.InstanceOf(pos) >= dring.MaxInstances-1 {
 		return
 	}
-	// Pick the most recently seen member: likeliest to be alive.
+	// Pick the most recently seen member: likeliest to be alive. Ties
+	// (same millisecond) break by NodeID so the choice never depends on
+	// map-iteration order.
 	var best simnet.NodeID = simnet.None
 	var bestSeen int64 = -1
 	for nid, m := range d.members {
-		if m.lastSeen > bestSeen {
+		if m.lastSeen > bestSeen || (m.lastSeen == bestSeen && nid < best) {
 			best, bestSeen = nid, m.lastSeen
 		}
 	}
@@ -608,7 +610,7 @@ func (p *Peer) Leave() {
 		var best simnet.NodeID = simnet.None
 		var bestSeen int64 = -1
 		for nid, m := range p.dir.members {
-			if m.lastSeen > bestSeen {
+			if m.lastSeen > bestSeen || (m.lastSeen == bestSeen && nid < best) {
 				best, bestSeen = nid, m.lastSeen
 			}
 		}

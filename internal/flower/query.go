@@ -492,12 +492,7 @@ func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider simnet.
 	} else if lookup > dist {
 		lookup -= dist
 	}
-	p.sys.coll.Record(metrics.Query{
-		When:             now,
-		Outcome:          outcome,
-		LookupLatency:    lookup,
-		TransferDistance: dist,
-	})
+	p.sys.coll.Emit(metrics.QueryEvent(now, outcome, lookup, dist))
 	if outcome == metrics.Miss {
 		// The object still has to travel from the origin.
 		p.net().Request(p.nid, provider, workload.FetchReq{Key: q.key}, 0,

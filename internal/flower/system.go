@@ -46,7 +46,7 @@ type System struct {
 	rng     *sim.RNG
 	work    *workload.Workload
 	origins *workload.Origins
-	coll    *metrics.Collector
+	coll    metrics.Emitter
 
 	// registry holds entries believed to be alive D-ring members; dead
 	// ones are pruned lazily as they are handed out.
@@ -63,13 +63,15 @@ type System struct {
 	querySeq       uint64
 }
 
-// Deps are the substrate handles a System runs on.
+// Deps are the substrate handles a System runs on. Metrics is any
+// event emitter — the harness passes a full metrics.Pipeline, library
+// callers and tests can pass a bare *metrics.Collector.
 type Deps struct {
 	Net      *simnet.Network
 	RNG      *sim.RNG
 	Workload *workload.Workload
 	Origins  *workload.Origins
-	Metrics  *metrics.Collector
+	Metrics  metrics.Emitter
 }
 
 // NewSystem validates the config and builds an empty deployment.

@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/proto"
 	"flowercdn/internal/sim"
 )
 
@@ -21,8 +23,12 @@ func FormatTable1(cfg Config) string {
 	fmt.Fprintf(&b, "  %-28s %d\n", "Nb of objects/website", cfg.Workload.ObjectsPerSite)
 	fmt.Fprintf(&b, "  %-28s 1 query every %d min\n", "Query rate at a peer", cfg.Workload.QueryMeanInterval/sim.Minute)
 	fmt.Fprintf(&b, "  %-28s %d (of %d)\n", "Active websites", cfg.Workload.ActiveSites, cfg.Workload.Sites)
-	fmt.Fprintf(&b, "  %-28s %.2f\n", "Push threshold", cfg.Flower.PushThreshold)
-	fmt.Fprintf(&b, "  %-28s %d min\n", "Gossip/keepalive period", cfg.Flower.Gossip.Period/sim.Minute)
+	// The fallbacks mirror flower.DefaultConfig's Table 1 values (the
+	// harness no longer imports protocol packages); the façade always
+	// lowers both keys, so the fallbacks only show for direct harness
+	// callers that left Options empty.
+	fmt.Fprintf(&b, "  %-28s %.2f\n", "Push threshold", cfg.Options.Float("push-threshold", 0.5))
+	fmt.Fprintf(&b, "  %-28s %d min\n", "Gossip/keepalive period", cfg.Options.Duration("gossip-period", sim.Hour)/sim.Minute)
 	return b.String()
 }
 
@@ -111,12 +117,24 @@ func FormatSummary(r *Result) string {
 		r.Protocol, r.Population, r.Duration/sim.Hour, r.HitRatio, r.TailHitRatio, r.MeanLookupMs, r.MeanTransferMs)
 	fmt.Fprintf(&b, "  queries %d (hits %d: gossip %d, directory %d, summary %d; misses %d)\n",
 		r.Queries, r.Hits, r.GossipHits, r.DirectoryHits, r.DirSummaryHits, r.Misses)
-	fmt.Fprintf(&b, "  alive peers %d, alive directories %d, events %d, messages %d\n",
-		r.AlivePeers, r.AliveDirs, r.EventsProcessed, r.NetStats.MessagesSent)
-	if r.Protocol != ProtocolSquirrel {
-		fmt.Fprintf(&b, "  replacements %d, vacancy claims %d, promotions %d, demotions %d, dup positions %d\n",
-			r.FlowerStats.DirReplacements, r.FlowerStats.VacancyClaims, r.FlowerStats.DirPromotions,
-			r.FlowerStats.Demotions, r.DuplicateDirs)
+	fmt.Fprintf(&b, "  alive peers %d, events %d, messages %d\n",
+		r.AlivePeers, r.EventsProcessed, r.NetStats.MessagesSent)
+	// Generic protocol stats, sorted for stable output; the well-known
+	// gauges already printed above are skipped.
+	keys := make([]string, 0, len(r.Proto))
+	for k := range r.Proto {
+		if k == proto.StatAlivePeers {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 {
+		fmt.Fprintf(&b, " ")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%g", k, r.Proto[k])
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	return b.String()
 }

@@ -5,6 +5,14 @@
 // reports — Fig. 3 (hit ratio over time), Fig. 4 (lookup latency
 // distribution), Fig. 5 (transfer distance distribution) and Table 2
 // (scalability sweep), plus the Table 1 parameter sheet.
+//
+// The harness knows no concrete protocol: deployments are resolved by
+// name through the internal/proto registry and driven through the
+// proto.System interface, configuration flows down as an opaque
+// proto.Options map, and measurements flow back as a typed event
+// stream aggregated by internal/metrics. Callers must ensure the
+// protocols they name are registered (importing internal/protocols
+// registers every built-in one).
 package harness
 
 import (
@@ -12,17 +20,16 @@ import (
 	"fmt"
 
 	"flowercdn/internal/churn"
-	"flowercdn/internal/content"
-	"flowercdn/internal/flower"
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/proto"
 	"flowercdn/internal/sim"
 	"flowercdn/internal/simnet"
-	"flowercdn/internal/squirrel"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
 
-// Protocol selects the deployment under test.
+// Protocol names the deployment under test; any name registered with
+// internal/proto is valid. The constants cover the built-ins.
 type Protocol string
 
 const (
@@ -30,8 +37,12 @@ const (
 	ProtocolFlower Protocol = "flower"
 	// ProtocolPetalUp is Flower-CDN with directory splitting enabled.
 	ProtocolPetalUp Protocol = "petalup"
-	// ProtocolSquirrel is the baseline.
+	// ProtocolSquirrel is the paper's baseline.
 	ProtocolSquirrel Protocol = "squirrel"
+	// ProtocolChordGlobal is a global Chord directory without locality.
+	ProtocolChordGlobal Protocol = "chord-global"
+	// ProtocolOriginOnly sends every query to the origin (the floor).
+	ProtocolOriginOnly Protocol = "origin-only"
 )
 
 // Config describes one experiment run. DefaultConfig reproduces
@@ -44,7 +55,8 @@ type Config struct {
 	Population int
 	// Duration is the experiment length (Table 1 runs: 24 h).
 	Duration int64
-	// SeedStagger is the gap between initial directory-peer joins.
+	// SeedStagger is the gap between initial bootstrap-participant
+	// joins.
 	SeedStagger int64
 
 	Topology topology.Config
@@ -55,19 +67,17 @@ type Config struct {
 	// (the paper's setting) distributes arrivals uniformly over the k
 	// localities; larger values Zipf-concentrate them into low-index
 	// localities (exponent = LocalitySkew), modelling a geographically
-	// skewed audience. Seed directories still cover every locality so
-	// the D-ring stays complete. Applies to the locality-aware Flower
-	// protocols; Squirrel has no locality notion.
+	// skewed audience. Locality-blind protocols ignore it.
 	LocalitySkew float64
 	// MessageLossRate injects random one-way message loss on top of
 	// churn (0 = the paper's reliable links).
 	MessageLossRate float64
 
-	Flower   flower.Config
-	Squirrel squirrel.Config
-
-	// PetalUpLoadLimit applies when Protocol == ProtocolPetalUp.
-	PetalUpLoadLimit int
+	// Options carries protocol-specific knobs, interpreted by the
+	// registered driver (see each driver's documented keys). Keys a
+	// protocol does not understand are ignored, so one option set can
+	// serve a whole comparison grid.
+	Options proto.Options
 
 	// SeriesWindow is the Fig. 3 bucketing (1 h).
 	SeriesWindow int64
@@ -80,19 +90,16 @@ type Config struct {
 // for P = 3000 and Flower-CDN.
 func DefaultConfig() Config {
 	return Config{
-		Protocol:         ProtocolFlower,
-		Seed:             1,
-		Population:       3000,
-		Duration:         24 * sim.Hour,
-		SeedStagger:      time2sPerSeed,
-		Topology:         topology.DefaultConfig(),
-		Workload:         workload.DefaultConfig(),
-		MeanUptime:       60 * sim.Minute,
-		Flower:           flower.DefaultConfig(),
-		Squirrel:         squirrel.DefaultConfig(),
-		PetalUpLoadLimit: 30,
-		SeriesWindow:     1 * sim.Hour,
-		TailWindows:      3,
+		Protocol:     ProtocolFlower,
+		Seed:         1,
+		Population:   3000,
+		Duration:     24 * sim.Hour,
+		SeedStagger:  time2sPerSeed,
+		Topology:     topology.DefaultConfig(),
+		Workload:     workload.DefaultConfig(),
+		MeanUptime:   60 * sim.Minute,
+		SeriesWindow: 1 * sim.Hour,
+		TailWindows:  3,
 	}
 }
 
@@ -114,12 +121,15 @@ func QuickConfig() Config {
 	return cfg
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Protocol names resolve against
+// the runtime registry, so a protocol package must be imported (see
+// internal/protocols) before its name validates.
 func (c Config) Validate() error {
-	switch c.Protocol {
-	case ProtocolFlower, ProtocolPetalUp, ProtocolSquirrel:
-	default:
-		return fmt.Errorf("harness: unknown protocol %q", c.Protocol)
+	if !proto.Registered(string(c.Protocol)) {
+		return fmt.Errorf("harness: unknown protocol %q (registered: %v)", c.Protocol, proto.Names())
+	}
+	if err := proto.Check(string(c.Protocol), c.Options); err != nil {
+		return fmt.Errorf("harness: %w", err)
 	}
 	if c.Population < 1 {
 		return errors.New("harness: population must be positive")
@@ -136,16 +146,10 @@ func (c Config) Validate() error {
 	if c.LocalitySkew < 0 {
 		return errors.New("harness: locality skew must be non-negative")
 	}
-	if err := c.Workload.Validate(); err != nil {
-		return err
+	if c.MessageLossRate < 0 || c.MessageLossRate >= 1 {
+		return errors.New("harness: message loss rate out of [0, 1)")
 	}
-	if err := c.Flower.Validate(); err != nil {
-		return err
-	}
-	if err := c.Squirrel.Validate(); err != nil {
-		return err
-	}
-	return nil
+	return c.Workload.Validate()
 }
 
 // Result is the outcome of one run.
@@ -175,19 +179,25 @@ type Result struct {
 	Misses     uint64
 	Unresolved uint64
 
-	// Outcome breakdown for the Flower paths.
+	// Outcome breakdown (outcomes a protocol never produces stay 0).
 	GossipHits     uint64
 	DirectoryHits  uint64
 	DirSummaryHits uint64
 
-	// Population diagnostics at the end of the run.
-	AlivePeers      int
-	AliveDirs       int
-	DuplicateDirs   int
-	FlowerStats     flower.Stats
+	// AlivePeers is the population at the end of the run (the
+	// well-known "alive_peers" gauge every deployment reports).
+	AlivePeers int
+	// Proto holds the deployment's generic counters and gauges: its
+	// Stats() snapshot merged over the counter events it streamed
+	// through the metrics pipeline during the run.
+	Proto proto.Stats
+
 	NetStats        simnet.Stats
 	EventsProcessed uint64
 }
+
+// ProtoStat reads one generic protocol stat (0 when absent).
+func (r *Result) ProtoStat(name string) float64 { return r.Proto[name] }
 
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {
@@ -209,44 +219,34 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	origins := workload.NewOrigins(work, net, master.Split("origins"))
+
+	// The metrics pipeline: the deployment streams typed events; the
+	// collector aggregates the paper's three metrics and the generic
+	// per-window series, the counter sink tallies whatever protocol
+	// vocabulary flows by.
 	coll := metrics.NewCollector(cfg.SeriesWindow)
+	counters := metrics.NewCounters()
+	pipe := metrics.NewPipeline(coll, counters)
 
-	churnCfg := churn.Config{TargetPopulation: cfg.Population, MeanUptime: cfg.MeanUptime}
-
-	res := &Result{Protocol: cfg.Protocol, Population: cfg.Population, Duration: cfg.Duration}
-
-	switch cfg.Protocol {
-	case ProtocolFlower, ProtocolPetalUp:
-		fcfg := cfg.Flower
-		if cfg.Protocol == ProtocolPetalUp {
-			fcfg.DirLoadLimit = cfg.PetalUpLoadLimit
-		}
-		sys, err := flower.NewSystem(fcfg, flower.Deps{
-			Net: net, RNG: master.Split("flower"), Workload: work, Origins: origins, Metrics: coll,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := runFlower(cfg, eng, master, work, topo, churnCfg, sys); err != nil {
-			return nil, err
-		}
-		res.AlivePeers = sys.AlivePeerCount()
-		res.AliveDirs = sys.DirectoryCount()
-		res.DuplicateDirs = sys.DuplicatePositions()
-		res.FlowerStats = sys.Stats()
-	case ProtocolSquirrel:
-		sys, err := squirrel.NewSystem(cfg.Squirrel, squirrel.Deps{
-			Net: net, RNG: master.Split("squirrel"), Workload: work, Origins: origins, Metrics: coll,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := runSquirrel(cfg, eng, master, work, churnCfg, sys); err != nil {
-			return nil, err
-		}
-		res.AlivePeers = sys.AliveMembers()
+	env := proto.Env{
+		Eng:          eng,
+		Net:          net,
+		Topo:         topo,
+		RNG:          master.Split(string(cfg.Protocol)),
+		Workload:     work,
+		Origins:      origins,
+		Metrics:      pipe,
+		LocalitySkew: cfg.LocalitySkew,
+	}
+	sys, err := proto.New(string(cfg.Protocol), env, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	if err := drive(cfg, eng, master, sys); err != nil {
+		return nil, err
 	}
 
+	res := &Result{Protocol: cfg.Protocol, Population: cfg.Population, Duration: cfg.Duration}
 	res.HitRatio = coll.HitRatio()
 	res.TailHitRatio = coll.TailHitRatio(cfg.TailWindows)
 	res.MeanLookupMs = coll.MeanLookupLatency()
@@ -263,6 +263,15 @@ func Run(cfg Config) (*Result, error) {
 	res.GossipHits = coll.Count(metrics.HitLocalGossip)
 	res.DirectoryHits = coll.Count(metrics.HitDirectory)
 	res.DirSummaryHits = coll.Count(metrics.HitDirectorySummary)
+
+	// Generic protocol stats: streamed counters first, the deployment's
+	// own snapshot second (gauges measured at the end of the run win).
+	res.Proto = proto.Stats(counters.Snapshot())
+	for k, v := range sys.Stats() {
+		res.Proto[k] = v
+	}
+	res.AlivePeers = int(res.Proto[proto.StatAlivePeers])
+
 	res.NetStats = net.Stats()
 	res.EventsProcessed = eng.Processed()
 	return res, nil
@@ -274,176 +283,92 @@ func Run(cfg Config) (*Result, error) {
 // periods; each session is a fresh network identity.
 const PopulationFactor = 1.3
 
-// flowerPool manages persistent individuals for the Flower runs.
-type flowerPool struct {
+// pool manages the persistent individuals of one run, protocol-
+// agnostically: the concrete individual type belongs to the deployment.
+type pool struct {
 	rng     *sim.RNG
-	inds    []flower.Identity
+	inds    []proto.Individual
 	offline []int // indexes into inds
 	cap     int
 }
 
-func (fp *flowerPool) take() (int, flower.Identity, bool) {
-	if len(fp.offline) > 0 {
-		i := fp.rng.Intn(len(fp.offline))
-		idx := fp.offline[i]
-		fp.offline[i] = fp.offline[len(fp.offline)-1]
-		fp.offline = fp.offline[:len(fp.offline)-1]
-		return idx, fp.inds[idx], true
+// take picks a random offline individual to revive, or reports (with
+// idx -1) that a fresh one should be minted. ok is false when everyone
+// is online already.
+func (p *pool) take() (idx int, ind proto.Individual, ok bool) {
+	if len(p.offline) > 0 {
+		i := p.rng.Intn(len(p.offline))
+		idx := p.offline[i]
+		p.offline[i] = p.offline[len(p.offline)-1]
+		p.offline = p.offline[:len(p.offline)-1]
+		return idx, p.inds[idx], true
 	}
-	if len(fp.inds) >= fp.cap {
-		return 0, flower.Identity{}, false // everyone is online already
+	if len(p.inds) >= p.cap {
+		return 0, nil, false
 	}
-	return -1, flower.Identity{}, true // caller mints a new individual
+	return -1, nil, true
 }
 
-// runFlower seeds the initial D-ring (one directory peer per (website,
-// locality), "which have limited uptimes and form the initial
-// D-ring"), then lets churn cycle the persistent population through
-// online sessions until the run ends.
-func runFlower(cfg Config, eng *sim.Engine, master *sim.RNG, work *workload.Workload,
-	topo *topology.Topology, churnCfg churn.Config, sys *flower.System) error {
+// add registers a newly minted individual and returns its index.
+func (p *pool) add(ind proto.Individual) int {
+	p.inds = append(p.inds, ind)
+	return len(p.inds) - 1
+}
 
+// release returns an individual to the offline set.
+func (p *pool) release(idx int) {
+	p.offline = append(p.offline, idx)
+}
+
+// drive runs the protocol-agnostic experiment choreography: spawn the
+// deployment's bootstrap participants (staggered, each with a limited
+// uptime like any other peer), then let churn cycle the persistent
+// population through online sessions until the horizon.
+func drive(cfg Config, eng *sim.Engine, master *sim.RNG, sys proto.System) error {
 	churnRNG := master.Split("churn")
-	pool := &flowerPool{
+	pl := &pool{
 		rng: churnRNG,
 		cap: int(float64(cfg.Population) * PopulationFactor),
 	}
-
-	// Locality assignment for arriving clients: uniform by default, a
-	// Zipf over locality indexes when LocalitySkew > 0. The uniform path
-	// keeps the exact RNG draw sequence of skew-free runs, so existing
-	// seeds reproduce bit-identically.
-	pickLocality := func() topology.Locality {
-		return topology.Locality(churnRNG.Intn(topo.Localities()))
-	}
-	if cfg.LocalitySkew > 0 {
-		locZipf, err := workload.NewZipf(topo.Localities(), cfg.LocalitySkew)
-		if err != nil {
-			return err
-		}
-		pickLocality = func() topology.Locality {
-			return topology.Locality(locZipf.Rank(churnRNG))
-		}
-	}
-
 	spawn := func() func() {
-		idx, id, ok := pool.take()
+		idx, ind, ok := pl.take()
 		if !ok {
-			return nil
+			return nil // everyone is online already
 		}
 		if idx < 0 {
-			site := work.AssignInterest(churnRNG)
-			loc := pickLocality()
-			id = sys.NewIdentity(site, loc)
-			pool.inds = append(pool.inds, id)
-			idx = len(pool.inds) - 1
+			ind = sys.NewIndividual()
+			idx = pl.add(ind)
 		}
-		_, kill := sys.SpawnIdentity(id)
+		kill := sys.Spawn(ind)
 		i := idx
 		return func() {
 			kill()
-			pool.offline = append(pool.offline, i)
+			pl.release(i)
 		}
 	}
-
+	churnCfg := churn.Config{TargetPopulation: cfg.Population, MeanUptime: cfg.MeanUptime}
 	proc, err := churn.NewProcess(churnCfg, eng, churnRNG, spawn)
 	if err != nil {
 		return err
 	}
 
-	// Seed directories, staggered to let the ring form; each is a
-	// persistent individual with a limited uptime like any other peer.
-	k := topo.Localities()
-	i := 0
-	for s := 0; s < cfg.Workload.Sites; s++ {
-		for l := 0; l < k; l++ {
-			site, loc := content.SiteID(s), topology.Locality(l)
-			at := int64(i) * cfg.SeedStagger
-			i++
-			eng.Schedule(at, func() {
-				id := sys.NewIdentity(site, loc)
-				pool.inds = append(pool.inds, id)
-				idx := len(pool.inds) - 1
-				_, kill := sys.SpawnSeedDirectoryIdentity(id)
-				eng.Schedule(proc.Lifetime(), func() {
-					kill()
-					pool.offline = append(pool.offline, idx)
-				})
-			})
-		}
-	}
-
-	// Client arrivals start once the initial ring is up.
-	eng.Schedule(int64(i)*cfg.SeedStagger, proc.Start)
-	eng.Run(cfg.Duration)
-	return nil
-}
-
-// squirrelPool is the persistent-individual pool for the baseline.
-type squirrelPool struct {
-	rng     *sim.RNG
-	inds    []squirrel.Identity
-	offline []int
-	cap     int
-}
-
-func (sp *squirrelPool) take() (int, squirrel.Identity, bool) {
-	if len(sp.offline) > 0 {
-		i := sp.rng.Intn(len(sp.offline))
-		idx := sp.offline[i]
-		sp.offline[i] = sp.offline[len(sp.offline)-1]
-		sp.offline = sp.offline[:len(sp.offline)-1]
-		return idx, sp.inds[idx], true
-	}
-	if len(sp.inds) >= sp.cap {
-		return 0, squirrel.Identity{}, false
-	}
-	return -1, squirrel.Identity{}, true
-}
-
-// runSquirrel seeds the same number of initial members, then churns
-// the same persistent-population model.
-func runSquirrel(cfg Config, eng *sim.Engine, master *sim.RNG, work *workload.Workload,
-	churnCfg churn.Config, sys *squirrel.System) error {
-
-	churnRNG := master.Split("churn")
-	pool := &squirrelPool{
-		rng: churnRNG,
-		cap: int(float64(cfg.Population) * PopulationFactor),
-	}
-	spawn := func() func() {
-		idx, id, ok := pool.take()
-		if !ok {
-			return nil
-		}
-		if idx < 0 {
-			id = sys.NewIdentity(work.AssignInterest(churnRNG))
-			pool.inds = append(pool.inds, id)
-			idx = len(pool.inds) - 1
-		}
-		_, kill := sys.SpawnIdentity(id)
-		i := idx
-		return func() {
-			kill()
-			pool.offline = append(pool.offline, i)
-		}
-	}
-	proc, err := churn.NewProcess(churnCfg, eng, churnRNG, spawn)
-	if err != nil {
-		return err
-	}
-	seeds := cfg.Workload.Sites * cfg.Topology.Localities
+	sys.Start()
+	seeds := sys.SeedCount()
 	for i := 0; i < seeds; i++ {
-		at := int64(i) * cfg.SeedStagger
-		eng.Schedule(at, func() {
-			kill := spawn()
-			if kill != nil {
-				eng.Schedule(proc.Lifetime(), kill)
-			}
+		i := i
+		eng.Schedule(int64(i)*cfg.SeedStagger, func() {
+			ind, kill := sys.SpawnSeed(i)
+			idx := pl.add(ind)
+			eng.Schedule(proc.Lifetime(), func() {
+				kill()
+				pl.release(idx)
+			})
 		})
 	}
+	// Client arrivals start once the bootstrap population is up.
 	eng.Schedule(int64(seeds)*cfg.SeedStagger, proc.Start)
 	eng.Run(cfg.Duration)
+	sys.Stop()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	_ "flowercdn/internal/protocols" // register the built-in drivers
 	"flowercdn/internal/sim"
 )
 
@@ -27,8 +28,9 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Duration = 0 },
 		func(c *Config) { c.SeriesWindow = 0 },
 		func(c *Config) { c.MeanUptime = 0 },
-		func(c *Config) { c.Flower.PushThreshold = 0 },
-		func(c *Config) { c.Squirrel.DirectoryCap = 0 },
+		func(c *Config) { c.LocalitySkew = -1 },
+		func(c *Config) { c.MessageLossRate = 1 },
+		func(c *Config) { c.Workload.ActiveSites = 0 },
 	}
 	for i, mut := range bads {
 		c := DefaultConfig()
@@ -39,6 +41,41 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("Run accepted zero config")
+	}
+}
+
+// TestBadOptionsFailValidation: driver option checks run at Validate
+// time, so a bad knob fails a sweep before any simulation runs.
+func TestBadOptionsFailValidation(t *testing.T) {
+	cases := []Config{
+		func() Config {
+			c := tinyConfig()
+			c.Protocol = ProtocolPetalUp
+			c.Options = map[string]any{"load-limit": -5}
+			return c
+		}(),
+		func() Config {
+			c := tinyConfig()
+			c.Options = map[string]any{"push-threshold": 2.0}
+			return c
+		}(),
+		func() Config {
+			c := tinyConfig()
+			c.Protocol = ProtocolSquirrel
+			c.Options = map[string]any{"directory-cap": 0}
+			return c
+		}(),
+		func() Config {
+			c := tinyConfig()
+			c.Protocol = ProtocolChordGlobal
+			c.Options = map[string]any{"refresh-interval": int64(-1)}
+			return c
+		}(),
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: bad options passed Validate", i)
+		}
 	}
 }
 
@@ -57,8 +94,8 @@ func TestFlowerRunProducesActivity(t *testing.T) {
 	if res.Hits == 0 {
 		t.Fatal("no hits at all after hours of petal life")
 	}
-	if res.AlivePeers == 0 || res.AliveDirs == 0 {
-		t.Fatalf("population died out: peers=%d dirs=%d", res.AlivePeers, res.AliveDirs)
+	if res.AlivePeers == 0 || res.ProtoStat("alive_directories") == 0 {
+		t.Fatalf("population died out: peers=%d dirs=%g", res.AlivePeers, res.ProtoStat("alive_directories"))
 	}
 	if len(res.Series) == 0 {
 		t.Fatal("no hit-ratio series")
@@ -89,7 +126,7 @@ func TestSquirrelRunProducesActivity(t *testing.T) {
 func TestPetalUpRunWorks(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Protocol = ProtocolPetalUp
-	cfg.PetalUpLoadLimit = 5
+	cfg.Options = map[string]any{"load-limit": 5}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

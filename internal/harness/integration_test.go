@@ -17,8 +17,8 @@ func TestFlowerInvariantsAfterRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	// One directory per position: the audit protocol's invariant.
-	if res.DuplicateDirs != 0 {
-		t.Fatalf("%d duplicate directory positions after the run", res.DuplicateDirs)
+	if dup := res.ProtoStat("duplicate_positions"); dup != 0 {
+		t.Fatalf("%g duplicate directory positions after the run", dup)
 	}
 	// The population stabilized near the target.
 	if math.Abs(float64(res.AlivePeers-cfg.Population)) > 0.4*float64(cfg.Population) {
@@ -106,6 +106,70 @@ func TestSquirrelInvariantsAfterRun(t *testing.T) {
 	}
 }
 
+// TestPetalUpChurnWithLoss drives PetalUp-CDN through churn plus lossy
+// links: directory splitting must keep functioning when promotion and
+// keepalive traffic can vanish (only flower/squirrel had end-to-end
+// loss coverage before).
+func TestPetalUpChurnWithLoss(t *testing.T) {
+	base := tinyConfig()
+	base.Protocol = ProtocolPetalUp
+	base.Options = map[string]any{"load-limit": 5}
+	base.Duration = 4 * sim.Hour
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := base
+	lossy.MessageLossRate = 0.05
+	lossyRes, err := Run(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossyRes.Queries == 0 || lossyRes.Hits == 0 {
+		t.Fatal("PetalUp stopped functioning under 5% message loss")
+	}
+	if lossyRes.NetStats.MessagesDropped == 0 {
+		t.Fatal("loss injection did not drop anything")
+	}
+	// Splitting still happens under loss, and the hit ratio degrades
+	// rather than collapses.
+	if lossyRes.TailHitRatio < clean.TailHitRatio/3 {
+		t.Fatalf("PetalUp hit ratio collapsed under loss: %.3f vs clean %.3f",
+			lossyRes.TailHitRatio, clean.TailHitRatio)
+	}
+	if clean.ProtoStat("dir_promotions") == 0 {
+		t.Fatal("load limit 5 never split a directory")
+	}
+}
+
+// TestLossyRunsAreDeterministic is the regression test for the claim-
+// transfer ordering bug: with loss injection on, every Send consumes a
+// loss draw, so any map-iteration-order dependence in message emission
+// makes runs diverge. Two identical lossy runs must match exactly.
+func TestLossyRunsAreDeterministic(t *testing.T) {
+	for _, p := range []Protocol{ProtocolFlower, ProtocolPetalUp, ProtocolSquirrel, ProtocolChordGlobal} {
+		cfg := tinyConfig()
+		cfg.Protocol = p
+		if p == ProtocolPetalUp {
+			cfg.Options = map[string]any{"load-limit": 5}
+		}
+		cfg.Duration = 3 * sim.Hour
+		cfg.MessageLossRate = 0.05
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Queries != b.Queries || a.Hits != b.Hits || a.EventsProcessed != b.EventsProcessed {
+			t.Fatalf("%s: lossy runs diverged: %d/%d/%d vs %d/%d/%d", p,
+				a.Queries, a.Hits, a.EventsProcessed, b.Queries, b.Hits, b.EventsProcessed)
+		}
+	}
+}
+
 // TestPetalUpKeepsHitRatio: splitting directories must not cost
 // significant hit ratio relative to classic Flower.
 func TestPetalUpKeepsHitRatio(t *testing.T) {
@@ -117,7 +181,7 @@ func TestPetalUpKeepsHitRatio(t *testing.T) {
 	}
 	up := base
 	up.Protocol = ProtocolPetalUp
-	up.PetalUpLoadLimit = 4
+	up.Options = map[string]any{"load-limit": 4}
 	upRes, err := Run(up)
 	if err != nil {
 		t.Fatal(err)

@@ -74,9 +74,11 @@ type Query struct {
 	TransferDistance int64
 }
 
-// Collector accumulates query observations for one run.
+// Collector accumulates query observations for one run. It is a Sink
+// (and an Emitter, for callers that use it standalone) over the typed
+// event stream; its per-window series delegates to the generic
+// Windowed aggregator.
 type Collector struct {
-	window int64
 	counts [numOutcomes]uint64
 
 	lookupSum   int64
@@ -86,12 +88,7 @@ type Collector struct {
 	lookups   []int64
 	transfers []int64
 
-	// windows[i] covers [i*window, (i+1)*window).
-	windows []windowCounts
-}
-
-type windowCounts struct {
-	hits, total uint64
+	win *Windowed
 }
 
 // NewCollector builds a collector with the given time-series window
@@ -100,31 +97,40 @@ func NewCollector(window int64) *Collector {
 	if window <= 0 {
 		window = sim.Hour
 	}
-	return &Collector{window: window}
+	return &Collector{win: NewWindowed(window)}
 }
 
 // Record ingests one query observation.
 func (c *Collector) Record(q Query) {
-	if q.Outcome < 0 || q.Outcome >= numOutcomes {
-		q.Outcome = Unresolved
+	c.Observe(QueryEvent(q.When, q.Outcome, q.LookupLatency, q.TransferDistance))
+}
+
+// Observe implements Sink: query events feed the run-level aggregates
+// and the windowed series; other kinds pass through untouched.
+func (c *Collector) Observe(ev Event) {
+	if ev.Kind != KindQuery {
+		return
 	}
-	c.counts[q.Outcome]++
-	w := int(q.When / c.window)
-	for len(c.windows) <= w {
-		c.windows = append(c.windows, windowCounts{})
+	if ev.Outcome < 0 || ev.Outcome >= numOutcomes {
+		ev.Outcome = Unresolved
 	}
-	c.windows[w].total++
-	if q.Outcome.IsHit() {
-		c.windows[w].hits++
-	}
-	if q.Outcome != Unresolved {
+	c.counts[ev.Outcome]++
+	c.win.Observe(ev)
+	if ev.Outcome != Unresolved {
 		c.served++
-		c.lookupSum += q.LookupLatency
-		c.transferSum += q.TransferDistance
-		c.lookups = append(c.lookups, q.LookupLatency)
-		c.transfers = append(c.transfers, q.TransferDistance)
+		c.lookupSum += ev.LookupLatency
+		c.transferSum += ev.TransferDistance
+		c.lookups = append(c.lookups, ev.LookupLatency)
+		c.transfers = append(c.transfers, ev.TransferDistance)
 	}
 }
+
+// Emit implements Emitter, so a bare Collector can stand in for a full
+// Pipeline when a test or a library caller needs no other sinks.
+func (c *Collector) Emit(ev Event) { c.Observe(ev) }
+
+// Windows exposes the generic per-window aggregates.
+func (c *Collector) Windows() *Windowed { return c.win }
 
 // Total returns the number of recorded queries.
 func (c *Collector) Total() uint64 {
@@ -175,7 +181,7 @@ func (c *Collector) MeanTransferDistance() float64 {
 	return float64(c.transferSum) / float64(c.served)
 }
 
-// SeriesPoint is one window of the hit-ratio time series.
+// SeriesPoint is one window of the per-window time series.
 type SeriesPoint struct {
 	// Start of the window, ms.
 	Start int64
@@ -183,36 +189,24 @@ type SeriesPoint struct {
 	HitRatio float64
 	// Queries in the window.
 	Queries uint64
+	// MeanLookupMs and MeanTransferMs average over the window's served
+	// queries (0 when none were served).
+	MeanLookupMs   float64
+	MeanTransferMs float64
 }
 
 // HitRatioSeries returns the Fig. 3 time series.
 func (c *Collector) HitRatioSeries() []SeriesPoint {
-	out := make([]SeriesPoint, len(c.windows))
-	for i, w := range c.windows {
-		p := SeriesPoint{Start: int64(i) * c.window, Queries: w.total}
-		if w.total > 0 {
-			p.HitRatio = float64(w.hits) / float64(w.total)
-		}
-		out[i] = p
-	}
-	return out
+	return c.win.Series()
 }
 
 // TailHitRatio returns the hit ratio over the last n windows — the
 // "after 24 simulation hours" numbers Table 2 reports.
 func (c *Collector) TailHitRatio(n int) float64 {
-	if n <= 0 || len(c.windows) == 0 {
+	if n <= 0 || c.win.Len() == 0 {
 		return c.HitRatio()
 	}
-	start := len(c.windows) - n
-	if start < 0 {
-		start = 0
-	}
-	var hits, total uint64
-	for _, w := range c.windows[start:] {
-		hits += w.hits
-		total += w.total
-	}
+	hits, total := c.win.Tail(n)
 	if total == 0 {
 		return 0
 	}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"flowercdn/internal/sim"
+)
+
+func TestPipelineFansOut(t *testing.T) {
+	coll := NewCollector(sim.Hour)
+	counters := NewCounters()
+	pipe := NewPipeline(coll)
+	pipe.Attach(counters)
+
+	pipe.Emit(QueryEvent(10, HitDirectory, 100, 40))
+	pipe.Emit(QueryEvent(20, Miss, 300, 200))
+	pipe.Emit(CounterEvent(30, "promotions", 1))
+	pipe.Emit(CounterEvent(40, "promotions", 2))
+
+	if coll.Total() != 2 || coll.Hits() != 1 {
+		t.Fatalf("collector saw %d/%d", coll.Total(), coll.Hits())
+	}
+	if counters.Get("promotions") != 3 {
+		t.Fatalf("promotions = %g", counters.Get("promotions"))
+	}
+	if counters.Get("absent") != 0 {
+		t.Fatal("absent counter non-zero")
+	}
+	if got := counters.Names(); !reflect.DeepEqual(got, []string{"promotions"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+	snap := counters.Snapshot()
+	snap["promotions"] = 99
+	if counters.Get("promotions") != 3 {
+		t.Fatal("Snapshot aliases internal state")
+	}
+	// Counter events do not perturb query aggregates and vice versa.
+	if coll.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio %g", coll.HitRatio())
+	}
+}
+
+func TestWindowedAggregatesGenerically(t *testing.T) {
+	w := NewWindowed(100)
+	w.Observe(QueryEvent(10, HitLocalGossip, 50, 20))
+	w.Observe(QueryEvent(90, Miss, 150, 100))
+	w.Observe(QueryEvent(250, Unresolved, 0, 0))
+	w.Observe(CounterEvent(50, "ignored", 1))
+
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	first := w.At(0)
+	if first.Total != 2 || first.Hits != 1 || first.Served != 2 {
+		t.Fatalf("window 0 = %+v", first)
+	}
+	if first.MeanLookupMs() != 100 || first.MeanTransferMs() != 60 {
+		t.Fatalf("window 0 means = %g/%g", first.MeanLookupMs(), first.MeanTransferMs())
+	}
+	// Unresolved counts toward total, not served.
+	third := w.At(2)
+	if third.Total != 1 || third.Served != 0 || third.HitRatio() != 0 {
+		t.Fatalf("window 2 = %+v", third)
+	}
+	if third.MeanLookupMs() != 0 {
+		t.Fatal("empty served window mean not 0")
+	}
+
+	series := w.Series()
+	if len(series) != 3 || series[0].HitRatio != 0.5 || series[0].MeanLookupMs != 100 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[1].Queries != 0 {
+		t.Fatal("gap window not empty")
+	}
+
+	hits, total := w.Tail(2)
+	if hits != 0 || total != 1 {
+		t.Fatalf("Tail(2) = %d/%d", hits, total)
+	}
+	hits, total = w.Tail(0)
+	if hits != 1 || total != 3 {
+		t.Fatalf("Tail(0) = %d/%d", hits, total)
+	}
+}
+
+func TestCollectorIsAnEmitter(t *testing.T) {
+	// A bare Collector stands in for a Pipeline in library use.
+	var e Emitter = NewCollector(sim.Hour)
+	e.Emit(QueryEvent(0, HitDirectory, 10, 5))
+	c := e.(*Collector)
+	if c.Total() != 1 || c.Count(HitDirectory) != 1 {
+		t.Fatal("Emit did not record")
+	}
+	// Record remains equivalent to Emit for existing callers.
+	c.Record(Query{When: 1, Outcome: Miss, LookupLatency: 20, TransferDistance: 10})
+	if c.Total() != 2 || c.Count(Miss) != 1 {
+		t.Fatal("Record did not route through Observe")
+	}
+}

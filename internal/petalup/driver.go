@@ -1,0 +1,20 @@
+package petalup
+
+import (
+	"flowercdn/internal/flower"
+	"flowercdn/internal/proto"
+)
+
+// PetalUp-CDN registers itself with the protocol runtime. The driver
+// is the flower driver with directory splitting enabled; its
+// "load-limit" option (default flower.DefaultPetalUpLoadLimit) is the
+// Sec. 4 per-directory member bound.
+func init() {
+	proto.Register(proto.Info{
+		Name:         "petalup",
+		Summary:      "PetalUp-CDN: Flower-CDN with per-directory load splitting (Sec. 4)",
+		Compare:      true,
+		Order:        1,
+		CheckOptions: flower.CheckPetalUpDriverOptions,
+	}, flower.NewPetalUpDriver)
+}

@@ -1,0 +1,82 @@
+package proto
+
+import "sort"
+
+// Options is the generic per-protocol configuration map. The harness
+// and façade never interpret it; each driver reads the keys it
+// understands and ignores the rest, so one option set can be lowered
+// for any protocol (a squirrel run simply ignores "push-threshold").
+//
+// Values are plain Go scalars; the typed getters coerce between the
+// numeric kinds a literal or a flag plausibly produces (int, int64,
+// float64) and fall back to the given default on a missing key or an
+// incompatible type.
+type Options map[string]any
+
+// Int reads an integer option.
+func (o Options) Int(key string, def int) int {
+	switch v := o[key].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case float64:
+		return int(v)
+	default:
+		return def
+	}
+}
+
+// Duration reads a simulated-duration option (int64 milliseconds).
+func (o Options) Duration(key string, def int64) int64 {
+	switch v := o[key].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	case float64:
+		return int64(v)
+	default:
+		return def
+	}
+}
+
+// Float reads a float option.
+func (o Options) Float(key string, def float64) float64 {
+	switch v := o[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	default:
+		return def
+	}
+}
+
+// Bool reads a boolean option.
+func (o Options) Bool(key string, def bool) bool {
+	if v, ok := o[key].(bool); ok {
+		return v
+	}
+	return def
+}
+
+// String reads a string option.
+func (o Options) String(key, def string) string {
+	if v, ok := o[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+// Keys returns the option keys, sorted.
+func (o Options) Keys() []string {
+	out := make([]string, 0, len(o))
+	for k := range o {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,114 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps protocol names to their drivers. Registration
+// happens in package init functions (a protocol package registers
+// itself when imported); lookups happen per run, possibly from many
+// sweep workers at once, hence the lock.
+
+type driver struct {
+	info    Info
+	factory Factory
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]driver{}
+)
+
+// Register adds a protocol driver under info.Name. It panics on an
+// empty name, a nil factory, or a duplicate registration — all
+// programmer errors surfaced at init time.
+func Register(info Info, f Factory) {
+	if info.Name == "" {
+		panic("proto: Register with empty name")
+	}
+	if f == nil {
+		panic("proto: Register with nil factory for " + info.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic("proto: duplicate registration of " + info.Name)
+	}
+	registry[info.Name] = driver{info: info, factory: f}
+}
+
+// New builds a deployment of the named protocol.
+func New(name string, env Env, opts Options) (System, error) {
+	regMu.RLock()
+	d, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("proto: unknown protocol %q (registered: %v)", name, Names())
+	}
+	return d.factory(env, opts)
+}
+
+// Check statically validates opts for the named protocol: unknown
+// names error, and a driver's CheckOptions hook (when present) vets
+// the knobs it understands.
+func Check(name string, opts Options) error {
+	regMu.RLock()
+	d, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("proto: unknown protocol %q (registered: %v)", name, Names())
+	}
+	if d.info.CheckOptions != nil {
+		return d.info.CheckOptions(opts)
+	}
+	return nil
+}
+
+// Registered reports whether name resolves to a driver.
+func Registered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// Lookup returns a registered protocol's descriptor.
+func Lookup(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := registry[name]
+	return d.info, ok
+}
+
+func names(filter func(Info) bool) []string {
+	regMu.RLock()
+	infos := make([]Info, 0, len(registry))
+	for _, d := range registry {
+		if filter == nil || filter(d.info) {
+			infos = append(infos, d.info)
+		}
+	}
+	regMu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Order != infos[j].Order {
+			return infos[i].Order < infos[j].Order
+		}
+		return infos[i].Name < infos[j].Name
+	})
+	out := make([]string, len(infos))
+	for i, info := range infos {
+		out[i] = info.Name
+	}
+	return out
+}
+
+// Names returns every registered protocol name in (Order, Name) order.
+func Names() []string { return names(nil) }
+
+// CompareNames returns the protocols that belong in default
+// head-to-head comparison grids, in (Order, Name) order.
+func CompareNames() []string {
+	return names(func(i Info) bool { return i.Compare })
+}

@@ -1,0 +1,13 @@
+// Package protocols registers every built-in protocol driver with the
+// internal/proto registry (the database/sql driver pattern). Import it
+// for side effects wherever deployments are launched by name — the
+// façade does, which covers both CLIs and the examples; test packages
+// that call the harness directly import it themselves.
+package protocols
+
+import (
+	_ "flowercdn/internal/baseline" // origin-only, chord-global
+	_ "flowercdn/internal/flower"   // flower
+	_ "flowercdn/internal/petalup"  // petalup
+	_ "flowercdn/internal/squirrel" // squirrel
+)

@@ -89,11 +89,36 @@ type Engine struct {
 	queue     eventQueue
 	processed uint64
 	stopped   bool
+
+	// slab is the current chunk of bulk-allocated Timer structs. Timers
+	// are handed out pointer-by-pointer from the chunk, amortizing one
+	// heap allocation over timerSlabSize Schedule calls. Fired timers
+	// are never recycled (callers may hold their handles indefinitely);
+	// the chunk is garbage-collected once every handle into it is gone.
+	slab []Timer
 }
+
+// initialQueueCap pre-sizes the event heap: even tiny runs queue
+// thousands of events, and growing the heap through the append ladder
+// from 0 costs several re-copies of every pending timer.
+const initialQueueCap = 4096
+
+// timerSlabSize is the bulk-allocation chunk for Timer structs.
+const timerSlabSize = 512
 
 // NewEngine returns an engine with the clock at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{queue: make(eventQueue, 0, initialQueueCap)}
+}
+
+// newTimer hands out the next Timer from the slab.
+func (e *Engine) newTimer() *Timer {
+	if len(e.slab) == 0 {
+		e.slab = make([]Timer, timerSlabSize)
+	}
+	t := &e.slab[0]
+	e.slab = e.slab[1:]
+	return t
 }
 
 // Now returns the current simulated time in milliseconds.
@@ -127,9 +152,26 @@ func (e *Engine) At(t int64, fn func()) *Timer {
 		t = e.now
 	}
 	e.seq++
-	timer := &Timer{when: t, seq: e.seq, fn: fn}
+	timer := e.newTimer()
+	timer.when, timer.seq, timer.fn = t, e.seq, fn
 	heap.Push(&e.queue, timer)
 	return timer
+}
+
+// rearm re-queues a timer that has already fired. Only PeriodicTimer
+// uses it: the inner timer is owned exclusively by the periodic
+// wrapper, so reusing the struct cannot confuse an outside handle.
+func (e *Engine) rearm(t *Timer, delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	t.when = e.now + delay
+	t.seq = e.seq
+	t.fn = fn
+	t.fired = false
+	t.cancelled = false
+	heap.Push(&e.queue, t)
 }
 
 // Every schedules fn to run every period milliseconds, with the first
@@ -140,30 +182,32 @@ func (e *Engine) Every(firstDelay, period int64, fn func()) *PeriodicTimer {
 		panic(fmt.Sprintf("sim: Every called with non-positive period %d", period))
 	}
 	p := &PeriodicTimer{eng: e, period: period, fn: fn}
-	p.arm(firstDelay)
+	p.fire = p.doFire
+	p.inner = e.Schedule(firstDelay, p.fire)
 	return p
 }
 
 // PeriodicTimer re-schedules itself after each firing until Cancel is
-// called.
+// called. It owns its inner Timer exclusively and reuses the struct
+// across firings (plus a single cached fire closure), so steady-state
+// periodic work allocates nothing per firing.
 type PeriodicTimer struct {
 	eng       *Engine
 	period    int64
 	fn        func()
+	fire      func() // cached method value; one allocation per timer, not per firing
 	inner     *Timer
 	cancelled bool
 }
 
-func (p *PeriodicTimer) arm(delay int64) {
-	p.inner = p.eng.Schedule(delay, func() {
-		if p.cancelled {
-			return
-		}
-		p.fn()
-		if !p.cancelled {
-			p.arm(p.period)
-		}
-	})
+func (p *PeriodicTimer) doFire() {
+	if p.cancelled {
+		return
+	}
+	p.fn()
+	if !p.cancelled {
+		p.eng.rearm(p.inner, p.period, p.fire)
+	}
 }
 
 // Cancel stops all future firings.
@@ -174,6 +218,7 @@ func (p *PeriodicTimer) Cancel() {
 	p.cancelled = true
 	p.inner.Cancel()
 	p.fn = nil
+	p.fire = nil
 }
 
 // Cancelled reports whether the periodic timer has been stopped.

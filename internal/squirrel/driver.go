@@ -1,0 +1,95 @@
+package squirrel
+
+import (
+	"flowercdn/internal/proto"
+	"flowercdn/internal/sim"
+)
+
+// Squirrel registers itself with the protocol runtime; the harness
+// drives the baseline through the same proto.System face as every
+// other deployment.
+
+func init() {
+	proto.Register(proto.Info{
+		Name:         "squirrel",
+		Summary:      "Squirrel (PODC 2002): one Chord ring, per-object home directories, random redirection",
+		Compare:      true,
+		Order:        2,
+		CheckOptions: CheckDriverOptions,
+	}, NewDriver)
+}
+
+// Option keys the driver reads (defaults in parentheses):
+//
+//	directory-cap      int  delegates a home remembers per object (4)
+//	provider-attempts  int  delegates probed before the origin (1)
+//
+// Unknown keys are ignored.
+
+// lowerOptions resolves the option map into a validated Config —
+// shared by the factory and the registry's static CheckOptions hook.
+func lowerOptions(opts proto.Options) (Config, error) {
+	cfg := DefaultConfig()
+	cfg.DirectoryCap = opts.Int("directory-cap", cfg.DirectoryCap)
+	cfg.ProviderAttempts = opts.Int("provider-attempts", cfg.ProviderAttempts)
+	return cfg, cfg.Validate()
+}
+
+// CheckDriverOptions statically validates the driver's options.
+func CheckDriverOptions(opts proto.Options) error {
+	_, err := lowerOptions(opts)
+	return err
+}
+
+// NewDriver builds a Squirrel deployment driver.
+func NewDriver(env proto.Env, opts proto.Options) (proto.System, error) {
+	cfg, err := lowerOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(cfg, Deps{
+		Net:      env.Net,
+		RNG:      env.RNG,
+		Workload: env.Workload,
+		Origins:  env.Origins,
+		Metrics:  env.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &runtimeDriver{sys: sys, env: env, idRNG: env.RNG.Split("identities")}, nil
+}
+
+type runtimeDriver struct {
+	sys   *System
+	env   proto.Env
+	idRNG *sim.RNG
+}
+
+func (d *runtimeDriver) Start() {}
+func (d *runtimeDriver) Stop()  {}
+
+// SeedCount matches the Flower deployments' bootstrap population so
+// the ramps are comparable; Squirrel's seeds are ordinary ring members.
+func (d *runtimeDriver) SeedCount() int { return proto.DefaultSeedCount(d.env) }
+
+func (d *runtimeDriver) SpawnSeed(int) (proto.Individual, func()) {
+	ind := d.NewIndividual()
+	return ind, d.Spawn(ind)
+}
+
+func (d *runtimeDriver) NewIndividual() proto.Individual {
+	return d.sys.NewIdentity(d.env.Workload.AssignInterest(d.idRNG))
+}
+
+func (d *runtimeDriver) Spawn(ind proto.Individual) func() {
+	_, kill := d.sys.SpawnIdentity(ind.(Identity))
+	return kill
+}
+
+func (d *runtimeDriver) Stats() proto.Stats {
+	return proto.Stats{
+		proto.StatPeersSpawned: float64(d.sys.spawned),
+		proto.StatAlivePeers:   float64(d.sys.AliveMembers()),
+	}
+}

@@ -83,7 +83,7 @@ type Deps struct {
 	RNG      *sim.RNG
 	Workload *workload.Workload
 	Origins  *workload.Origins
-	Metrics  *metrics.Collector
+	Metrics  metrics.Emitter
 }
 
 // System is one Squirrel deployment.
@@ -94,7 +94,7 @@ type System struct {
 	rng     *sim.RNG
 	work    *workload.Workload
 	origins *workload.Origins
-	coll    *metrics.Collector
+	coll    metrics.Emitter
 
 	registry []chord.Entry
 	spawned  uint64
@@ -248,6 +248,10 @@ type activeQuery struct {
 	attempt    int
 	timeout    *sim.Timer
 	candidates []simnet.NodeID
+	// redirected marks the first home response consumed; retries share
+	// the query's seq, so a late duplicate must not restart the probe
+	// chain mid-probe.
+	redirected bool
 }
 
 // NodeID returns the peer's network address.
@@ -402,9 +406,10 @@ func (p *Peer) addDelegate(k content.Key, nid simnet.NodeID) {
 // onHomeResp continues the query with the home's redirect.
 func (p *Peer) onHomeResp(m homeResp) {
 	q := p.query
-	if q == nil || q.seq != m.Seq {
+	if q == nil || q.seq != m.Seq || q.redirected {
 		return
 	}
+	q.redirected = true
 	if q.timeout != nil {
 		q.timeout.Cancel()
 	}
@@ -459,12 +464,7 @@ func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider simnet.
 	} else if lookup > dist {
 		lookup -= dist
 	}
-	p.sys.coll.Record(metrics.Query{
-		When:             now,
-		Outcome:          outcome,
-		LookupLatency:    lookup,
-		TransferDistance: dist,
-	})
+	p.sys.coll.Emit(metrics.QueryEvent(now, outcome, lookup, dist))
 	if outcome == metrics.Miss {
 		p.sys.net.Request(p.nid, provider, workload.FetchReq{Key: q.key}, 0,
 			func(_ any, err error) {

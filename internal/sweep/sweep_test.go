@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flowercdn/internal/harness"
+	_ "flowercdn/internal/protocols" // register the built-in drivers
 	"flowercdn/internal/sim"
 )
 
@@ -27,7 +28,7 @@ func tinyGrid() []Cell {
 	squirrel.Protocol = harness.ProtocolSquirrel
 	petalup := tinyConfig()
 	petalup.Protocol = harness.ProtocolPetalUp
-	petalup.PetalUpLoadLimit = 10
+	petalup.Options = map[string]any{"load-limit": 10}
 	return []Cell{
 		{Name: "flower", Config: flower},
 		{Name: "squirrel", Config: squirrel},
