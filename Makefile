@@ -8,10 +8,10 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-PR ?= 2
+PR ?= 3
 BENCH_JSON := BENCH_PR$(PR).json
 
-.PHONY: build test race vet fmt check bench bench-smoke clean
+.PHONY: build test race vet fmt check bench bench-smoke fingerprint-check realtime-smoke clean
 
 build:
 	go build ./...
@@ -45,6 +45,19 @@ bench:
 # benchmarks, just enough to catch rot in the bench harness itself.
 bench-smoke:
 	go test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkPeriodic|BenchmarkEngine|BenchmarkTable1' -benchtime 1x -benchmem ./... | go run ./cmd/benchjson
+
+# fingerprint-check runs the same simulation cell in two separate
+# processes and diffs the run fingerprints (FNV-1a over per-window
+# query/transfer/message counts): any map-order nondeterminism feeding
+# the event stream shows up as a mismatch here, mechanically.
+fingerprint-check:
+	@fp1=$$(go run ./cmd/flowersim -p 200 -hours 4 -print-fingerprint); 	fp2=$$(go run ./cmd/flowersim -p 200 -hours 4 -print-fingerprint); 	echo "process 1: $$fp1"; echo "process 2: $$fp2"; 	if [ "$$fp1" != "$$fp2" ]; then 		echo "FINGERPRINT MISMATCH: runs are not deterministic across processes" >&2; exit 1; 	fi; echo "fingerprints match"
+
+# realtime-smoke drives the wall-clock backend for a few seconds of real
+# time: the identical protocol code over real timers and the loopback
+# transport, printing live per-window stats.
+realtime-smoke:
+	go run ./cmd/flowersim -backend realtime -population 50 -horizon 3s
 
 clean:
 	rm -f BENCH_PR*.json.tmp

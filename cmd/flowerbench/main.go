@@ -51,11 +51,12 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "simulation seed (sweeps use seeds seed..seed+n-1)")
 		pop   = flag.Int("p", 0, "override population P")
 
-		grid     = flag.String("grid", "", "run a sweep over a named grid: compare, scalability, churn, gossip")
-		scenario = flag.String("scenario", "table1", "workload scenario: table1, flash-crowd, locality-skew")
-		seeds    = flag.Int("seeds", 5, "number of seeds per sweep cell")
-		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		csvPath  = flag.String("csv", "", "also write sweep aggregates as CSV to this file ('-' = stdout)")
+		grid       = flag.String("grid", "", "run a sweep over a named grid: compare, scalability, churn, gossip")
+		scenario   = flag.String("scenario", "table1", "workload scenario: table1, flash-crowd, locality-skew")
+		seeds      = flag.Int("seeds", 5, "number of seeds per sweep cell")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		csvPath    = flag.String("csv", "", "also write sweep aggregates as CSV to this file ('-' = stdout)")
+		seriesPath = flag.String("series-csv", "", "also write the per-window hit-ratio/latency series as CSV to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -71,7 +72,7 @@ func main() {
 	}
 
 	if *grid != "" {
-		runSweep(cfg, pops, *grid, *scenario, *seed, *seeds, *workers, *csvPath)
+		runSweep(cfg, pops, *grid, *scenario, *seed, *seeds, *workers, *csvPath, *seriesPath)
 		return
 	}
 
@@ -167,7 +168,7 @@ func buildGrid(base flowercdn.Config, pops []int, name string) ([]flowercdn.Swee
 
 // runSweep is the -grid entry point: expand, fan out, aggregate, print.
 func runSweep(base flowercdn.Config, pops []int, gridName, scenarioName string,
-	seedBase uint64, nSeeds, workers int, csvPath string) {
+	seedBase uint64, nSeeds, workers int, csvPath, seriesPath string) {
 
 	cfg, err := flowercdn.ApplyScenario(base, flowercdn.Scenario(scenarioName))
 	if err != nil {
@@ -183,12 +184,14 @@ func runSweep(base flowercdn.Config, pops []int, gridName, scenarioName string,
 	// Fail on an unwritable CSV path before the sweep, not after
 	// minutes of simulation (O_CREATE without O_TRUNC keeps any
 	// existing content until the real write).
-	if csvPath != "" && csvPath != "-" {
-		f, err := os.OpenFile(csvPath, os.O_CREATE|os.O_WRONLY, 0o644)
-		if err != nil {
-			fatal(err)
+	for _, path := range []string{csvPath, seriesPath} {
+		if path != "" && path != "-" {
+			f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			f.Close()
 		}
-		f.Close()
 	}
 	seedSet := flowercdn.SeedSet(seedBase, nSeeds)
 
@@ -206,14 +209,26 @@ func runSweep(base flowercdn.Config, pops []int, gridName, scenarioName string,
 		time.Since(start).Round(time.Millisecond), res.TotalRuns, res.Workers)
 	fmt.Print(res.Table())
 
-	if csvPath == "-" {
+	writeArtifact(csvPath, res.CSV)
+	writeArtifact(seriesPath, res.SeriesCSV)
+}
+
+// writeArtifact sends one artifact to a file or stdout ("-"); with no
+// path the artifact is never rendered.
+func writeArtifact(path string, render func() string) {
+	if path == "" {
+		return
+	}
+	content := render()
+	switch path {
+	case "-":
 		fmt.Println()
-		fmt.Print(res.CSV())
-	} else if csvPath != "" {
-		if err := os.WriteFile(csvPath, []byte(res.CSV()), 0o644); err != nil {
+		fmt.Print(content)
+	default:
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nwrote %s\n", csvPath)
+		fmt.Printf("\nwrote %s\n", path)
 	}
 }
 

@@ -1,4 +1,4 @@
-// Command flowersim runs a single simulation with every Table 1
+// Command flowersim runs a single experiment with every Table 1
 // parameter exposed as a flag and prints the run's metrics.
 //
 // Usage:
@@ -8,6 +8,14 @@
 //	flowersim -protocol origin-only -p 400   # the floor any CDN must beat
 //	flowersim -protocols                     # list registered protocols
 //	flowersim -print-params
+//
+// With -backend realtime the identical protocol code runs on
+// wall-clock timers instead of the deterministic simulator: the run
+// takes -horizon of real time and prints each metric window live as it
+// closes. Timescales are compressed (~3600×) so seconds exhibit the
+// full protocol lifecycle:
+//
+//	flowersim -backend realtime -population 50 -horizon 5s
 package main
 
 import (
@@ -17,12 +25,18 @@ import (
 	"time"
 
 	"flowercdn"
+	"flowercdn/internal/harness"
+	"flowercdn/internal/metrics"
 )
 
 func main() {
 	var (
 		protocol    = flag.String("protocol", "flower", fmt.Sprintf("one of %v", flowercdn.Protocols()))
 		listProtos  = flag.Bool("protocols", false, "list registered protocols and exit")
+		backend     = flag.String("backend", "sim", fmt.Sprintf("runtime backend, one of %v", flowercdn.Backends()))
+		population  = flag.Int("population", 50, "realtime backend: mean population size")
+		horizon     = flag.Duration("horizon", 5*time.Second, "realtime backend: wall-clock run length")
+		printFP     = flag.Bool("print-fingerprint", false, "print only the run fingerprint (for cross-process determinism checks)")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		p           = flag.Int("p", 400, "mean population size P")
 		hours       = flag.Int("hours", 8, "simulated duration in hours")
@@ -50,6 +64,24 @@ func main() {
 		for _, p := range flowercdn.Protocols() {
 			fmt.Printf("%-14s %s\n", p, flowercdn.ProtocolSummary(p))
 		}
+		return
+	}
+
+	if *backend == "realtime" {
+		// The realtime demo derives its scale from -population/-horizon;
+		// warn about explicitly-set simulation-scale flags it ignores
+		// instead of silently dropping them.
+		realtimeFlags := map[string]bool{
+			"backend": true, "protocol": true, "seed": true,
+			"population": true, "horizon": true, "loss": true,
+			"print-fingerprint": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if !realtimeFlags[f.Name] {
+				fmt.Fprintf(os.Stderr, "flowersim: -%s is ignored with -backend realtime (scale comes from -population/-horizon)\n", f.Name)
+			}
+		})
+		runRealtime(*protocol, *seed, *population, *horizon, *loss, *printFP)
 		return
 	}
 
@@ -84,10 +116,18 @@ func main() {
 		return
 	}
 
+	cfg.Backend = *backend
+
 	start := time.Now()
 	res, err := flowercdn.Run(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *printFP {
+		// Exactly one line, stable across equivalent runs: the contract
+		// of the cross-process determinism check (make fingerprint-check).
+		fmt.Printf("%016x\n", res.Fingerprint)
+		return
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Print(res.Summary())
@@ -100,6 +140,39 @@ func main() {
 			fmt.Printf("%4d  %9.3f  %7d\n", pt.Hour, pt.HitRatio, pt.Queries)
 		}
 	}
+}
+
+// runRealtime executes a live wall-clock run: compressed timescales,
+// per-window stats printed as each window closes.
+func runRealtime(protocol string, seed uint64, population int, horizon time.Duration, loss float64, printFP bool) {
+	cfg := harness.RealtimeDemoConfig(population, horizon.Milliseconds())
+	cfg.Protocol = harness.Protocol(protocol)
+	cfg.Seed = seed
+	cfg.MessageLossRate = loss
+	if printFP {
+		// One line, like the sim path — though on this backend the value
+		// is not reproducible across runs.
+		res, err := harness.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%016x\n", res.Fingerprint)
+		return
+	}
+	cfg.OnWindow = func(p metrics.SeriesPoint) {
+		fmt.Printf("[%5.1fs] hit-ratio %.3f  queries %4d  lookup %5.0fms  transfer %4.0fms\n",
+			float64(p.Start+cfg.SeriesWindow)/1000, p.HitRatio, p.Queries, p.MeanLookupMs, p.MeanTransferMs)
+	}
+	fmt.Printf("live %s run: population %d, horizon %v, %d ms windows\n",
+		protocol, population, horizon, cfg.SeriesWindow)
+	start := time.Now()
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("completed in %v wall time (%d events, %d messages)\n",
+		time.Since(start).Round(time.Millisecond), res.EventsProcessed, res.NetStats.MessagesSent)
+	fmt.Print(harness.FormatSummary(res))
 }
 
 func fatal(err error) {

@@ -17,46 +17,45 @@ import (
 	"flowercdn/internal/flower"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/petalup"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/simrt"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
 
 type world struct {
-	eng *sim.Engine
+	*simrt.Runtime
 	sys *flower.System
 }
-
-func (w *world) Engine() *sim.Engine { return w.eng }
 
 // build assembles a small Flower/PetalUp deployment with a seeded
 // D-ring, mirroring what the harness does for full experiments.
 func build(seed uint64, cfg flower.Config) (*world, error) {
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(seed)
+	rng := rnd.New(seed)
 	tcfg := topology.DefaultConfig()
 	tcfg.Localities = 2
 	topo, err := topology.New(tcfg, rng.Split("topo"))
 	if err != nil {
 		return nil, err
 	}
-	net := simnet.New(eng, topo)
+	rt := simrt.New(topo)
+	clock, net := rt.Clock(), rt.Net()
 	wcfg := workload.DefaultConfig()
 	wcfg.Sites = 2
 	wcfg.ActiveSites = 1
 	wcfg.ObjectsPerSite = 100
-	wcfg.QueryMeanInterval = 2 * sim.Minute
+	wcfg.QueryMeanInterval = 2 * runtime.Minute
 	work, err := workload.New(wcfg)
 	if err != nil {
 		return nil, err
 	}
 	origins := workload.NewOrigins(work, net, rng.Split("origins"))
-	cfg.Gossip.Period = 5 * sim.Minute
-	cfg.KeepaliveInterval = 10 * sim.Minute
+	cfg.Gossip.Period = 5 * runtime.Minute
+	cfg.KeepaliveInterval = 10 * runtime.Minute
 	sys, err := flower.NewSystem(cfg, flower.Deps{
 		Net: net, RNG: rng.Split("flower"), Workload: work,
-		Origins: origins, Metrics: metrics.NewCollector(sim.Hour),
+		Origins: origins, Metrics: metrics.NewCollector(runtime.Hour),
 	})
 	if err != nil {
 		return nil, err
@@ -64,13 +63,13 @@ func build(seed uint64, cfg flower.Config) (*world, error) {
 	for s := 0; s < wcfg.Sites; s++ {
 		for l := 0; l < tcfg.Localities; l++ {
 			site, loc := content.SiteID(s), topology.Locality(l)
-			eng.Schedule(int64(s*tcfg.Localities+l)*200, func() {
+			clock.Schedule(int64(s*tcfg.Localities+l)*200, func() {
 				sys.SpawnSeedDirectory(site, loc)
 			})
 		}
 	}
-	eng.Run(eng.Now() + 10*sim.Minute)
-	return &world{eng: eng, sys: sys}, nil
+	rt.Run(clock.Now() + 10*runtime.Minute)
+	return &world{Runtime: rt, sys: sys}, nil
 }
 
 func main() {
@@ -78,8 +77,8 @@ func main() {
 		Site:       0,
 		Loc:        0,
 		Arrivals:   60,
-		ArrivalGap: 20 * sim.Second,
-		Settle:     90 * sim.Minute,
+		ArrivalGap: 20 * runtime.Second,
+		Settle:     90 * runtime.Minute,
 	}
 	fmt.Printf("flash crowd: %d clients hitting petal(site %d, locality %d)\n\n",
 		spec.Arrivals, spec.Site, spec.Loc)

@@ -28,7 +28,7 @@ import (
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/proto"
 	_ "flowercdn/internal/protocols" // register every built-in protocol driver
-	"flowercdn/internal/sim"
+	"flowercdn/internal/runtime"
 )
 
 // Protocol selects which system a run simulates. Any name registered
@@ -56,6 +56,9 @@ const (
 func Protocols() []Protocol {
 	return toProtocols(proto.Names())
 }
+
+// Backends returns the registered runtime backends ("sim", "realtime").
+func Backends() []string { return runtime.Backends() }
 
 // CompareProtocols returns the protocols that belong in head-to-head
 // comparison grids (everything registered except degenerate floors
@@ -85,6 +88,13 @@ func toProtocols(names []string) []Protocol {
 type Config struct {
 	// Protocol selects the system under test.
 	Protocol Protocol
+	// Backend selects the runtime backend: "" or "sim" is the
+	// deterministic discrete-event simulation; "realtime" executes the
+	// identical protocol code on wall-clock timers (the run genuinely
+	// takes Hours of wall time — use harness.RealtimeDemoConfig-style
+	// compressed settings, or the flowersim -backend realtime demo, for
+	// seconds-scale live runs). Backends lists the registered names.
+	Backend string
 	// Seed makes runs reproducible: equal seeds, equal results.
 	Seed uint64
 	// Population is P, the mean number of concurrently-online peers.
@@ -183,22 +193,23 @@ func (c Config) lower() (harness.Config, error) {
 	default:
 		return hc, fmt.Errorf("flowercdn: unknown protocol %q (have %v)", c.Protocol, Protocols())
 	}
+	hc.Backend = c.Backend
 	hc.Seed = c.Seed
 	hc.Population = c.Population
-	hc.Duration = int64(c.Hours) * sim.Hour
+	hc.Duration = int64(c.Hours) * runtime.Hour
 	hc.Workload.Sites = c.Sites
 	hc.Workload.ActiveSites = c.ActiveSites
 	hc.Workload.ObjectsPerSite = c.ObjectsPerSite
-	hc.Workload.QueryMeanInterval = int64(c.QueryEveryMinutes) * sim.Minute
+	hc.Workload.QueryMeanInterval = int64(c.QueryEveryMinutes) * runtime.Minute
 	hc.Workload.ZipfAlpha = c.ZipfAlpha
 	hc.Workload.InterestSkew = c.InterestSkew
 	hc.Topology.Localities = c.Localities
-	hc.MeanUptime = int64(c.MeanUptimeMinutes) * sim.Minute
+	hc.MeanUptime = int64(c.MeanUptimeMinutes) * runtime.Minute
 	hc.MessageLossRate = c.MessageLossRate
 	hc.LocalitySkew = c.LocalitySkew
 	hc.Options = proto.Options{
-		"gossip-period":      int64(c.GossipEveryMinutes) * sim.Minute,
-		"keepalive-interval": int64(c.GossipEveryMinutes) * sim.Minute,
+		"gossip-period":      int64(c.GossipEveryMinutes) * runtime.Minute,
+		"keepalive-interval": int64(c.GossipEveryMinutes) * runtime.Minute,
 		"push-threshold":     c.PushThreshold,
 		"dir-collaboration":  c.DirCollaboration,
 		"exact-summaries":    c.ExactSummaries,
@@ -241,6 +252,14 @@ type Result struct {
 	Hits    uint64
 	Misses  uint64
 
+	// Backend is the runtime backend the run executed on.
+	Backend string
+	// Fingerprint is the FNV-1a hash over the run's per-window query,
+	// transfer and message counts; on the sim backend it is a
+	// deterministic function of the configuration (see the harness
+	// documentation and make fingerprint-check).
+	Fingerprint uint64
+
 	inner *harness.Result
 }
 
@@ -258,6 +277,8 @@ func wrap(r *harness.Result) *Result {
 		Queries:             r.Queries,
 		Hits:                r.Hits,
 		Misses:              r.Misses,
+		Backend:             r.Backend,
+		Fingerprint:         r.Fingerprint,
 		inner:               r,
 	}
 	for i, p := range r.Series {

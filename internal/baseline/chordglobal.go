@@ -2,6 +2,8 @@ package baseline
 
 import (
 	"errors"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
 
 	"flowercdn/internal/chord"
@@ -9,8 +11,6 @@ import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/proto"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/workload"
 )
 
@@ -73,8 +73,8 @@ func lowerChordGlobalOptions(opts proto.Options) (chordGlobalConfig, error) {
 		Chord:             chord.DefaultConfig(),
 		ProvidersPerReply: opts.Int("providers-per-reply", 1),
 		IndexCap:          opts.Int("index-cap", 4),
-		RefreshInterval:   opts.Duration("refresh-interval", 2*opts.Duration("keepalive-interval", sim.Hour)),
-		QueryTimeout:      10 * sim.Second,
+		RefreshInterval:   opts.Duration("refresh-interval", 2*opts.Duration("keepalive-interval", runtime.Hour)),
+		QueryTimeout:      10 * runtime.Second,
 		QueryRetries:      3,
 	}
 	if cfg.ProvidersPerReply < 1 || cfg.IndexCap < 1 {
@@ -108,7 +108,7 @@ func NewChordGlobalDriver(env proto.Env, opts proto.Options) (proto.System, erro
 type cgDriver struct {
 	cfg   chordGlobalConfig
 	env   proto.Env
-	idRNG *sim.RNG
+	idRNG *rnd.RNG
 
 	registry []chord.Entry
 	spawned  uint64
@@ -143,7 +143,7 @@ func (d *cgDriver) Spawn(ind proto.Individual) func() {
 		site:  id.Site,
 		store: id.Store,
 		rng:   d.env.RNG.Split(fmt.Sprintf("cg-peer-%d", d.spawned)),
-		index: make(map[content.Key][]simnet.NodeID),
+		index: make(map[content.Key][]runtime.NodeID),
 	}
 	p.nid = d.env.Net.Join(p, id.Placement)
 	ringID := ids.HashString(fmt.Sprintf("cg-peer-%d", p.nid))
@@ -194,20 +194,20 @@ func siteKey(site content.SiteID) ids.ID {
 type cgQuery struct {
 	Seq    uint64
 	Key    content.Key
-	Client simnet.NodeID
+	Client runtime.NodeID
 }
 
 // cgHomeResp is the home's redirect, sent directly to the client.
 type cgHomeResp struct {
 	Seq       uint64
-	Providers []simnet.NodeID
+	Providers []runtime.NodeID
 }
 
 // cgSummary re-registers a peer's cached keys with the site's current
 // home — the only mechanism that restores a directory after the home
 // node fails.
 type cgSummary struct {
-	Node simnet.NodeID
+	Node runtime.NodeID
 	Keys []content.Key
 }
 
@@ -217,8 +217,8 @@ func (s cgSummary) WireBytes() int { return 32 + 8*len(s.Keys) }
 // cgPeer is one chord-global participant.
 type cgPeer struct {
 	d     *cgDriver
-	nid   simnet.NodeID
-	rng   *sim.RNG
+	nid   runtime.NodeID
+	rng   *rnd.RNG
 	site  content.SiteID
 	store *content.Store
 	node  *chord.Node
@@ -226,11 +226,11 @@ type cgPeer struct {
 	// index is this node's slice of the directory: for every site this
 	// node is currently home of, object → providers, capped at
 	// IndexCap. It dies with the node.
-	index map[content.Key][]simnet.NodeID
+	index map[content.Key][]runtime.NodeID
 
 	query      *cgActiveQuery
-	queryTimer *sim.Timer
-	refresh    *sim.PeriodicTimer
+	queryTimer runtime.Timer
+	refresh    runtime.Ticker
 	joined     bool
 	dead       bool
 }
@@ -240,8 +240,8 @@ type cgActiveQuery struct {
 	key        content.Key
 	start      int64
 	attempt    int
-	timeout    *sim.Timer
-	candidates []simnet.NodeID
+	timeout    runtime.Timer
+	candidates []runtime.NodeID
 	// redirected marks the first home response consumed; retries share
 	// the query's seq, so a late duplicate must not restart the probe
 	// chain mid-probe.
@@ -264,7 +264,7 @@ func (p *cgPeer) enterRing(attempts int) {
 		}
 		if err != nil {
 			if attempts > 1 {
-				p.d.env.Eng.Schedule(10*sim.Second, func() { p.enterRing(attempts - 1) })
+				p.d.env.Clock.Schedule(10*runtime.Second, func() { p.enterRing(attempts - 1) })
 			}
 			return
 		}
@@ -276,12 +276,12 @@ func (p *cgPeer) onJoined() {
 	p.joined = true
 	p.d.registry = append(p.d.registry, p.node.Self())
 	if p.d.env.Workload.Active(p.site) {
-		p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+		p.scheduleNextQuery(p.d.env.Workload.FirstQueryDelay(p.rng))
 	}
 	// Content summaries refresh the site's directory at the current
 	// home — jittered so a whole petal-less population doesn't push in
 	// lockstep.
-	p.refresh = p.d.env.Eng.Every(
+	p.refresh = p.d.env.Clock.Every(
 		p.rng.UniformDuration(0, p.d.cfg.RefreshInterval), p.d.cfg.RefreshInterval, p.pushSummary)
 	// A re-joining individual may carry a full cache from earlier
 	// sessions; announce it without waiting a whole refresh period.
@@ -295,11 +295,11 @@ func (p *cgPeer) pushSummary() {
 		return
 	}
 	p.node.Route(siteKey(p.site), cgSummary{Node: p.nid, Keys: p.store.Keys()})
-	p.d.env.Metrics.Emit(metrics.CounterEvent(p.d.env.Eng.Now(), "summary_pushes", 1))
+	p.d.env.Metrics.Emit(metrics.CounterEvent(p.d.env.Clock.Now(), "summary_pushes", 1))
 }
 
 func (p *cgPeer) scheduleNextQuery(delay int64) {
-	p.queryTimer = p.d.env.Eng.Schedule(delay, func() {
+	p.queryTimer = p.d.env.Clock.Schedule(delay, func() {
 		if p.dead {
 			return
 		}
@@ -333,7 +333,7 @@ func (p *cgPeer) issueQuery() {
 	if !ok {
 		return
 	}
-	q := &cgActiveQuery{seq: p.d.nextSeq(), key: key, start: p.d.env.Eng.Now()}
+	q := &cgActiveQuery{seq: p.d.nextSeq(), key: key, start: p.d.env.Clock.Now()}
 	p.query = q
 	p.sendQuery(q)
 }
@@ -344,7 +344,7 @@ func (p *cgPeer) sendQuery(q *cgActiveQuery) {
 	}
 	q.attempt++
 	p.node.Route(siteKey(q.key.Site), cgQuery{Seq: q.seq, Key: q.key, Client: p.nid})
-	q.timeout = p.d.env.Eng.Schedule(p.d.cfg.QueryTimeout, func() {
+	q.timeout = p.d.env.Clock.Schedule(p.d.cfg.QueryTimeout, func() {
 		if p.dead || p.query != q {
 			return
 		}
@@ -359,7 +359,7 @@ func (p *cgPeer) sendQuery(q *cgActiveQuery) {
 // OnRouted implements chord.App: this node currently terminates
 // routing for some site key (it is that site's home) or receives a
 // summary for it.
-func (p *cgPeer) OnRouted(_ ids.ID, payload any, _ simnet.NodeID, _ int) {
+func (p *cgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, _ int) {
 	if p.dead {
 		return
 	}
@@ -387,7 +387,7 @@ func (p *cgPeer) OnRouted(_ ids.ID, payload any, _ simnet.NodeID, _ int) {
 	}
 }
 
-func (p *cgPeer) addProvider(k content.Key, nid simnet.NodeID) {
+func (p *cgPeer) addProvider(k content.Key, nid runtime.NodeID) {
 	ps := p.index[k]
 	for _, existing := range ps {
 		if existing == nid {
@@ -424,7 +424,7 @@ func (p *cgPeer) probeProvider(q *cgActiveQuery) {
 	}
 	target := q.candidates[0]
 	q.candidates = q.candidates[1:]
-	timeout := 2*p.d.env.Net.Latency(p.nid, target) + 300*sim.Millisecond
+	timeout := 2*p.d.env.Net.Latency(p.nid, target) + 300*runtime.Millisecond
 	p.d.env.Net.Request(p.nid, target, workload.FetchReq{Key: q.key}, timeout,
 		func(resp any, err error) {
 			if p.dead || p.query != q {
@@ -441,7 +441,7 @@ func (p *cgPeer) probeProvider(q *cgActiveQuery) {
 // resolve records metrics and performs the transfer — the same
 // lookup-latency definition as the other deployments (time to reach
 // the destination that will provide the object).
-func (p *cgPeer) resolve(q *cgActiveQuery, outcome metrics.Outcome, provider simnet.NodeID) {
+func (p *cgPeer) resolve(q *cgActiveQuery, outcome metrics.Outcome, provider runtime.NodeID) {
 	if p.query != q {
 		return
 	}
@@ -450,7 +450,7 @@ func (p *cgPeer) resolve(q *cgActiveQuery, outcome metrics.Outcome, provider sim
 	}
 	p.query = nil
 	env := p.d.env
-	now := env.Eng.Now()
+	now := env.Clock.Now()
 	dist := env.Net.Latency(p.nid, provider)
 	lookup := now - q.start
 	if outcome == metrics.Miss {
@@ -472,9 +472,9 @@ func (p *cgPeer) resolve(q *cgActiveQuery, outcome metrics.Outcome, provider sim
 	p.store.Add(q.key)
 }
 
-// ---- simnet.Handler ----
+// ---- runtime.Handler ----
 
-func (p *cgPeer) HandleMessage(from simnet.NodeID, msg any) {
+func (p *cgPeer) HandleMessage(from runtime.NodeID, msg any) {
 	if p.dead {
 		return
 	}
@@ -486,7 +486,7 @@ func (p *cgPeer) HandleMessage(from simnet.NodeID, msg any) {
 	}
 }
 
-func (p *cgPeer) HandleRequest(from simnet.NodeID, req any) (any, error) {
+func (p *cgPeer) HandleRequest(from runtime.NodeID, req any) (any, error) {
 	if p.dead {
 		return nil, errors.New("baseline: dead peer")
 	}

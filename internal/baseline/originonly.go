@@ -17,13 +17,13 @@ package baseline
 
 import (
 	"errors"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
 
 	"flowercdn/internal/content"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/proto"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
@@ -56,7 +56,7 @@ func NewOriginOnlyDriver(env proto.Env, _ proto.Options) (proto.System, error) {
 
 type originDriver struct {
 	env     proto.Env
-	idRNG   *sim.RNG
+	idRNG   *rnd.RNG
 	spawned uint64
 	alive   int
 }
@@ -93,7 +93,7 @@ func (d *originDriver) Spawn(ind proto.Individual) func() {
 	}
 	p.nid = d.env.Net.Join(p, id.Placement)
 	if d.env.Workload.Active(p.site) {
-		p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+		p.scheduleNextQuery(p.d.env.Workload.FirstQueryDelay(p.rng))
 	}
 	return p.kill
 }
@@ -109,16 +109,16 @@ func (d *originDriver) Stats() proto.Stats {
 // overlay, and resolves every query at the origin.
 type originPeer struct {
 	d     *originDriver
-	nid   simnet.NodeID
+	nid   runtime.NodeID
 	site  content.SiteID
 	store *content.Store
-	rng   *sim.RNG
-	timer *sim.Timer
+	rng   *rnd.RNG
+	timer runtime.Timer
 	dead  bool
 }
 
 func (p *originPeer) scheduleNextQuery(delay int64) {
-	p.timer = p.d.env.Eng.Schedule(delay, func() {
+	p.timer = p.d.env.Clock.Schedule(delay, func() {
 		if p.dead {
 			return
 		}
@@ -134,7 +134,7 @@ func (p *originPeer) issueQuery() {
 	}
 	env := p.d.env
 	origin := env.Origins.Node(key.Site)
-	now := env.Eng.Now()
+	now := env.Clock.Now()
 	dist := env.Net.Latency(p.nid, origin)
 	// The provider is known a priori; the lookup "resolves" in the one
 	// leg it takes to reach the origin, and the transfer covers the
@@ -162,13 +162,13 @@ func (p *originPeer) kill() {
 	p.d.env.Net.Fail(p.nid)
 }
 
-// HandleMessage implements simnet.Handler; origin-only peers receive
+// HandleMessage implements runtime.Handler; origin-only peers receive
 // no protocol traffic.
-func (p *originPeer) HandleMessage(simnet.NodeID, any) {}
+func (p *originPeer) HandleMessage(runtime.NodeID, any) {}
 
 // HandleRequest answers direct fetch probes for symmetry with the
 // other deployments (nothing addresses them in this protocol).
-func (p *originPeer) HandleRequest(_ simnet.NodeID, req any) (any, error) {
+func (p *originPeer) HandleRequest(_ runtime.NodeID, req any) (any, error) {
 	if p.dead {
 		return nil, errors.New("baseline: dead peer")
 	}

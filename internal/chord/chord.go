@@ -16,33 +16,33 @@
 //     into D-ring succeeds", Sec. 5.2.2).
 //
 // A node is a component owned by an application peer: the application
-// implements simnet.Handler and delegates Chord traffic to the node via
+// implements runtime.Handler and delegates Chord traffic to the node via
 // HandleMessage/HandleRequest (both report whether they consumed the
 // input).
 package chord
 
 import (
 	"errors"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
 	"sync/atomic"
 
 	"flowercdn/internal/ids"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 )
 
 // Entry identifies a ring member: its network address and ring
 // position. The zero value is not meaningful; use NoEntry for "none".
 type Entry struct {
-	Node simnet.NodeID
+	Node runtime.NodeID
 	ID   ids.ID
 }
 
 // NoEntry is the sentinel for an absent entry.
-var NoEntry = Entry{Node: simnet.None}
+var NoEntry = Entry{Node: runtime.None}
 
 // Valid reports whether the entry names a node.
-func (e Entry) Valid() bool { return e.Node != simnet.None }
+func (e Entry) Valid() bool { return e.Node != runtime.None }
 
 func (e Entry) String() string {
 	if !e.Valid() {
@@ -92,17 +92,17 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		SuccessorListLen:   8,
-		StabilizeInterval:  30 * sim.Second,
-		FixFingersInterval: 40 * sim.Second,
+		StabilizeInterval:  30 * runtime.Second,
+		FixFingersInterval: 40 * runtime.Second,
 		FingersPerFix:      4,
-		FingerPingInterval: 20 * sim.Second,
+		FingerPingInterval: 20 * runtime.Second,
 		FingersPerPing:     4,
-		CheckPredInterval:  45 * sim.Second,
-		RPCTimeout:         2 * sim.Second,
+		CheckPredInterval:  45 * runtime.Second,
+		RPCTimeout:         2 * runtime.Second,
 		MaxHops:            2 * ids.Bits,
-		LookupTimeout:      5 * sim.Second,
+		LookupTimeout:      5 * runtime.Second,
 		LookupRetries:      3,
-		ClaimTTL:           30 * sim.Second,
+		ClaimTTL:           30 * runtime.Second,
 	}
 }
 
@@ -137,7 +137,7 @@ type App interface {
 	// OnRouted runs at the node that terminates routing for key. origin
 	// is the network address that issued Route (it may not be a ring
 	// member); hops is the number of overlay forwardings taken.
-	OnRouted(key ids.ID, payload any, origin simnet.NodeID, hops int)
+	OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int)
 }
 
 // Errors reported by lookups and joins.
@@ -155,7 +155,7 @@ type routeMsg struct {
 	Key     ids.ID
 	Payload any    // nil for pure lookups
 	ReqID   uint64 // nonzero: owner must send lookupReply to Origin
-	Origin  simnet.NodeID
+	Origin  runtime.NodeID
 	Hops    int
 	Deliver bool // set on the final hop: receiver is the owner
 }
@@ -210,7 +210,7 @@ type claimTransfer struct {
 
 type pendingLookup struct {
 	cb      func(owner Entry, hops int, err error)
-	timer   *sim.Timer
+	timer   runtime.Timer
 	retries int
 	key     ids.ID
 }
@@ -253,9 +253,9 @@ func (r *resolver) consumeReply(m lookupReply) bool {
 type Node struct {
 	resolver
 	cfg  Config
-	net  *simnet.Network
-	eng  *sim.Engine
-	rng  *sim.RNG
+	net  runtime.Transport
+	eng  runtime.Clock
+	rng  *rnd.RNG
 	app  App
 	self Entry
 
@@ -273,7 +273,7 @@ type Node struct {
 	// succ == self forever, invisible to the ring.
 	contacts []Entry
 
-	timers  []*sim.PeriodicTimer
+	timers  []runtime.Ticker
 	stopped bool
 	started bool
 }
@@ -287,7 +287,7 @@ type claim struct {
 // that will sit at ring position ringID. Call Create or Join to enter a
 // ring, after which the component must see all chord traffic via
 // HandleMessage/HandleRequest.
-func NewNode(cfg Config, net *simnet.Network, rng *sim.RNG, app App, nodeID simnet.NodeID, ringID ids.ID) (*Node, error) {
+func NewNode(cfg Config, net runtime.Transport, rng *rnd.RNG, app App, nodeID runtime.NodeID, ringID ids.ID) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -297,7 +297,7 @@ func NewNode(cfg Config, net *simnet.Network, rng *sim.RNG, app App, nodeID simn
 	n := &Node{
 		cfg:     cfg,
 		net:     net,
-		eng:     net.Engine(),
+		eng:     net.Clock(),
 		rng:     rng,
 		app:     app,
 		self:    Entry{Node: nodeID, ID: ringID},

@@ -2,41 +2,42 @@ package chord
 
 import (
 	"errors"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/simrt"
 	"fmt"
 	"sort"
 	"testing"
 
 	"flowercdn/internal/ids"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 )
 
 // testPeer is the minimal application peer wrapping a chord Node.
 type testPeer struct {
 	node   *Node
-	nid    simnet.NodeID
+	nid    runtime.NodeID
 	routed []routedRecord
 }
 
 type routedRecord struct {
 	key    ids.ID
-	origin simnet.NodeID
+	origin runtime.NodeID
 	hops   int
 	pay    any
 }
 
-func (p *testPeer) OnRouted(key ids.ID, payload any, origin simnet.NodeID, hops int) {
+func (p *testPeer) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int) {
 	p.routed = append(p.routed, routedRecord{key: key, origin: origin, hops: hops, pay: payload})
 }
 
-func (p *testPeer) HandleMessage(from simnet.NodeID, msg any) {
+func (p *testPeer) HandleMessage(from runtime.NodeID, msg any) {
 	if p.node.HandleMessage(from, msg) {
 		return
 	}
 }
 
-func (p *testPeer) HandleRequest(from simnet.NodeID, req any) (any, error) {
+func (p *testPeer) HandleRequest(from runtime.NodeID, req any) (any, error) {
 	if resp, err, ok := p.node.HandleRequest(from, req); ok {
 		return resp, err
 	}
@@ -45,22 +46,22 @@ func (p *testPeer) HandleRequest(from simnet.NodeID, req any) (any, error) {
 
 type ringFixture struct {
 	t     *testing.T
-	eng   *sim.Engine
-	net   *simnet.Network
-	rng   *sim.RNG
+	eng   *simrt.Runtime
+	net   runtime.Transport
+	rng   *rnd.RNG
 	cfg   Config
 	peers []*testPeer
 }
 
 func newRing(t *testing.T, seed uint64) *ringFixture {
 	t.Helper()
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(seed)
+	rng := rnd.New(seed)
 	topo := topology.MustNew(topology.DefaultConfig(), rng)
+	eng := simrt.New(topo)
 	return &ringFixture{
 		t:   t,
 		eng: eng,
-		net: simnet.New(eng, topo),
+		net: eng.Net(),
 		rng: rng,
 		cfg: DefaultConfig(),
 	}
@@ -103,12 +104,12 @@ func (f *ringFixture) addPeer(id ids.ID) *testPeer {
 					return
 				}
 				if attempts < 3 {
-					f.eng.Schedule(10*sim.Second, try)
+					f.eng.Schedule(10*runtime.Second, try)
 				}
 			})
 		}
 		try()
-		f.eng.Run(f.eng.Now() + 2*sim.Minute)
+		f.eng.Run(f.eng.Now() + 2*runtime.Minute)
 		if !joined {
 			// Churny rings can defeat a join; treat the peer as dead so
 			// consistency checks skip it.
@@ -179,7 +180,7 @@ func (f *ringFixture) checkRingConsistent() {
 func TestSingleNodeRingOwnsEverything(t *testing.T) {
 	f := newRing(t, 1)
 	p := f.addPeer(ids.ID(1000))
-	f.settle(2 * sim.Minute)
+	f.settle(2 * runtime.Minute)
 	var owner Entry
 	p.node.Lookup(ids.ID(12345), func(o Entry, _ int, err error) {
 		if err != nil {
@@ -187,7 +188,7 @@ func TestSingleNodeRingOwnsEverything(t *testing.T) {
 		}
 		owner = o
 	})
-	f.settle(10 * sim.Second)
+	f.settle(10 * runtime.Second)
 	if owner.Node != p.nid {
 		t.Fatalf("single node should own all keys, got %s", owner)
 	}
@@ -199,7 +200,7 @@ func TestRingFormsAndStabilizes(t *testing.T) {
 	for _, id := range idsList {
 		f.addPeer(id)
 	}
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	f.checkRingConsistent()
 	// Predecessors must also be consistent.
 	alive := f.aliveSorted()
@@ -216,7 +217,7 @@ func TestLookupFindsCorrectOwner(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		f.addPeer(ids.HashString(fmt.Sprintf("node-%d", i)))
 	}
-	f.settle(10 * sim.Minute)
+	f.settle(10 * runtime.Minute)
 	f.checkRingConsistent()
 
 	misses := 0
@@ -227,7 +228,7 @@ func TestLookupFindsCorrectOwner(t *testing.T) {
 		var got Entry
 		var gerr error
 		src.node.Lookup(key, func(o Entry, hops int, err error) { got, gerr = o, err })
-		f.settle(sim.Minute)
+		f.settle(runtime.Minute)
 		if gerr != nil {
 			t.Fatalf("lookup error: %v", gerr)
 		}
@@ -246,7 +247,7 @@ func TestLookupHopCountLogarithmic(t *testing.T) {
 	for i := 0; i < n; i++ {
 		f.addPeer(ids.HashString(fmt.Sprintf("n%d", i)))
 	}
-	f.settle(20 * sim.Minute) // let fingers build
+	f.settle(20 * runtime.Minute) // let fingers build
 	total, count := 0, 0
 	for trial := 0; trial < 40; trial++ {
 		key := ids.ID(f.rng.Uint64())
@@ -257,7 +258,7 @@ func TestLookupHopCountLogarithmic(t *testing.T) {
 				count++
 			}
 		})
-		f.settle(30 * sim.Second)
+		f.settle(30 * runtime.Second)
 	}
 	if count < 35 {
 		t.Fatalf("only %d/40 lookups completed", count)
@@ -275,7 +276,7 @@ func TestRingHealsAfterFailures(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		f.addPeer(ids.HashString(fmt.Sprintf("peer%d", i)))
 	}
-	f.settle(10 * sim.Minute)
+	f.settle(10 * runtime.Minute)
 	// Kill 4 peers, including adjacent ones.
 	alive := f.aliveSorted()
 	for _, idx := range []int{1, 2, 7, 10} {
@@ -283,7 +284,7 @@ func TestRingHealsAfterFailures(t *testing.T) {
 		p.node.Stop()
 		f.net.Fail(p.nid)
 	}
-	f.settle(10 * sim.Minute)
+	f.settle(10 * runtime.Minute)
 	f.checkRingConsistent()
 	// Lookups route correctly again.
 	for trial := 0; trial < 20; trial++ {
@@ -296,7 +297,7 @@ func TestRingHealsAfterFailures(t *testing.T) {
 				got = o
 			}
 		})
-		f.settle(sim.Minute)
+		f.settle(runtime.Minute)
 		if got.Node != want.nid {
 			t.Fatalf("post-failure lookup for %s: got %v, want %v", key, got, want.node.Self())
 		}
@@ -308,12 +309,12 @@ func TestRoutePayloadReachesOwner(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		f.addPeer(ids.HashString(fmt.Sprintf("r%d", i)))
 	}
-	f.settle(10 * sim.Minute)
+	f.settle(10 * runtime.Minute)
 	key := ids.ID(f.rng.Uint64())
 	want := f.wantOwner(key)
 	src := f.peers[0]
 	src.node.Route(key, "query-payload")
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	if len(want.routed) != 1 {
 		t.Fatalf("owner received %d routed messages, want 1", len(want.routed))
 	}
@@ -328,7 +329,7 @@ func TestClientLookupAndRoute(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		f.addPeer(ids.HashString(fmt.Sprintf("c%d", i)))
 	}
-	f.settle(10 * sim.Minute)
+	f.settle(10 * runtime.Minute)
 
 	// A non-member client.
 	cl := &clientPeer{}
@@ -353,13 +354,13 @@ func TestClientLookupAndRoute(t *testing.T) {
 		}
 		got = o
 	})
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	if got.Node != want.nid {
 		t.Fatalf("client lookup owner %v, want %v", got, want.node.Self())
 	}
 
 	c.RouteVia(gw, key, "from-client")
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	found := false
 	for _, r := range want.routed {
 		if r.pay == "from-client" && r.origin == cl.nid {
@@ -372,14 +373,14 @@ func TestClientLookupAndRoute(t *testing.T) {
 }
 
 type clientPeer struct {
-	nid    simnet.NodeID
+	nid    runtime.NodeID
 	client *Client
 }
 
-func (c *clientPeer) HandleMessage(from simnet.NodeID, msg any) {
+func (c *clientPeer) HandleMessage(from runtime.NodeID, msg any) {
 	c.client.HandleMessage(from, msg)
 }
-func (c *clientPeer) HandleRequest(simnet.NodeID, any) (any, error) {
+func (c *clientPeer) HandleRequest(runtime.NodeID, any) (any, error) {
 	return nil, errors.New("client has no rpcs")
 }
 
@@ -387,7 +388,7 @@ func TestLookupTimesOutWhenGatewayDead(t *testing.T) {
 	f := newRing(t, 8)
 	p := f.addPeer(1 << 40)
 	q := f.addPeer(1 << 50)
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	q.node.Stop()
 	f.net.Fail(q.nid)
 
@@ -401,7 +402,7 @@ func TestLookupTimesOutWhenGatewayDead(t *testing.T) {
 		gotErr = err
 		done = true
 	})
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	if !done {
 		t.Fatal("callback never ran")
 	}
@@ -415,7 +416,7 @@ func TestJoinAtVacantPosition(t *testing.T) {
 	f := newRing(t, 9)
 	a := f.addPeer(1 << 20)
 	f.addPeer(1 << 40)
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 
 	pos := ids.ID(1 << 30) // vacant, owned by the 1<<40 node
 	p := &testPeer{}
@@ -425,12 +426,12 @@ func TestJoinAtVacantPosition(t *testing.T) {
 	var joinErr error
 	done := false
 	n.JoinAt(a.node.Self(), func(_ Entry, err error) { joinErr, done = err, true })
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	if !done || joinErr != nil {
 		t.Fatalf("JoinAt: done=%v err=%v", done, joinErr)
 	}
 	f.peers = append(f.peers, p)
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	f.checkRingConsistent()
 	// The position now resolves to the new node.
 	var owner Entry
@@ -439,7 +440,7 @@ func TestJoinAtVacantPosition(t *testing.T) {
 			owner = o
 		}
 	})
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	if owner.Node != p.nid {
 		t.Fatalf("position owner %v after JoinAt, want new node", owner)
 	}
@@ -449,7 +450,7 @@ func TestJoinAtOccupiedPosition(t *testing.T) {
 	f := newRing(t, 10)
 	a := f.addPeer(1 << 20)
 	b := f.addPeer(1 << 30)
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 
 	p := &testPeer{}
 	p.nid = f.net.Join(p, f.net.Topology().Place(f.rng))
@@ -458,7 +459,7 @@ func TestJoinAtOccupiedPosition(t *testing.T) {
 	var gotErr error
 	var current Entry
 	n.JoinAt(a.node.Self(), func(cur Entry, err error) { current, gotErr = cur, err })
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	if !errors.Is(gotErr, ErrOccupied) {
 		t.Fatalf("err = %v, want ErrOccupied", gotErr)
 	}
@@ -471,7 +472,7 @@ func TestConcurrentClaimsOnlyOneWins(t *testing.T) {
 	f := newRing(t, 11)
 	a := f.addPeer(1 << 20)
 	f.addPeer(1 << 50)
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 
 	pos := ids.ID(1 << 40)
 	results := make(map[int]error)
@@ -485,7 +486,7 @@ func TestConcurrentClaimsOnlyOneWins(t *testing.T) {
 	mkJoiner(0)
 	mkJoiner(1)
 	mkJoiner(2)
-	f.settle(2 * sim.Minute)
+	f.settle(2 * runtime.Minute)
 	if len(results) != 3 {
 		t.Fatalf("only %d/3 claim attempts resolved", len(results))
 	}
@@ -506,7 +507,7 @@ func TestClaimExpiresWhenClaimantDies(t *testing.T) {
 	f := newRing(t, 12)
 	a := f.addPeer(1 << 20)
 	f.addPeer(1 << 50)
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 
 	pos := ids.ID(1 << 40)
 	// First claimant wins then dies before integrating.
@@ -523,7 +524,7 @@ func TestClaimExpiresWhenClaimantDies(t *testing.T) {
 				granted = resp.(claimResp).Granted
 			}
 		})
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	if !granted {
 		t.Fatal("setup: first claim not granted")
 	}
@@ -531,7 +532,7 @@ func TestClaimExpiresWhenClaimantDies(t *testing.T) {
 
 	// A rival is first denied (pointed at the dead claimant), which
 	// triggers the owner's liveness probe of the reservation.
-	f.settle(f.cfg.ClaimTTL + sim.Second)
+	f.settle(f.cfg.ClaimTTL + runtime.Second)
 	p2 := &testPeer{}
 	p2.nid = f.net.Join(p2, f.net.Topology().Place(f.rng))
 	n2, _ := NewNode(f.cfg, f.net, f.rng.Split("second"), p2, p2.nid, pos)
@@ -539,7 +540,7 @@ func TestClaimExpiresWhenClaimantDies(t *testing.T) {
 	var err2 error
 	done := false
 	n2.JoinAt(a.node.Self(), func(cur Entry, err error) { err2, done = err, true })
-	f.settle(2 * sim.Minute)
+	f.settle(2 * runtime.Minute)
 	if !done {
 		t.Fatal("second claim never resolved")
 	}
@@ -554,7 +555,7 @@ func TestClaimExpiresWhenClaimantDies(t *testing.T) {
 	var err3 error
 	done3 := false
 	n3.JoinAt(a.node.Self(), func(_ Entry, err error) { err3, done3 = err, true })
-	f.settle(2 * sim.Minute)
+	f.settle(2 * runtime.Minute)
 	if !done3 {
 		t.Fatal("retry claim never resolved")
 	}
@@ -568,7 +569,7 @@ func TestOwnsKey(t *testing.T) {
 	f.addPeer(100)
 	f.addPeer(200)
 	f.addPeer(300)
-	f.settle(10 * sim.Minute)
+	f.settle(10 * runtime.Minute)
 	alive := f.aliveSorted()
 	// Peer with ID 200 owns (100, 200]; it also answers for its
 	// predecessor's exact position 100 (replacement-claim serialization
@@ -612,7 +613,7 @@ func TestStopCancelsPendingLookups(t *testing.T) {
 	f := newRing(t, 14)
 	a := f.addPeer(1 << 20)
 	f.addPeer(1 << 40)
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	got := make(chan error, 1)
 	a.node.Lookup(ids.ID(1<<30), func(_ Entry, _ int, err error) {
 		select {
@@ -621,7 +622,7 @@ func TestStopCancelsPendingLookups(t *testing.T) {
 		}
 	})
 	a.node.Stop()
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	// Either the lookup completed before Stop took effect (reply already
 	// in flight resolves on arrival) or it error out; it must not hang.
 	select {

@@ -1,11 +1,11 @@
 package chord
 
 import (
+	"flowercdn/internal/runtime"
 	"fmt"
 	"testing"
 
 	"flowercdn/internal/ids"
-	"flowercdn/internal/sim"
 )
 
 // TestRingSurvivesSustainedChurn joins and fails nodes continuously and
@@ -17,7 +17,7 @@ func TestRingSurvivesSustainedChurn(t *testing.T) {
 	for i := 0; i < base; i++ {
 		f.addPeer(ids.HashString(fmt.Sprintf("base-%d", i)))
 	}
-	f.settle(10 * sim.Minute)
+	f.settle(10 * runtime.Minute)
 
 	// Churn: every 30 s one random peer fails and a new one joins.
 	next := base
@@ -30,13 +30,13 @@ func TestRingSurvivesSustainedChurn(t *testing.T) {
 		}
 		f.addPeer(ids.HashString(fmt.Sprintf("churn-%d", next)))
 		next++
-		f.settle(30 * sim.Second)
+		f.settle(30 * runtime.Second)
 	}
 	// Chord guarantees eventual consistency: give stabilization bounded
 	// time to converge after the churn stops, checking each round.
 	consistent := false
 	for round := 0; round < 40 && !consistent; round++ {
-		f.settle(sim.Minute)
+		f.settle(runtime.Minute)
 		consistent = f.ringConsistent()
 	}
 	if !consistent {
@@ -53,7 +53,7 @@ func TestRingSurvivesSustainedChurn(t *testing.T) {
 				got = o
 			}
 		})
-		f.settle(sim.Minute)
+		f.settle(runtime.Minute)
 		if got.Node != want.nid {
 			t.Fatalf("post-churn lookup wrong: got %v want %v", got, want.node.Self())
 		}
@@ -67,7 +67,7 @@ func TestClaimTransfersToNewPredecessor(t *testing.T) {
 	f := newRing(t, 41)
 	a := f.addPeer(1 << 20)
 	owner := f.addPeer(1 << 50) // owns (1<<20, 1<<50]
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 
 	// A claimant reserves pos at the owner but stalls before joining.
 	pos := ids.ID(1 << 45)
@@ -80,7 +80,7 @@ func TestClaimTransfersToNewPredecessor(t *testing.T) {
 				granted = resp.(claimResp).Granted
 			}
 		})
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	if !granted {
 		t.Fatal("setup: claim not granted")
 	}
@@ -88,7 +88,7 @@ func TestClaimTransfersToNewPredecessor(t *testing.T) {
 	// A new node integrates between the claimed position and the owner,
 	// becoming the position's new arc owner.
 	mid := f.addPeer(ids.ID(1<<45 + 1<<30))
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	if owner.node.Predecessor().Node != mid.nid {
 		t.Fatalf("setup: new node did not become predecessor (pred=%v)", owner.node.Predecessor())
 	}
@@ -103,7 +103,7 @@ func TestClaimTransfersToNewPredecessor(t *testing.T) {
 	var current Entry
 	done := false
 	n.JoinAt(a.node.Self(), func(cur Entry, err error) { current, gotErr, done = cur, err, true })
-	f.settle(2 * sim.Minute)
+	f.settle(2 * runtime.Minute)
 	if !done {
 		t.Fatal("rival claim never resolved")
 	}
@@ -121,7 +121,7 @@ func TestPingFingersEvictsDead(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		f.addPeer(ids.HashString(fmt.Sprintf("pf-%d", i)))
 	}
-	f.settle(20 * sim.Minute) // build fingers
+	f.settle(20 * runtime.Minute) // build fingers
 	src := f.aliveSorted()[0]
 	fingers := src.node.FingerTable()
 	if len(fingers) == 0 {
@@ -151,7 +151,7 @@ func TestOwnsKeyDeniesDuringHealing(t *testing.T) {
 	f := newRing(t, 43)
 	a := f.addPeer(100)
 	b := f.addPeer(200)
-	f.settle(10 * sim.Minute)
+	f.settle(10 * runtime.Minute)
 	// Simulate a cleared predecessor on b.
 	b.node.pred = NoEntry
 	if b.node.OwnsKey(150) {
@@ -169,7 +169,7 @@ func TestAnnounceRestoresVisibility(t *testing.T) {
 	f := newRing(t, 44)
 	a := f.addPeer(1 << 20)
 	b := f.addPeer(1 << 40)
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	// Surgically hide b: a forgets it entirely.
 	a.node.succs = []Entry{a.node.self}
 	a.node.pred = a.node.self
@@ -178,7 +178,7 @@ func TestAnnounceRestoresVisibility(t *testing.T) {
 	}
 	// b announces itself to a.
 	b.node.Announce(a.node.Self())
-	f.settle(5 * sim.Minute)
+	f.settle(5 * runtime.Minute)
 	f.checkRingConsistent()
 }
 
@@ -190,7 +190,7 @@ func TestLookupHopAccounting(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		f.addPeer(ids.HashString(fmt.Sprintf("h-%d", i)))
 	}
-	f.settle(20 * sim.Minute)
+	f.settle(20 * runtime.Minute)
 	src := f.aliveSorted()[0]
 	key := f.aliveSorted()[6].node.Self().ID // somebody else's exact ID
 	var hops int
@@ -203,11 +203,11 @@ func TestLookupHopAccounting(t *testing.T) {
 		hops = h
 		took = f.eng.Now() - start
 	})
-	f.settle(sim.Minute)
+	f.settle(runtime.Minute)
 	if hops < 1 {
 		t.Fatalf("hops = %d, want >= 1 for a remote key", hops)
 	}
-	if took <= 0 || took > 10*sim.Second {
+	if took <= 0 || took > 10*runtime.Second {
 		t.Fatalf("lookup took %d ms, outside plausible bounds", took)
 	}
 }

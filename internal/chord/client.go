@@ -2,8 +2,7 @@ package chord
 
 import (
 	"flowercdn/internal/ids"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
+	"flowercdn/internal/runtime"
 )
 
 // Client lets a peer that is NOT a ring member issue lookups and route
@@ -13,17 +12,17 @@ import (
 type Client struct {
 	resolver
 	cfg Config
-	net *simnet.Network
-	eng *sim.Engine
-	me  simnet.NodeID
+	net runtime.Transport
+	eng runtime.Clock
+	me  runtime.NodeID
 }
 
 // NewClient builds a lookup client for the peer at me.
-func NewClient(cfg Config, net *simnet.Network, me simnet.NodeID) (*Client, error) {
+func NewClient(cfg Config, net runtime.Transport, me runtime.NodeID) (*Client, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Client{cfg: cfg, net: net, eng: net.Engine(), me: me}
+	c := &Client{cfg: cfg, net: net, eng: net.Clock(), me: me}
 	c.resolver.init()
 	return c, nil
 }
@@ -69,7 +68,7 @@ func (c *Client) RouteVia(gateway Entry, key ids.ID, payload any) {
 
 // HandleMessage consumes lookup replies addressed to this client. It
 // reports whether the message was Chord client traffic.
-func (c *Client) HandleMessage(_ simnet.NodeID, msg any) bool {
+func (c *Client) HandleMessage(_ runtime.NodeID, msg any) bool {
 	if m, ok := msg.(lookupReply); ok {
 		return c.consumeReply(m)
 	}

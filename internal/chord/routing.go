@@ -2,7 +2,7 @@ package chord
 
 import (
 	"flowercdn/internal/ids"
-	"flowercdn/internal/simnet"
+	"flowercdn/internal/runtime"
 )
 
 // Lookup resolves the owner (successor) of key, retrying on timeout.
@@ -148,7 +148,7 @@ func (n *Node) closestPreceding(key ids.ID) Entry {
 // HandleMessage consumes Chord one-way messages. It reports whether the
 // message belonged to Chord; the owning peer tries other components
 // when it returns false.
-func (n *Node) HandleMessage(from simnet.NodeID, msg any) bool {
+func (n *Node) HandleMessage(from runtime.NodeID, msg any) bool {
 	switch m := msg.(type) {
 	case routeMsg:
 		n.routeStep(m)
@@ -168,7 +168,7 @@ func (n *Node) HandleMessage(from simnet.NodeID, msg any) bool {
 
 // HandleRequest consumes Chord RPCs; handled reports whether the
 // request was Chord traffic.
-func (n *Node) HandleRequest(from simnet.NodeID, req any) (resp any, err error, handled bool) {
+func (n *Node) HandleRequest(from runtime.NodeID, req any) (resp any, err error, handled bool) {
 	switch r := req.(type) {
 	case neighborsReq:
 		resp, err = n.onNeighbors()

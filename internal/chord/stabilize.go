@@ -1,10 +1,10 @@
 package chord
 
 import (
+	"flowercdn/internal/runtime"
 	"sort"
 
 	"flowercdn/internal/ids"
-	"flowercdn/internal/simnet"
 )
 
 // stabilize is Chord's periodic successor repair: ask the successor for
@@ -137,7 +137,7 @@ func (n *Node) mergeSuccList(succ Entry, theirs []Entry) {
 	n.succs = list
 }
 
-func containsNode(list []Entry, node simnet.NodeID) bool {
+func containsNode(list []Entry, node runtime.NodeID) bool {
 	for _, e := range list {
 		if e.Node == node {
 			return true
@@ -308,7 +308,7 @@ func (n *Node) pingFingers() {
 	}
 	// Collect distinct finger nodes in table order.
 	var nodes []Entry
-	seen := make(map[simnet.NodeID]struct{}, n.cfg.FingersPerPing*2)
+	seen := make(map[runtime.NodeID]struct{}, n.cfg.FingersPerPing*2)
 	for _, f := range n.fingers {
 		if !f.Valid() || f.Node == n.self.Node {
 			continue

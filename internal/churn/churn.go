@@ -10,9 +10,9 @@
 package churn
 
 import (
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
-
-	"flowercdn/internal/sim"
 )
 
 // Config controls the churn process.
@@ -25,7 +25,7 @@ type Config struct {
 
 // DefaultConfig returns Table 1's churn parameters for P = 3000.
 func DefaultConfig() Config {
-	return Config{TargetPopulation: 3000, MeanUptime: 60 * sim.Minute}
+	return Config{TargetPopulation: 3000, MeanUptime: 60 * runtime.Minute}
 }
 
 // Validate checks the configuration.
@@ -54,18 +54,18 @@ func (c Config) MeanInterarrival() int64 {
 // nil to decline the arrival (e.g. after the run's cool-down).
 type Process struct {
 	cfg   Config
-	eng   *sim.Engine
-	rng   *sim.RNG
+	eng   runtime.Clock
+	rng   *rnd.RNG
 	spawn func() (kill func())
 
 	arrivals uint64
 	failures uint64
-	ticker   *sim.Timer
+	ticker   runtime.Timer
 	stopped  bool
 }
 
 // NewProcess builds a churn process; Start must be called to begin.
-func NewProcess(cfg Config, eng *sim.Engine, rng *sim.RNG, spawn func() func()) (*Process, error) {
+func NewProcess(cfg Config, eng runtime.Clock, rng *rnd.RNG, spawn func() func()) (*Process, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

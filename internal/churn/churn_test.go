@@ -34,10 +34,10 @@ func TestMeanInterarrival(t *testing.T) {
 func TestNewProcessValidation(t *testing.T) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(1)
-	if _, err := NewProcess(Config{}, eng, rng, func() func() { return nil }); err == nil {
+	if _, err := NewProcess(Config{}, eng.Clock(), rng, func() func() { return nil }); err == nil {
 		t.Fatal("invalid config accepted")
 	}
-	if _, err := NewProcess(DefaultConfig(), eng, rng, nil); err == nil {
+	if _, err := NewProcess(DefaultConfig(), eng.Clock(), rng, nil); err == nil {
 		t.Fatal("nil spawn accepted")
 	}
 }
@@ -49,7 +49,7 @@ func TestPopulationConvergesToTarget(t *testing.T) {
 	rng := sim.NewRNG(2)
 	cfg := Config{TargetPopulation: 500, MeanUptime: 30 * sim.Minute}
 	alive := 0
-	p, err := NewProcess(cfg, eng, rng, func() func() {
+	p, err := NewProcess(cfg, eng.Clock(), rng, func() func() {
 		alive++
 		return func() { alive-- }
 	})
@@ -74,7 +74,7 @@ func TestSpawnInitialSeedsImmediately(t *testing.T) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(3)
 	alive := 0
-	p, _ := NewProcess(Config{TargetPopulation: 100, MeanUptime: sim.Hour}, eng, rng, func() func() {
+	p, _ := NewProcess(Config{TargetPopulation: 100, MeanUptime: sim.Hour}, eng.Clock(), rng, func() func() {
 		alive++
 		return func() { alive-- }
 	})
@@ -99,7 +99,7 @@ func TestStopHaltsArrivals(t *testing.T) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(4)
 	spawned := 0
-	p, _ := NewProcess(Config{TargetPopulation: 1000, MeanUptime: sim.Hour}, eng, rng, func() func() {
+	p, _ := NewProcess(Config{TargetPopulation: 1000, MeanUptime: sim.Hour}, eng.Clock(), rng, func() func() {
 		spawned++
 		return func() {}
 	})
@@ -116,7 +116,7 @@ func TestStopHaltsArrivals(t *testing.T) {
 func TestNilKillDeclinesArrival(t *testing.T) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(5)
-	p, _ := NewProcess(Config{TargetPopulation: 100, MeanUptime: sim.Hour}, eng, rng, func() func() {
+	p, _ := NewProcess(Config{TargetPopulation: 100, MeanUptime: sim.Hour}, eng.Clock(), rng, func() func() {
 		return nil // decline every arrival
 	})
 	p.SpawnInitial(10)
@@ -132,7 +132,7 @@ func TestNilKillDeclinesArrival(t *testing.T) {
 func TestLifetimeDistribution(t *testing.T) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(6)
-	p, _ := NewProcess(DefaultConfig(), eng, rng, func() func() { return func() {} })
+	p, _ := NewProcess(DefaultConfig(), eng.Clock(), rng, func() func() { return func() {} })
 	var sum float64
 	const n = 20000
 	for i := 0; i < n; i++ {

@@ -2,11 +2,11 @@ package flower
 
 import (
 	"errors"
+	"flowercdn/internal/runtime"
 	"fmt"
 
 	"flowercdn/internal/chord"
 	"flowercdn/internal/gossip"
-	"flowercdn/internal/sim"
 )
 
 // Config gathers every protocol parameter of Flower-CDN and PetalUp-CDN.
@@ -66,11 +66,11 @@ func DefaultConfig() Config {
 	return Config{
 		Chord:             chord.DefaultConfig(),
 		Gossip:            gossip.DefaultConfig(),
-		KeepaliveInterval: 1 * sim.Hour,
+		KeepaliveInterval: 1 * runtime.Hour,
 		MemberTTLFactor:   1.6,
 		PushThreshold:     0.5,
-		AuditInterval:     4 * sim.Minute,
-		QueryTimeout:      10 * sim.Second,
+		AuditInterval:     4 * runtime.Minute,
+		QueryTimeout:      10 * runtime.Second,
 		QueryRetries:      3,
 		GossipCandidates:  3,
 		ProviderAttempts:  2,

@@ -1,6 +1,7 @@
 package flower
 
 import (
+	"flowercdn/internal/runtime"
 	"fmt"
 	"sort"
 
@@ -9,8 +10,6 @@ import (
 	"flowercdn/internal/dring"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/ids"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 )
 
 // directoryState is the extra state a peer carries while holding a
@@ -23,16 +22,16 @@ type directoryState struct {
 	pos      ids.ID
 	instance int
 
-	index   map[content.Key]map[simnet.NodeID]struct{}
-	members map[simnet.NodeID]*memberInfo
+	index   map[content.Key]map[runtime.NodeID]struct{}
+	members map[runtime.NodeID]*memberInfo
 
 	// oldSummaries is the gossip-view snapshot taken at promotion.
 	oldSummaries []gossip.Entry
 	// summaryDeadline is when oldSummaries stop being trusted.
 	summaryDeadline int64
 
-	sweep *sim.PeriodicTimer
-	audit *sim.PeriodicTimer
+	sweep runtime.Ticker
+	audit runtime.Ticker
 
 	// pendingPromotion guards against promoting several members at
 	// once; it names the instance being created and when the attempt
@@ -96,7 +95,7 @@ func (p *Peer) becomeFoundingDirectory(pos ids.ID) {
 // with rivals through the claim protocol. done (optional) receives the
 // outcome; on errors `current` names the node holding or winning the
 // position when known.
-func (p *Peer) claimDirectoryPosition(pos ids.ID, exclude simnet.NodeID, done func(current chord.Entry, err error)) {
+func (p *Peer) claimDirectoryPosition(pos ids.ID, exclude runtime.NodeID, done func(current chord.Entry, err error)) {
 	if p.dead || p.chordNode != nil {
 		if done != nil {
 			done(chord.NoEntry, fmt.Errorf("flower: peer cannot claim (dead or already on ring)"))
@@ -145,8 +144,8 @@ func (p *Peer) becomeDirectory(pos ids.ID) {
 	p.dir = &directoryState{
 		pos:      pos,
 		instance: dring.InstanceOf(pos),
-		index:    make(map[content.Key]map[simnet.NodeID]struct{}),
-		members:  make(map[simnet.NodeID]*memberInfo),
+		index:    make(map[content.Key]map[runtime.NodeID]struct{}),
+		members:  make(map[runtime.NodeID]*memberInfo),
 	}
 	// Keep the content summaries gathered while a content peer; they
 	// answer queries until pushes rebuild the index (Sec. 5.2.2: "p can
@@ -264,12 +263,12 @@ func (p *Peer) demoteToContentPeer(winner chord.Entry) {
 	p.sys.demotions++
 	p.sys.unregisterDirectory(p.nid)
 	p.dirInfo = DirInfo{Pos: winner.ID, Node: winner.Node, Age: 0}
-	p.syncedDir = simnet.None
+	p.syncedDir = runtime.None
 	p.startKeepalive()
 	p.maybePush()
 }
 
-func (p *Peer) removeMember(nid simnet.NodeID) {
+func (p *Peer) removeMember(nid runtime.NodeID) {
 	m, ok := p.dir.members[nid]
 	if !ok {
 		return
@@ -286,7 +285,7 @@ func (p *Peer) removeMember(nid simnet.NodeID) {
 }
 
 // admitMember records (or refreshes) a content peer in the view.
-func (p *Peer) admitMember(nid simnet.NodeID) *memberInfo {
+func (p *Peer) admitMember(nid runtime.NodeID) *memberInfo {
 	m, ok := p.dir.members[nid]
 	if !ok {
 		m = &memberInfo{keys: make(map[content.Key]struct{})}
@@ -300,7 +299,7 @@ func (p *Peer) admitMember(nid simnet.NodeID) *memberInfo {
 
 var errNotDirectory = fmt.Errorf("flower: not a directory peer")
 
-func (p *Peer) onKeepalive(from simnet.NodeID, _ keepaliveReq) (any, error) {
+func (p *Peer) onKeepalive(from runtime.NodeID, _ keepaliveReq) (any, error) {
 	if p.dir == nil {
 		return nil, errNotDirectory
 	}
@@ -308,7 +307,7 @@ func (p *Peer) onKeepalive(from simnet.NodeID, _ keepaliveReq) (any, error) {
 	return keepaliveResp{}, nil
 }
 
-func (p *Peer) onPush(from simnet.NodeID, r pushReq) (any, error) {
+func (p *Peer) onPush(from runtime.NodeID, r pushReq) (any, error) {
 	if p.dir == nil {
 		return nil, errNotDirectory
 	}
@@ -317,7 +316,7 @@ func (p *Peer) onPush(from simnet.NodeID, r pushReq) (any, error) {
 		m.keys[k] = struct{}{}
 		ps, ok := p.dir.index[k]
 		if !ok {
-			ps = make(map[simnet.NodeID]struct{})
+			ps = make(map[runtime.NodeID]struct{})
 			p.dir.index[k] = ps
 		}
 		ps[from] = struct{}{}
@@ -325,7 +324,7 @@ func (p *Peer) onPush(from simnet.NodeID, r pushReq) (any, error) {
 	return pushResp{}, nil
 }
 
-func (p *Peer) onMemberQuery(from simnet.NodeID, r dirQueryReq) (any, error) {
+func (p *Peer) onMemberQuery(from runtime.NodeID, r dirQueryReq) (any, error) {
 	if p.dir == nil {
 		return nil, errNotDirectory
 	}
@@ -358,7 +357,7 @@ func (p *Peer) collabSiblings() []chord.Entry {
 	}
 	const maxSiblings = 5 // at most k-1 other localities matter
 	var out []chord.Entry
-	seen := map[simnet.NodeID]bool{p.nid: true}
+	seen := map[runtime.NodeID]bool{p.nid: true}
 	consider := func(e chord.Entry) {
 		if len(out) >= maxSiblings || !e.Valid() || seen[e.Node] {
 			return
@@ -380,7 +379,7 @@ func (p *Peer) collabSiblings() []chord.Entry {
 // peer's old content summaries. Providers are ordered by latency to the
 // asking client — the locality-aware server selection that keeps
 // transfer distances short. The asker itself is never returned.
-func (d *directoryState) lookupProviders(p *Peer, key content.Key, asker simnet.NodeID) (providers []simnet.NodeID, fromSummary bool) {
+func (d *directoryState) lookupProviders(p *Peer, key content.Key, asker runtime.NodeID) (providers []runtime.NodeID, fromSummary bool) {
 	if ps, ok := d.index[key]; ok {
 		for nid := range ps {
 			if nid != asker {
@@ -418,9 +417,9 @@ func (d *directoryState) lookupProviders(p *Peer, key content.Key, asker simnet.
 // with exact-set summaries built from pushed keys (Sec. 4: a directory
 // "provides them with a subset of its old view so that they initialize
 // their view of the petal").
-func (p *Peer) viewSeed(exclude simnet.NodeID) []gossip.Entry {
+func (p *Peer) viewSeed(exclude runtime.NodeID) []gossip.Entry {
 	const seedSize = 8
-	var nids []simnet.NodeID
+	var nids []runtime.NodeID
 	for nid := range p.dir.members {
 		if nid != exclude {
 			nids = append(nids, nid)
@@ -466,7 +465,7 @@ func (p *Peer) viewSeed(exclude simnet.NodeID) []gossip.Entry {
 
 // OnRouted implements chord.App: a clientQueryMsg routed over D-ring
 // lands here, at the node owning the queried position's arc.
-func (p *Peer) OnRouted(key ids.ID, payload any, origin simnet.NodeID, hops int) {
+func (p *Peer) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int) {
 	m, ok := payload.(clientQueryMsg)
 	if !ok || p.dead {
 		return
@@ -549,14 +548,14 @@ func (p *Peer) maybePromoteInstance(pos ids.ID) {
 	// Pick the most recently seen member: likeliest to be alive. Ties
 	// (same millisecond) break by NodeID so the choice never depends on
 	// map-iteration order.
-	var best simnet.NodeID = simnet.None
+	var best runtime.NodeID = runtime.None
 	var bestSeen int64 = -1
 	for nid, m := range d.members {
 		if m.lastSeen > bestSeen || (m.lastSeen == bestSeen && nid < best) {
 			best, bestSeen = nid, m.lastSeen
 		}
 	}
-	if best == simnet.None {
+	if best == runtime.None {
 		return
 	}
 	d.pendingPromotionPos = pos
@@ -570,7 +569,7 @@ func (p *Peer) onPromote(m promoteMsg) {
 		return
 	}
 	oldDir := p.dirInfo.Node
-	p.claimDirectoryPosition(m.Pos, simnet.None, func(current chord.Entry, err error) {
+	p.claimDirectoryPosition(m.Pos, runtime.None, func(current chord.Entry, err error) {
 		if p.dead {
 			return
 		}
@@ -581,14 +580,14 @@ func (p *Peer) onPromote(m promoteMsg) {
 		// Tell the old directory so it removes us from its index
 		// (Sec. 4: "the replacing content peer is then removed from the
 		// directory-index of d^i").
-		if oldDir != simnet.None {
+		if oldDir != runtime.None {
 			p.net().Send(p.nid, oldDir, promotedMsg{NewDir: p.selfEntry()})
 		}
 	})
 }
 
 // onPromoted runs at the old directory when its promotee integrated.
-func (p *Peer) onPromoted(from simnet.NodeID, m promotedMsg) {
+func (p *Peer) onPromoted(from runtime.NodeID, m promotedMsg) {
 	if p.dir == nil {
 		return
 	}
@@ -607,15 +606,15 @@ func (p *Peer) Leave() {
 		return
 	}
 	if p.dir != nil {
-		var best simnet.NodeID = simnet.None
+		var best runtime.NodeID = runtime.None
 		var bestSeen int64 = -1
 		for nid, m := range p.dir.members {
 			if m.lastSeen > bestSeen || (m.lastSeen == bestSeen && nid < best) {
 				best, bestSeen = nid, m.lastSeen
 			}
 		}
-		if best != simnet.None {
-			h := handoffMsg{Pos: p.dir.pos, Index: make(map[content.Key][]simnet.NodeID, len(p.dir.index))}
+		if best != runtime.None {
+			h := handoffMsg{Pos: p.dir.pos, Index: make(map[content.Key][]runtime.NodeID, len(p.dir.index))}
 			for k, ps := range p.dir.index {
 				for nid := range ps {
 					h.Index[k] = append(h.Index[k], nid)
@@ -641,7 +640,7 @@ func (p *Peer) onHandoff(m handoffMsg) {
 	}
 	index := m.Index
 	members := m.Members
-	p.claimDirectoryPosition(m.Pos, simnet.None, func(current chord.Entry, err error) {
+	p.claimDirectoryPosition(m.Pos, runtime.None, func(current chord.Entry, err error) {
 		if p.dead || err != nil {
 			return
 		}
@@ -654,7 +653,7 @@ func (p *Peer) onHandoff(m handoffMsg) {
 			p.dir.members[nid] = &memberInfo{lastSeen: now, keys: make(map[content.Key]struct{})}
 		}
 		for k, ps := range index {
-			set := make(map[simnet.NodeID]struct{}, len(ps))
+			set := make(map[runtime.NodeID]struct{}, len(ps))
 			for _, nid := range ps {
 				if nid == p.nid {
 					continue

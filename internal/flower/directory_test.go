@@ -1,6 +1,7 @@
 package flower
 
 import (
+	"flowercdn/internal/runtime"
 	"testing"
 
 	"flowercdn/internal/chord"
@@ -9,8 +10,6 @@ import (
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 )
 
@@ -58,13 +57,13 @@ func TestLookupProvidersOrderingAndCap(t *testing.T) {
 		m := f.spawn(0, 0)
 		members = append(members, m)
 	}
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	for _, m := range members {
 		mi := dir.admitMember(m.NodeID())
 		mi.keys[key] = struct{}{}
 		ps, ok := d.index[key]
 		if !ok {
-			ps = map[simnet.NodeID]struct{}{}
+			ps = map[runtime.NodeID]struct{}{}
 			d.index[key] = ps
 		}
 		ps[m.NodeID()] = struct{}{}
@@ -98,12 +97,12 @@ func TestLookupProvidersFallsBackToSummaries(t *testing.T) {
 	d := dir.Directory()
 	key := content.Key{Site: 1, Object: 9}
 	other := f.spawn(1, 0)
-	f.run(2 * sim.Minute)
+	f.run(2 * runtime.Minute)
 	// No index entry, but an old summary claims `other` holds the key.
 	store := content.NewStore()
 	store.Add(key)
 	d.oldSummaries = append(d.oldSummaries, gossipEntryFor(other.NodeID(), store))
-	providers, fromSummary := d.lookupProviders(dir, key, simnet.NodeID(9999))
+	providers, fromSummary := d.lookupProviders(dir, key, runtime.NodeID(9999))
 	if !fromSummary {
 		t.Fatal("summary fallback not flagged")
 	}
@@ -117,7 +116,7 @@ func TestLookupProvidersFallsBackToSummaries(t *testing.T) {
 	}
 }
 
-func gossipEntryFor(nid simnet.NodeID, store *content.Store) gossip.Entry {
+func gossipEntryFor(nid runtime.NodeID, store *content.Store) gossip.Entry {
 	return gossip.Entry{Peer: nid, Meta: ContactMeta{Summary: store.Summary()}}
 }
 
@@ -129,8 +128,8 @@ func TestViewSeedIncludesDirectoryAndMembers(t *testing.T) {
 		m := f.spawn(0, 1)
 		_ = m
 	}
-	f.run(10 * sim.Minute)
-	seed := dir.viewSeed(simnet.NodeID(424242))
+	f.run(10 * runtime.Minute)
+	seed := dir.viewSeed(runtime.NodeID(424242))
 	foundSelf := false
 	for _, e := range seed {
 		if e.Peer == dir.NodeID() {
@@ -159,10 +158,10 @@ func TestMemberExpiryRemovesIndexEntries(t *testing.T) {
 	dir := f.findSeed(0, 0)
 	d := dir.Directory()
 	key := content.Key{Site: 0, Object: 3}
-	ghost := simnet.NodeID(31337) // never sends keepalives
+	ghost := runtime.NodeID(31337) // never sends keepalives
 	mi := dir.admitMember(ghost)
 	mi.keys[key] = struct{}{}
-	d.index[key] = map[simnet.NodeID]struct{}{ghost: {}}
+	d.index[key] = map[runtime.NodeID]struct{}{ghost: {}}
 	// Two sweeps beyond the TTL clear it.
 	f.run(3 * f.sys.cfg.KeepaliveInterval)
 	if _, ok := d.members[ghost]; ok {
@@ -179,11 +178,11 @@ func TestDeadProviderReportPrunesIndex(t *testing.T) {
 	dir := f.findSeed(0, 0)
 	d := dir.Directory()
 	key := content.Key{Site: 0, Object: 4}
-	dead := simnet.NodeID(777)
+	dead := runtime.NodeID(777)
 	mi := dir.admitMember(dead)
 	mi.keys[key] = struct{}{}
-	d.index[key] = map[simnet.NodeID]struct{}{dead: {}}
-	dir.HandleMessage(simnet.NodeID(1), deadProviderReport{Dead: dead})
+	d.index[key] = map[runtime.NodeID]struct{}{dead: {}}
+	dir.HandleMessage(runtime.NodeID(1), deadProviderReport{Dead: dead})
 	if _, ok := d.members[dead]; ok {
 		t.Fatal("reported-dead member still in view")
 	}
@@ -195,7 +194,7 @@ func TestDeadProviderReportPrunesIndex(t *testing.T) {
 func TestCollabSiblingsSameSiteOnly(t *testing.T) {
 	f := newFixture(t, 25, nil)
 	f.seedRing()
-	f.run(10 * sim.Minute) // let successor lists fill
+	f.run(10 * runtime.Minute) // let successor lists fill
 	dir := f.findSeed(1, 0)
 	sibs := dir.collabSiblings()
 	if len(sibs) == 0 {
@@ -212,7 +211,7 @@ func TestCollabSiblingsSameSiteOnly(t *testing.T) {
 	// Disabled collaboration returns nothing.
 	f2 := newFixture(t, 26, func(c *Config) { c.DirCollaboration = false })
 	f2.seedRing()
-	f2.run(10 * sim.Minute)
+	f2.run(10 * runtime.Minute)
 	if sibs := f2.findSeed(1, 0).collabSiblings(); len(sibs) != 0 {
 		t.Fatalf("collaboration disabled but siblings returned: %v", sibs)
 	}
@@ -223,8 +222,8 @@ func TestForeignQueryNotAdmitted(t *testing.T) {
 	f.seedRing()
 	dir := f.findSeed(0, 0)
 	before := dir.Directory().MemberCount()
-	if _, err := dir.HandleRequest(simnet.NodeID(555), dirQueryReq{
-		Key: content.Key{Site: 0, Object: 1}, Client: simnet.NodeID(555), Foreign: true,
+	if _, err := dir.HandleRequest(runtime.NodeID(555), dirQueryReq{
+		Key: content.Key{Site: 0, Object: 1}, Client: runtime.NodeID(555), Foreign: true,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -232,8 +231,8 @@ func TestForeignQueryNotAdmitted(t *testing.T) {
 		t.Fatal("foreign collab query was admitted to the member view")
 	}
 	// A native query IS admitted.
-	if _, err := dir.HandleRequest(simnet.NodeID(556), dirQueryReq{
-		Key: content.Key{Site: 0, Object: 1}, Client: simnet.NodeID(556),
+	if _, err := dir.HandleRequest(runtime.NodeID(556), dirQueryReq{
+		Key: content.Key{Site: 0, Object: 1}, Client: runtime.NodeID(556),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -246,12 +245,12 @@ func TestNonDirectoryRejectsDirectoryRPCs(t *testing.T) {
 	f := newFixture(t, 28, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	if c.Role() != RoleContent {
 		t.Fatal("setup: client did not join")
 	}
 	for _, req := range []any{keepaliveReq{}, pushReq{}, dirQueryReq{}} {
-		if _, err := c.HandleRequest(simnet.NodeID(1), req); err == nil {
+		if _, err := c.HandleRequest(runtime.NodeID(1), req); err == nil {
 			t.Fatalf("content peer accepted %T", req)
 		}
 	}
@@ -263,7 +262,7 @@ func TestDemotionYieldsToWinner(t *testing.T) {
 	dir := f.findSeed(2, 0)
 	// Fake a winning rival and demote.
 	winner := f.spawn(2, 0)
-	f.run(2 * sim.Minute)
+	f.run(2 * runtime.Minute)
 	entry := dirEntryOf(winner.NodeID(), dir.Directory().Pos())
 	dir.demoteToContentPeer(entry)
 	if dir.Role() != RoleContent {
@@ -292,13 +291,13 @@ func TestDirectClientQueryToWrongNodeRedirects(t *testing.T) {
 	// A content peer (not a directory) receives a direct client query:
 	// it must answer with a vacancy signal, not drop it.
 	c := f.spawn(0, 0)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	probe := newProbePeer(f)
 	c.HandleMessage(probe.nid, clientQueryMsg{
 		Seq: 99, Key: content.Key{Site: 0, Object: 1},
 		Client: probe.nid, Site: 0, Loc: c.Locality(),
 	})
-	f.run(sim.Minute)
+	f.run(runtime.Minute)
 	if len(probe.vacants) != 1 || probe.vacants[0].Seq != 99 {
 		t.Fatalf("wrong-node direct query not redirected: %+v", probe.vacants)
 	}
@@ -306,7 +305,7 @@ func TestDirectClientQueryToWrongNodeRedirects(t *testing.T) {
 
 // probePeer records protocol messages sent to it.
 type probePeer struct {
-	nid     simnet.NodeID
+	nid     runtime.NodeID
 	vacants []vacantResp
 	resps   []dirQueryResp
 }
@@ -317,7 +316,7 @@ func newProbePeer(f *fixture) *probePeer {
 	return p
 }
 
-func (p *probePeer) HandleMessage(_ simnet.NodeID, msg any) {
+func (p *probePeer) HandleMessage(_ runtime.NodeID, msg any) {
 	switch m := msg.(type) {
 	case vacantResp:
 		p.vacants = append(p.vacants, m)
@@ -326,11 +325,11 @@ func (p *probePeer) HandleMessage(_ simnet.NodeID, msg any) {
 	}
 }
 
-func (p *probePeer) HandleRequest(simnet.NodeID, any) (any, error) {
+func (p *probePeer) HandleRequest(runtime.NodeID, any) (any, error) {
 	return nil, nil
 }
 
-func dirEntryOf(nid simnet.NodeID, pos ids.ID) chord.Entry {
+func dirEntryOf(nid runtime.NodeID, pos ids.ID) chord.Entry {
 	return chord.Entry{Node: nid, ID: pos}
 }
 
@@ -340,7 +339,7 @@ func TestMetricsOutcomesAfterLongRun(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		f.spawn(0, 0)
 	}
-	f.run(3 * sim.Hour)
+	f.run(3 * runtime.Hour)
 	if f.coll.Count(metrics.Unresolved) > f.coll.Total()/10 {
 		t.Fatalf("too many unresolved queries: %d of %d",
 			f.coll.Count(metrics.Unresolved), f.coll.Total())

@@ -1,11 +1,11 @@
 package flower
 
 import (
+	"flowercdn/internal/rnd"
 	"fmt"
 
 	"flowercdn/internal/content"
 	"flowercdn/internal/proto"
-	"flowercdn/internal/sim"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
@@ -124,7 +124,7 @@ func newDriver(env proto.Env, opts proto.Options, petalUp bool) (proto.System, e
 type runtimeDriver struct {
 	sys          *System
 	env          proto.Env
-	idRNG        *sim.RNG
+	idRNG        *rnd.RNG
 	pickLocality func() topology.Locality
 }
 

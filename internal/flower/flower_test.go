@@ -1,14 +1,15 @@
 package flower
 
 import (
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/simrt"
 	"fmt"
 	"testing"
 
 	"flowercdn/internal/content"
 	"flowercdn/internal/dring"
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
@@ -17,9 +18,9 @@ import (
 // localities, fast maintenance timers.
 type fixture struct {
 	t       *testing.T
-	eng     *sim.Engine
-	net     *simnet.Network
-	rng     *sim.RNG
+	eng     *simrt.Runtime
+	net     runtime.Transport
+	rng     *rnd.RNG
 	work    *workload.Workload
 	origins *workload.Origins
 	coll    *metrics.Collector
@@ -29,28 +30,28 @@ type fixture struct {
 
 func newFixture(t *testing.T, seed uint64, mut func(*Config)) *fixture {
 	t.Helper()
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(seed)
+	rng := rnd.New(seed)
 	tcfg := topology.DefaultConfig()
 	tcfg.Localities = 2
 	topo := topology.MustNew(tcfg, rng.Split("topo"))
-	net := simnet.New(eng, topo)
+	eng := simrt.New(topo)
+	net := eng.Net()
 
 	wcfg := workload.DefaultConfig()
 	wcfg.Sites = 4
 	wcfg.ObjectsPerSite = 50
 	wcfg.ActiveSites = 3
-	wcfg.QueryMeanInterval = 2 * sim.Minute
+	wcfg.QueryMeanInterval = 2 * runtime.Minute
 	work, err := workload.New(wcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	origins := workload.NewOrigins(work, net, rng.Split("origins"))
-	coll := metrics.NewCollector(sim.Hour)
+	coll := metrics.NewCollector(runtime.Hour)
 
 	cfg := DefaultConfig()
-	cfg.Gossip.Period = 5 * sim.Minute
-	cfg.KeepaliveInterval = 10 * sim.Minute
+	cfg.Gossip.Period = 5 * runtime.Minute
+	cfg.KeepaliveInterval = 10 * runtime.Minute
 	if mut != nil {
 		mut(&cfg)
 	}
@@ -75,7 +76,7 @@ func (f *fixture) seedRing() {
 			})
 		}
 	}
-	f.run(10 * sim.Minute)
+	f.run(10 * runtime.Minute)
 	for _, p := range f.seeds {
 		if p.Role() != RoleDirectory {
 			f.t.Fatalf("seed %d (site %d loc %d) role = %v, want directory",
@@ -137,11 +138,11 @@ func TestDirInfoFresher(t *testing.T) {
 	if (DirInfo{Pos: dring.Position(1, 1, 0), Node: 9, Age: 0}).Fresher(cur) {
 		t.Fatal("different position must never merge")
 	}
-	orphan := DirInfo{Pos: pos, Node: simnet.None}
+	orphan := DirInfo{Pos: pos, Node: runtime.None}
 	if !(DirInfo{Pos: pos, Node: 9, Age: 7}).Fresher(orphan) {
 		t.Fatal("any valid record beats an orphaned one")
 	}
-	if (DirInfo{Pos: pos, Node: simnet.None, Age: 0}).Fresher(cur) {
+	if (DirInfo{Pos: pos, Node: runtime.None, Age: 0}).Fresher(cur) {
 		t.Fatal("invalid record is never fresher")
 	}
 }
@@ -166,7 +167,7 @@ func TestFirstQueryMissThenJoinPetal(t *testing.T) {
 	f := newFixture(t, 2, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	if c.Role() != RoleContent {
 		t.Fatalf("client role = %v after first query, want content", c.Role())
 	}
@@ -189,7 +190,7 @@ func TestPushPopulatesDirectoryIndex(t *testing.T) {
 	f := newFixture(t, 3, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	// Find the directory of c's petal and check the index holds c's key.
 	var dir *Peer
 	for _, p := range f.seeds {
@@ -213,7 +214,7 @@ func TestSecondClientGetsDirectoryHit(t *testing.T) {
 	f.seedRing()
 	// Client A populates the petal with Zipf-popular objects.
 	a := f.spawn(0, 0)
-	f.run(30 * sim.Minute)
+	f.run(30 * runtime.Minute)
 	_ = a
 	hitsBefore := f.coll.Hits()
 	// A wave of clients in the same petal: their queries should start
@@ -221,7 +222,7 @@ func TestSecondClientGetsDirectoryHit(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		f.spawn(0, 0)
 	}
-	f.run(40 * sim.Minute)
+	f.run(40 * runtime.Minute)
 	if f.coll.Hits() == hitsBefore {
 		t.Fatal("no P2P hits despite populated petal")
 	}
@@ -234,7 +235,7 @@ func TestGossipSummaryHits(t *testing.T) {
 		f.spawn(1, 1)
 	}
 	// Long run: petal members gossip summaries and resolve locally.
-	f.run(4 * sim.Hour)
+	f.run(4 * runtime.Hour)
 	if f.coll.Count(metrics.HitLocalGossip) == 0 {
 		t.Fatal("no gossip-path hits after hours of petal life")
 	}
@@ -250,7 +251,7 @@ func TestNonActiveSiteJoinOnly(t *testing.T) {
 	f := newFixture(t, 6, nil)
 	f.seedRing()
 	c := f.spawn(3, 0) // site 3 is inactive (ActiveSites=3 → 0,1,2)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	if c.Role() != RoleContent {
 		t.Fatalf("non-active peer role = %v, want content (joined petal)", c.Role())
 	}
@@ -273,7 +274,7 @@ func TestDirectoryFailureReplacedByContentPeer(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		members = append(members, f.spawn(0, 0))
 	}
-	f.run(30 * sim.Minute)
+	f.run(30 * runtime.Minute)
 	loc := members[0].Locality()
 	var dir *Peer
 	for _, p := range f.seeds {
@@ -324,9 +325,9 @@ func TestVacantPositionClaimedByNewClient(t *testing.T) {
 		}
 	}
 	dir.kill()
-	f.run(2 * sim.Minute)
+	f.run(2 * runtime.Minute)
 	c := f.spawn(2, 1)
-	f.run(10 * sim.Minute)
+	f.run(10 * runtime.Minute)
 	if c.Role() != RoleDirectory {
 		t.Fatalf("client role = %v, want directory (vacancy claim)", c.Role())
 	}
@@ -346,9 +347,9 @@ func TestPetalUpPromotesUnderLoad(t *testing.T) {
 	f.seedRing()
 	for i := 0; i < 12; i++ {
 		f.spawn(0, 0)
-		f.run(2 * sim.Minute)
+		f.run(2 * runtime.Minute)
 	}
-	f.run(30 * sim.Minute)
+	f.run(30 * runtime.Minute)
 	st := f.sys.Stats()
 	if st.DirPromotions == 0 {
 		t.Fatal("no PetalUp promotions despite load limit 3 and 12 arrivals")
@@ -373,12 +374,12 @@ func TestPetalUpScanReachesSecondInstance(t *testing.T) {
 	loc := topology.Locality(0)
 	for i := 0; i < 10; i++ {
 		f.spawn(0, loc)
-		f.run(3 * sim.Minute)
+		f.run(3 * runtime.Minute)
 	}
-	f.run(20 * sim.Minute)
+	f.run(20 * runtime.Minute)
 	// Some directory instance beyond 0 must exist for petal (0, loc).
 	found := false
-	f.net.ForEachAlive(func(id simnet.NodeID) {})
+	f.net.ForEachAlive(func(id runtime.NodeID) {})
 	// Inspect via stats: promotions imply instance >= 1 joined.
 	if f.sys.Stats().DirPromotions == 0 {
 		t.Fatal("expected at least one promotion")
@@ -393,7 +394,7 @@ func TestGracefulLeaveHandsOffDirectory(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		members = append(members, f.spawn(0, 0))
 	}
-	f.run(30 * sim.Minute)
+	f.run(30 * runtime.Minute)
 	loc := members[0].Locality()
 	var dir *Peer
 	for _, p := range f.seeds {
@@ -406,7 +407,7 @@ func TestGracefulLeaveHandsOffDirectory(t *testing.T) {
 		t.Fatal("setup: directory index empty")
 	}
 	dir.Leave()
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	var newDir *Peer
 	for _, m := range members {
 		if m.Alive() && m.Role() == RoleDirectory {
@@ -425,14 +426,14 @@ func TestKilledPeerIsSilent(t *testing.T) {
 	f := newFixture(t, 12, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	c.kill()
 	c.kill() // idempotent
 	if c.Alive() {
 		t.Fatal("killed peer reports alive")
 	}
 	msgs := f.net.Stats().MessagesSent
-	f.run(2 * sim.Hour)
+	f.run(2 * runtime.Hour)
 	_ = msgs // other peers keep talking; just ensure no panic occurred
 }
 
@@ -440,7 +441,7 @@ func TestQueryLoopSkipsWhenQueryOutstanding(t *testing.T) {
 	f := newFixture(t, 13, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	// Inject a stuck query; the loop must not replace it.
 	stuck := &activeQuery{seq: 999999, key: content.Key{Site: 0, Object: 49}, start: f.eng.Now()}
 	c.query = stuck

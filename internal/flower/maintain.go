@@ -3,8 +3,7 @@ package flower
 import (
 	"flowercdn/internal/chord"
 	"flowercdn/internal/content"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
+	"flowercdn/internal/runtime"
 )
 
 // startKeepalive arms the content-peer maintenance loop (Sec. 5.1):
@@ -104,13 +103,13 @@ func (p *Peer) maybePush() {
 // starting the replacement protocol, which keeps lossy links (the
 // failure-injection configurations) from churning directories that are
 // alive and well.
-func (p *Peer) dirContactFailed(dirNode simnet.NodeID) {
+func (p *Peer) dirContactFailed(dirNode runtime.NodeID) {
 	if p.dead || p.dirInfo.Node != dirNode {
 		return
 	}
 	p.dirMisses++
 	if p.dirMisses < 2 {
-		p.eng().Schedule(2*sim.Second, func() {
+		p.eng().Schedule(2*runtime.Second, func() {
 			if p.dead || p.dirInfo.Node != dirNode {
 				return
 			}
@@ -139,7 +138,7 @@ func (p *Peer) dirContactFailed(dirNode simnet.NodeID) {
 // (Sec. 5.2.1): "the replacement is performed by the first peer related
 // to ws and loc that detects the failure". Every detector races through
 // the claim protocol; losers adopt the winner.
-func (p *Peer) onDirectoryDead(deadNode simnet.NodeID) {
+func (p *Peer) onDirectoryDead(deadNode runtime.NodeID) {
 	if p.dead || p.replacing {
 		return
 	}
@@ -149,11 +148,11 @@ func (p *Peer) onDirectoryDead(deadNode simnet.NodeID) {
 	if p.role != RoleContent {
 		// Clients just forget the pointer; their next query re-routes
 		// over D-ring.
-		p.dirInfo = DirInfo{Node: simnet.None}
+		p.dirInfo = DirInfo{Node: runtime.None}
 		return
 	}
 	pos := p.dirInfo.Pos
-	p.dirInfo = DirInfo{Pos: pos, Node: simnet.None, Age: 0}
+	p.dirInfo = DirInfo{Pos: pos, Node: runtime.None, Age: 0}
 	p.lastDeadDir = deadNode
 	p.replacing = true
 	p.claimDirectoryPosition(pos, deadNode, func(current chord.Entry, err error) {
@@ -181,7 +180,7 @@ func (p *Peer) onDirectoryDead(deadNode simnet.NodeID) {
 						return
 					}
 					if kerr != nil && p.dirInfo.Node == current.Node {
-						p.dirInfo = DirInfo{Pos: pos, Node: simnet.None}
+						p.dirInfo = DirInfo{Pos: pos, Node: runtime.None}
 					}
 				})
 			return
@@ -189,7 +188,7 @@ func (p *Peer) onDirectoryDead(deadNode simnet.NodeID) {
 		// Claim failed without a visible incumbent (ring trouble).
 		// Rediscover through the normal D-ring path shortly — waiting a
 		// whole keepalive period would leave the petal orphaned.
-		p.eng().Schedule(45*sim.Second, func() {
+		p.eng().Schedule(45*runtime.Second, func() {
 			if !p.dead && p.role == RoleContent && !p.dirInfo.Valid() {
 				p.rejoinPetal()
 			}

@@ -1,20 +1,19 @@
 package flower
 
 import (
+	"flowercdn/internal/runtime"
 	"testing"
 
 	"flowercdn/internal/content"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 )
 
 func TestFullPushOnDirectoryChange(t *testing.T) {
 	f := newFixture(t, 50, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(30 * sim.Minute)
+	f.run(30 * runtime.Minute)
 	if c.Role() != RoleContent || c.Store().Len() == 0 {
 		t.Fatal("setup: client did not join and fetch")
 	}
@@ -43,7 +42,7 @@ func TestNeedsFullPushSemantics(t *testing.T) {
 	f := newFixture(t, 51, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(10 * sim.Minute)
+	f.run(10 * runtime.Minute)
 	if c.Role() != RoleContent {
 		t.Fatal("setup: not a content peer")
 	}
@@ -53,7 +52,7 @@ func TestNeedsFullPushSemantics(t *testing.T) {
 		t.Fatal("peer with synced store still wants a full push")
 	}
 	// Pointing dir-info at a different node re-arms the full push.
-	c.dirInfo.Node = simnet.NodeID(123456)
+	c.dirInfo.Node = runtime.NodeID(123456)
 	if c.Store().Len() > 0 && !c.needsFullPush() {
 		t.Fatal("directory change did not arm a full push")
 	}
@@ -63,7 +62,7 @@ func TestGossipAdoptionOfFresherDirInfo(t *testing.T) {
 	f := newFixture(t, 52, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(10 * sim.Minute)
+	f.run(10 * runtime.Minute)
 	pos := c.DirInfo().Pos
 	app := (*gossipApp)(c)
 	// Adoption triggers a full-push RPC, so the fabricated directories
@@ -74,20 +73,20 @@ func TestGossipAdoptionOfFresherDirInfo(t *testing.T) {
 	// A fresher record (younger age, same position) is adopted.
 	c.dirInfo.Age = 4
 	fresher := DirInfo{Pos: pos, Node: rival.nid, Age: 1}
-	app.OnExchange(simnet.NodeID(5), []gossip.Entry{{Peer: 5, Meta: ContactMeta{Dir: fresher}}})
+	app.OnExchange(runtime.NodeID(5), []gossip.Entry{{Peer: 5, Meta: ContactMeta{Dir: fresher}}})
 	if c.DirInfo().Node != rival.nid {
 		t.Fatal("fresher dir-info not adopted")
 	}
 	// A record pointing at the last known-dead directory is refused.
 	c.lastDeadDir = deadDir.nid
 	stale := DirInfo{Pos: pos, Node: deadDir.nid, Age: 0}
-	app.OnExchange(simnet.NodeID(6), []gossip.Entry{{Peer: 6, Meta: ContactMeta{Dir: stale}}})
+	app.OnExchange(runtime.NodeID(6), []gossip.Entry{{Peer: 6, Meta: ContactMeta{Dir: stale}}})
 	if c.DirInfo().Node == deadDir.nid {
 		t.Fatal("known-dead directory re-adopted via gossip")
 	}
 	// Directories never adopt.
 	dir := f.findSeed(0, 0)
-	(*gossipApp)(dir).OnExchange(simnet.NodeID(7), []gossip.Entry{{
+	(*gossipApp)(dir).OnExchange(runtime.NodeID(7), []gossip.Entry{{
 		Peer: 7, Meta: ContactMeta{Dir: DirInfo{Pos: dir.Directory().Pos(), Node: 111, Age: 0}},
 	}})
 	if dir.DirInfo().Node != dir.NodeID() {
@@ -99,7 +98,7 @@ func TestKeepaliveAgesAndResets(t *testing.T) {
 	f := newFixture(t, 53, nil)
 	f.seedRing()
 	c := f.spawn(1, 0)
-	f.run(10 * sim.Minute)
+	f.run(10 * runtime.Minute)
 	if c.Role() != RoleContent {
 		t.Fatal("setup: not content")
 	}
@@ -115,12 +114,12 @@ func TestOrphanRejoinsViaDring(t *testing.T) {
 	f := newFixture(t, 54, nil)
 	f.seedRing()
 	c := f.spawn(2, 0)
-	f.run(10 * sim.Minute)
+	f.run(10 * runtime.Minute)
 	if c.Role() != RoleContent {
 		t.Fatal("setup: not content")
 	}
 	// Orphan the peer: no directory known at all.
-	c.dirInfo = DirInfo{Node: simnet.None}
+	c.dirInfo = DirInfo{Node: runtime.None}
 	f.run(2 * f.sys.cfg.KeepaliveInterval)
 	if !c.DirInfo().Valid() {
 		t.Fatal("orphaned content peer did not rediscover its directory")
@@ -136,7 +135,7 @@ func TestReplacementRace(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		members = append(members, f.spawn(0, 0))
 	}
-	f.run(30 * sim.Minute)
+	f.run(30 * runtime.Minute)
 	loc := members[0].Locality()
 	f.findSeed(0, loc).kill()
 	// Force prompt detection in every member.
@@ -145,7 +144,7 @@ func TestReplacementRace(t *testing.T) {
 			m.keepaliveTick()
 		}
 	}
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	if dups := f.sys.DuplicatePositions(); dups != 0 {
 		t.Fatalf("replacement race left %d duplicate positions", dups)
 	}
@@ -159,7 +158,7 @@ func TestMissRecordsOriginTransfer(t *testing.T) {
 	f := newFixture(t, 56, nil)
 	f.seedRing()
 	f.spawn(0, 0)
-	f.run(10 * sim.Minute)
+	f.run(10 * runtime.Minute)
 	if f.coll.Count(metrics.Miss) == 0 {
 		t.Fatal("first query should miss")
 	}
@@ -177,7 +176,7 @@ func TestPushThresholdRespected(t *testing.T) {
 	f := newFixture(t, 57, func(c *Config) { c.PushThreshold = 1.0 })
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(2 * sim.Hour)
+	f.run(2 * runtime.Hour)
 	if c.Alive() && c.Role() == RoleContent && c.Store().Len() > 1 {
 		if c.Store().PendingChanges() == 0 && c.Store().Len() > 2 {
 			t.Fatal("threshold-1.0 peer pushed mid-accumulation deltas")
@@ -189,14 +188,14 @@ func TestContentKeySkippedWhenStoreFull(t *testing.T) {
 	f := newFixture(t, 58, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	// Fill the entire catalog: the query loop must go quiet, not panic.
 	for o := 0; o < f.work.Config().ObjectsPerSite; o++ {
 		c.store.Add(content.Key{Site: 0, Object: content.ObjectID(o)})
 	}
 	before := f.coll.Total()
 	c.issueQuery()
-	f.run(sim.Minute)
+	f.run(runtime.Minute)
 	if c.query != nil {
 		t.Fatal("query issued despite complete catalog")
 	}

@@ -5,7 +5,7 @@ import (
 	"flowercdn/internal/content"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/ids"
-	"flowercdn/internal/simnet"
+	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
 )
 
@@ -17,12 +17,12 @@ import (
 // of a replaced directory spreads through a petal.
 type DirInfo struct {
 	Pos  ids.ID
-	Node simnet.NodeID
+	Node runtime.NodeID
 	Age  int
 }
 
 // Valid reports whether the record points at a node.
-func (d DirInfo) Valid() bool { return d.Node != simnet.None }
+func (d DirInfo) Valid() bool { return d.Node != runtime.None }
 
 // Fresher reports whether d should replace cur: same position and
 // strictly smaller age (Sec. 5.1's reconciliation rule). Any valid
@@ -61,7 +61,7 @@ type SummaryProvider interface {
 type clientQueryMsg struct {
 	Seq      uint64
 	Key      content.Key
-	Client   simnet.NodeID
+	Client   runtime.NodeID
 	Site     content.SiteID
 	Loc      topology.Locality
 	JoinOnly bool
@@ -73,7 +73,7 @@ type clientQueryMsg struct {
 // dirQueryResp answers a routed clientQueryMsg directly to the client.
 type dirQueryResp struct {
 	Seq       uint64
-	Providers []simnet.NodeID
+	Providers []runtime.NodeID
 	// FromSummary marks providers recovered from a freshly promoted
 	// directory's old gossip summaries rather than its index.
 	FromSummary bool
@@ -107,13 +107,13 @@ type vacantResp struct {
 // which must not be admitted to this directory's member view.
 type dirQueryReq struct {
 	Key     content.Key
-	Client  simnet.NodeID
+	Client  runtime.NodeID
 	Foreign bool
 }
 
 // dirQueryReply answers dirQueryReq.
 type dirQueryReply struct {
-	Providers   []simnet.NodeID
+	Providers   []runtime.NodeID
 	FromSummary bool
 	CollabWith  []chord.Entry
 }
@@ -145,7 +145,7 @@ type pushResp struct{}
 // answer, so it can expunge the stale pointer without waiting for the
 // keepalive TTL.
 type deadProviderReport struct {
-	Dead simnet.NodeID
+	Dead runtime.NodeID
 }
 
 // ---- PetalUp promotion ----
@@ -172,8 +172,8 @@ type promotedMsg struct {
 // have transferred a copy of its view and directory-index").
 type handoffMsg struct {
 	Pos     ids.ID
-	Index   map[content.Key][]simnet.NodeID
-	Members []simnet.NodeID
+	Index   map[content.Key][]runtime.NodeID
+	Members []runtime.NodeID
 }
 
 func (h handoffMsg) WireBytes() int {

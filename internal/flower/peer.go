@@ -1,6 +1,8 @@
 package flower
 
 import (
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
 
 	"flowercdn/internal/chord"
@@ -8,8 +10,6 @@ import (
 	"flowercdn/internal/dring"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/ids"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
@@ -45,12 +45,12 @@ func (r Role) String() string {
 	}
 }
 
-// Peer is one Flower-CDN participant. It implements simnet.Handler and
+// Peer is one Flower-CDN participant. It implements runtime.Handler and
 // dispatches to its Chord, gossip and protocol components.
 type Peer struct {
 	sys  *System
-	nid  simnet.NodeID
-	rng  *sim.RNG
+	nid  runtime.NodeID
+	rng  *rnd.RNG
 	site content.SiteID
 	loc  topology.Locality
 
@@ -71,13 +71,13 @@ type Peer struct {
 	// query: the mean think time of 6 minutes dwarfs resolution time).
 	query *activeQuery
 
-	keepaliveTimer *sim.PeriodicTimer
-	queryTimer     *sim.Timer
+	keepaliveTimer runtime.Ticker
+	queryTimer     runtime.Timer
 	dead           bool
 	replacing      bool // a directory-replacement attempt is in flight
 	// lastDeadDir remembers the most recently detected dead directory so
 	// stale gossip cannot re-install a pointer to it.
-	lastDeadDir simnet.NodeID
+	lastDeadDir runtime.NodeID
 	// dirMisses counts consecutive failed directory exchanges; the
 	// replacement protocol starts only after a confirming probe also
 	// fails (one lost message is not death).
@@ -88,11 +88,11 @@ type Peer struct {
 	// Sec. 5.2.2 reconstruction: a new directory "gradually constructs
 	// its view and directory-index as its content peers discover its
 	// join and send it push messages".
-	syncedDir simnet.NodeID
+	syncedDir runtime.NodeID
 }
 
 // NodeID returns the peer's network address.
-func (p *Peer) NodeID() simnet.NodeID { return p.nid }
+func (p *Peer) NodeID() runtime.NodeID { return p.nid }
 
 // Role returns the peer's current role.
 func (p *Peer) Role() Role { return p.role }
@@ -124,18 +124,18 @@ func (p *Peer) initGossip() {
 		panic(fmt.Sprintf("flower: gossip init: %v", err)) // config was validated
 	}
 	p.gsp = g
-	p.dirInfo = DirInfo{Node: simnet.None}
-	p.lastDeadDir = simnet.None
-	p.syncedDir = simnet.None
+	p.dirInfo = DirInfo{Node: runtime.None}
+	p.lastDeadDir = runtime.None
+	p.syncedDir = runtime.None
 }
 
 // startLife begins the arrival behaviour: active-site peers start the
 // query loop; others request petal membership immediately.
 func (p *Peer) startLife() {
 	if p.sys.work.Active(p.site) {
-		p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+		p.scheduleNextQuery(p.sys.work.FirstQueryDelay(p.rng))
 	} else {
-		p.eng().Schedule(p.rng.UniformDuration(0, 30*sim.Second), func() {
+		p.eng().Schedule(p.sys.work.FirstQueryDelay(p.rng), func() {
 			if !p.dead && p.role == RoleClient {
 				p.startClientQuery(content.Key{}, true)
 			}
@@ -175,8 +175,8 @@ func (p *Peer) kill() {
 	p.sys.net.Fail(p.nid)
 }
 
-func (p *Peer) eng() *sim.Engine     { return p.sys.eng }
-func (p *Peer) net() *simnet.Network { return p.sys.net }
+func (p *Peer) eng() runtime.Clock     { return p.sys.eng }
+func (p *Peer) net() runtime.Transport { return p.sys.net }
 
 // selfEntry returns the peer's ring identity (only meaningful for
 // directories).
@@ -204,11 +204,11 @@ func (p *Peer) selfMeta() ContactMeta {
 	return ContactMeta{Summary: sum, Dir: p.dirInfo}
 }
 
-// ---- simnet.Handler ----
+// ---- runtime.Handler ----
 
 // HandleMessage dispatches one-way messages to components and protocol
 // handlers.
-func (p *Peer) HandleMessage(from simnet.NodeID, msg any) {
+func (p *Peer) HandleMessage(from runtime.NodeID, msg any) {
 	if p.dead {
 		return
 	}
@@ -245,7 +245,7 @@ func (p *Peer) HandleMessage(from simnet.NodeID, msg any) {
 }
 
 // HandleRequest dispatches RPCs.
-func (p *Peer) HandleRequest(from simnet.NodeID, req any) (any, error) {
+func (p *Peer) HandleRequest(from runtime.NodeID, req any) (any, error) {
 	if p.dead {
 		return nil, fmt.Errorf("flower: dead peer")
 	}
@@ -279,7 +279,7 @@ type gossipApp Peer
 
 func (g *gossipApp) SelfDescriptor() any { return (*Peer)(g).selfMeta() }
 
-func (g *gossipApp) OnExchange(peer simnet.NodeID, received []gossip.Entry) {
+func (g *gossipApp) OnExchange(peer runtime.NodeID, received []gossip.Entry) {
 	p := (*Peer)(g)
 	if p.dead {
 		return
@@ -307,7 +307,7 @@ func (g *gossipApp) OnExchange(peer simnet.NodeID, received []gossip.Entry) {
 	}
 }
 
-func (g *gossipApp) OnContactDead(peer simnet.NodeID) {
+func (g *gossipApp) OnContactDead(peer runtime.NodeID) {
 	// Nothing beyond the view eviction gossip already did; the
 	// directory finds out through missing keepalives.
 }

@@ -1,13 +1,12 @@
 package flower
 
 import (
+	"flowercdn/internal/runtime"
 	"strings"
 	"testing"
 
 	"flowercdn/internal/bloom"
 	"flowercdn/internal/content"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 )
 
 func TestRoleStrings(t *testing.T) {
@@ -57,11 +56,11 @@ func TestDeadPeerHandlersSilent(t *testing.T) {
 	f := newFixture(t, 62, nil)
 	f.seedRing()
 	c := f.spawn(0, 0)
-	f.run(5 * sim.Minute)
+	f.run(5 * runtime.Minute)
 	c.kill()
 	// Messages to a dead peer's handler must be inert.
-	c.HandleMessage(simnet.NodeID(1), dirQueryResp{Seq: 1})
-	if _, err := c.HandleRequest(simnet.NodeID(1), keepaliveReq{}); err == nil {
+	c.HandleMessage(runtime.NodeID(1), dirQueryResp{Seq: 1})
+	if _, err := c.HandleRequest(runtime.NodeID(1), keepaliveReq{}); err == nil {
 		t.Fatal("dead peer accepted an RPC")
 	}
 }
@@ -74,13 +73,13 @@ func TestStatsStringsAndSummaryBytes(t *testing.T) {
 	if small.WireBytes() <= 0 || big.WireBytes() <= small.WireBytes() {
 		t.Fatal("pushReq wire size not monotone")
 	}
-	r := dirQueryResp{Providers: make([]simnet.NodeID, 3)}
+	r := dirQueryResp{Providers: make([]runtime.NodeID, 3)}
 	if r.WireBytes() <= 0 {
 		t.Fatal("dirQueryResp wire size non-positive")
 	}
 	h := handoffMsg{
-		Index:   map[content.Key][]simnet.NodeID{{Site: 1, Object: 2}: {3, 4}},
-		Members: []simnet.NodeID{3, 4},
+		Index:   map[content.Key][]runtime.NodeID{{Site: 1, Object: 2}: {3, 4}},
+		Members: []runtime.NodeID{3, 4},
 	}
 	if h.WireBytes() <= 0 {
 		t.Fatal("handoff wire size non-positive")

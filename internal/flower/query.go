@@ -1,14 +1,13 @@
 package flower
 
 import (
+	"flowercdn/internal/runtime"
 	"sort"
 
 	"flowercdn/internal/chord"
 	"flowercdn/internal/content"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/workload"
 )
 
@@ -42,10 +41,10 @@ type activeQuery struct {
 	joinOnly bool
 
 	attempt int // gateway attempts for D-ring routed queries
-	timeout *sim.Timer
+	timeout runtime.Timer
 
 	source     querySource
-	candidates []simnet.NodeID // remaining providers to probe
+	candidates []runtime.NodeID // remaining providers to probe
 
 	// collab holds same-website sibling directories still to consult
 	// before declaring a miss. Siblings never hand out further siblings
@@ -60,7 +59,7 @@ func (p *Peer) ensureQueryLoop() {
 	if p.dead || p.queryTimer != nil || !p.sys.work.Active(p.site) {
 		return
 	}
-	p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+	p.scheduleNextQuery(p.sys.work.FirstQueryDelay(p.rng))
 }
 
 // issueQuery begins one query for an object the peer does not cache.
@@ -110,7 +109,7 @@ func (p *Peer) sendRoutedQuery(q *activeQuery) {
 	if p.dead || p.query != q {
 		return
 	}
-	gw := p.sys.gateway(simnet.None)
+	gw := p.sys.gateway(runtime.None)
 	if !gw.Valid() {
 		// No known ring member: we are (or believe we are) the first
 		// participant; claim the petal's root directory position.
@@ -170,7 +169,7 @@ func (p *Peer) claimFromQuery(q *activeQuery) {
 		return
 	}
 	pos := dringPosition(p.site, p.loc, 0)
-	p.claimDirectoryPosition(pos, simnet.None, func(current chord.Entry, err error) {
+	p.claimDirectoryPosition(pos, runtime.None, func(current chord.Entry, err error) {
 		if p.dead || p.query != q {
 			return
 		}
@@ -286,7 +285,7 @@ func (p *Peer) contentQuery(q *activeQuery) {
 	// Locality-aware candidate selection: every petal contact whose
 	// summary claims the object, nearest first.
 	type cand struct {
-		peer simnet.NodeID
+		peer runtime.NodeID
 		lat  int64
 	}
 	var cands []cand
@@ -342,7 +341,7 @@ func (p *Peer) probeCandidate(q *activeQuery, gossipPath bool) {
 	// The prober knows its RTT estimate to the target; waiting a fixed
 	// multi-second timeout for a neighbour 40 ms away would dominate
 	// lookup latency under churn.
-	timeout := 2*p.net().Latency(p.nid, target) + 300*sim.Millisecond
+	timeout := 2*p.net().Latency(p.nid, target) + 300*runtime.Millisecond
 	p.net().Request(p.nid, target, workload.FetchReq{Key: q.key}, timeout,
 		func(resp any, err error) {
 			if p.dead || p.query != q {
@@ -471,7 +470,7 @@ func (p *Peer) fallbackOrigin(q *activeQuery) {
 
 // resolve finalizes a query: record the paper's three metrics, then
 // perform the transfer (fetch + store + push bookkeeping).
-func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider simnet.NodeID) {
+func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider runtime.NodeID) {
 	if p.query != q {
 		return
 	}

@@ -21,6 +21,8 @@
 package flower
 
 import (
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
 	"sort"
 
@@ -29,8 +31,6 @@ import (
 	"flowercdn/internal/dring"
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
@@ -41,9 +41,9 @@ import (
 // themselves) through which real clients would discover D-ring.
 type System struct {
 	cfg     Config
-	net     *simnet.Network
-	eng     *sim.Engine
-	rng     *sim.RNG
+	net     runtime.Transport
+	eng     runtime.Clock
+	rng     *rnd.RNG
 	work    *workload.Workload
 	origins *workload.Origins
 	coll    metrics.Emitter
@@ -67,8 +67,8 @@ type System struct {
 // event emitter — the harness passes a full metrics.Pipeline, library
 // callers and tests can pass a bare *metrics.Collector.
 type Deps struct {
-	Net      *simnet.Network
-	RNG      *sim.RNG
+	Net      runtime.Transport
+	RNG      *rnd.RNG
 	Workload *workload.Workload
 	Origins  *workload.Origins
 	Metrics  metrics.Emitter
@@ -85,7 +85,7 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 	return &System{
 		cfg:     cfg,
 		net:     d.Net,
-		eng:     d.Net.Engine(),
+		eng:     d.Net.Clock(),
 		rng:     d.RNG,
 		work:    d.Workload,
 		origins: d.Origins,
@@ -142,7 +142,7 @@ func (s *System) registerDirectory(e chord.Entry) {
 // unregisterDirectory removes a demoted peer from the gateway registry
 // (dead ones are pruned lazily, but a demoted peer is alive and would
 // otherwise swallow routed queries).
-func (s *System) unregisterDirectory(nid simnet.NodeID) {
+func (s *System) unregisterDirectory(nid runtime.NodeID) {
 	for i, e := range s.registry {
 		if e.Node == nid {
 			s.registry[i] = s.registry[len(s.registry)-1]
@@ -155,7 +155,7 @@ func (s *System) unregisterDirectory(nid simnet.NodeID) {
 // gateway returns an alive registry entry, excluding one node (usually
 // the directory just observed dead), pruning dead entries as it scans.
 // Returns NoEntry when the registry is empty.
-func (s *System) gateway(exclude simnet.NodeID) chord.Entry {
+func (s *System) gateway(exclude runtime.NodeID) chord.Entry {
 	for len(s.registry) > 0 {
 		i := s.rng.Intn(len(s.registry))
 		e := s.registry[i]
@@ -278,7 +278,7 @@ func (s *System) SpawnSeedDirectoryIdentity(id Identity) (*Peer, func()) {
 // join storm the forming ring occasionally fails a lookup or denies a
 // claim while an arc boundary is unknown.
 func (p *Peer) seedClaim(pos ids.ID, attempts int) {
-	p.claimDirectoryPosition(pos, simnet.None, func(current chord.Entry, err error) {
+	p.claimDirectoryPosition(pos, runtime.None, func(current chord.Entry, err error) {
 		if p.dead || err == nil {
 			return
 		}
@@ -294,7 +294,7 @@ func (p *Peer) seedClaim(pos ids.ID, attempts int) {
 			p.startLife()
 			return
 		}
-		p.eng().Schedule(30*sim.Second, func() { p.seedClaim(pos, attempts-1) })
+		p.eng().Schedule(30*runtime.Second, func() { p.seedClaim(pos, attempts-1) })
 	})
 }
 

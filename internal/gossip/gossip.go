@@ -17,16 +17,15 @@ package gossip
 
 import (
 	"errors"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
-
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 )
 
 // Entry is one contact in a peer's partial view.
 type Entry struct {
 	// Peer is the contact's network address.
-	Peer simnet.NodeID
+	Peer runtime.NodeID
 	// Age counts gossip periods since this contact was last known
 	// fresh; higher is staler.
 	Age int
@@ -51,10 +50,10 @@ type Config struct {
 // DefaultConfig returns the paper's gossip parameters.
 func DefaultConfig() Config {
 	return Config{
-		Period:      1 * sim.Hour,
+		Period:      1 * runtime.Hour,
 		ShuffleSize: 6,
 		MaxView:     0,
-		RPCTimeout:  4 * sim.Second,
+		RPCTimeout:  4 * runtime.Second,
 	}
 }
 
@@ -84,15 +83,15 @@ type App interface {
 	// initiator, with the response, and at the responder, with the
 	// request). The application inspects metadata for its own
 	// side-protocols before/independently of the view merge.
-	OnExchange(peer simnet.NodeID, received []Entry)
+	OnExchange(peer runtime.NodeID, received []Entry)
 	// OnContactDead runs when a shuffle target timed out and was
 	// evicted from the view.
-	OnContactDead(peer simnet.NodeID)
+	OnContactDead(peer runtime.NodeID)
 }
 
 // shuffleReq/shuffleResp are the exchange RPC.
 type shuffleReq struct {
-	From    simnet.NodeID
+	From    runtime.NodeID
 	Entries []Entry
 }
 
@@ -109,16 +108,16 @@ func (r shuffleResp) WireBytes() int { return 16 + len(r.Entries)*192 }
 // simulation it is single-goroutine.
 type Protocol struct {
 	cfg Config
-	net *simnet.Network
-	eng *sim.Engine
-	rng *sim.RNG
-	me  simnet.NodeID
+	net runtime.Transport
+	eng runtime.Clock
+	rng *rnd.RNG
+	me  runtime.NodeID
 	app App
 
-	order  []simnet.NodeID // deterministic iteration order
-	byPeer map[simnet.NodeID]*Entry
+	order  []runtime.NodeID // deterministic iteration order
+	byPeer map[runtime.NodeID]*Entry
 
-	timer   *sim.PeriodicTimer
+	timer   runtime.Ticker
 	stopped bool
 
 	shuffles  uint64
@@ -126,7 +125,7 @@ type Protocol struct {
 }
 
 // New builds the protocol for the peer at me.
-func New(cfg Config, net *simnet.Network, rng *sim.RNG, me simnet.NodeID, app App) (*Protocol, error) {
+func New(cfg Config, net runtime.Transport, rng *rnd.RNG, me runtime.NodeID, app App) (*Protocol, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -136,11 +135,11 @@ func New(cfg Config, net *simnet.Network, rng *sim.RNG, me simnet.NodeID, app Ap
 	return &Protocol{
 		cfg:    cfg,
 		net:    net,
-		eng:    net.Engine(),
+		eng:    net.Clock(),
 		rng:    rng,
 		me:     me,
 		app:    app,
-		byPeer: make(map[simnet.NodeID]*Entry),
+		byPeer: make(map[runtime.NodeID]*Entry),
 	}, nil
 }
 
@@ -165,7 +164,7 @@ func (g *Protocol) Stop() {
 func (g *Protocol) Size() int { return len(g.order) }
 
 // Contains reports whether peer is in the view.
-func (g *Protocol) Contains(peer simnet.NodeID) bool {
+func (g *Protocol) Contains(peer runtime.NodeID) bool {
 	_, ok := g.byPeer[peer]
 	return ok
 }
@@ -180,7 +179,7 @@ func (g *Protocol) Entries() []Entry {
 }
 
 // Meta returns the stored metadata for peer, or nil.
-func (g *Protocol) Meta(peer simnet.NodeID) any {
+func (g *Protocol) Meta(peer runtime.NodeID) any {
 	if e, ok := g.byPeer[peer]; ok {
 		return e.Meta
 	}
@@ -195,13 +194,13 @@ func (g *Protocol) Evictions() uint64 { return g.evictions }
 
 // AddContact inserts or refreshes a contact with age 0. Inserting
 // oneself is ignored.
-func (g *Protocol) AddContact(peer simnet.NodeID, meta any) {
+func (g *Protocol) AddContact(peer runtime.NodeID, meta any) {
 	g.insert(Entry{Peer: peer, Age: 0, Meta: meta})
 }
 
 // UpdateMeta replaces the metadata of an existing contact; unknown
 // peers are ignored (use AddContact to insert).
-func (g *Protocol) UpdateMeta(peer simnet.NodeID, meta any) {
+func (g *Protocol) UpdateMeta(peer runtime.NodeID, meta any) {
 	if e, ok := g.byPeer[peer]; ok {
 		e.Meta = meta
 	}
@@ -209,7 +208,7 @@ func (g *Protocol) UpdateMeta(peer simnet.NodeID, meta any) {
 
 // RemoveContact drops a contact (e.g. the application learned it died
 // through another channel).
-func (g *Protocol) RemoveContact(peer simnet.NodeID) {
+func (g *Protocol) RemoveContact(peer runtime.NodeID) {
 	if _, ok := g.byPeer[peer]; !ok {
 		return
 	}
@@ -226,7 +225,7 @@ func (g *Protocol) RemoveContact(peer simnet.NodeID) {
 // oldest entry if MaxView is exceeded); known peers keep whichever copy
 // is younger.
 func (g *Protocol) insert(e Entry) {
-	if e.Peer == g.me || e.Peer == simnet.None {
+	if e.Peer == g.me || e.Peer == runtime.None {
 		return
 	}
 	if cur, ok := g.byPeer[e.Peer]; ok {
@@ -295,7 +294,7 @@ func (g *Protocol) Tick() {
 		})
 }
 
-func (g *Protocol) oldest() simnet.NodeID {
+func (g *Protocol) oldest() runtime.NodeID {
 	best := g.order[0]
 	for _, p := range g.order[1:] {
 		if g.byPeer[p].Age > g.byPeer[best].Age {
@@ -307,7 +306,7 @@ func (g *Protocol) oldest() simnet.NodeID {
 
 // sample draws up to ShuffleSize entries: our own fresh descriptor plus
 // random view entries, excluding the exchange partner.
-func (g *Protocol) sample(exclude simnet.NodeID, includeSelf bool) []Entry {
+func (g *Protocol) sample(exclude runtime.NodeID, includeSelf bool) []Entry {
 	out := make([]Entry, 0, g.cfg.ShuffleSize)
 	if includeSelf {
 		out = append(out, Entry{Peer: g.me, Age: 0, Meta: g.app.SelfDescriptor()})
@@ -328,7 +327,7 @@ func (g *Protocol) sample(exclude simnet.NodeID, includeSelf bool) []Entry {
 
 // HandleRequest consumes shuffle RPCs. handled reports whether the
 // request belonged to gossip.
-func (g *Protocol) HandleRequest(from simnet.NodeID, req any) (resp any, err error, handled bool) {
+func (g *Protocol) HandleRequest(from runtime.NodeID, req any) (resp any, err error, handled bool) {
 	r, ok := req.(shuffleReq)
 	if !ok {
 		return nil, nil, false

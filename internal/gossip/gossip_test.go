@@ -1,32 +1,33 @@
 package gossip
 
 import (
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/simrt"
 	"fmt"
 	"testing"
 
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 )
 
 // gossipPeer wires a Protocol into simnet for tests.
 type gossipPeer struct {
-	nid       simnet.NodeID
+	nid       runtime.NodeID
 	g         *Protocol
 	desc      string
 	exchanges int
-	deadSeen  []simnet.NodeID
+	deadSeen  []runtime.NodeID
 }
 
 func (p *gossipPeer) SelfDescriptor() any { return p.desc }
-func (p *gossipPeer) OnExchange(peer simnet.NodeID, received []Entry) {
+func (p *gossipPeer) OnExchange(peer runtime.NodeID, received []Entry) {
 	p.exchanges++
 }
-func (p *gossipPeer) OnContactDead(peer simnet.NodeID) {
+func (p *gossipPeer) OnContactDead(peer runtime.NodeID) {
 	p.deadSeen = append(p.deadSeen, peer)
 }
-func (p *gossipPeer) HandleMessage(from simnet.NodeID, msg any) {}
-func (p *gossipPeer) HandleRequest(from simnet.NodeID, req any) (any, error) {
+func (p *gossipPeer) HandleMessage(from runtime.NodeID, msg any) {}
+func (p *gossipPeer) HandleRequest(from runtime.NodeID, req any) (any, error) {
 	if resp, err, ok := p.g.HandleRequest(from, req); ok {
 		return resp, err
 	}
@@ -35,21 +36,21 @@ func (p *gossipPeer) HandleRequest(from simnet.NodeID, req any) (any, error) {
 
 type fixture struct {
 	t     *testing.T
-	eng   *sim.Engine
-	net   *simnet.Network
-	rng   *sim.RNG
+	eng   *simrt.Runtime
+	net   runtime.Transport
+	rng   *rnd.RNG
 	cfg   Config
 	peers []*gossipPeer
 }
 
 func newFixture(t *testing.T, seed uint64) *fixture {
 	t.Helper()
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(seed)
+	rng := rnd.New(seed)
 	topo := topology.MustNew(topology.DefaultConfig(), rng)
+	eng := simrt.New(topo)
 	cfg := DefaultConfig()
-	cfg.Period = 10 * sim.Minute // faster for tests
-	return &fixture{t: t, eng: eng, net: simnet.New(eng, topo), rng: rng, cfg: cfg}
+	cfg.Period = 10 * runtime.Minute // faster for tests
+	return &fixture{t: t, eng: eng, net: eng.Net(), rng: rng, cfg: cfg}
 }
 
 func (f *fixture) addPeer() *gossipPeer {
@@ -157,7 +158,7 @@ func TestShuffleCarriesDescriptors(t *testing.T) {
 	// One tick from a: exchanges with b, learns c (with c's stored meta)
 	// and b's fresh self-descriptor.
 	a.g.Tick()
-	f.eng.Run(f.eng.Now() + sim.Minute)
+	f.eng.Run(f.eng.Now() + runtime.Minute)
 	if !a.g.Contains(c.nid) {
 		t.Fatal("initiator did not learn responder's contacts")
 	}
@@ -178,7 +179,7 @@ func TestDeadContactEvictedOnTimeout(t *testing.T) {
 	a.g.AddContact(b.nid, nil)
 	f.net.Fail(b.nid)
 	a.g.Tick()
-	f.eng.Run(f.eng.Now() + 2*f.cfg.RPCTimeout + sim.Minute)
+	f.eng.Run(f.eng.Now() + 2*f.cfg.RPCTimeout + runtime.Minute)
 	if a.g.Contains(b.nid) {
 		t.Fatal("dead contact not evicted")
 	}
@@ -264,7 +265,7 @@ func TestMergeKeepsYoungerCopy(t *testing.T) {
 func TestEntriesDeterministicOrder(t *testing.T) {
 	f := newFixture(t, 10)
 	a := f.addPeer()
-	var nids []simnet.NodeID
+	var nids []runtime.NodeID
 	for i := 0; i < 6; i++ {
 		p := f.addPeer()
 		nids = append(nids, p.nid)
@@ -304,7 +305,7 @@ func TestAgesIncreaseWithoutContact(t *testing.T) {
 	f.net.Fail(c.nid) // c will never respond but b will
 	for i := 0; i < 4; i++ {
 		a.g.Tick()
-		f.eng.Run(f.eng.Now() + f.cfg.RPCTimeout + sim.Minute)
+		f.eng.Run(f.eng.Now() + f.cfg.RPCTimeout + runtime.Minute)
 	}
 	// b was shuffled with (alive): age reset; c evicted on its turn.
 	if a.g.Contains(c.nid) {

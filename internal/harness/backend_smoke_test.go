@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"testing"
+
+	"flowercdn/internal/proto"
+	_ "flowercdn/internal/protocols"
+)
+
+// TestCrossBackendSmokeSim runs every registered protocol at toy scale
+// on the deterministic backend with the compressed demo timescales and
+// asserts the basic health signals: queries flow, the population is
+// alive at the end, and every head-to-head protocol achieves a
+// non-zero hit ratio.
+func TestCrossBackendSmokeSim(t *testing.T) {
+	for _, name := range proto.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := RealtimeDemoConfig(50, 10_000)
+			cfg.Backend = "sim"
+			cfg.Protocol = Protocol(name)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Queries == 0 {
+				t.Fatal("no queries at all")
+			}
+			if res.AlivePeers == 0 {
+				t.Fatal("no peers alive at the end of the run")
+			}
+			info, _ := proto.Lookup(name)
+			if info.Compare && res.Hits == 0 {
+				t.Fatalf("comparable protocol served zero hits over %d queries", res.Queries)
+			}
+			if res.Fingerprint == 0 {
+				t.Fatal("zero fingerprint")
+			}
+			if res.Backend != "sim" {
+				t.Fatalf("result backend %q", res.Backend)
+			}
+		})
+	}
+}
+
+// TestCrossBackendSmokeRealtime runs every registered protocol on the
+// wall-clock backend for a short horizon each — this test genuinely
+// takes ~1.5 s per protocol — and asserts clean completion with live
+// queries. Hit assertions are limited to the query-dense flower family:
+// at seconds-scale horizons the sparser protocols' hit counts are
+// legitimately noisy (that's what the deterministic leg above pins
+// down).
+func TestCrossBackendSmokeRealtime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test skipped in -short mode")
+	}
+	for _, name := range proto.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := RealtimeDemoConfig(50, 1500)
+			cfg.Protocol = Protocol(name)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Backend != "realtime" {
+				t.Fatalf("result backend %q", res.Backend)
+			}
+			if res.Queries == 0 {
+				t.Fatal("no queries at all on the realtime backend")
+			}
+			if res.AlivePeers == 0 {
+				t.Fatal("no peers alive at the end of the run")
+			}
+			if (name == "flower" || name == "petalup") && res.Hits == 0 {
+				t.Fatalf("%s served zero hits over %d queries", name, res.Queries)
+			}
+		})
+	}
+}

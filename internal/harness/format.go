@@ -7,7 +7,7 @@ import (
 
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/proto"
-	"flowercdn/internal/sim"
+	"flowercdn/internal/runtime"
 )
 
 // FormatTable1 renders the run's parameter sheet in the shape of the
@@ -19,16 +19,16 @@ func FormatTable1(cfg Config) string {
 	fmt.Fprintf(&b, "  %-28s %d\n", "Nb of localities (k)", cfg.Topology.Localities)
 	fmt.Fprintf(&b, "  %-28s %d\n", "Nb of websites (|W|)", cfg.Workload.Sites)
 	fmt.Fprintf(&b, "  %-28s %d\n", "Mean population size (P)", cfg.Population)
-	fmt.Fprintf(&b, "  %-28s %d min\n", "Mean uptime of a peer (m)", cfg.MeanUptime/sim.Minute)
+	fmt.Fprintf(&b, "  %-28s %d min\n", "Mean uptime of a peer (m)", cfg.MeanUptime/runtime.Minute)
 	fmt.Fprintf(&b, "  %-28s %d\n", "Nb of objects/website", cfg.Workload.ObjectsPerSite)
-	fmt.Fprintf(&b, "  %-28s 1 query every %d min\n", "Query rate at a peer", cfg.Workload.QueryMeanInterval/sim.Minute)
+	fmt.Fprintf(&b, "  %-28s 1 query every %d min\n", "Query rate at a peer", cfg.Workload.QueryMeanInterval/runtime.Minute)
 	fmt.Fprintf(&b, "  %-28s %d (of %d)\n", "Active websites", cfg.Workload.ActiveSites, cfg.Workload.Sites)
 	// The fallbacks mirror flower.DefaultConfig's Table 1 values (the
 	// harness no longer imports protocol packages); the façade always
 	// lowers both keys, so the fallbacks only show for direct harness
 	// callers that left Options empty.
 	fmt.Fprintf(&b, "  %-28s %.2f\n", "Push threshold", cfg.Options.Float("push-threshold", 0.5))
-	fmt.Fprintf(&b, "  %-28s %d min\n", "Gossip/keepalive period", cfg.Options.Duration("gossip-period", sim.Hour)/sim.Minute)
+	fmt.Fprintf(&b, "  %-28s %d min\n", "Gossip/keepalive period", cfg.Options.Duration("gossip-period", runtime.Hour)/runtime.Minute)
 	return b.String()
 }
 
@@ -110,11 +110,20 @@ func FormatTable2(rows []Table2Row) string {
 
 func fmtMs(v float64) string { return fmt.Sprintf("%.0f ms", v) }
 
+// fmtDuration prints an experiment horizon in hours at paper scale and
+// in seconds for sub-hour (realtime demo) runs.
+func fmtDuration(ms int64) string {
+	if ms >= runtime.Hour {
+		return fmt.Sprintf("%d h", ms/runtime.Hour)
+	}
+	return fmt.Sprintf("%.1f s", float64(ms)/float64(runtime.Second))
+}
+
 // FormatSummary renders one run's headline numbers.
 func FormatSummary(r *Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s P=%d (%d h): hit ratio %.3f (tail %.3f), lookup %.0f ms, transfer %.0f ms\n",
-		r.Protocol, r.Population, r.Duration/sim.Hour, r.HitRatio, r.TailHitRatio, r.MeanLookupMs, r.MeanTransferMs)
+	fmt.Fprintf(&b, "%s P=%d (%s): hit ratio %.3f (tail %.3f), lookup %.0f ms, transfer %.0f ms\n",
+		r.Protocol, r.Population, fmtDuration(r.Duration), r.HitRatio, r.TailHitRatio, r.MeanLookupMs, r.MeanTransferMs)
 	fmt.Fprintf(&b, "  queries %d (hits %d: gossip %d, directory %d, summary %d; misses %d)\n",
 		r.Queries, r.Hits, r.GossipHits, r.DirectoryHits, r.DirSummaryHits, r.Misses)
 	fmt.Fprintf(&b, "  alive peers %d, events %d, messages %d\n",

@@ -22,10 +22,16 @@ import (
 	"flowercdn/internal/churn"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/proto"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
+
+	// The harness resolves backends solely through the runtime registry;
+	// importing both built-in backends keeps every harness caller able to
+	// name them, the same way internal/protocols registers the drivers.
+	_ "flowercdn/internal/rtnet"
+	_ "flowercdn/internal/simrt"
 )
 
 // Protocol names the deployment under test; any name registered with
@@ -49,7 +55,13 @@ const (
 // Table 1.
 type Config struct {
 	Protocol Protocol
-	// Seed drives all randomness; equal seeds give identical runs.
+	// Backend names the runtime backend the run executes on: "sim"
+	// (default — the deterministic discrete-event engine) or "realtime"
+	// (wall-clock timers; the run genuinely takes Duration to finish).
+	// Any name registered with internal/runtime is valid.
+	Backend string
+	// Seed drives all randomness; equal seeds give identical runs on
+	// the sim backend.
 	Seed uint64
 	// Population is P, the mean population size churn converges to.
 	Population int
@@ -84,6 +96,22 @@ type Config struct {
 	// TailWindows is how many final windows Table 2's hit ratio
 	// averages over.
 	TailWindows int
+
+	// OnWindow, when set, is called at the close of every SeriesWindow
+	// with that window's aggregates — live per-window metrics for
+	// wall-clock runs (on the sim backend it fires too, just at
+	// simulation speed). It runs on the run's callback goroutine and
+	// must not block.
+	OnWindow func(metrics.SeriesPoint)
+}
+
+// ResolvedBackend returns the backend this config runs on ("sim" when
+// unset).
+func (c Config) ResolvedBackend() string {
+	if c.Backend == "" {
+		return "sim"
+	}
+	return c.Backend
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table 1)
@@ -93,17 +121,17 @@ func DefaultConfig() Config {
 		Protocol:     ProtocolFlower,
 		Seed:         1,
 		Population:   3000,
-		Duration:     24 * sim.Hour,
+		Duration:     24 * runtime.Hour,
 		SeedStagger:  time2sPerSeed,
 		Topology:     topology.DefaultConfig(),
 		Workload:     workload.DefaultConfig(),
-		MeanUptime:   60 * sim.Minute,
-		SeriesWindow: 1 * sim.Hour,
+		MeanUptime:   60 * runtime.Minute,
+		SeriesWindow: 1 * runtime.Hour,
 		TailWindows:  3,
 	}
 }
 
-const time2sPerSeed = 2 * sim.Second
+const time2sPerSeed = 2 * runtime.Second
 
 // QuickConfig returns a scaled-down experiment that preserves the
 // paper's proportions (active-site share, per-petal densities, churn
@@ -113,11 +141,46 @@ const time2sPerSeed = 2 * sim.Second
 func QuickConfig() Config {
 	cfg := DefaultConfig()
 	cfg.Population = 400
-	cfg.Duration = 8 * sim.Hour
+	cfg.Duration = 8 * runtime.Hour
 	cfg.Workload.Sites = 20
 	cfg.Workload.ActiveSites = 3
 	cfg.Workload.ObjectsPerSite = 200
-	cfg.SeedStagger = 1 * sim.Second
+	cfg.SeedStagger = 1 * runtime.Second
+	return cfg
+}
+
+// RealtimeDemoConfig returns a configuration scaled for wall-clock
+// execution on the "realtime" backend: a small population with the
+// paper's timescales compressed roughly 3600× (sub-second gossip and
+// keepalive periods, queries every ~50 ms, 1 s metric windows), so a
+// seconds-scale horizon exhibits the full protocol lifecycle — seed
+// bootstrap, directory registration, petal gossip, churn — in real
+// time. horizon is wall-clock milliseconds.
+func RealtimeDemoConfig(population int, horizon int64) Config {
+	cfg := DefaultConfig()
+	cfg.Backend = "realtime"
+	cfg.Population = population
+	cfg.Duration = horizon
+	cfg.SeedStagger = 10 * runtime.Millisecond
+	cfg.Topology.Localities = 3
+	cfg.Workload.Sites = 3
+	cfg.Workload.ActiveSites = 3
+	cfg.Workload.ObjectsPerSite = 120
+	cfg.Workload.QueryMeanInterval = 50 * runtime.Millisecond
+	cfg.Workload.ZipfAlpha = 1.0
+	// Churn fast enough to ramp the population within the demo (the
+	// arrival gap is MeanUptime/P) while still failing sessions on
+	// camera; floor it so sub-second horizons stay sane.
+	cfg.MeanUptime = horizon / 2
+	if cfg.MeanUptime < 2*runtime.Second {
+		cfg.MeanUptime = 2 * runtime.Second
+	}
+	cfg.SeriesWindow = 1 * runtime.Second
+	cfg.TailWindows = 2
+	cfg.Options = proto.Options{
+		"gossip-period":      250 * runtime.Millisecond,
+		"keepalive-interval": 250 * runtime.Millisecond,
+	}
 	return cfg
 }
 
@@ -127,6 +190,9 @@ func QuickConfig() Config {
 func (c Config) Validate() error {
 	if !proto.Registered(string(c.Protocol)) {
 		return fmt.Errorf("harness: unknown protocol %q (registered: %v)", c.Protocol, proto.Names())
+	}
+	if !runtime.BackendRegistered(c.ResolvedBackend()) {
+		return fmt.Errorf("harness: unknown backend %q (registered: %v)", c.ResolvedBackend(), runtime.Backends())
 	}
 	if err := proto.Check(string(c.Protocol), c.Options); err != nil {
 		return fmt.Errorf("harness: %w", err)
@@ -187,12 +253,21 @@ type Result struct {
 	// AlivePeers is the population at the end of the run (the
 	// well-known "alive_peers" gauge every deployment reports).
 	AlivePeers int
+	// Backend names the runtime backend the run executed on.
+	Backend string
+	// Fingerprint is an FNV-1a hash over the run's per-window query,
+	// transfer and message counts. On the sim backend it is a
+	// deterministic function of the configuration: two processes
+	// running the same cell must produce the same value, so diffing
+	// fingerprints across processes catches map-order nondeterminism
+	// mechanically (see make fingerprint-check).
+	Fingerprint uint64
 	// Proto holds the deployment's generic counters and gauges: its
 	// Stats() snapshot merged over the counter events it streamed
 	// through the metrics pipeline during the run.
 	Proto proto.Stats
 
-	NetStats        simnet.Stats
+	NetStats        runtime.TransportStats
 	EventsProcessed uint64
 }
 
@@ -204,16 +279,20 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	master := sim.NewRNG(cfg.Seed)
+	master := rnd.New(cfg.Seed)
 	topo, err := topology.New(cfg.Topology, master.Split("topology"))
 	if err != nil {
 		return nil, err
 	}
-	net := simnet.New(eng, topo)
-	if cfg.MessageLossRate > 0 {
-		net.SetLossRate(cfg.MessageLossRate, master.Split("loss"))
+	rt, err := runtime.NewBackend(cfg.ResolvedBackend(), runtime.BackendConfig{
+		Topo:     topo,
+		LossRate: cfg.MessageLossRate,
+		LossRNG:  master.Split("loss"),
+	})
+	if err != nil {
+		return nil, err
 	}
+	clock, net := rt.Clock(), rt.Net()
 	work, err := workload.New(cfg.Workload)
 	if err != nil {
 		return nil, err
@@ -229,7 +308,7 @@ func Run(cfg Config) (*Result, error) {
 	pipe := metrics.NewPipeline(coll, counters)
 
 	env := proto.Env{
-		Eng:          eng,
+		Clock:        clock,
 		Net:          net,
 		Topo:         topo,
 		RNG:          master.Split(string(cfg.Protocol)),
@@ -242,11 +321,18 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := drive(cfg, eng, master, sys); err != nil {
+
+	// Per-window observer: samples the transport counters at every
+	// window close (feeding the run fingerprint) and surfaces live
+	// window aggregates through cfg.OnWindow.
+	obs := newWindowObserver(cfg, clock, net, coll)
+
+	processed, err := drive(cfg, rt, master, sys)
+	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Protocol: cfg.Protocol, Population: cfg.Population, Duration: cfg.Duration}
+	res := &Result{Protocol: cfg.Protocol, Population: cfg.Population, Duration: cfg.Duration, Backend: cfg.ResolvedBackend()}
 	res.HitRatio = coll.HitRatio()
 	res.TailHitRatio = coll.TailHitRatio(cfg.TailWindows)
 	res.MeanLookupMs = coll.MeanLookupLatency()
@@ -273,7 +359,8 @@ func Run(cfg Config) (*Result, error) {
 	res.AlivePeers = int(res.Proto[proto.StatAlivePeers])
 
 	res.NetStats = net.Stats()
-	res.EventsProcessed = eng.Processed()
+	res.EventsProcessed = processed
+	res.Fingerprint = fingerprint(coll.Windows(), obs.windowMessages(), res.NetStats)
 	return res, nil
 }
 
@@ -286,7 +373,7 @@ const PopulationFactor = 1.3
 // pool manages the persistent individuals of one run, protocol-
 // agnostically: the concrete individual type belongs to the deployment.
 type pool struct {
-	rng     *sim.RNG
+	rng     *rnd.RNG
 	inds    []proto.Individual
 	offline []int // indexes into inds
 	cap     int
@@ -323,8 +410,10 @@ func (p *pool) release(idx int) {
 // drive runs the protocol-agnostic experiment choreography: spawn the
 // deployment's bootstrap participants (staggered, each with a limited
 // uptime like any other peer), then let churn cycle the persistent
-// population through online sessions until the horizon.
-func drive(cfg Config, eng *sim.Engine, master *sim.RNG, sys proto.System) error {
+// population through online sessions until the horizon. It returns the
+// number of events the backend processed.
+func drive(cfg Config, rt runtime.Runtime, master *rnd.RNG, sys proto.System) (uint64, error) {
+	clock := rt.Clock()
 	churnRNG := master.Split("churn")
 	pl := &pool{
 		rng: churnRNG,
@@ -347,29 +436,29 @@ func drive(cfg Config, eng *sim.Engine, master *sim.RNG, sys proto.System) error
 		}
 	}
 	churnCfg := churn.Config{TargetPopulation: cfg.Population, MeanUptime: cfg.MeanUptime}
-	proc, err := churn.NewProcess(churnCfg, eng, churnRNG, spawn)
+	proc, err := churn.NewProcess(churnCfg, clock, churnRNG, spawn)
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	sys.Start()
 	seeds := sys.SeedCount()
 	for i := 0; i < seeds; i++ {
 		i := i
-		eng.Schedule(int64(i)*cfg.SeedStagger, func() {
+		clock.Schedule(int64(i)*cfg.SeedStagger, func() {
 			ind, kill := sys.SpawnSeed(i)
 			idx := pl.add(ind)
-			eng.Schedule(proc.Lifetime(), func() {
+			clock.Schedule(proc.Lifetime(), func() {
 				kill()
 				pl.release(idx)
 			})
 		})
 	}
 	// Client arrivals start once the bootstrap population is up.
-	eng.Schedule(int64(seeds)*cfg.SeedStagger, proc.Start)
-	eng.Run(cfg.Duration)
+	clock.Schedule(int64(seeds)*cfg.SeedStagger, proc.Start)
+	processed := rt.Run(cfg.Duration)
 	sys.Stop()
-	return nil
+	return processed, nil
 }
 
 // RunComparison executes the same configuration under Flower-CDN and

@@ -9,11 +9,10 @@
 package metrics
 
 import (
+	"flowercdn/internal/runtime"
 	"fmt"
 	"sort"
 	"strings"
-
-	"flowercdn/internal/sim"
 )
 
 // Outcome classifies how a query was served.
@@ -95,7 +94,7 @@ type Collector struct {
 // (Fig. 3 uses 1 simulated hour).
 func NewCollector(window int64) *Collector {
 	if window <= 0 {
-		window = sim.Hour
+		window = runtime.Hour
 	}
 	return &Collector{win: NewWindowed(window)}
 }

@@ -11,11 +11,11 @@ package petalup
 
 import (
 	"errors"
+	"flowercdn/internal/runtime"
 	"fmt"
 
 	"flowercdn/internal/content"
 	"flowercdn/internal/flower"
-	"flowercdn/internal/sim"
 	"flowercdn/internal/topology"
 )
 
@@ -55,8 +55,8 @@ func DefaultFlashCrowd() FlashCrowdSpec {
 		Site:       0,
 		Loc:        0,
 		Arrivals:   120,
-		ArrivalGap: 20 * sim.Second,
-		Settle:     2 * sim.Hour,
+		ArrivalGap: 20 * runtime.Second,
+		Settle:     2 * runtime.Hour,
 	}
 }
 
@@ -104,21 +104,21 @@ func Measure(sys *flower.System, site content.SiteID, loc topology.Locality) Loa
 }
 
 // RunFlashCrowd drives the spec against an existing Flower/PetalUp
-// system: it schedules the arrivals on the system's engine starting
-// now, runs the engine through the settle period, and measures the
+// system: it schedules the arrivals on the runtime's clock starting
+// now, runs the backend through the settle period, and measures the
 // petal's directory load. Every spawned client receives an infinite
 // lifetime — the point is load, not churn.
-func RunFlashCrowd(sys *flower.System, net interface{ Engine() *sim.Engine }, spec FlashCrowdSpec) (LoadReport, error) {
+func RunFlashCrowd(sys *flower.System, rt runtime.Runtime, spec FlashCrowdSpec) (LoadReport, error) {
 	if err := spec.Validate(); err != nil {
 		return LoadReport{}, err
 	}
-	eng := net.Engine()
+	clock := rt.Clock()
 	for i := 0; i < spec.Arrivals; i++ {
 		at := int64(i) * spec.ArrivalGap
-		eng.Schedule(at, func() {
+		clock.Schedule(at, func() {
 			sys.SpawnClientAt(spec.Site, spec.Loc)
 		})
 	}
-	eng.Run(eng.Now() + int64(spec.Arrivals)*spec.ArrivalGap + spec.Settle)
+	rt.Run(clock.Now() + int64(spec.Arrivals)*spec.ArrivalGap + spec.Settle)
 	return Measure(sys, spec.Site, spec.Loc), nil
 }

@@ -1,46 +1,45 @@
 package petalup
 
 import (
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/simrt"
 	"testing"
 
 	"flowercdn/internal/content"
 	"flowercdn/internal/flower"
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
 
 type world struct {
-	eng *sim.Engine
-	net *simnet.Network
+	*simrt.Runtime
+	net runtime.Transport
 	sys *flower.System
 }
 
-func (w *world) Engine() *sim.Engine { return w.eng }
-
 func buildWorld(t *testing.T, seed uint64, cfg flower.Config) *world {
 	t.Helper()
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(seed)
+	rng := rnd.New(seed)
 	tcfg := topology.DefaultConfig()
 	tcfg.Localities = 2
 	topo := topology.MustNew(tcfg, rng.Split("topo"))
-	net := simnet.New(eng, topo)
+	eng := simrt.New(topo)
+	net := eng.Net()
 	wcfg := workload.DefaultConfig()
 	wcfg.Sites = 2
 	wcfg.ObjectsPerSite = 100
 	wcfg.ActiveSites = 1
-	wcfg.QueryMeanInterval = 2 * sim.Minute
+	wcfg.QueryMeanInterval = 2 * runtime.Minute
 	work, err := workload.New(wcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	origins := workload.NewOrigins(work, net, rng.Split("origins"))
-	coll := metrics.NewCollector(sim.Hour)
-	cfg.Gossip.Period = 5 * sim.Minute
-	cfg.KeepaliveInterval = 10 * sim.Minute
+	coll := metrics.NewCollector(runtime.Hour)
+	cfg.Gossip.Period = 5 * runtime.Minute
+	cfg.KeepaliveInterval = 10 * runtime.Minute
 	sys, err := flower.NewSystem(cfg, flower.Deps{
 		Net: net, RNG: rng.Split("flower"), Workload: work, Origins: origins, Metrics: coll,
 	})
@@ -56,8 +55,8 @@ func buildWorld(t *testing.T, seed uint64, cfg flower.Config) *world {
 			})
 		}
 	}
-	eng.Run(eng.Now() + 10*sim.Minute)
-	return &world{eng: eng, net: net, sys: sys}
+	eng.Run(eng.Now() + 10*runtime.Minute)
+	return &world{Runtime: eng, net: net, sys: sys}
 }
 
 func TestConfigPreset(t *testing.T) {
@@ -94,8 +93,8 @@ func TestFlashCrowdSplitsDirectory(t *testing.T) {
 	spec := FlashCrowdSpec{
 		Site: 0, Loc: 0,
 		Arrivals:   30,
-		ArrivalGap: 30 * sim.Second,
-		Settle:     1 * sim.Hour,
+		ArrivalGap: 30 * runtime.Second,
+		Settle:     1 * runtime.Hour,
 	}
 	rep, err := RunFlashCrowd(w.sys, w, spec)
 	if err != nil {
@@ -117,8 +116,8 @@ func TestClassicFlowerDoesNotSplit(t *testing.T) {
 	spec := FlashCrowdSpec{
 		Site: 0, Loc: 0,
 		Arrivals:   30,
-		ArrivalGap: 30 * sim.Second,
-		Settle:     1 * sim.Hour,
+		ArrivalGap: 30 * runtime.Second,
+		Settle:     1 * runtime.Hour,
 	}
 	rep, err := RunFlashCrowd(w.sys, w, spec)
 	if err != nil {
@@ -142,7 +141,7 @@ func TestPetalUpBoundsPerInstanceLoadBetterThanClassic(t *testing.T) {
 	// view stays near the limit instead of growing with the crowd.
 	limit := 6
 	wUp := buildWorld(t, 3, Config(limit))
-	spec := FlashCrowdSpec{Site: 0, Loc: 0, Arrivals: 40, ArrivalGap: 20 * sim.Second, Settle: 90 * sim.Minute}
+	spec := FlashCrowdSpec{Site: 0, Loc: 0, Arrivals: 40, ArrivalGap: 20 * runtime.Second, Settle: 90 * runtime.Minute}
 	repUp, err := RunFlashCrowd(wUp.sys, wUp, spec)
 	if err != nil {
 		t.Fatal(err)

@@ -14,8 +14,8 @@ package proto
 
 import (
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
@@ -23,15 +23,16 @@ import (
 // Env is the substrate one deployment runs on. The harness builds one
 // per run; every handle is exclusive to that run.
 type Env struct {
-	// Eng is the run's discrete-event engine.
-	Eng *sim.Engine
+	// Clock is the run's time source: the discrete-event engine on the
+	// sim backend, the wall clock on the realtime backend.
+	Clock runtime.Clock
 	// Net is the simulated message layer.
-	Net *simnet.Network
+	Net runtime.Transport
 	// Topo is the latency/locality model behind Net.
 	Topo *topology.Topology
 	// RNG is the deployment's deterministic randomness root, split from
 	// the run's master seed under the protocol's name.
-	RNG *sim.RNG
+	RNG *rnd.RNG
 	// Workload owns the catalog, popularity and interest assignment.
 	Workload *workload.Workload
 	// Origins are the per-site origin servers (the miss fallback).

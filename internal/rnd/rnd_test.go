@@ -1,4 +1,4 @@
-package sim
+package rnd
 
 import (
 	"math"
@@ -7,15 +7,15 @@ import (
 )
 
 func TestRNGDeterminism(t *testing.T) {
-	a, b := NewRNG(7), NewRNG(7)
+	a, b := New(7), New(7)
 	for i := 0; i < 100; i++ {
 		if a.Uint64() != b.Uint64() {
 			t.Fatal("same seed produced different streams")
 		}
 	}
-	c := NewRNG(8)
+	c := New(8)
 	same := true
-	a2 := NewRNG(7)
+	a2 := New(7)
 	for i := 0; i < 10; i++ {
 		if a2.Uint64() != c.Uint64() {
 			same = false
@@ -27,18 +27,18 @@ func TestRNGDeterminism(t *testing.T) {
 }
 
 func TestSplitIndependence(t *testing.T) {
-	parent := NewRNG(99)
+	parent := New(99)
 	x := parent.Split("workload")
-	parent2 := NewRNG(99)
+	parent2 := New(99)
 	y := parent2.Split("workload")
 	for i := 0; i < 50; i++ {
 		if x.Uint64() != y.Uint64() {
 			t.Fatal("same tag from same parent state diverged")
 		}
 	}
-	p3 := NewRNG(99)
+	p3 := New(99)
 	z := p3.Split("churn")
-	w := NewRNG(99).Split("workload")
+	w := New(99).Split("workload")
 	diff := false
 	for i := 0; i < 50; i++ {
 		if z.Uint64() != w.Uint64() {
@@ -52,9 +52,9 @@ func TestSplitIndependence(t *testing.T) {
 }
 
 func TestExpDurationPositiveAndMeanish(t *testing.T) {
-	g := NewRNG(1)
+	g := New(1)
 	const n = 20000
-	const mean = int64(60 * Minute)
+	const mean = int64(60 * int64(60000))
 	var sum float64
 	for i := 0; i < n; i++ {
 		d := g.ExpDuration(mean)
@@ -70,7 +70,7 @@ func TestExpDurationPositiveAndMeanish(t *testing.T) {
 }
 
 func TestUniformBounds(t *testing.T) {
-	g := NewRNG(2)
+	g := New(2)
 	f := func(a, b int32) bool {
 		lo, hi := float64(a), float64(b)
 		v := g.Uniform(lo, hi)
@@ -85,7 +85,7 @@ func TestUniformBounds(t *testing.T) {
 }
 
 func TestUniformDurationBounds(t *testing.T) {
-	g := NewRNG(3)
+	g := New(3)
 	for i := 0; i < 1000; i++ {
 		v := g.UniformDuration(10, 500)
 		if v < 10 || v >= 500 {
@@ -98,7 +98,7 @@ func TestUniformDurationBounds(t *testing.T) {
 }
 
 func TestPick(t *testing.T) {
-	g := NewRNG(4)
+	g := New(4)
 	if g.Pick(0) != -1 {
 		t.Fatal("Pick(0) should be -1")
 	}
@@ -116,7 +116,7 @@ func TestPick(t *testing.T) {
 }
 
 func TestBoolProbability(t *testing.T) {
-	g := NewRNG(5)
+	g := New(5)
 	n, hits := 50000, 0
 	for i := 0; i < n; i++ {
 		if g.Bool(0.3) {
@@ -133,7 +133,7 @@ func TestBoolProbability(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
-	g := NewRNG(6)
+	g := New(6)
 	p := g.Perm(100)
 	seen := make([]bool, 100)
 	for _, v := range p {
@@ -145,7 +145,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestShuffleKeepsElements(t *testing.T) {
-	g := NewRNG(7)
+	g := New(7)
 	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	sum := 0
 	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
@@ -158,7 +158,7 @@ func TestShuffleKeepsElements(t *testing.T) {
 }
 
 func TestNormMoments(t *testing.T) {
-	g := NewRNG(8)
+	g := New(8)
 	const n = 50000
 	var sum, sq float64
 	for i := 0; i < n; i++ {

@@ -1,0 +1,283 @@
+// Package rtnet is the wall-clock backend: the identical protocol code
+// that runs on the deterministic simulator executes here in real time.
+// A Clock backed by real time.Timers fires callbacks serialized onto a
+// single run loop (so protocol code stays lock-free, exactly as on the
+// engine), and the loopback transport — the same internal/simnet
+// delivery logic, driven by this clock — injects per-link latency
+// sampled from the same topology model. It registers itself as the
+// "realtime" backend.
+//
+// Runs are NOT reproducible: wall-clock arrival order replaces the
+// engine's (when, seq) total order. Everything else — loss semantics,
+// byte accounting, metrics windows — behaves identically.
+package rtnet
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"flowercdn/internal/runtime"
+)
+
+// timer is the one-shot timer handle. Its state is guarded by the
+// owning clock's mutex so Cancel is safe from any goroutine, even
+// though callbacks only ever run on the loop.
+type timer struct {
+	c         *Clock
+	when      int64
+	seq       uint64
+	fn        func()
+	fired     bool
+	cancelled bool
+}
+
+func (t *timer) Cancel() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.cancelled || t.fired {
+		return false
+	}
+	t.cancelled = true
+	t.fn = nil
+	return true
+}
+
+func (t *timer) Fired() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	return t.fired
+}
+
+func (t *timer) Cancelled() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	return t.cancelled
+}
+
+func (t *timer) When() int64 { return t.when }
+
+// timerHeap orders by (when, seq) like the engine's event queue, so
+// same-deadline timers fire in schedule order.
+type timerHeap []*timer
+
+func (q timerHeap) Len() int { return len(q) }
+func (q timerHeap) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q timerHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *timerHeap) Push(x any)   { *q = append(*q, x.(*timer)) }
+func (q *timerHeap) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}
+
+// Clock is the wall-clock implementation of runtime.Clock. Time is
+// int64 milliseconds since the clock was created; deadlines are kept in
+// a heap and executed by Run — the single run loop — when the wall
+// clock reaches them. Scheduling is safe from any goroutine; callbacks
+// run only on the goroutine inside Run, one at a time.
+type Clock struct {
+	mu        sync.Mutex
+	start     time.Time
+	queue     timerHeap
+	seq       uint64
+	processed uint64
+	stopped   bool
+	// wake kicks Run out of its idle sleep when an earlier deadline is
+	// scheduled from outside the loop or Stop is called.
+	wake chan struct{}
+}
+
+// NewClock starts a wall clock at time zero (= now).
+func NewClock() *Clock {
+	return &Clock{start: time.Now(), wake: make(chan struct{}, 1)}
+}
+
+// elapsed is Now without the lock dance; callers hold no lock (reads
+// only immutable start).
+func (c *Clock) elapsed() int64 { return int64(time.Since(c.start) / time.Millisecond) }
+
+// Now returns wall-clock milliseconds since the run started.
+func (c *Clock) Now() int64 { return c.elapsed() }
+
+// Schedule runs fn after delay wall-clock milliseconds.
+func (c *Clock) Schedule(delay int64, fn func()) runtime.Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return c.At(c.elapsed()+delay, fn)
+}
+
+// At runs fn when the wall clock reaches t (clamped to now).
+func (c *Clock) At(t int64, fn func()) runtime.Timer {
+	if fn == nil {
+		panic("rtnet: At called with nil function")
+	}
+	c.mu.Lock()
+	now := c.elapsed()
+	if t < now {
+		t = now
+	}
+	c.seq++
+	tm := &timer{c: c, when: t, seq: c.seq, fn: fn}
+	heap.Push(&c.queue, tm)
+	c.mu.Unlock()
+	c.kick()
+	return tm
+}
+
+// ticker implements runtime.Ticker by rearming a fresh one-shot timer
+// after every firing.
+type ticker struct {
+	c         *Clock
+	period    int64
+	fn        func()
+	mu        sync.Mutex
+	inner     *timer
+	cancelled bool
+}
+
+func (p *ticker) fire() {
+	p.mu.Lock()
+	if p.cancelled {
+		p.mu.Unlock()
+		return
+	}
+	fn := p.fn
+	fired := p.inner.when
+	p.mu.Unlock()
+	fn()
+	p.mu.Lock()
+	if !p.cancelled {
+		// Rearm at a fixed multiple of the fire *deadline*, like the
+		// engine's PeriodicTimer: cadence stays `period` regardless of
+		// callback duration or loop latency (At clamps a missed deadline
+		// to now, so a slow callback catches up instead of backlogging).
+		p.inner = p.c.At(fired+p.period, p.fire).(*timer)
+	}
+	p.mu.Unlock()
+}
+
+func (p *ticker) Cancel() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cancelled {
+		return
+	}
+	p.cancelled = true
+	if p.inner != nil {
+		p.inner.Cancel()
+	}
+	p.fn = nil
+}
+
+func (p *ticker) Cancelled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cancelled
+}
+
+// Every schedules fn every period wall-clock milliseconds, first firing
+// after firstDelay. Period must be positive.
+func (c *Clock) Every(firstDelay, period int64, fn func()) runtime.Ticker {
+	if period <= 0 {
+		panic("rtnet: Every called with non-positive period")
+	}
+	p := &ticker{c: c, period: period, fn: fn}
+	// Hold p.mu across the first arm: if the timer is due immediately,
+	// fire() on the run loop blocks on p.mu until p.inner is assigned,
+	// so its locked rearm cannot race this write.
+	p.mu.Lock()
+	p.inner = c.Schedule(firstDelay, p.fire).(*timer)
+	p.mu.Unlock()
+	return p
+}
+
+// Stop makes the in-progress Run return after the current callback.
+func (c *Clock) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.mu.Unlock()
+	c.kick()
+}
+
+// kick wakes an idle Run (non-blocking; a pending wake is enough).
+func (c *Clock) kick() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Processed returns the number of callbacks executed so far.
+func (c *Clock) Processed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.processed
+}
+
+// Pending returns the number of queued timers, including cancelled ones
+// not yet discarded.
+func (c *Clock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Run is the run loop: it executes due timers in (deadline, seq) order,
+// sleeping on a real time.Timer between deadlines, until the wall clock
+// passes `until` (ms since clock start) or Stop is called. Timers due
+// at or before `until` are executed; later ones remain queued. It
+// returns the number of callbacks executed by this call.
+func (c *Clock) Run(until int64) uint64 {
+	var executed uint64
+	for {
+		c.mu.Lock()
+		if c.stopped {
+			c.stopped = false
+			c.mu.Unlock()
+			return executed
+		}
+		for len(c.queue) > 0 && c.queue[0].cancelled {
+			heap.Pop(&c.queue)
+		}
+		now := c.elapsed()
+		if len(c.queue) > 0 && c.queue[0].when <= until && c.queue[0].when <= now {
+			t := heap.Pop(&c.queue).(*timer)
+			t.fired = true
+			fn := t.fn
+			t.fn = nil
+			c.processed++
+			c.mu.Unlock()
+			fn() // outside the lock: callbacks schedule freely
+			executed++
+			continue
+		}
+		// Nothing due yet: sleep until the next deadline or the horizon.
+		if now >= until {
+			c.mu.Unlock()
+			return executed
+		}
+		target := until
+		if len(c.queue) > 0 && c.queue[0].when < target {
+			target = c.queue[0].when
+		}
+		c.mu.Unlock()
+		if d := time.Duration(target-now) * time.Millisecond; d > 0 {
+			idle := time.NewTimer(d)
+			select {
+			case <-idle.C:
+			case <-c.wake:
+				idle.Stop()
+			}
+		}
+	}
+}

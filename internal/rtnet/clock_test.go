@@ -1,0 +1,165 @@
+package rtnet
+
+import (
+	"testing"
+
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/topology"
+)
+
+// TestTimerOrdering checks that same-deadline timers fire in schedule
+// order and differently-deadlined timers fire by deadline — the same
+// (when, seq) total order the engine guarantees.
+func TestTimerOrdering(t *testing.T) {
+	c := NewClock()
+	var got []int
+	c.Schedule(30, func() { got = append(got, 3) })
+	c.Schedule(10, func() { got = append(got, 1) })
+	c.Schedule(10, func() { got = append(got, 2) }) // same deadline, later seq
+	c.Run(60)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order %v, want [1 2 3]", got)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	c := NewClock()
+	fired := false
+	tm := c.Schedule(20, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("first Cancel reported no effect")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel reported effect")
+	}
+	c.Run(50)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if !tm.Cancelled() || tm.Fired() {
+		t.Fatalf("state after cancel: cancelled=%v fired=%v", tm.Cancelled(), tm.Fired())
+	}
+}
+
+func TestRunHorizonAndScheduleDuringRun(t *testing.T) {
+	c := NewClock()
+	var fired []int64
+	c.Schedule(10, func() {
+		fired = append(fired, c.Now())
+		c.Schedule(15, func() { fired = append(fired, c.Now()) }) // due ~25
+	})
+	c.Schedule(500, func() { fired = append(fired, -1) }) // beyond horizon
+	n := c.Run(100)
+	if n != 2 {
+		t.Fatalf("processed %d callbacks, want 2", n)
+	}
+	if len(fired) != 2 || fired[1] < 20 {
+		t.Fatalf("fired at %v, want two firings with the second at >= 20ms", fired)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending %d, want the beyond-horizon timer queued", c.Pending())
+	}
+}
+
+func TestTickerFiresAndStops(t *testing.T) {
+	c := NewClock()
+	count := 0
+	tick := c.Every(5, 10, func() { count++ })
+	c.Run(48)
+	if count < 3 {
+		t.Fatalf("ticker fired %d times in 48ms with period 10, want >= 3", count)
+	}
+	tick.Cancel()
+	if !tick.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	before := count
+	c.Run(80)
+	if count != before {
+		t.Fatalf("ticker fired after Cancel: %d -> %d", before, count)
+	}
+}
+
+func TestStopInterruptsRun(t *testing.T) {
+	c := NewClock()
+	c.Schedule(5, func() { c.Stop() })
+	c.Schedule(40, func() { t.Fatal("callback after Stop") })
+	c.Run(60)
+	if c.Pending() != 1 {
+		t.Fatalf("pending %d after Stop, want 1", c.Pending())
+	}
+}
+
+// TestLoopbackDelivery runs the simnet delivery logic over the wall
+// clock: a Send arrives after the topology's link latency, and the
+// transport's accounting matches the sim backend's semantics.
+func TestLoopbackDelivery(t *testing.T) {
+	rng := rnd.New(1)
+	topo := topology.MustNew(topology.DefaultConfig(), rng)
+	rt := New(topo)
+	net := rt.Net()
+
+	var deliveredAt int64 = -1
+	a := net.Join(handlerFunc{}, topo.Place(rng))
+	b := net.Join(handlerFunc{onMsg: func() { deliveredAt = rt.Clock().Now() }}, topo.Place(rng))
+
+	net.Send(a, b, "ping")
+	lat := net.Latency(a, b)
+	rt.Run(lat + 200)
+
+	if deliveredAt < 0 {
+		t.Fatal("message never delivered")
+	}
+	if deliveredAt < lat {
+		t.Fatalf("delivered at %dms, before the %dms link latency", deliveredAt, lat)
+	}
+	st := net.Stats()
+	if st.MessagesSent != 1 || st.MessagesDelivered != 1 {
+		t.Fatalf("stats %+v, want 1 sent / 1 delivered", st)
+	}
+}
+
+// TestLoopbackRequest checks the RPC round trip over the wall clock.
+func TestLoopbackRequest(t *testing.T) {
+	rng := rnd.New(2)
+	topo := topology.MustNew(topology.DefaultConfig(), rng)
+	rt := New(topo)
+	net := rt.Net()
+
+	a := net.Join(handlerFunc{}, topo.Place(rng))
+	b := net.Join(handlerFunc{onReq: func(req any) (any, error) { return "pong", nil }}, topo.Place(rng))
+
+	var resp any
+	var rerr error
+	done := false
+	net.Request(a, b, "ping", 2*runtime.Second, func(r any, err error) {
+		resp, rerr, done = r, err, true
+	})
+	rt.Run(2*net.Latency(a, b) + 300)
+
+	if !done {
+		t.Fatal("request callback never ran")
+	}
+	if rerr != nil || resp != "pong" {
+		t.Fatalf("resp=%v err=%v, want pong/nil", resp, rerr)
+	}
+}
+
+type handlerFunc struct {
+	onMsg func()
+	onReq func(req any) (any, error)
+}
+
+func (h handlerFunc) HandleMessage(runtime.NodeID, any) {
+	if h.onMsg != nil {
+		h.onMsg()
+	}
+}
+
+func (h handlerFunc) HandleRequest(_ runtime.NodeID, req any) (any, error) {
+	if h.onReq != nil {
+		return h.onReq(req)
+	}
+	return nil, nil
+}

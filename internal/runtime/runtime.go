@@ -1,0 +1,203 @@
+// Package runtime defines the backend-agnostic seams every protocol in
+// this repository is written against: a Clock (virtual or wall-clock
+// time, timers), a Transport (node lifecycle, one-way messages, RPCs,
+// latency and loss semantics, delivery stats) and a Runtime bundling
+// the two with run control.
+//
+// Protocol code — the drivers under internal/flower, internal/petalup,
+// internal/squirrel, internal/baseline, the chord and gossip substrates
+// — depends only on these interfaces. Two backends implement them:
+//
+//   - internal/simrt adapts the deterministic discrete-event engine
+//     (internal/sim) and the simulated message layer (internal/simnet);
+//     it is the reference implementation, bit-for-bit reproducible.
+//   - internal/rtnet runs the identical protocol code in real time:
+//     wall-clock timers serialized onto a single run loop, with the
+//     in-process loopback transport injecting latency sampled from the
+//     same topology model.
+//
+// All times are int64 milliseconds; on the sim backend they are
+// simulated milliseconds, on the realtime backend they are wall-clock
+// milliseconds since the run started. The constants Millisecond,
+// Second, Minute and Hour mirror the time package at that resolution.
+package runtime
+
+import (
+	"errors"
+
+	"flowercdn/internal/topology"
+)
+
+// Time unit constants, in milliseconds.
+const (
+	Millisecond int64 = 1
+	Second            = 1000 * Millisecond
+	Minute            = 60 * Second
+	Hour              = 60 * Minute
+)
+
+// NodeID names a node for the lifetime of a run. IDs are never reused:
+// a peer that re-joins after failing gets a fresh NodeID, which mirrors
+// the paper's model where a returning peer is a new participant.
+type NodeID int32
+
+// None is the zero-ish sentinel for "no node".
+const None NodeID = -1
+
+// Handler is implemented by every protocol node. HandleMessage receives
+// one-way messages; RPC requests arrive through HandleRequest.
+type Handler interface {
+	// HandleMessage processes a one-way message. from is the sender at
+	// the time of sending (it may already be dead on delivery).
+	HandleMessage(from NodeID, msg any)
+	// HandleRequest processes an RPC and returns the response or an
+	// application error. A non-nil error is delivered to the caller as
+	// a failed call (same as a timeout, but immediate on response
+	// arrival); protocols use it for "not my role" style rejections.
+	HandleRequest(from NodeID, req any) (any, error)
+}
+
+// Errors surfaced to Request callers.
+var (
+	// ErrTimeout: no response within the deadline (dead target, dead
+	// requester-side delivery, or dropped en route).
+	ErrTimeout = errors.New("runtime: request timed out")
+	// ErrNoSuchNode: the target NodeID was never registered.
+	ErrNoSuchNode = errors.New("runtime: no such node")
+)
+
+// Sizer lets a message report its approximate wire size in bytes for
+// overhead accounting. Messages that do not implement it are counted
+// with DefaultMessageBytes.
+type Sizer interface {
+	WireBytes() int
+}
+
+// DefaultMessageBytes approximates a small control message (headers +
+// a few identifiers).
+const DefaultMessageBytes = 64
+
+// TransportStats accumulates traffic counters for a run.
+type TransportStats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64 // target dead or unregistered at delivery
+	BytesSent         uint64
+	RequestsIssued    uint64
+	RequestsTimedOut  uint64
+}
+
+// Timer is the handle for a one-shot scheduled event. It can be
+// cancelled before it fires; cancelling an already-fired or
+// already-cancelled timer is a no-op.
+type Timer interface {
+	// Cancel prevents the timer's function from running. It reports
+	// whether the cancellation had any effect.
+	Cancel() bool
+	// Fired reports whether the timer's function has already run.
+	Fired() bool
+	// Cancelled reports whether Cancel was called before the timer
+	// fired.
+	Cancelled() bool
+	// When returns the time at which the timer is (or was) scheduled to
+	// fire.
+	When() int64
+}
+
+// Ticker is the handle for a periodic event, firing until cancelled.
+type Ticker interface {
+	// Cancel stops all future firings.
+	Cancel()
+	// Cancelled reports whether the ticker has been stopped.
+	Cancelled() bool
+}
+
+// Clock is the time seam: protocols read the current time and schedule
+// one-shot and periodic callbacks through it, never caring whether time
+// is simulated or real. All callbacks of one run are serialized — no
+// two ever execute concurrently — which is what lets protocol code stay
+// lock-free on both backends.
+type Clock interface {
+	// Now returns the current time in milliseconds.
+	Now() int64
+	// Schedule runs fn after delay milliseconds. A negative delay is
+	// treated as zero. It returns a cancellable Timer handle.
+	Schedule(delay int64, fn func()) Timer
+	// At runs fn at absolute time t. Times in the past are clamped to
+	// the current instant.
+	At(t int64, fn func()) Timer
+	// Every schedules fn to run every period milliseconds, with the
+	// first execution after firstDelay. Period must be positive.
+	Every(firstDelay, period int64, fn func()) Ticker
+	// Stop makes the currently executing run return after the current
+	// event completes. Pending events remain queued.
+	Stop()
+}
+
+// Transport is the message seam: a registry of nodes with join/fail
+// lifecycle (fail-only churn), one-way Send with per-link latency and
+// optional loss, Request/response RPCs with timeouts, and message/byte
+// accounting. Messages to dead nodes are silently dropped, so failure
+// detection is always timeout-driven, like on a real network.
+type Transport interface {
+	// Clock returns the clock driving this transport's deliveries.
+	Clock() Clock
+	// Topology returns the latency/locality model deliveries sample
+	// from (placement of joining nodes, per-link latency).
+	Topology() *topology.Topology
+
+	// Join registers a handler at the given placement and returns its
+	// fresh NodeID.
+	Join(h Handler, place Placement) NodeID
+	// Fail marks a node dead. In-flight messages to it are dropped on
+	// delivery; it stops receiving forever (re-joining means a new
+	// NodeID). Failing an already-dead node is a no-op.
+	Fail(id NodeID)
+	// Alive reports whether id is registered and not failed.
+	Alive(id NodeID) bool
+	// AliveCount returns the number of currently-alive nodes.
+	AliveCount() int
+	// TotalJoined returns how many nodes have ever joined.
+	TotalJoined() int
+
+	// Placement returns where a node sits in the topology. It remains
+	// valid after the node fails (used for post-mortem metrics).
+	Placement(id NodeID) Placement
+	// Locality returns the physical locality of a node.
+	Locality(id NodeID) Locality
+	// Latency returns the one-way latency between two nodes in ms.
+	Latency(a, b NodeID) int64
+
+	// Send delivers msg to `to` after the one-way link latency. If the
+	// target is dead at delivery time the message is dropped. Sends to
+	// unregistered IDs panic (protocol bug, not churn).
+	Send(from, to NodeID, msg any)
+	// Request performs an RPC: req travels to the target, the target's
+	// HandleRequest runs, and the response travels back. cb runs exactly
+	// once: with the response, with the handler's application error, or
+	// with ErrTimeout if either leg fails or the deadline expires first.
+	// A timeout <= 0 selects the transport's default. If the requester
+	// is dead when the response arrives, cb is not run.
+	Request(from, to NodeID, req any, timeout int64, cb func(resp any, err error))
+
+	// Stats returns a snapshot of the traffic counters.
+	Stats() TransportStats
+	// ForEachAlive visits every alive node id (ascending). The visitor
+	// must not join or fail nodes while iterating.
+	ForEachAlive(visit func(id NodeID))
+}
+
+// Runtime bundles the seams of one run with its run control. The
+// harness builds one per experiment; every handle is exclusive to that
+// run.
+type Runtime interface {
+	// Clock is the run's time source.
+	Clock() Clock
+	// Net is the run's message layer.
+	Net() Transport
+	// Run drives the backend until the clock passes the horizon (ms) or
+	// Stop is called, and returns the number of events processed. On the
+	// sim backend this consumes the event queue at full speed; on the
+	// realtime backend it paces execution against the wall clock.
+	Run(until int64) uint64
+}

@@ -16,63 +16,43 @@
 package simnet
 
 import (
-	"errors"
 	"fmt"
 
-	"flowercdn/internal/sim"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
 )
 
-// NodeID names a node for the lifetime of a simulation. IDs are never
-// reused: a peer that re-joins after failing gets a fresh NodeID, which
-// mirrors the paper's model where a returning peer is a new participant.
-type NodeID int32
+// The vocabulary types of the message layer are defined by the
+// backend-agnostic seam (internal/runtime) and aliased here, so code
+// written against the concrete simulated network and code written
+// against the Transport interface interoperate without conversion.
+type (
+	// NodeID names a node for the lifetime of a run.
+	NodeID = runtime.NodeID
+	// Handler is implemented by every protocol node.
+	Handler = runtime.Handler
+	// Sizer lets a message report its approximate wire size.
+	Sizer = runtime.Sizer
+	// Stats accumulates traffic counters for a run.
+	Stats = runtime.TransportStats
+)
 
 // None is the zero-ish sentinel for "no node".
-const None NodeID = -1
-
-// Handler is implemented by every protocol node. HandleMessage receives
-// one-way messages; RPC requests arrive through HandleRequest.
-type Handler interface {
-	// HandleMessage processes a one-way message. from is the sender at
-	// the time of sending (it may already be dead on delivery).
-	HandleMessage(from NodeID, msg any)
-	// HandleRequest processes an RPC and returns the response or an
-	// application error. A non-nil error is delivered to the caller as
-	// a failed call (same as a timeout, but immediate on response
-	// arrival); protocols use it for "not my role" style rejections.
-	HandleRequest(from NodeID, req any) (any, error)
-}
+const None = runtime.None
 
 // Errors surfaced to Request callers.
 var (
 	// ErrTimeout: no response within the deadline (dead target, dead
 	// requester-side delivery, or dropped en route).
-	ErrTimeout = errors.New("simnet: request timed out")
+	ErrTimeout = runtime.ErrTimeout
 	// ErrNoSuchNode: the target NodeID was never registered.
-	ErrNoSuchNode = errors.New("simnet: no such node")
+	ErrNoSuchNode = runtime.ErrNoSuchNode
 )
-
-// Sizer lets a message report its approximate wire size in bytes for
-// overhead accounting. Messages that do not implement it are counted
-// with DefaultMessageBytes.
-type Sizer interface {
-	WireBytes() int
-}
 
 // DefaultMessageBytes approximates a small control message (headers +
 // a few identifiers).
-const DefaultMessageBytes = 64
-
-// Stats accumulates traffic counters for a run.
-type Stats struct {
-	MessagesSent      uint64
-	MessagesDelivered uint64
-	MessagesDropped   uint64 // target dead or unregistered at delivery
-	BytesSent         uint64
-	RequestsIssued    uint64
-	RequestsTimedOut  uint64
-}
+const DefaultMessageBytes = runtime.DefaultMessageBytes
 
 type nodeState struct {
 	handler Handler
@@ -82,10 +62,18 @@ type nodeState struct {
 	died    int64
 }
 
-// Network is the central message switch. Like the engine it is
-// single-goroutine only.
+// Network implements the full Transport seam.
+var _ runtime.Transport = (*Network)(nil)
+
+// Network is the central message switch — the loopback reference
+// implementation of runtime.Transport. It delivers through whatever
+// runtime.Clock drives it: the discrete-event engine (deterministic
+// simulation, via internal/simrt) or the wall-clock loop
+// (internal/rtnet), with identical latency, loss and accounting
+// semantics. Like the engine it is single-goroutine: every call must
+// happen on the clock's callback goroutine (or before the run starts).
 type Network struct {
-	eng   *sim.Engine
+	clock runtime.Clock
 	topo  *topology.Topology
 	nodes []nodeState
 	alive int
@@ -98,21 +86,22 @@ type Network struct {
 	// failure injection beyond churn. Zero (the default) is the paper's
 	// reliable-link model.
 	lossRate float64
-	lossRNG  *sim.RNG
+	lossRNG  *rnd.RNG
 }
 
-// New builds an empty network over the given engine and topology.
-func New(eng *sim.Engine, topo *topology.Topology) *Network {
+// New builds an empty network delivering through the given clock and
+// sampling link latency from the given topology.
+func New(clock runtime.Clock, topo *topology.Topology) *Network {
 	return &Network{
-		eng:               eng,
+		clock:             clock,
 		topo:              topo,
-		DefaultRPCTimeout: 4 * sim.Second,
+		DefaultRPCTimeout: 4 * runtime.Second,
 	}
 }
 
-// Engine exposes the underlying engine (protocol nodes schedule their
-// periodic work through it).
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// Clock exposes the clock driving deliveries (protocol nodes schedule
+// their periodic work through it).
+func (n *Network) Clock() runtime.Clock { return n.clock }
 
 // Topology exposes the latency model.
 func (n *Network) Topology() *topology.Topology { return n.topo }
@@ -125,7 +114,7 @@ func (n *Network) Stats() Stats { return n.stats }
 // probability p. Used by the failure-injection tests and ablations;
 // p = 0 restores reliable links. Panics on p outside [0, 1) or a nil
 // rng with p > 0.
-func (n *Network) SetLossRate(p float64, rng *sim.RNG) {
+func (n *Network) SetLossRate(p float64, rng *rnd.RNG) {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("simnet: loss rate %g out of [0, 1)", p))
 	}
@@ -152,7 +141,7 @@ func (n *Network) Join(h Handler, place topology.Placement) NodeID {
 		handler: h,
 		place:   place,
 		alive:   true,
-		joined:  n.eng.Now(),
+		joined:  n.clock.Now(),
 		died:    -1,
 	})
 	n.alive++
@@ -171,7 +160,7 @@ func (n *Network) Fail(id NodeID) {
 		return
 	}
 	st.alive = false
-	st.died = n.eng.Now()
+	st.died = n.clock.Now()
 	st.handler = nil // release protocol state for GC
 	n.alive--
 }
@@ -234,7 +223,7 @@ func (n *Network) Send(from, to NodeID, msg any) {
 		return
 	}
 	delay := n.Latency(from, to)
-	n.eng.Schedule(delay, func() {
+	n.clock.Schedule(delay, func() {
 		st := &n.nodes[to]
 		if !st.alive {
 			n.stats.MessagesDropped++
@@ -282,7 +271,7 @@ func (n *Network) Request(from, to NodeID, req any, timeout int64, cb func(resp 
 	}
 
 	// Deadline: fires unless a response beat it.
-	deadline := n.eng.Schedule(timeout, func() {
+	deadline := n.clock.Schedule(timeout, func() {
 		if !done {
 			n.stats.RequestsTimedOut++
 		}
@@ -295,7 +284,7 @@ func (n *Network) Request(from, to NodeID, req any, timeout int64, cb func(resp 
 		return
 	}
 	out := n.Latency(from, to)
-	n.eng.Schedule(out, func() {
+	n.clock.Schedule(out, func() {
 		st := &n.nodes[to]
 		if !st.alive {
 			// Dropped on the floor; the deadline will fire.
@@ -312,7 +301,7 @@ func (n *Network) Request(from, to NodeID, req any, timeout int64, cb func(resp 
 			return
 		}
 		back := n.Latency(to, from)
-		n.eng.Schedule(back, func() {
+		n.clock.Schedule(back, func() {
 			deadline.Cancel()
 			finish(resp, err)
 		})

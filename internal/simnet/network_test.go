@@ -44,7 +44,7 @@ func newFixture(t *testing.T) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fixture{eng: eng, topo: topo, net: New(eng, topo), rng: rng}
+	return &fixture{eng: eng, topo: topo, net: New(eng.Clock(), topo), rng: rng}
 }
 
 func (f *fixture) join(h Handler) NodeID {

@@ -2,7 +2,7 @@ package squirrel
 
 import (
 	"flowercdn/internal/proto"
-	"flowercdn/internal/sim"
+	"flowercdn/internal/rnd"
 )
 
 // Squirrel registers itself with the protocol runtime; the harness
@@ -63,7 +63,7 @@ func NewDriver(env proto.Env, opts proto.Options) (proto.System, error) {
 type runtimeDriver struct {
 	sys   *System
 	env   proto.Env
-	idRNG *sim.RNG
+	idRNG *rnd.RNG
 }
 
 func (d *runtimeDriver) Start() {}

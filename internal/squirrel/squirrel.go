@@ -16,14 +16,14 @@ package squirrel
 
 import (
 	"errors"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
 
 	"flowercdn/internal/chord"
 	"flowercdn/internal/content"
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
@@ -54,7 +54,7 @@ func DefaultConfig() Config {
 		Chord:            chord.DefaultConfig(),
 		DirectoryCap:     4,
 		ProviderAttempts: 1,
-		QueryTimeout:     10 * sim.Second,
+		QueryTimeout:     10 * runtime.Second,
 		QueryRetries:     3,
 	}
 }
@@ -79,8 +79,8 @@ func (c Config) Validate() error {
 // Deps are the substrate handles (identical shape to flower.Deps so the
 // harness can drive both protocols uniformly).
 type Deps struct {
-	Net      *simnet.Network
-	RNG      *sim.RNG
+	Net      runtime.Transport
+	RNG      *rnd.RNG
 	Workload *workload.Workload
 	Origins  *workload.Origins
 	Metrics  metrics.Emitter
@@ -89,9 +89,9 @@ type Deps struct {
 // System is one Squirrel deployment.
 type System struct {
 	cfg     Config
-	net     *simnet.Network
-	eng     *sim.Engine
-	rng     *sim.RNG
+	net     runtime.Transport
+	eng     runtime.Clock
+	rng     *rnd.RNG
 	work    *workload.Workload
 	origins *workload.Origins
 	coll    metrics.Emitter
@@ -112,7 +112,7 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 	return &System{
 		cfg:     cfg,
 		net:     d.Net,
-		eng:     d.Net.Engine(),
+		eng:     d.Net.Clock(),
 		rng:     d.RNG,
 		work:    d.Workload,
 		origins: d.Origins,
@@ -120,7 +120,7 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 	}, nil
 }
 
-func (s *System) gateway(exclude simnet.NodeID) chord.Entry {
+func (s *System) gateway(exclude runtime.NodeID) chord.Entry {
 	for len(s.registry) > 0 {
 		i := s.rng.Intn(len(s.registry))
 		e := s.registry[i]
@@ -177,7 +177,7 @@ func (s *System) SpawnIdentity(id Identity) (*Peer, func()) {
 		site:  id.Site,
 		store: store,
 		rng:   s.rng.Split(fmt.Sprintf("squirrel-%d", s.spawned)),
-		dir:   make(map[content.Key][]simnet.NodeID),
+		dir:   make(map[content.Key][]runtime.NodeID),
 	}
 	p.nid = s.net.Join(p, id.Placement)
 	ringID := ids.HashString(fmt.Sprintf("squirrel-peer-%d", p.nid))
@@ -212,20 +212,20 @@ func (s *System) AliveMembers() int {
 type queryMsg struct {
 	Seq    uint64
 	Key    content.Key
-	Client simnet.NodeID
+	Client runtime.NodeID
 }
 
 // homeResp is the home node's redirect, sent directly to the client.
 type homeResp struct {
 	Seq       uint64
-	Providers []simnet.NodeID
+	Providers []runtime.NodeID
 }
 
 // Peer is one Squirrel participant.
 type Peer struct {
 	sys   *System
-	nid   simnet.NodeID
-	rng   *sim.RNG
+	nid   runtime.NodeID
+	rng   *rnd.RNG
 	site  content.SiteID
 	store *content.Store
 	node  *chord.Node
@@ -233,10 +233,10 @@ type Peer struct {
 	// dir is this node's slice of the distributed directory: object →
 	// recent delegates, newest last, capped at DirectoryCap. It dies
 	// with the node.
-	dir map[content.Key][]simnet.NodeID
+	dir map[content.Key][]runtime.NodeID
 
 	query      *activeQuery
-	queryTimer *sim.Timer
+	queryTimer runtime.Timer
 	joined     bool
 	dead       bool
 }
@@ -246,8 +246,8 @@ type activeQuery struct {
 	key        content.Key
 	start      int64
 	attempt    int
-	timeout    *sim.Timer
-	candidates []simnet.NodeID
+	timeout    runtime.Timer
+	candidates []runtime.NodeID
 	// redirected marks the first home response consumed; retries share
 	// the query's seq, so a late duplicate must not restart the probe
 	// chain mid-probe.
@@ -255,7 +255,7 @@ type activeQuery struct {
 }
 
 // NodeID returns the peer's network address.
-func (p *Peer) NodeID() simnet.NodeID { return p.nid }
+func (p *Peer) NodeID() runtime.NodeID { return p.nid }
 
 // Store exposes the local cache.
 func (p *Peer) Store() *content.Store { return p.store }
@@ -275,7 +275,7 @@ func (p *Peer) enterRing(attempts int) {
 	if p.dead {
 		return
 	}
-	gw := p.sys.gateway(simnet.None)
+	gw := p.sys.gateway(runtime.None)
 	if !gw.Valid() {
 		p.node.Create()
 		p.onJoined()
@@ -287,7 +287,7 @@ func (p *Peer) enterRing(attempts int) {
 		}
 		if err != nil {
 			if attempts > 1 {
-				p.sys.eng.Schedule(10*sim.Second, func() { p.enterRing(attempts - 1) })
+				p.sys.eng.Schedule(10*runtime.Second, func() { p.enterRing(attempts - 1) })
 			}
 			return
 		}
@@ -299,7 +299,7 @@ func (p *Peer) onJoined() {
 	p.joined = true
 	p.sys.registry = append(p.sys.registry, p.node.Self())
 	if p.sys.work.Active(p.site) {
-		p.scheduleNextQuery(p.rng.UniformDuration(0, 30*sim.Second))
+		p.scheduleNextQuery(p.sys.work.FirstQueryDelay(p.rng))
 	}
 }
 
@@ -366,7 +366,7 @@ func (p *Peer) sendQuery(q *activeQuery) {
 
 // OnRouted implements chord.App: this node is the home for the queried
 // object.
-func (p *Peer) OnRouted(_ ids.ID, payload any, _ simnet.NodeID, _ int) {
+func (p *Peer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, _ int) {
 	m, ok := payload.(queryMsg)
 	if !ok || p.dead {
 		return
@@ -389,7 +389,7 @@ func (p *Peer) OnRouted(_ ids.ID, payload any, _ simnet.NodeID, _ int) {
 	p.sys.net.Send(p.nid, m.Client, resp)
 }
 
-func (p *Peer) addDelegate(k content.Key, nid simnet.NodeID) {
+func (p *Peer) addDelegate(k content.Key, nid runtime.NodeID) {
 	ds := p.dir[k]
 	for _, d := range ds {
 		if d == nid {
@@ -427,7 +427,7 @@ func (p *Peer) probeDelegate(q *activeQuery) {
 	}
 	target := q.candidates[0]
 	q.candidates = q.candidates[1:]
-	timeout := 2*p.sys.net.Latency(p.nid, target) + 300*sim.Millisecond
+	timeout := 2*p.sys.net.Latency(p.nid, target) + 300*runtime.Millisecond
 	p.sys.net.Request(p.nid, target, workload.FetchReq{Key: q.key}, timeout,
 		func(resp any, err error) {
 			if p.dead || p.query != q {
@@ -446,7 +446,7 @@ func (p *Peer) probeDelegate(q *activeQuery) {
 }
 
 // resolve records metrics and performs the transfer.
-func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider simnet.NodeID) {
+func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider runtime.NodeID) {
 	if p.query != q {
 		return
 	}
@@ -478,10 +478,10 @@ func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider simnet.
 	p.store.Add(q.key)
 }
 
-// ---- simnet.Handler ----
+// ---- runtime.Handler ----
 
 // HandleMessage dispatches Chord traffic and protocol messages.
-func (p *Peer) HandleMessage(from simnet.NodeID, msg any) {
+func (p *Peer) HandleMessage(from runtime.NodeID, msg any) {
 	if p.dead {
 		return
 	}
@@ -494,7 +494,7 @@ func (p *Peer) HandleMessage(from simnet.NodeID, msg any) {
 }
 
 // HandleRequest dispatches Chord RPCs and content fetches.
-func (p *Peer) HandleRequest(from simnet.NodeID, req any) (any, error) {
+func (p *Peer) HandleRequest(from runtime.NodeID, req any) (any, error) {
 	if p.dead {
 		return nil, errors.New("squirrel: dead peer")
 	}

@@ -1,21 +1,22 @@
 package squirrel
 
 import (
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/simrt"
 	"testing"
 
 	"flowercdn/internal/content"
 	"flowercdn/internal/metrics"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
 
 type fixture struct {
 	t       *testing.T
-	eng     *sim.Engine
-	net     *simnet.Network
-	rng     *sim.RNG
+	eng     *simrt.Runtime
+	net     runtime.Transport
+	rng     *rnd.RNG
 	work    *workload.Workload
 	origins *workload.Origins
 	coll    *metrics.Collector
@@ -26,21 +27,21 @@ type fixture struct {
 
 func newFixture(t *testing.T, seed uint64) *fixture {
 	t.Helper()
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(seed)
+	rng := rnd.New(seed)
 	topo := topology.MustNew(topology.DefaultConfig(), rng.Split("topo"))
-	net := simnet.New(eng, topo)
+	eng := simrt.New(topo)
+	net := eng.Net()
 	wcfg := workload.DefaultConfig()
 	wcfg.Sites = 4
 	wcfg.ObjectsPerSite = 50
 	wcfg.ActiveSites = 2
-	wcfg.QueryMeanInterval = 2 * sim.Minute
+	wcfg.QueryMeanInterval = 2 * runtime.Minute
 	work, err := workload.New(wcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	origins := workload.NewOrigins(work, net, rng.Split("origins"))
-	coll := metrics.NewCollector(sim.Hour)
+	coll := metrics.NewCollector(runtime.Hour)
 	sys, err := NewSystem(DefaultConfig(), Deps{Net: net, RNG: rng.Split("squirrel"), Workload: work, Origins: origins, Metrics: coll})
 	if err != nil {
 		t.Fatal(err)
@@ -84,9 +85,9 @@ func TestPeersFormRing(t *testing.T) {
 	f := newFixture(t, 1)
 	for i := 0; i < 12; i++ {
 		f.spawn(content.SiteID(i % 4))
-		f.run(30 * sim.Second)
+		f.run(30 * runtime.Second)
 	}
-	f.run(10 * sim.Minute)
+	f.run(10 * runtime.Minute)
 	for i, p := range f.peers {
 		if !p.Joined() {
 			t.Fatalf("peer %d never joined the ring", i)
@@ -101,9 +102,9 @@ func TestFirstQueryMissesThenDelegateHit(t *testing.T) {
 	f := newFixture(t, 2)
 	for i := 0; i < 10; i++ {
 		f.spawn(0) // all on the active site
-		f.run(30 * sim.Second)
+		f.run(30 * runtime.Second)
 	}
-	f.run(3 * sim.Hour)
+	f.run(3 * runtime.Hour)
 	if f.coll.Count(metrics.Miss) == 0 {
 		t.Fatal("no misses: first fetches must come from the origin")
 	}
@@ -124,9 +125,9 @@ func TestHomeFailureLosesDirectory(t *testing.T) {
 	f := newFixture(t, 3)
 	for i := 0; i < 10; i++ {
 		f.spawn(0)
-		f.run(30 * sim.Second)
+		f.run(30 * runtime.Second)
 	}
-	f.run(2 * sim.Hour)
+	f.run(2 * runtime.Hour)
 	// Kill the peer holding the largest directory slice.
 	var victim *Peer
 	for _, p := range f.peers {
@@ -147,7 +148,7 @@ func TestHomeFailureLosesDirectory(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		f.spawn(0)
 	}
-	f.run(2 * sim.Hour)
+	f.run(2 * runtime.Hour)
 	if f.coll.Total() == before {
 		t.Fatal("queries stopped after a home failure")
 	}
@@ -156,7 +157,7 @@ func TestHomeFailureLosesDirectory(t *testing.T) {
 func TestNonActivePeersDoNotQuery(t *testing.T) {
 	f := newFixture(t, 4)
 	p := f.spawn(3) // inactive site
-	f.run(sim.Hour)
+	f.run(runtime.Hour)
 	if !p.Joined() {
 		t.Fatal("inactive-site peer should still join the ring (churn load)")
 	}
@@ -168,21 +169,21 @@ func TestNonActivePeersDoNotQuery(t *testing.T) {
 func TestDelegateCapBounded(t *testing.T) {
 	f := newFixture(t, 5)
 	home := f.spawn(3)
-	f.run(sim.Minute)
+	f.run(runtime.Minute)
 	k := content.Key{Site: 0, Object: 1}
 	for i := 0; i < 20; i++ {
-		home.addDelegate(k, simnet.NodeID(100+i))
+		home.addDelegate(k, runtime.NodeID(100+i))
 	}
 	if got := len(home.dir[k]); got != f.sys.cfg.DirectoryCap {
 		t.Fatalf("directory holds %d delegates, want cap %d", got, f.sys.cfg.DirectoryCap)
 	}
 	// Most recent delegates are retained.
 	last := home.dir[k][len(home.dir[k])-1]
-	if last != simnet.NodeID(119) {
+	if last != runtime.NodeID(119) {
 		t.Fatalf("newest delegate lost: tail is %d", last)
 	}
 	// Duplicates are not re-added.
-	home.addDelegate(k, simnet.NodeID(119))
+	home.addDelegate(k, runtime.NodeID(119))
 	if len(home.dir[k]) != f.sys.cfg.DirectoryCap {
 		t.Fatal("duplicate delegate changed directory size")
 	}
@@ -193,9 +194,9 @@ func TestLookupLatencyReflectsMultiHopRouting(t *testing.T) {
 	const n = 24
 	for i := 0; i < n; i++ {
 		f.spawn(0)
-		f.run(20 * sim.Second)
+		f.run(20 * runtime.Second)
 	}
-	f.run(4 * sim.Hour)
+	f.run(4 * runtime.Hour)
 	if f.coll.Total() < 50 {
 		t.Fatalf("too few queries recorded: %d", f.coll.Total())
 	}
@@ -209,10 +210,10 @@ func TestLookupLatencyReflectsMultiHopRouting(t *testing.T) {
 func TestKillIdempotentAndSilent(t *testing.T) {
 	f := newFixture(t, 7)
 	p := f.spawn(0)
-	f.run(sim.Minute)
+	f.run(runtime.Minute)
 	p.kill()
 	p.kill()
-	f.run(sim.Hour) // no panics from stray timers
+	f.run(runtime.Hour) // no panics from stray timers
 	if p.Alive() {
 		t.Fatal("peer alive after kill")
 	}

@@ -77,6 +77,32 @@ func (r *Result) CSV() string {
 	return b.String()
 }
 
+// seriesCSVHeader heads the per-window series export.
+var seriesCSVHeader = []string{
+	"cell", "protocol", "population", "seed",
+	"window_start_ms", "hit_ratio", "queries", "mean_lookup_ms", "mean_transfer_ms",
+}
+
+// SeriesCSV renders every run's per-window time series — the
+// plot-friendly long format behind Fig. 3-style charts: one row per
+// (cell, seed, window) with the window's hit ratio, query count and
+// mean lookup/transfer latencies as aggregated by metrics.Windowed.
+func (r *Result) SeriesCSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(seriesCSVHeader, ","))
+	b.WriteByte('\n')
+	for _, c := range r.Cells {
+		for i, run := range c.Runs {
+			for _, p := range run.Series {
+				fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%g,%d,%g,%g\n",
+					csvEscape(c.Name), c.Protocol, c.Population, c.Seeds[i],
+					p.Start, p.HitRatio, p.Queries, p.MeanLookupMs, p.MeanTransferMs)
+			}
+		}
+	}
+	return b.String()
+}
+
 // csvEscape quotes a field if it contains a comma, quote or newline.
 func csvEscape(s string) string {
 	if !strings.ContainsAny(s, ",\"\n") {

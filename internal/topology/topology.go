@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"math"
 
-	"flowercdn/internal/sim"
+	"flowercdn/internal/rnd"
 )
 
 // Locality identifies one of the k physical localities.
@@ -79,7 +79,7 @@ type Topology struct {
 
 // New builds a topology with cfg.Localities landmarks laid out on a
 // jittered grid covering the unit square.
-func New(cfg Config, rng *sim.RNG) (*Topology, error) {
+func New(cfg Config, rng *rnd.RNG) (*Topology, error) {
 	if cfg.Localities < 1 {
 		return nil, fmt.Errorf("topology: need at least 1 locality, got %d", cfg.Localities)
 	}
@@ -95,7 +95,7 @@ func New(cfg Config, rng *sim.RNG) (*Topology, error) {
 }
 
 // MustNew is New but panics on error; for use with known-good configs.
-func MustNew(cfg Config, rng *sim.RNG) *Topology {
+func MustNew(cfg Config, rng *rnd.RNG) *Topology {
 	t, err := New(cfg, rng)
 	if err != nil {
 		panic(err)
@@ -105,7 +105,7 @@ func MustNew(cfg Config, rng *sim.RNG) *Topology {
 
 // layoutLandmarks arranges k landmarks on a near-square grid spanning
 // the unit square, with slight jitter so distances are not degenerate.
-func layoutLandmarks(k int, rng *sim.RNG) []Point {
+func layoutLandmarks(k int, rng *rnd.RNG) []Point {
 	cols := int(math.Ceil(math.Sqrt(float64(k))))
 	rows := (k + cols - 1) / cols
 	pts := make([]Point, 0, k)
@@ -143,14 +143,14 @@ func (t *Topology) Config() Config { return t.cfg }
 // and Gaussian scatter around it. The reported locality is recomputed
 // as the nearest landmark, so a peer scattered into a neighbouring
 // cluster is (correctly) assigned to that cluster.
-func (t *Topology) Place(rng *sim.RNG) Placement {
+func (t *Topology) Place(rng *rnd.RNG) Placement {
 	l := Locality(rng.Intn(len(t.landmarks)))
 	return t.PlaceAt(l, rng)
 }
 
 // PlaceAt draws a placement scattered around a specific landmark. The
 // derived locality is still the nearest landmark to the drawn point.
-func (t *Topology) PlaceAt(l Locality, rng *sim.RNG) Placement {
+func (t *Topology) PlaceAt(l Locality, rng *rnd.RNG) Placement {
 	if int(l) < 0 || int(l) >= len(t.landmarks) {
 		panic(fmt.Sprintf("topology: PlaceAt locality %d out of range", l))
 	}

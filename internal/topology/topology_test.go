@@ -4,12 +4,12 @@ import (
 	"testing"
 	"testing/quick"
 
-	"flowercdn/internal/sim"
+	"flowercdn/internal/rnd"
 )
 
 func newTestTopo(t *testing.T) *Topology {
 	t.Helper()
-	topo, err := New(DefaultConfig(), sim.NewRNG(1))
+	topo, err := New(DefaultConfig(), rnd.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,7 +17,7 @@ func newTestTopo(t *testing.T) *Topology {
 }
 
 func TestNewValidation(t *testing.T) {
-	rng := sim.NewRNG(1)
+	rng := rnd.New(1)
 	cases := []Config{
 		{Localities: 0, MinLatency: 10, MaxLatency: 500, LatencyScale: 300},
 		{Localities: 6, MinLatency: -1, MaxLatency: 500, LatencyScale: 300},
@@ -38,7 +38,7 @@ func TestLandmarkCount(t *testing.T) {
 	for _, k := range []int{1, 2, 3, 6, 7, 16} {
 		cfg := DefaultConfig()
 		cfg.Localities = k
-		topo, err := New(cfg, sim.NewRNG(2))
+		topo, err := New(cfg, rnd.New(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func TestLandmarkCount(t *testing.T) {
 
 func TestLatencyBounds(t *testing.T) {
 	topo := newTestTopo(t)
-	rng := sim.NewRNG(3)
+	rng := rnd.New(3)
 	for i := 0; i < 5000; i++ {
 		a := Point{rng.Float64(), rng.Float64()}
 		b := Point{rng.Float64(), rng.Float64()}
@@ -98,7 +98,7 @@ func TestLatencyMonotoneInDistance(t *testing.T) {
 
 func TestIntraVsInterLocalityLatency(t *testing.T) {
 	topo := newTestTopo(t)
-	rng := sim.NewRNG(4)
+	rng := rnd.New(4)
 	var intraSum, interSum float64
 	var intraN, interN int
 	places := make([]Placement, 600)
@@ -131,7 +131,7 @@ func TestIntraVsInterLocalityLatency(t *testing.T) {
 
 func TestPlaceAssignsNearestLandmark(t *testing.T) {
 	topo := newTestTopo(t)
-	rng := sim.NewRNG(5)
+	rng := rnd.New(5)
 	for i := 0; i < 1000; i++ {
 		pl := topo.Place(rng)
 		want := topo.LocalityOf(pl.Pos)
@@ -143,7 +143,7 @@ func TestPlaceAssignsNearestLandmark(t *testing.T) {
 
 func TestPlaceAtTargetsLandmark(t *testing.T) {
 	topo := newTestTopo(t)
-	rng := sim.NewRNG(6)
+	rng := rnd.New(6)
 	// The vast majority of placements targeted at landmark l should be
 	// binned to l (Gaussian noise occasionally crosses the boundary).
 	hits, n := 0, 2000
@@ -165,12 +165,12 @@ func TestPlaceAtOutOfRangePanics(t *testing.T) {
 			t.Fatal("PlaceAt with bad locality did not panic")
 		}
 	}()
-	topo.PlaceAt(Locality(99), sim.NewRNG(7))
+	topo.PlaceAt(Locality(99), rnd.New(7))
 }
 
 func TestPlacementsCoverAllLocalities(t *testing.T) {
 	topo := newTestTopo(t)
-	rng := sim.NewRNG(8)
+	rng := rnd.New(8)
 	seen := map[Locality]int{}
 	for i := 0; i < 3000; i++ {
 		seen[topo.Place(rng).Loc]++
@@ -187,7 +187,7 @@ func TestPlacementsCoverAllLocalities(t *testing.T) {
 
 func TestDeterministicForSeed(t *testing.T) {
 	build := func() []Point {
-		topo := MustNew(DefaultConfig(), sim.NewRNG(42))
+		topo := MustNew(DefaultConfig(), rnd.New(42))
 		pts := make([]Point, topo.Localities())
 		for i := range pts {
 			pts[i] = topo.Landmark(Locality(i))

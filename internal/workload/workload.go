@@ -1,11 +1,11 @@
 package workload
 
 import (
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 	"fmt"
 
 	"flowercdn/internal/content"
-	"flowercdn/internal/sim"
-	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
 )
 
@@ -39,7 +39,7 @@ func DefaultConfig() Config {
 		Sites:             100,
 		ObjectsPerSite:    500,
 		ActiveSites:       6,
-		QueryMeanInterval: 6 * sim.Minute,
+		QueryMeanInterval: 6 * runtime.Minute,
 		ZipfAlpha:         0.8,
 	}
 }
@@ -112,7 +112,7 @@ func (w *Workload) Catalog() *content.Catalog { return w.catalog }
 // website from |W| to which it has interest throughout the
 // experiment"), Zipf-weighted toward low-index sites when InterestSkew
 // is set.
-func (w *Workload) AssignInterest(rng *sim.RNG) content.SiteID {
+func (w *Workload) AssignInterest(rng *rnd.RNG) content.SiteID {
 	if w.interest != nil {
 		return content.SiteID(w.interest.Rank(rng))
 	}
@@ -125,8 +125,23 @@ func (w *Workload) Active(site content.SiteID) bool {
 }
 
 // NextQueryDelay draws the exponential gap to a peer's next query.
-func (w *Workload) NextQueryDelay(rng *sim.RNG) int64 {
+func (w *Workload) NextQueryDelay(rng *rnd.RNG) int64 {
 	return rng.ExpDuration(w.cfg.QueryMeanInterval)
+}
+
+// FirstQueryDelay draws the de-phasing delay before a freshly arrived
+// peer's first action (first query, or first petal-membership request):
+// uniform in [0, 30 s), capped at the mean query interval so
+// compressed-timescale runs (the realtime demo squeezes the paper's
+// hours into seconds) still act promptly. At the paper's settings the
+// cap never binds and the draw is identical to the historical 30 s
+// de-phase.
+func (w *Workload) FirstQueryDelay(rng *rnd.RNG) int64 {
+	d := 30 * runtime.Second
+	if w.cfg.QueryMeanInterval < d {
+		d = w.cfg.QueryMeanInterval
+	}
+	return rng.UniformDuration(0, d)
 }
 
 // PickObject draws the object for a peer's next query: Zipf-popular
@@ -134,7 +149,7 @@ func (w *Workload) NextQueryDelay(rng *sim.RNG) int64 {
 // paper's peers "only pose queries for objects unavailable in local
 // storage"). It returns false when the peer caches the entire site
 // catalog and therefore has nothing left to request.
-func (w *Workload) PickObject(rng *sim.RNG, site content.SiteID, store *content.Store) (content.Key, bool) {
+func (w *Workload) PickObject(rng *rnd.RNG, site content.SiteID, store *content.Store) (content.Key, bool) {
 	n := w.cfg.ObjectsPerSite
 	if store.Len() >= n {
 		return content.Key{}, false
@@ -184,9 +199,9 @@ type FetchResp struct {
 // transfers from control traffic).
 func (FetchResp) WireBytes() int { return 8 * 1024 }
 
-func (o *originServer) HandleMessage(simnet.NodeID, any) {}
+func (o *originServer) HandleMessage(runtime.NodeID, any) {}
 
-func (o *originServer) HandleRequest(_ simnet.NodeID, req any) (any, error) {
+func (o *originServer) HandleRequest(_ runtime.NodeID, req any) (any, error) {
 	switch r := req.(type) {
 	case FetchReq:
 		return FetchResp{Key: r.Key, Served: true}, nil
@@ -199,12 +214,12 @@ func (o *originServer) HandleRequest(_ simnet.NodeID, req any) (any, error) {
 // topology point (paper websites are "under-provisioned" external
 // servers with no locality relationship to any petal).
 type Origins struct {
-	nodes []simnet.NodeID
+	nodes []runtime.NodeID
 }
 
 // NewOrigins registers all origin servers on the network.
-func NewOrigins(w *Workload, net *simnet.Network, rng *sim.RNG) *Origins {
-	o := &Origins{nodes: make([]simnet.NodeID, w.cfg.Sites)}
+func NewOrigins(w *Workload, net runtime.Transport, rng *rnd.RNG) *Origins {
+	o := &Origins{nodes: make([]runtime.NodeID, w.cfg.Sites)}
 	for s := 0; s < w.cfg.Sites; s++ {
 		pos := topology.Point{X: rng.Float64(), Y: rng.Float64()}
 		pl := topology.Placement{Pos: pos, Loc: net.Topology().LocalityOf(pos)}
@@ -214,6 +229,6 @@ func NewOrigins(w *Workload, net *simnet.Network, rng *sim.RNG) *Origins {
 }
 
 // Node returns the origin server for a site.
-func (o *Origins) Node(site content.SiteID) simnet.NodeID {
+func (o *Origins) Node(site content.SiteID) runtime.NodeID {
 	return o.nodes[site]
 }

@@ -203,7 +203,7 @@ func TestOriginsServeEverything(t *testing.T) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(7)
 	topo := topology.MustNew(topology.DefaultConfig(), rng)
-	net := simnet.New(eng, topo)
+	net := simnet.New(eng.Clock(), topo)
 	w, _ := New(DefaultConfig())
 	origins := NewOrigins(w, net, rng)
 

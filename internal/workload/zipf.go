@@ -11,7 +11,7 @@ import (
 	"math"
 	"sort"
 
-	"flowercdn/internal/sim"
+	"flowercdn/internal/rnd"
 )
 
 // Zipf draws ranks 0..n-1 with probability proportional to
@@ -48,7 +48,7 @@ func NewZipf(n int, alpha float64) (*Zipf, error) {
 }
 
 // Rank draws a rank in [0, n).
-func (z *Zipf) Rank(rng *sim.RNG) int {
+func (z *Zipf) Rank(rng *rnd.RNG) int {
 	u := rng.Float64()
 	return sort.SearchFloat64s(z.cdf, u)
 }

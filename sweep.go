@@ -52,6 +52,11 @@ func (r *SweepResult) Table() string { return r.inner.Table() }
 // CSV renders the sweep as comma-separated values with a header row.
 func (r *SweepResult) CSV() string { return r.inner.CSV() }
 
+// SeriesCSV renders every run's per-window hit-ratio/latency series as
+// plot-friendly CSV: one row per (cell, seed, window). flowerbench
+// -series-csv writes it next to the aggregate CSV.
+func (r *SweepResult) SeriesCSV() string { return r.inner.SeriesCSV() }
+
 // Sweep runs every cell under every seed, fanning the independent
 // simulations out over at most workers goroutines (workers <= 0 uses
 // GOMAXPROCS). Identical cells and seeds produce identical results at
