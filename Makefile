@@ -8,10 +8,10 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-PR ?= 3
+PR ?= 4
 BENCH_JSON := BENCH_PR$(PR).json
 
-.PHONY: build test race vet fmt check bench bench-smoke fingerprint-check realtime-smoke clean
+.PHONY: build test race vet fmt check bench bench-smoke fingerprint-check realtime-smoke cache-grid-smoke clean
 
 build:
 	go build ./...
@@ -58,6 +58,13 @@ fingerprint-check:
 # transport, printing live per-window stats.
 realtime-smoke:
 	go run ./cmd/flowersim -backend realtime -population 50 -horizon 3s
+
+# cache-grid-smoke runs the CI-sized capacity grid under cache
+# pressure: LRU-bounded peer stores swept over per-peer capacities with
+# the unbounded reference cell — the hit-ratio knee the bounded model
+# adds on top of the paper (see README "Cache policies").
+cache-grid-smoke:
+	go run ./cmd/flowerbench -grid capacity -scenario cache-pressure -seeds 1 -p 250
 
 clean:
 	rm -f BENCH_PR*.json.tmp

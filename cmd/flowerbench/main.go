@@ -10,13 +10,16 @@
 //	flowerbench -grid compare -seeds 5                 # all registered protocols x 5 seeds
 //	flowerbench -grid scalability -seeds 10 -workers 8 # Table 2 with error bars
 //	flowerbench -grid churn -scenario flash-crowd      # churn axis, hot-site workload
+//	flowerbench -grid capacity -scenario cache-pressure # hit ratio vs per-peer cache capacity
 //	flowerbench -grid compare -csv out.csv             # machine-readable aggregates
 //
 // Grids: compare (every protocol registered with the runtime: flower,
 // petalup, squirrel, chord-global — origin-only is reachable via
 // flowersim -protocol origin-only), scalability (flower/squirrel x
-// population), churn (mean-uptime axis), gossip (gossip-period axis).
-// Scenarios: table1 (default), flash-crowd, locality-skew.
+// population), churn (mean-uptime axis), gossip (gossip-period axis),
+// capacity (per-peer cache-capacity axis, unbounded reference cell
+// included). Scenarios: table1 (default), flash-crowd, locality-skew,
+// cache-pressure.
 //
 // Without -grid it renders the paper's single-run artifacts: Fig. 3
 // (hit ratio over time), Fig. 4 (lookup latency distribution), Fig. 5
@@ -51,8 +54,8 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "simulation seed (sweeps use seeds seed..seed+n-1)")
 		pop   = flag.Int("p", 0, "override population P")
 
-		grid       = flag.String("grid", "", "run a sweep over a named grid: compare, scalability, churn, gossip")
-		scenario   = flag.String("scenario", "table1", "workload scenario: table1, flash-crowd, locality-skew")
+		grid       = flag.String("grid", "", "run a sweep over a named grid: compare, scalability, churn, gossip, capacity")
+		scenario   = flag.String("scenario", "table1", "workload scenario: table1, flash-crowd, locality-skew, cache-pressure")
 		seeds      = flag.Int("seeds", 5, "number of seeds per sweep cell")
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		csvPath    = flag.String("csv", "", "also write sweep aggregates as CSV to this file ('-' = stdout)")
@@ -161,8 +164,18 @@ func buildGrid(base flowercdn.Config, pops []int, name string) ([]flowercdn.Swee
 			Protocols:     []flowercdn.Protocol{flowercdn.Flower},
 			GossipPeriods: []int{15, 30, 60, 120},
 		}.Cells(), nil
+	case "capacity":
+		// Per-peer cache capacity in objects, smallest first, with the
+		// unbounded paper model (0 → policy none) as the reference
+		// ceiling. The base policy comes from -scenario cache-pressure
+		// (or defaults to lru).
+		return flowercdn.Grid{
+			Base:            base,
+			Protocols:       []flowercdn.Protocol{flowercdn.Flower},
+			CacheCapacities: []int{4, 8, 16, 32, 64, 0},
+		}.Cells(), nil
 	default:
-		return nil, fmt.Errorf("unknown grid %q (have compare, scalability, churn, gossip)", name)
+		return nil, fmt.Errorf("unknown grid %q (have compare, scalability, churn, gossip, capacity)", name)
 	}
 }
 

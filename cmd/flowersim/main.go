@@ -6,6 +6,7 @@
 //	flowersim -protocol flower -p 3000 -hours 24
 //	flowersim -protocol squirrel -p 500 -hours 6 -seed 7
 //	flowersim -protocol origin-only -p 400   # the floor any CDN must beat
+//	flowersim -cache-policy lru -cache-capacity 16   # capacity-bounded peer stores
 //	flowersim -protocols                     # list registered protocols
 //	flowersim -print-params
 //
@@ -55,6 +56,8 @@ func main() {
 		exact       = flag.Bool("exact-summaries", false, "exact key sets instead of Bloom gossip summaries (ablation)")
 		locSkew     = flag.Float64("locality-skew", 0, "Zipf skew of client arrivals over localities (0 = uniform)")
 		intSkew     = flag.Float64("interest-skew", 0, "Zipf skew of peer interest over websites (0 = uniform)")
+		cachePolicy = flag.String("cache-policy", "none", fmt.Sprintf("per-peer store eviction policy, one of %v", flowercdn.CachePolicies()))
+		cacheCap    = flag.Int("cache-capacity", 0, "per-peer store capacity in objects (required >= 1 for any policy but none)")
 		series      = flag.Bool("series", false, "print the hourly hit-ratio series")
 		printParams = flag.Bool("print-params", false, "print the Table 1 parameter sheet and exit")
 	)
@@ -75,13 +78,14 @@ func main() {
 			"backend": true, "protocol": true, "seed": true,
 			"population": true, "horizon": true, "loss": true,
 			"print-fingerprint": true,
+			"cache-policy":      true, "cache-capacity": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if !realtimeFlags[f.Name] {
 				fmt.Fprintf(os.Stderr, "flowersim: -%s is ignored with -backend realtime (scale comes from -population/-horizon)\n", f.Name)
 			}
 		})
-		runRealtime(*protocol, *seed, *population, *horizon, *loss, *printFP)
+		runRealtime(*protocol, *seed, *population, *horizon, *loss, *printFP, *cachePolicy, *cacheCap)
 		return
 	}
 
@@ -105,6 +109,8 @@ func main() {
 		MessageLossRate:    *loss,
 		LocalitySkew:       *locSkew,
 		InterestSkew:       *intSkew,
+		CachePolicy:        *cachePolicy,
+		CacheCapacity:      *cacheCap,
 	}
 
 	if *printParams {
@@ -144,11 +150,16 @@ func main() {
 
 // runRealtime executes a live wall-clock run: compressed timescales,
 // per-window stats printed as each window closes.
-func runRealtime(protocol string, seed uint64, population int, horizon time.Duration, loss float64, printFP bool) {
+func runRealtime(protocol string, seed uint64, population int, horizon time.Duration, loss float64, printFP bool,
+	cachePolicy string, cacheCap int) {
 	cfg := harness.RealtimeDemoConfig(population, horizon.Milliseconds())
 	cfg.Protocol = harness.Protocol(protocol)
 	cfg.Seed = seed
 	cfg.MessageLossRate = loss
+	if cachePolicy != "" && cachePolicy != "none" {
+		cfg.Options["cache-policy"] = cachePolicy
+		cfg.Options["cache-capacity"] = cacheCap
+	}
 	if printFP {
 		// One line, like the sim path — though on this backend the value
 		// is not reproducible across runs.

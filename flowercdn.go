@@ -24,6 +24,7 @@ package flowercdn
 import (
 	"fmt"
 
+	"flowercdn/internal/cache"
 	"flowercdn/internal/harness"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/proto"
@@ -59,6 +60,17 @@ func Protocols() []Protocol {
 
 // Backends returns the registered runtime backends ("sim", "realtime").
 func Backends() []string { return runtime.Backends() }
+
+// CachePolicies returns the registered cache-eviction policies ("none"
+// first, then alphabetical).
+func CachePolicies() []string { return cache.Names() }
+
+// CachePolicySummary returns the one-line description of a registered
+// cache policy ("" for unknown names).
+func CachePolicySummary(name string) string {
+	info, _ := cache.Lookup(name)
+	return info.Summary
+}
 
 // CompareProtocols returns the protocols that belong in head-to-head
 // comparison grids (everything registered except degenerate floors
@@ -139,6 +151,15 @@ type Config struct {
 	// exponent; 0 = the paper's uniform assignment), turning site 0
 	// into a hot site. See the flash-crowd scenario preset.
 	InterestSkew float64
+	// CachePolicy bounds every peer's content store with a pluggable
+	// eviction policy: "none" (or "", the paper's unbounded model),
+	// "lru", "lfu" or "size-aware" — any name CachePolicies lists. See
+	// the cache-pressure scenario preset and the capacity sweep grid.
+	CachePolicy string
+	// CacheCapacity is the per-peer store capacity in objects (the
+	// size-aware policy converts it to a byte budget at the workload's
+	// 8 KiB mean object size). Required >= 1 for any policy but none.
+	CacheCapacity int
 }
 
 // DefaultConfig returns the paper's Table 1 parameters (P = 3000,
@@ -207,6 +228,10 @@ func (c Config) lower() (harness.Config, error) {
 	hc.MeanUptime = int64(c.MeanUptimeMinutes) * runtime.Minute
 	hc.MessageLossRate = c.MessageLossRate
 	hc.LocalitySkew = c.LocalitySkew
+	cachePolicy := c.CachePolicy
+	if cachePolicy == "" {
+		cachePolicy = "none"
+	}
 	hc.Options = proto.Options{
 		"gossip-period":      int64(c.GossipEveryMinutes) * runtime.Minute,
 		"keepalive-interval": int64(c.GossipEveryMinutes) * runtime.Minute,
@@ -214,6 +239,8 @@ func (c Config) lower() (harness.Config, error) {
 		"dir-collaboration":  c.DirCollaboration,
 		"exact-summaries":    c.ExactSummaries,
 		"load-limit":         c.PetalUpLoadLimit,
+		"cache-policy":       cachePolicy,
+		"cache-capacity":     c.CacheCapacity,
 	}
 	return hc, nil
 }

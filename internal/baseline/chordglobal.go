@@ -59,6 +59,8 @@ type chordGlobalConfig struct {
 //	                               summaries are bulk messages, so they refresh at half
 //	                               the keepalive rate)
 //	keepalive-interval   int64 ms  shared-vocabulary base for the refresh default
+//	cache-policy         string    per-peer store eviction policy ("none")
+//	cache-capacity       int       per-peer store capacity, objects
 //
 // The redirect and cap defaults deliberately match Squirrel's, so the
 // baseline differs from it in exactly two ways — site-granular homes
@@ -68,7 +70,7 @@ type chordGlobalConfig struct {
 // lowerChordGlobalOptions resolves the option map into a validated
 // config — shared by the factory and the registry's static
 // CheckOptions hook.
-func lowerChordGlobalOptions(opts proto.Options) (chordGlobalConfig, error) {
+func lowerChordGlobalOptions(opts proto.Options) (chordGlobalConfig, proto.CacheConfig, error) {
 	cfg := chordGlobalConfig{
 		Chord:             chord.DefaultConfig(),
 		ProvidersPerReply: opts.Int("providers-per-reply", 1),
@@ -77,19 +79,23 @@ func lowerChordGlobalOptions(opts proto.Options) (chordGlobalConfig, error) {
 		QueryTimeout:      10 * runtime.Second,
 		QueryRetries:      3,
 	}
+	cacheCfg, err := proto.CacheConfigFromOptions(opts)
+	if err != nil {
+		return cfg, cacheCfg, fmt.Errorf("baseline: %w", err)
+	}
 	if cfg.ProvidersPerReply < 1 || cfg.IndexCap < 1 {
-		return cfg, fmt.Errorf("baseline: chord-global provider/index bounds must be positive (%d, %d)",
+		return cfg, cacheCfg, fmt.Errorf("baseline: chord-global provider/index bounds must be positive (%d, %d)",
 			cfg.ProvidersPerReply, cfg.IndexCap)
 	}
 	if cfg.RefreshInterval <= 0 {
-		return cfg, errors.New("baseline: chord-global refresh interval must be positive")
+		return cfg, cacheCfg, errors.New("baseline: chord-global refresh interval must be positive")
 	}
-	return cfg, nil
+	return cfg, cacheCfg, nil
 }
 
 // CheckChordGlobalOptions statically validates the driver's options.
 func CheckChordGlobalOptions(opts proto.Options) error {
-	_, err := lowerChordGlobalOptions(opts)
+	_, _, err := lowerChordGlobalOptions(opts)
 	return err
 }
 
@@ -98,17 +104,19 @@ func NewChordGlobalDriver(env proto.Env, opts proto.Options) (proto.System, erro
 	if env.Net == nil || env.RNG == nil || env.Workload == nil || env.Origins == nil || env.Metrics == nil {
 		return nil, errors.New("baseline: missing dependency for chord-global")
 	}
-	cfg, err := lowerChordGlobalOptions(opts)
+	cfg, cacheCfg, err := lowerChordGlobalOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &cgDriver{cfg: cfg, env: env, idRNG: env.RNG.Split("identities")}, nil
+	return &cgDriver{cfg: cfg, env: env, idRNG: env.RNG.Split("identities"),
+		newStore: cacheCfg.StoreFactory(env)}, nil
 }
 
 type cgDriver struct {
-	cfg   chordGlobalConfig
-	env   proto.Env
-	idRNG *rnd.RNG
+	cfg      chordGlobalConfig
+	env      proto.Env
+	idRNG    *rnd.RNG
+	newStore func() *content.Store
 
 	registry []chord.Entry
 	spawned  uint64
@@ -130,7 +138,7 @@ func (d *cgDriver) NewIndividual() proto.Individual {
 	return Identity{
 		Site:      d.env.Workload.AssignInterest(d.idRNG),
 		Placement: d.env.Topo.Place(d.idRNG),
-		Store:     content.NewStore(),
+		Store:     d.newStore(),
 	}
 }
 

@@ -30,11 +30,20 @@ import (
 
 func init() {
 	proto.Register(proto.Info{
-		Name:    "origin-only",
-		Summary: "no P2P system: every query fetches from the origin server (the floor)",
-		Compare: false, // degenerate floor; reachable by name, excluded from default grids
-		Order:   4,
+		Name:         "origin-only",
+		Summary:      "no P2P system: every query fetches from the origin server (the floor)",
+		Compare:      false, // degenerate floor; reachable by name, excluded from default grids
+		Order:        4,
+		CheckOptions: CheckOriginOnlyOptions,
 	}, NewOriginOnlyDriver)
+}
+
+// CheckOriginOnlyOptions statically validates the driver's options —
+// origin-only reads only the shared cache keys (its peers still cache
+// what they fetch, the cache just never serves anyone else).
+func CheckOriginOnlyOptions(opts proto.Options) error {
+	_, err := proto.CacheConfigFromOptions(opts)
+	return err
 }
 
 // Identity is the persistent participant state both baselines share:
@@ -45,20 +54,26 @@ type Identity struct {
 	Store     *content.Store
 }
 
-// NewOriginOnlyDriver builds the origin-only deployment. It reads no
-// options.
-func NewOriginOnlyDriver(env proto.Env, _ proto.Options) (proto.System, error) {
+// NewOriginOnlyDriver builds the origin-only deployment. It reads only
+// the shared cache options.
+func NewOriginOnlyDriver(env proto.Env, opts proto.Options) (proto.System, error) {
 	if env.Net == nil || env.RNG == nil || env.Workload == nil || env.Origins == nil || env.Metrics == nil {
 		return nil, errors.New("baseline: missing dependency for origin-only")
 	}
-	return &originDriver{env: env, idRNG: env.RNG.Split("identities")}, nil
+	cacheCfg, err := proto.CacheConfigFromOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &originDriver{env: env, idRNG: env.RNG.Split("identities"),
+		newStore: cacheCfg.StoreFactory(env)}, nil
 }
 
 type originDriver struct {
-	env     proto.Env
-	idRNG   *rnd.RNG
-	spawned uint64
-	alive   int
+	env      proto.Env
+	idRNG    *rnd.RNG
+	newStore func() *content.Store
+	spawned  uint64
+	alive    int
 }
 
 func (d *originDriver) Start() {}
@@ -77,7 +92,7 @@ func (d *originDriver) NewIndividual() proto.Individual {
 	return Identity{
 		Site:      d.env.Workload.AssignInterest(d.idRNG),
 		Placement: d.env.Topo.Place(d.idRNG),
-		Store:     content.NewStore(),
+		Store:     d.newStore(),
 	}
 }
 

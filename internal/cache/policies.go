@@ -1,0 +1,184 @@
+package cache
+
+import "container/list"
+
+// The built-in policies. All of them treat capacity <= 0 as unbounded
+// and break victim ties deterministically by smallest key, so bounded
+// runs replay bit-identically.
+
+func init() {
+	Register(Info{
+		Name:    PolicyNone,
+		Summary: "unbounded store — the paper's storage model (never evicts)",
+	}, func(int64) Policy { return &nonePolicy{} })
+	Register(Info{
+		Name:    "lru",
+		Summary: "least-recently-used eviction, capacity in objects",
+	}, func(capacity int64) Policy {
+		return &lruPolicy{
+			capacity: capacity,
+			order:    list.New(),
+			items:    make(map[uint64]*list.Element),
+		}
+	})
+	Register(Info{
+		Name:    "lfu",
+		Summary: "least-frequently-used eviction (ties: smallest key), capacity in objects",
+	}, func(capacity int64) Policy {
+		return &lfuPolicy{capacity: capacity, items: make(map[uint64]*lfuEntry)}
+	})
+	Register(Info{
+		Name:     "size-aware",
+		Summary:  "largest-object-first eviction over a byte budget (Zipf-sized objects)",
+		ByteCost: true,
+	}, func(capacity int64) Policy {
+		return &sizePolicy{capacity: capacity, items: make(map[uint64]int64)}
+	})
+}
+
+// nonePolicy tracks nothing but the resident count and never evicts —
+// the unbounded paper model behind the "none" name.
+type nonePolicy struct{ n int }
+
+func (p *nonePolicy) OnAdd(uint64, int64)    { p.n++ }
+func (p *nonePolicy) OnHit(uint64)           {}
+func (p *nonePolicy) Victim() (uint64, bool) { return 0, false }
+func (p *nonePolicy) Remove(uint64)          { p.n-- }
+func (p *nonePolicy) Len() int               { return p.n }
+
+// lruPolicy evicts the least-recently-touched key. O(1) everywhere:
+// an intrusive recency list plus a key → element map.
+type lruPolicy struct {
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	items    map[uint64]*list.Element
+}
+
+type lruEntry struct {
+	key  uint64
+	cost int64
+}
+
+func (p *lruPolicy) OnAdd(key uint64, cost int64) {
+	p.items[key] = p.order.PushFront(lruEntry{key: key, cost: cost})
+	p.used += cost
+}
+
+func (p *lruPolicy) OnHit(key uint64) {
+	if el, ok := p.items[key]; ok {
+		p.order.MoveToFront(el)
+	}
+}
+
+func (p *lruPolicy) Victim() (uint64, bool) {
+	if p.capacity <= 0 || p.used <= p.capacity {
+		return 0, false
+	}
+	return p.order.Back().Value.(lruEntry).key, true
+}
+
+func (p *lruPolicy) Remove(key uint64) {
+	el, ok := p.items[key]
+	if !ok {
+		return
+	}
+	p.used -= el.Value.(lruEntry).cost
+	p.order.Remove(el)
+	delete(p.items, key)
+}
+
+func (p *lruPolicy) Len() int { return len(p.items) }
+
+// lfuPolicy evicts the least-frequently-hit key (an OnAdd counts as
+// the first access), breaking frequency ties by smallest key. Victim
+// is an O(n) scan — per-peer stores are small (tens to hundreds of
+// objects), and the scan runs only while over capacity.
+type lfuPolicy struct {
+	capacity int64
+	used     int64
+	items    map[uint64]*lfuEntry
+}
+
+type lfuEntry struct {
+	freq int64
+	cost int64
+}
+
+func (p *lfuPolicy) OnAdd(key uint64, cost int64) {
+	p.items[key] = &lfuEntry{freq: 1, cost: cost}
+	p.used += cost
+}
+
+func (p *lfuPolicy) OnHit(key uint64) {
+	if e, ok := p.items[key]; ok {
+		e.freq++
+	}
+}
+
+func (p *lfuPolicy) Victim() (uint64, bool) {
+	if p.capacity <= 0 || p.used <= p.capacity {
+		return 0, false
+	}
+	var victim uint64
+	var vfreq int64 = -1
+	for k, e := range p.items {
+		if vfreq < 0 || e.freq < vfreq || (e.freq == vfreq && k < victim) {
+			victim, vfreq = k, e.freq
+		}
+	}
+	return victim, vfreq >= 0
+}
+
+func (p *lfuPolicy) Remove(key uint64) {
+	e, ok := p.items[key]
+	if !ok {
+		return
+	}
+	p.used -= e.cost
+	delete(p.items, key)
+}
+
+func (p *lfuPolicy) Len() int { return len(p.items) }
+
+// sizePolicy evicts the largest object first over a byte budget
+// (ties: smallest key). Dropping the biggest objects keeps the most
+// distinct objects resident, which is what hit ratio rewards when
+// every object counts equally toward it.
+type sizePolicy struct {
+	capacity int64
+	used     int64
+	items    map[uint64]int64 // key → byte cost
+}
+
+func (p *sizePolicy) OnAdd(key uint64, cost int64) {
+	p.items[key] = cost
+	p.used += cost
+}
+
+func (p *sizePolicy) OnHit(uint64) {}
+
+func (p *sizePolicy) Victim() (uint64, bool) {
+	if p.capacity <= 0 || p.used <= p.capacity {
+		return 0, false
+	}
+	var victim uint64
+	var vcost int64 = -1
+	for k, c := range p.items {
+		if c > vcost || (c == vcost && k < victim) {
+			victim, vcost = k, c
+		}
+	}
+	return victim, vcost >= 0
+}
+
+func (p *sizePolicy) Remove(key uint64) {
+	c, ok := p.items[key]
+	if !ok {
+		return
+	}
+	p.used -= c
+	delete(p.items, key)
+}
+
+func (p *sizePolicy) Len() int { return len(p.items) }

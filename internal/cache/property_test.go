@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"flowercdn/internal/rnd"
+)
+
+// Property suite: every policy is driven through randomized op
+// sequences (add / hit / remove, deterministic via internal/rnd) and
+// cross-checked after every step against a naive reference model that
+// tracks cost, recency and frequency explicitly. Invariants:
+//
+//   - the drained policy is never over capacity (in cost units);
+//   - every victim is a resident the model also holds;
+//   - LRU victims are the least-recently-touched residents;
+//   - LFU victims are minimal in (frequency, key);
+//   - size-aware victims are maximal in (cost, -key);
+//   - "none" never nominates anything;
+//   - Len always equals the model's population.
+
+type refEntry struct {
+	cost int64
+	freq int64
+	last int64 // logical touch clock (add counts as a touch)
+}
+
+type refModel struct {
+	capacity int64
+	used     int64
+	clock    int64
+	items    map[uint64]*refEntry
+}
+
+func newRefModel(capacity int64) *refModel {
+	return &refModel{capacity: capacity, items: make(map[uint64]*refEntry)}
+}
+
+func (m *refModel) add(k uint64, cost int64) {
+	m.clock++
+	m.items[k] = &refEntry{cost: cost, freq: 1, last: m.clock}
+	m.used += cost
+}
+
+func (m *refModel) hit(k uint64) {
+	m.clock++
+	e := m.items[k]
+	e.freq++
+	e.last = m.clock
+}
+
+func (m *refModel) remove(k uint64) {
+	m.used -= m.items[k].cost
+	delete(m.items, k)
+}
+
+// expectedVictim computes the model's victim for one policy, or ok =
+// false when under capacity.
+func (m *refModel) expectedVictim(policy string) (uint64, bool) {
+	if policy == PolicyNone || m.capacity <= 0 || m.used <= m.capacity {
+		return 0, false
+	}
+	var victim uint64
+	found := false
+	for k, e := range m.items {
+		if !found {
+			victim, found = k, true
+			continue
+		}
+		v := m.items[victim]
+		switch policy {
+		case "lru":
+			if e.last < v.last {
+				victim = k
+			}
+		case "lfu":
+			if e.freq < v.freq || (e.freq == v.freq && k < victim) {
+				victim = k
+			}
+		case "size-aware":
+			if e.cost > v.cost || (e.cost == v.cost && k < victim) {
+				victim = k
+			}
+		}
+	}
+	return victim, found
+}
+
+// sortedKeys gives a deterministic pick-order over the model's
+// residents.
+func (m *refModel) sortedKeys() []uint64 {
+	out := make([]uint64, 0, len(m.items))
+	for k := range m.items {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestPolicyPropertiesAgainstReferenceModel(t *testing.T) {
+	const ops = 3000
+	for _, policyName := range Names() {
+		policyName := policyName
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", policyName, seed), func(t *testing.T) {
+				rng := rnd.New(seed)
+				// Small capacities keep the policies constantly under
+				// pressure; cost spread exercises the cost accounting
+				// on every policy, not just the byte-cost one.
+				capacity := int64(1 + rng.Intn(64))
+				p, err := New(policyName, capacity)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := newRefModel(capacity)
+				if policyName == PolicyNone {
+					m.capacity = 0 // the model never expects an eviction
+				}
+				nextKey := uint64(0)
+
+				for i := 0; i < ops; i++ {
+					switch op := rng.Intn(10); {
+					case op < 6 || len(m.items) == 0: // add a fresh key
+						k := nextKey
+						nextKey++
+						cost := int64(1 + rng.Intn(16))
+						p.OnAdd(k, cost)
+						m.add(k, cost)
+						// Drain victims, checking each against the model.
+						for {
+							want, wantOK := m.expectedVictim(policyName)
+							got, gotOK := p.Victim()
+							if gotOK != wantOK {
+								t.Fatalf("op %d: Victim ok=%v, model ok=%v (used %d cap %d)",
+									i, gotOK, wantOK, m.used, m.capacity)
+							}
+							if !gotOK {
+								break
+							}
+							if _, resident := m.items[got]; !resident {
+								t.Fatalf("op %d: victim %d is not a resident", i, got)
+							}
+							if got != want {
+								t.Fatalf("op %d: victim %d, model wants %d", i, got, want)
+							}
+							p.Remove(got)
+							m.remove(got)
+						}
+						if policyName != PolicyNone && m.capacity > 0 && m.used > m.capacity {
+							t.Fatalf("op %d: model still over capacity after drain: %d > %d",
+								i, m.used, m.capacity)
+						}
+					case op < 8: // touch a resident
+						keys := m.sortedKeys()
+						k := keys[rng.Intn(len(keys))]
+						p.OnHit(k)
+						m.hit(k)
+					default: // external removal
+						keys := m.sortedKeys()
+						k := keys[rng.Intn(len(keys))]
+						p.Remove(k)
+						m.remove(k)
+					}
+					if p.Len() != len(m.items) {
+						t.Fatalf("op %d: Len %d, model %d", i, p.Len(), len(m.items))
+					}
+				}
+				if _, ok := p.Victim(); ok && policyName == PolicyNone {
+					t.Fatal("none nominated a victim at the end")
+				}
+			})
+		}
+	}
+}
+
+// TestPolicyDeterminism replays the same op sequence twice and demands
+// identical victim streams — the property that keeps bounded
+// simulation runs reproducible.
+func TestPolicyDeterminism(t *testing.T) {
+	for _, policyName := range Names() {
+		run := func() []uint64 {
+			rng := rnd.New(42)
+			p, err := New(policyName, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resident := make(map[uint64]bool)
+			var victims []uint64
+			var keys []uint64
+			for i := uint64(0); i < 2000; i++ {
+				p.OnAdd(i, int64(1+rng.Intn(8)))
+				resident[i] = true
+				keys = append(keys, i)
+				if len(keys) > 0 && rng.Bool(0.5) {
+					k := keys[rng.Intn(len(keys))]
+					if resident[k] {
+						p.OnHit(k)
+					}
+				}
+				for {
+					v, ok := p.Victim()
+					if !ok {
+						break
+					}
+					p.Remove(v)
+					resident[v] = false
+					victims = append(victims, v)
+				}
+			}
+			return victims
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			t.Fatalf("%s: victim stream lengths differ: %d vs %d", policyName, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: victim %d differs: %d vs %d", policyName, i, a[i], b[i])
+			}
+		}
+	}
+}

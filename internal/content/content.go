@@ -4,9 +4,12 @@
 // peer pushes updates "whenever the percentage of its changes reaches a
 // threshold"), and Bloom summaries for gossip.
 //
-// Cache expiration and replacement are deliberately not modelled; the
-// paper assumes "a content peer has enough storage potential to avoid
-// replacing its content through the experiment's duration".
+// The paper assumes "a content peer has enough storage potential to
+// avoid replacing its content through the experiment's duration" —
+// NewStore reproduces that unbounded model exactly. NewStoreWith
+// additionally bounds a store with a pluggable eviction policy
+// (internal/cache), the seam behind the capacity-bounded scenarios the
+// paper cannot express.
 package content
 
 import (
@@ -14,6 +17,7 @@ import (
 	"sort"
 
 	"flowercdn/internal/bloom"
+	"flowercdn/internal/cache"
 )
 
 // SiteID identifies a website in W.
@@ -28,9 +32,15 @@ type Key struct {
 	Object ObjectID
 }
 
-// Uint64 packs the key for hashing and Bloom membership.
+// Uint64 packs the key for hashing, Bloom membership and eviction-
+// policy bookkeeping.
 func (k Key) Uint64() uint64 {
 	return uint64(uint32(k.Site))<<32 | uint64(uint32(k.Object))
+}
+
+// KeyFromUint64 unpacks a key packed by Key.Uint64.
+func KeyFromUint64(u uint64) Key {
+	return Key{Site: SiteID(int32(uint32(u >> 32))), Object: ObjectID(int32(uint32(u)))}
 }
 
 // String renders "site/object".
@@ -69,31 +79,107 @@ func (c *Catalog) Valid(k Key) bool {
 
 // Store is one peer's local content cache for the single website it is
 // interested in, with the delta accounting used by the push protocol.
-// The zero value is not usable; use NewStore.
+// The zero value is not usable; use NewStore (unbounded, the paper's
+// model) or NewStoreWith (capacity-bounded by an eviction policy).
 type Store struct {
 	have  map[Key]struct{}
 	delta []Key // keys added since the last MarkPushed
+
+	// Eviction seam; all nil/zero on an unbounded store.
+	policy  cache.Policy
+	cost    func(Key) int64 // nil = unit cost (capacity in objects)
+	onEvict func(Key)
+	evicted uint64
 }
 
-// NewStore returns an empty store.
+// StoreOptions configures a capacity-bounded store.
+type StoreOptions struct {
+	// Policy nominates eviction victims; nil means unbounded.
+	Policy cache.Policy
+	// Cost weighs each key against the policy's capacity; nil charges
+	// one unit per object.
+	Cost func(Key) int64
+	// OnEvict observes every evicted key (metrics plumbing).
+	OnEvict func(Key)
+}
+
+// NewStore returns an empty unbounded store.
 func NewStore() *Store {
 	return &Store{have: make(map[Key]struct{})}
 }
 
+// NewStoreWith returns an empty store governed by the given options.
+func NewStoreWith(o StoreOptions) *Store {
+	s := NewStore()
+	s.policy = o.Policy
+	s.cost = o.Cost
+	s.onEvict = o.OnEvict
+	return s
+}
+
+// Bounded reports whether an eviction policy governs the store.
+func (s *Store) Bounded() bool { return s.policy != nil }
+
+// Evictions returns how many objects the policy has evicted so far.
+func (s *Store) Evictions() uint64 { return s.evicted }
+
 // Add records that the peer now caches k. It reports whether the key
-// was new. Re-adding an existing key does not count as a change.
+// was new. Re-adding an existing key does not count as a change. On a
+// bounded store the insertion may evict other keys — or k itself, when
+// a single object exceeds the whole budget.
 func (s *Store) Add(k Key) bool {
 	if _, ok := s.have[k]; ok {
 		return false
 	}
 	s.have[k] = struct{}{}
 	s.delta = append(s.delta, k)
+	if s.policy != nil {
+		c := int64(1)
+		if s.cost != nil {
+			c = s.cost(k)
+		}
+		s.policy.OnAdd(k.Uint64(), c)
+		s.evictOverCapacity()
+	}
 	return true
 }
 
-// Has reports whether the peer caches k.
+// evictOverCapacity drains the policy's victims until it reports the
+// store back under capacity.
+func (s *Store) evictOverCapacity() {
+	for {
+		v, ok := s.policy.Victim()
+		if !ok {
+			return
+		}
+		s.policy.Remove(v)
+		k := KeyFromUint64(v)
+		delete(s.have, k)
+		// An evicted key must not be advertised by the next push: drop
+		// it from the pending delta (linear, but deltas are short —
+		// they flush at a fraction of the store size).
+		for i, dk := range s.delta {
+			if dk == k {
+				s.delta = append(s.delta[:i], s.delta[i+1:]...)
+				break
+			}
+		}
+		s.evicted++
+		if s.onEvict != nil {
+			s.onEvict(k)
+		}
+	}
+}
+
+// Has reports whether the peer caches k. On a bounded store a
+// successful lookup counts as a touch (recency/frequency signal for
+// the eviction policy) — both serving a fetch and skipping an
+// already-cached object keep that object warm.
 func (s *Store) Has(k Key) bool {
 	_, ok := s.have[k]
+	if ok && s.policy != nil {
+		s.policy.OnHit(k.Uint64())
+	}
 	return ok
 }
 

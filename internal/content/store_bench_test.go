@@ -1,0 +1,47 @@
+package content
+
+import (
+	"testing"
+
+	"flowercdn/internal/cache"
+)
+
+// BenchmarkStoreBounded measures the hot store path under an LRU
+// policy held at capacity — every Add past the warm-up evicts, every
+// Has touches the recency list. This is the per-query overhead a
+// bounded run pays over the paper's unbounded model (BenchmarkStoreUnbounded).
+func BenchmarkStoreBounded(b *testing.B) {
+	const capacity = 256
+	pol, err := cache.New("lru", capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewStoreWith(StoreOptions{Policy: pol})
+	for i := 0; i < capacity; i++ {
+		s.Add(Key{0, ObjectID(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key{0, ObjectID(i % (4 * capacity))}
+		if !s.Has(k) {
+			s.Add(k)
+		}
+	}
+	b.ReportMetric(float64(s.Evictions())/float64(b.N), "evictions/op")
+}
+
+// BenchmarkStoreUnbounded is the baseline: the same access pattern on
+// the paper's unbounded store.
+func BenchmarkStoreUnbounded(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 256; i++ {
+		s.Add(Key{0, ObjectID(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key{0, ObjectID(i % 1024)}
+		if !s.Has(k) {
+			s.Add(k)
+		}
+	}
+}

@@ -34,6 +34,8 @@ func init() {
 //	dir-collaboration   bool       same-website cross-locality collaboration
 //	exact-summaries     bool       exact key sets instead of Bloom summaries
 //	load-limit          int        PetalUp per-directory member limit
+//	cache-policy        string     per-peer store eviction policy (internal/cache)
+//	cache-capacity      int        per-peer store capacity, objects
 //
 // Unknown keys are ignored (they may target another protocol in the
 // same sweep).
@@ -57,7 +59,7 @@ const DefaultPetalUpLoadLimit = 30
 // validates it — shared by the factories and the registry's static
 // CheckOptions hook, so a bad knob fails a sweep before any
 // simulation runs.
-func lowerOptions(opts proto.Options, petalUp bool) (Config, error) {
+func lowerOptions(opts proto.Options, petalUp bool) (Config, proto.CacheConfig, error) {
 	cfg := DefaultConfig()
 	cfg.Gossip.Period = opts.Duration("gossip-period", cfg.Gossip.Period)
 	cfg.KeepaliveInterval = opts.Duration("keepalive-interval", cfg.Gossip.Period)
@@ -67,26 +69,30 @@ func lowerOptions(opts proto.Options, petalUp bool) (Config, error) {
 	if petalUp {
 		cfg.DirLoadLimit = opts.Int("load-limit", DefaultPetalUpLoadLimit)
 		if cfg.DirLoadLimit <= 0 {
-			return cfg, fmt.Errorf("flower: petalup load-limit must be positive, got %d", cfg.DirLoadLimit)
+			return cfg, proto.CacheConfig{}, fmt.Errorf("flower: petalup load-limit must be positive, got %d", cfg.DirLoadLimit)
 		}
 	}
-	return cfg, cfg.Validate()
+	cacheCfg, err := proto.CacheConfigFromOptions(opts)
+	if err != nil {
+		return cfg, cacheCfg, fmt.Errorf("flower: %w", err)
+	}
+	return cfg, cacheCfg, cfg.Validate()
 }
 
 // CheckDriverOptions statically validates classic-flower options.
 func CheckDriverOptions(opts proto.Options) error {
-	_, err := lowerOptions(opts, false)
+	_, _, err := lowerOptions(opts, false)
 	return err
 }
 
 // CheckPetalUpDriverOptions statically validates PetalUp options.
 func CheckPetalUpDriverOptions(opts proto.Options) error {
-	_, err := lowerOptions(opts, true)
+	_, _, err := lowerOptions(opts, true)
 	return err
 }
 
 func newDriver(env proto.Env, opts proto.Options, petalUp bool) (proto.System, error) {
-	cfg, err := lowerOptions(opts, petalUp)
+	cfg, cacheCfg, err := lowerOptions(opts, petalUp)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +102,7 @@ func newDriver(env proto.Env, opts proto.Options, petalUp bool) (proto.System, e
 		Workload: env.Workload,
 		Origins:  env.Origins,
 		Metrics:  env.Metrics,
+		NewStore: cacheCfg.StoreFactory(env),
 	})
 	if err != nil {
 		return nil, err

@@ -47,6 +47,9 @@ type System struct {
 	work    *workload.Workload
 	origins *workload.Origins
 	coll    metrics.Emitter
+	// newStore builds each individual's content store (unbounded by
+	// default, policy-bounded when the run sets cache options).
+	newStore func() *content.Store
 
 	// registry holds entries believed to be alive D-ring members; dead
 	// ones are pruned lazily as they are handed out.
@@ -72,6 +75,9 @@ type Deps struct {
 	Workload *workload.Workload
 	Origins  *workload.Origins
 	Metrics  metrics.Emitter
+	// NewStore builds each individual's content store; nil means
+	// unbounded (content.NewStore — the paper's storage model).
+	NewStore func() *content.Store
 }
 
 // NewSystem validates the config and builds an empty deployment.
@@ -82,14 +88,19 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 	if d.Net == nil || d.RNG == nil || d.Workload == nil || d.Origins == nil || d.Metrics == nil {
 		return nil, fmt.Errorf("flower: missing dependency in %+v", d)
 	}
+	newStore := d.NewStore
+	if newStore == nil {
+		newStore = content.NewStore
+	}
 	return &System{
-		cfg:     cfg,
-		net:     d.Net,
-		eng:     d.Net.Clock(),
-		rng:     d.RNG,
-		work:    d.Workload,
-		origins: d.Origins,
-		coll:    d.Metrics,
+		cfg:      cfg,
+		net:      d.Net,
+		eng:      d.Net.Clock(),
+		rng:      d.RNG,
+		work:     d.Workload,
+		origins:  d.Origins,
+		coll:     d.Metrics,
+		newStore: newStore,
 	}, nil
 }
 
@@ -238,7 +249,7 @@ func (s *System) NewIdentity(site content.SiteID, loc topology.Locality) Identit
 	return Identity{
 		Site:      site,
 		Placement: s.net.Topology().PlaceAt(loc, s.rng),
-		Store:     content.NewStore(),
+		Store:     s.newStore(),
 	}
 }
 
@@ -317,7 +328,7 @@ func (s *System) newPeer(id Identity) *Peer {
 	s.peersSpawned++
 	store := id.Store
 	if store == nil {
-		store = content.NewStore()
+		store = s.newStore()
 	}
 	p := &Peer{
 		sys:   s,

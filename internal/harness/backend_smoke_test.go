@@ -43,6 +43,36 @@ func TestCrossBackendSmokeSim(t *testing.T) {
 	}
 }
 
+// TestCacheBoundedSmokeSim runs every registered protocol once more
+// with an LRU-bounded store small enough that evictions must happen:
+// the cache seam is threaded through every driver, and a bounded run
+// completes cleanly on the deterministic backend.
+func TestCacheBoundedSmokeSim(t *testing.T) {
+	for _, name := range proto.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := RealtimeDemoConfig(50, 10_000)
+			cfg.Backend = "sim"
+			cfg.Protocol = Protocol(name)
+			cfg.Options["cache-policy"] = "lru"
+			cfg.Options["cache-capacity"] = 2
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Queries == 0 {
+				t.Fatal("no queries at all")
+			}
+			if res.AlivePeers == 0 {
+				t.Fatal("no peers alive at the end of the run")
+			}
+			if res.ProtoStat("evictions") == 0 {
+				t.Fatalf("%s at capacity 2 never evicted over %d queries", name, res.Queries)
+			}
+		})
+	}
+}
+
 // TestCrossBackendSmokeRealtime runs every registered protocol on the
 // wall-clock backend for a short horizon each — this test genuinely
 // takes ~1.5 s per protocol — and asserts clean completion with live
@@ -74,6 +104,41 @@ func TestCrossBackendSmokeRealtime(t *testing.T) {
 			}
 			if (name == "flower" || name == "petalup") && res.Hits == 0 {
 				t.Fatalf("%s served zero hits over %d queries", name, res.Queries)
+			}
+		})
+	}
+}
+
+// TestCacheBoundedSmokeRealtime repeats the bounded-cache smoke on the
+// wall-clock backend: the eviction path runs outside the simulator
+// too, with live eviction counters and a clean shutdown. ~1.5 s per
+// protocol.
+func TestCacheBoundedSmokeRealtime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test skipped in -short mode")
+	}
+	for _, name := range proto.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := RealtimeDemoConfig(50, 1500)
+			cfg.Protocol = Protocol(name)
+			cfg.Options["cache-policy"] = "lru"
+			cfg.Options["cache-capacity"] = 2
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Backend != "realtime" {
+				t.Fatalf("result backend %q", res.Backend)
+			}
+			if res.Queries == 0 {
+				t.Fatal("no queries at all on the realtime backend")
+			}
+			if res.AlivePeers == 0 {
+				t.Fatal("no peers alive at the end of the run")
+			}
+			if res.ProtoStat("evictions") == 0 {
+				t.Fatalf("%s at capacity 2 never evicted over %d queries", name, res.Queries)
 			}
 		})
 	}

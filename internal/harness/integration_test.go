@@ -145,27 +145,40 @@ func TestPetalUpChurnWithLoss(t *testing.T) {
 // TestLossyRunsAreDeterministic is the regression test for the claim-
 // transfer ordering bug: with loss injection on, every Send consumes a
 // loss draw, so any map-iteration-order dependence in message emission
-// makes runs diverge. Two identical lossy runs must match exactly.
+// makes runs diverge. Two identical lossy runs must match exactly —
+// both under the paper's unbounded stores and under a bounded cache,
+// where every eviction decision must be just as order-independent.
 func TestLossyRunsAreDeterministic(t *testing.T) {
-	for _, p := range []Protocol{ProtocolFlower, ProtocolPetalUp, ProtocolSquirrel, ProtocolChordGlobal} {
-		cfg := tinyConfig()
-		cfg.Protocol = p
-		if p == ProtocolPetalUp {
-			cfg.Options = map[string]any{"load-limit": 5}
-		}
-		cfg.Duration = 3 * sim.Hour
-		cfg.MessageLossRate = 0.05
-		a, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if a.Queries != b.Queries || a.Hits != b.Hits || a.EventsProcessed != b.EventsProcessed {
-			t.Fatalf("%s: lossy runs diverged: %d/%d/%d vs %d/%d/%d", p,
-				a.Queries, a.Hits, a.EventsProcessed, b.Queries, b.Hits, b.EventsProcessed)
+	for _, bounded := range []bool{false, true} {
+		for _, p := range []Protocol{ProtocolFlower, ProtocolPetalUp, ProtocolSquirrel, ProtocolChordGlobal} {
+			cfg := tinyConfig()
+			cfg.Protocol = p
+			cfg.Options = map[string]any{}
+			if p == ProtocolPetalUp {
+				cfg.Options["load-limit"] = 5
+			}
+			if bounded {
+				cfg.Options["cache-policy"] = "lru"
+				cfg.Options["cache-capacity"] = 10
+			}
+			cfg.Duration = 3 * sim.Hour
+			cfg.MessageLossRate = 0.05
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Queries != b.Queries || a.Hits != b.Hits || a.EventsProcessed != b.EventsProcessed {
+				t.Fatalf("%s (bounded=%v): lossy runs diverged: %d/%d/%d vs %d/%d/%d", p, bounded,
+					a.Queries, a.Hits, a.EventsProcessed, b.Queries, b.Hits, b.EventsProcessed)
+			}
+			if a.Fingerprint != b.Fingerprint {
+				t.Fatalf("%s (bounded=%v): fingerprints diverged: %#x vs %#x", p, bounded,
+					a.Fingerprint, b.Fingerprint)
+			}
 		}
 	}
 }

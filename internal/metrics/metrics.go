@@ -105,8 +105,14 @@ func (c *Collector) Record(q Query) {
 }
 
 // Observe implements Sink: query events feed the run-level aggregates
-// and the windowed series; other kinds pass through untouched.
+// and the windowed series; counter events reach the windowed series
+// (which breaks out per-window evictions); other kinds pass through
+// untouched.
 func (c *Collector) Observe(ev Event) {
+	if ev.Kind == KindCounter {
+		c.win.Observe(ev)
+		return
+	}
 	if ev.Kind != KindQuery {
 		return
 	}
@@ -192,6 +198,9 @@ type SeriesPoint struct {
 	// queries (0 when none were served).
 	MeanLookupMs   float64
 	MeanTransferMs float64
+	// Evictions counts cache evictions within the window (0 on
+	// unbounded runs).
+	Evictions float64
 }
 
 // HitRatioSeries returns the Fig. 3 time series.

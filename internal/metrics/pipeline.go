@@ -49,6 +49,13 @@ func CounterEvent(when int64, name string, delta float64) Event {
 	return Event{When: when, Kind: KindCounter, Counter: name, Delta: delta}
 }
 
+// CounterEvictions is the well-known counter name bounded content
+// stores emit once per evicted object. Windowed breaks it out per
+// window (the Fig. 3-style series pairs the hit-ratio knee with the
+// eviction churn causing it); everything else treats it as ordinary
+// protocol vocabulary.
+const CounterEvictions = "evictions"
+
 // Emitter is the write side protocols see: they stream observations and
 // never learn who is aggregating them.
 type Emitter interface {
@@ -132,6 +139,9 @@ type WindowAgg struct {
 	Served      uint64
 	LookupSum   int64
 	TransferSum int64
+	// Evictions totals the cache-eviction counter events that fell in
+	// the window (0 on unbounded runs).
+	Evictions float64
 }
 
 // HitRatio returns the window's hit ratio (0 on an empty window).
@@ -186,25 +196,36 @@ func (w *Windowed) Len() int { return len(w.wins) }
 // At returns window i's aggregates.
 func (w *Windowed) At(i int) WindowAgg { return w.wins[i] }
 
-// Observe implements Sink: KindQuery events are bucketed by When.
+// Observe implements Sink: KindQuery events are bucketed by When, as
+// are eviction counter events; other counters pass through untouched.
 func (w *Windowed) Observe(ev Event) {
-	if ev.Kind != KindQuery {
-		return
+	switch ev.Kind {
+	case KindQuery:
+		agg := w.at(ev.When)
+		agg.Total++
+		if ev.Outcome.IsHit() {
+			agg.Hits++
+		}
+		if ev.Outcome != Unresolved {
+			agg.Served++
+			agg.LookupSum += ev.LookupLatency
+			agg.TransferSum += ev.TransferDistance
+		}
+	case KindCounter:
+		if ev.Counter == CounterEvictions {
+			w.at(ev.When).Evictions += ev.Delta
+		}
 	}
-	i := int(ev.When / w.window)
+}
+
+// at returns the window covering time t, materializing windows up to
+// it.
+func (w *Windowed) at(t int64) *WindowAgg {
+	i := int(t / w.window)
 	for len(w.wins) <= i {
 		w.wins = append(w.wins, WindowAgg{})
 	}
-	agg := &w.wins[i]
-	agg.Total++
-	if ev.Outcome.IsHit() {
-		agg.Hits++
-	}
-	if ev.Outcome != Unresolved {
-		agg.Served++
-		agg.LookupSum += ev.LookupLatency
-		agg.TransferSum += ev.TransferDistance
-	}
+	return &w.wins[i]
 }
 
 // Series renders the windows as the familiar time-series points.
@@ -217,6 +238,7 @@ func (w *Windowed) Series() []SeriesPoint {
 			Queries:        agg.Total,
 			MeanLookupMs:   agg.MeanLookupMs(),
 			MeanTransferMs: agg.MeanTransferMs(),
+			Evictions:      agg.Evictions,
 		}
 	}
 	return out

@@ -99,3 +99,49 @@ func TestCollectorIsAnEmitter(t *testing.T) {
 		t.Fatal("Record did not route through Observe")
 	}
 }
+
+func TestWindowedBreaksOutEvictions(t *testing.T) {
+	w := NewWindowed(100)
+	w.Observe(CounterEvent(10, CounterEvictions, 1))
+	w.Observe(CounterEvent(20, CounterEvictions, 1))
+	w.Observe(CounterEvent(250, CounterEvictions, 3))
+	w.Observe(CounterEvent(30, "promotions", 7)) // other counters pass through
+
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if got := w.At(0).Evictions; got != 2 {
+		t.Fatalf("window 0 evictions = %g", got)
+	}
+	if got := w.At(1).Evictions; got != 0 {
+		t.Fatalf("window 1 evictions = %g", got)
+	}
+	if got := w.At(2).Evictions; got != 3 {
+		t.Fatalf("window 2 evictions = %g", got)
+	}
+	series := w.Series()
+	if series[0].Evictions != 2 || series[2].Evictions != 3 {
+		t.Fatalf("series evictions = %+v", series)
+	}
+	// Eviction-only windows hold no queries.
+	if series[2].Queries != 0 || series[2].HitRatio != 0 {
+		t.Fatalf("eviction-only window gained queries: %+v", series[2])
+	}
+}
+
+func TestCollectorForwardsEvictionsToWindows(t *testing.T) {
+	c := NewCollector(100)
+	c.Emit(QueryEvent(10, HitDirectory, 50, 20))
+	c.Emit(CounterEvent(40, CounterEvictions, 2))
+	if got := c.Windows().At(0).Evictions; got != 2 {
+		t.Fatalf("collector window evictions = %g", got)
+	}
+	// Counter events never perturb the query aggregates.
+	if c.Total() != 1 || c.Hits() != 1 {
+		t.Fatalf("counters leaked into query totals: %d/%d", c.Total(), c.Hits())
+	}
+	series := c.HitRatioSeries()
+	if len(series) != 1 || series[0].Evictions != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+}

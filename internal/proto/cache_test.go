@@ -1,0 +1,40 @@
+package proto
+
+import "testing"
+
+func TestCacheConfigFromOptions(t *testing.T) {
+	// Defaults: unbounded.
+	c, err := CacheConfigFromOptions(Options{})
+	if err != nil || c.Policy != "none" || c.Bounded() {
+		t.Fatalf("defaults: %+v, %v", c, err)
+	}
+	// Explicit empty string lowers to none.
+	c, err = CacheConfigFromOptions(Options{OptCachePolicy: ""})
+	if err != nil || c.Policy != "none" {
+		t.Fatalf("empty policy: %+v, %v", c, err)
+	}
+	// A bounded policy with a capacity.
+	c, err = CacheConfigFromOptions(Options{OptCachePolicy: "lru", OptCacheCapacity: 32})
+	if err != nil || !c.Bounded() || c.Capacity != 32 {
+		t.Fatalf("lru/32: %+v, %v", c, err)
+	}
+	// Bounded without capacity: rejected.
+	if _, err := CacheConfigFromOptions(Options{OptCachePolicy: "lru"}); err == nil {
+		t.Fatal("lru without capacity accepted")
+	}
+	if _, err := CacheConfigFromOptions(Options{OptCachePolicy: "lfu", OptCacheCapacity: 0}); err == nil {
+		t.Fatal("lfu with capacity 0 accepted")
+	}
+	// Unknown policy: rejected.
+	if _, err := CacheConfigFromOptions(Options{OptCachePolicy: "arc", OptCacheCapacity: 8}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// A capacity without a bounding policy is a forgotten knob, not an
+	// unbounded run.
+	if _, err := CacheConfigFromOptions(Options{OptCacheCapacity: 9}); err == nil {
+		t.Fatal("capacity without a policy accepted")
+	}
+	if _, err := CacheConfigFromOptions(Options{OptCachePolicy: "none", OptCacheCapacity: 9}); err == nil {
+		t.Fatal("none with a positive capacity accepted")
+	}
+}

@@ -1,6 +1,8 @@
 package squirrel
 
 import (
+	"fmt"
+
 	"flowercdn/internal/proto"
 	"flowercdn/internal/rnd"
 )
@@ -21,29 +23,35 @@ func init() {
 
 // Option keys the driver reads (defaults in parentheses):
 //
-//	directory-cap      int  delegates a home remembers per object (4)
-//	provider-attempts  int  delegates probed before the origin (1)
+//	directory-cap      int     delegates a home remembers per object (4)
+//	provider-attempts  int     delegates probed before the origin (1)
+//	cache-policy       string  per-peer store eviction policy ("none")
+//	cache-capacity     int     per-peer store capacity, objects
 //
 // Unknown keys are ignored.
 
 // lowerOptions resolves the option map into a validated Config —
 // shared by the factory and the registry's static CheckOptions hook.
-func lowerOptions(opts proto.Options) (Config, error) {
+func lowerOptions(opts proto.Options) (Config, proto.CacheConfig, error) {
 	cfg := DefaultConfig()
 	cfg.DirectoryCap = opts.Int("directory-cap", cfg.DirectoryCap)
 	cfg.ProviderAttempts = opts.Int("provider-attempts", cfg.ProviderAttempts)
-	return cfg, cfg.Validate()
+	cacheCfg, err := proto.CacheConfigFromOptions(opts)
+	if err != nil {
+		return cfg, cacheCfg, fmt.Errorf("squirrel: %w", err)
+	}
+	return cfg, cacheCfg, cfg.Validate()
 }
 
 // CheckDriverOptions statically validates the driver's options.
 func CheckDriverOptions(opts proto.Options) error {
-	_, err := lowerOptions(opts)
+	_, _, err := lowerOptions(opts)
 	return err
 }
 
 // NewDriver builds a Squirrel deployment driver.
 func NewDriver(env proto.Env, opts proto.Options) (proto.System, error) {
-	cfg, err := lowerOptions(opts)
+	cfg, cacheCfg, err := lowerOptions(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -53,6 +61,7 @@ func NewDriver(env proto.Env, opts proto.Options) (proto.System, error) {
 		Workload: env.Workload,
 		Origins:  env.Origins,
 		Metrics:  env.Metrics,
+		NewStore: cacheCfg.StoreFactory(env),
 	})
 	if err != nil {
 		return nil, err

@@ -84,17 +84,21 @@ type Deps struct {
 	Workload *workload.Workload
 	Origins  *workload.Origins
 	Metrics  metrics.Emitter
+	// NewStore builds each individual's content store; nil means
+	// unbounded (content.NewStore — the paper's storage model).
+	NewStore func() *content.Store
 }
 
 // System is one Squirrel deployment.
 type System struct {
-	cfg     Config
-	net     runtime.Transport
-	eng     runtime.Clock
-	rng     *rnd.RNG
-	work    *workload.Workload
-	origins *workload.Origins
-	coll    metrics.Emitter
+	cfg      Config
+	net      runtime.Transport
+	eng      runtime.Clock
+	rng      *rnd.RNG
+	work     *workload.Workload
+	origins  *workload.Origins
+	coll     metrics.Emitter
+	newStore func() *content.Store
 
 	registry []chord.Entry
 	spawned  uint64
@@ -109,14 +113,19 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 	if d.Net == nil || d.RNG == nil || d.Workload == nil || d.Origins == nil || d.Metrics == nil {
 		return nil, errors.New("squirrel: missing dependency")
 	}
+	newStore := d.NewStore
+	if newStore == nil {
+		newStore = content.NewStore
+	}
 	return &System{
-		cfg:     cfg,
-		net:     d.Net,
-		eng:     d.Net.Clock(),
-		rng:     d.RNG,
-		work:    d.Workload,
-		origins: d.Origins,
-		coll:    d.Metrics,
+		cfg:      cfg,
+		net:      d.Net,
+		eng:      d.Net.Clock(),
+		rng:      d.RNG,
+		work:     d.Workload,
+		origins:  d.Origins,
+		coll:     d.Metrics,
+		newStore: newStore,
 	}, nil
 }
 
@@ -155,7 +164,7 @@ func (s *System) NewIdentity(site content.SiteID) Identity {
 	return Identity{
 		Site:      site,
 		Placement: s.net.Topology().Place(s.rng),
-		Store:     content.NewStore(),
+		Store:     s.newStore(),
 	}
 }
 
@@ -170,7 +179,7 @@ func (s *System) SpawnIdentity(id Identity) (*Peer, func()) {
 	s.spawned++
 	store := id.Store
 	if store == nil {
-		store = content.NewStore()
+		store = s.newStore()
 	}
 	p := &Peer{
 		sys:   s,

@@ -81,12 +81,14 @@ func (r *Result) CSV() string {
 var seriesCSVHeader = []string{
 	"cell", "protocol", "population", "seed",
 	"window_start_ms", "hit_ratio", "queries", "mean_lookup_ms", "mean_transfer_ms",
+	"evictions",
 }
 
 // SeriesCSV renders every run's per-window time series — the
 // plot-friendly long format behind Fig. 3-style charts: one row per
-// (cell, seed, window) with the window's hit ratio, query count and
-// mean lookup/transfer latencies as aggregated by metrics.Windowed.
+// (cell, seed, window) with the window's hit ratio, query count, mean
+// lookup/transfer latencies and cache evictions as aggregated by
+// metrics.Windowed.
 func (r *Result) SeriesCSV() string {
 	var b strings.Builder
 	b.WriteString(strings.Join(seriesCSVHeader, ","))
@@ -94,9 +96,9 @@ func (r *Result) SeriesCSV() string {
 	for _, c := range r.Cells {
 		for i, run := range c.Runs {
 			for _, p := range run.Series {
-				fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%g,%d,%g,%g\n",
+				fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%g,%d,%g,%g,%g\n",
 					csvEscape(c.Name), c.Protocol, c.Population, c.Seeds[i],
-					p.Start, p.HitRatio, p.Queries, p.MeanLookupMs, p.MeanTransferMs)
+					p.Start, p.HitRatio, p.Queries, p.MeanLookupMs, p.MeanTransferMs, p.Evictions)
 			}
 		}
 	}

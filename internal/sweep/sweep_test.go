@@ -29,10 +29,17 @@ func tinyGrid() []Cell {
 	petalup := tinyConfig()
 	petalup.Protocol = harness.ProtocolPetalUp
 	petalup.Options = map[string]any{"load-limit": 10}
+	// A capacity-bounded cell rides in the determinism grid: eviction
+	// decisions must be as schedule-independent as everything else
+	// (TestDeterministicAcrossWorkerCounts diffs the full per-seed
+	// results, fingerprints included, at workers 1 vs 8).
+	bounded := tinyConfig()
+	bounded.Options = map[string]any{"cache-policy": "lru", "cache-capacity": 6}
 	return []Cell{
 		{Name: "flower", Config: flower},
 		{Name: "squirrel", Config: squirrel},
 		{Name: "petalup", Config: petalup},
+		{Name: "flower/lru6", Config: bounded},
 	}
 }
 

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"math"
+
+	"flowercdn/internal/content"
+)
+
+// Synthetic web-object sizes for the byte-cost cache policies. The
+// paper models latency only; byte accounting sizes every fetched
+// object at 8 KiB (FetchResp.WireBytes). The size-aware eviction
+// policy needs per-object variety, so objects draw from a heavy-tailed
+// (Pareto) distribution with the same 8 KiB mean, derived by hashing
+// the key: sizes are a pure function of the object name — identical
+// across peers, runs and processes, and uncorrelated with the
+// popularity rank (rank is the object ID, the hash scrambles it).
+
+// MeanObjectBytes is the mean of the object-size distribution, equal
+// to the flat per-object transfer size the byte accounting already
+// charges. Byte-cost policies size their budget as
+// capacity-in-objects * MeanObjectBytes, so one "cache-capacity" knob
+// stays comparable across policies.
+const MeanObjectBytes = 8 * 1024
+
+const (
+	// minObjectBytes is the Pareto scale: with shape 2 the mean is
+	// 2 * min = MeanObjectBytes.
+	minObjectBytes = MeanObjectBytes / 2
+	// maxObjectBytes caps the tail at 1 MiB (exceeded with
+	// probability ~1.5e-5; the cap's effect on the mean is
+	// negligible).
+	maxObjectBytes = 1 << 20
+)
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-distributed
+// 64-bit hash for turning packed keys into uniform draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ObjectBytes returns the deterministic synthetic size of one object:
+// Pareto(shape 2, min 4 KiB), mean 8 KiB, capped at 1 MiB.
+func ObjectBytes(k content.Key) int64 {
+	// Uniform u in [0, 1) from the top 53 bits of the hash.
+	u := float64(splitmix64(k.Uint64())>>11) / (1 << 53)
+	// Inverse-CDF Pareto with shape 2: min / sqrt(1-u). Integer sqrt
+	// via float64 is exact enough; 1-u is never 0 because u < 1.
+	size := int64(float64(minObjectBytes) / math.Sqrt(1-u))
+	if size > maxObjectBytes {
+		size = maxObjectBytes
+	}
+	if size < minObjectBytes {
+		size = minObjectBytes
+	}
+	return size
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"testing"
+
+	"flowercdn/internal/content"
+)
+
+func TestObjectBytesDeterministicAndBounded(t *testing.T) {
+	for site := 0; site < 4; site++ {
+		for obj := 0; obj < 500; obj++ {
+			k := content.Key{Site: content.SiteID(site), Object: content.ObjectID(obj)}
+			a, b := ObjectBytes(k), ObjectBytes(k)
+			if a != b {
+				t.Fatalf("ObjectBytes(%v) not deterministic: %d vs %d", k, a, b)
+			}
+			if a < minObjectBytes || a > maxObjectBytes {
+				t.Fatalf("ObjectBytes(%v) = %d out of [%d, %d]", k, a, minObjectBytes, maxObjectBytes)
+			}
+		}
+	}
+}
+
+func TestObjectBytesMeanNearTarget(t *testing.T) {
+	// Empirical mean over a big catalog must land near the advertised
+	// MeanObjectBytes (the tail cap shaves a little off; ±15% is the
+	// tolerance).
+	var sum int64
+	n := 0
+	for site := 0; site < 100; site++ {
+		for obj := 0; obj < 500; obj++ {
+			sum += ObjectBytes(content.Key{Site: content.SiteID(site), Object: content.ObjectID(obj)})
+			n++
+		}
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 0.85*MeanObjectBytes || mean > 1.15*MeanObjectBytes {
+		t.Fatalf("empirical mean %.0f B too far from %d B", mean, MeanObjectBytes)
+	}
+}
+
+func TestObjectBytesVaries(t *testing.T) {
+	// A heavy-tailed size model that returned the same size everywhere
+	// would make size-aware eviction vacuous.
+	seen := map[int64]bool{}
+	for obj := 0; obj < 200; obj++ {
+		seen[ObjectBytes(content.Key{Site: 0, Object: content.ObjectID(obj)})] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("only %d distinct sizes over 200 objects", len(seen))
+	}
+}

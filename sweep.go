@@ -121,6 +121,11 @@ type Grid struct {
 	MeanUptimes []int
 	// GossipPeriods varies the gossip/keepalive period, in minutes.
 	GossipPeriods []int
+	// CacheCapacities varies the per-peer store capacity in objects.
+	// A 0 entry means unbounded (the cell runs policy "none" — the
+	// paper's model); positive entries run the base config's
+	// CachePolicy, defaulting to "lru" when the base is unbounded.
+	CacheCapacities []int
 }
 
 // Cells expands the grid in deterministic order (protocol-major).
@@ -141,28 +146,51 @@ func (g Grid) Cells() []SweepCell {
 	if len(gossips) == 0 {
 		gossips = []int{g.Base.GossipEveryMinutes}
 	}
+	caps := g.CacheCapacities
+	if len(caps) == 0 {
+		caps = []int{g.Base.CacheCapacity}
+	}
 	var cells []SweepCell
 	for _, proto := range protos {
 		for _, p := range pops {
 			for _, m := range uptimes {
 				for _, gp := range gossips {
-					cfg := g.Base
-					cfg.Protocol = proto
-					cfg.Population = p
-					cfg.MeanUptimeMinutes = m
-					cfg.GossipEveryMinutes = gp
-					var parts []string
-					parts = append(parts, string(proto))
-					if len(pops) > 1 {
-						parts = append(parts, fmt.Sprintf("P=%d", p))
+					for _, cap := range caps {
+						cfg := g.Base
+						cfg.Protocol = proto
+						cfg.Population = p
+						cfg.MeanUptimeMinutes = m
+						cfg.GossipEveryMinutes = gp
+						cfg.CacheCapacity = cap
+						if len(g.CacheCapacities) > 0 {
+							if cap <= 0 {
+								// The unbounded reference cell.
+								cfg.CachePolicy = "none"
+								cfg.CacheCapacity = 0
+							} else if cfg.CachePolicy == "" || cfg.CachePolicy == "none" {
+								cfg.CachePolicy = "lru"
+							}
+						}
+						var parts []string
+						parts = append(parts, string(proto))
+						if len(pops) > 1 {
+							parts = append(parts, fmt.Sprintf("P=%d", p))
+						}
+						if len(uptimes) > 1 {
+							parts = append(parts, fmt.Sprintf("m=%d", m))
+						}
+						if len(gossips) > 1 {
+							parts = append(parts, fmt.Sprintf("g=%d", gp))
+						}
+						if len(caps) > 1 {
+							if cap <= 0 {
+								parts = append(parts, "cap=inf")
+							} else {
+								parts = append(parts, fmt.Sprintf("cap=%d", cap))
+							}
+						}
+						cells = append(cells, SweepCell{Name: strings.Join(parts, "/"), Config: cfg})
 					}
-					if len(uptimes) > 1 {
-						parts = append(parts, fmt.Sprintf("m=%d", m))
-					}
-					if len(gossips) > 1 {
-						parts = append(parts, fmt.Sprintf("g=%d", gp))
-					}
-					cells = append(cells, SweepCell{Name: strings.Join(parts, "/"), Config: cfg})
 				}
 			}
 		}
@@ -186,11 +214,17 @@ const (
 	// localities instead of the paper's uniform spread, stressing the
 	// per-locality petal sizing.
 	ScenarioLocalitySkew Scenario = "locality-skew"
+	// ScenarioCachePressure bounds every peer's store with an LRU
+	// policy at a capacity well under the per-site catalog — the first
+	// scenario the paper's unbounded storage model cannot express.
+	// Combine with the capacity sweep grid to trace the hit-ratio knee
+	// as capacity shrinks.
+	ScenarioCachePressure Scenario = "cache-pressure"
 )
 
 // Scenarios lists the presets.
 func Scenarios() []Scenario {
-	return []Scenario{ScenarioTable1, ScenarioFlashCrowd, ScenarioLocalitySkew}
+	return []Scenario{ScenarioTable1, ScenarioFlashCrowd, ScenarioLocalitySkew, ScenarioCachePressure}
 }
 
 // ApplyScenario overlays a scenario preset on cfg.
@@ -209,6 +243,16 @@ func ApplyScenario(cfg Config, s Scenario) (Config, error) {
 		return cfg, nil
 	case ScenarioLocalitySkew:
 		cfg.LocalitySkew = 1.2
+		return cfg, nil
+	case ScenarioCachePressure:
+		// LRU at a small fraction of the catalog; a capacity grid
+		// overrides the capacity per cell and keeps the policy.
+		if cfg.CachePolicy == "" || cfg.CachePolicy == "none" {
+			cfg.CachePolicy = "lru"
+		}
+		if cfg.CacheCapacity <= 0 {
+			cfg.CacheCapacity = 16
+		}
 		return cfg, nil
 	default:
 		return cfg, fmt.Errorf("flowercdn: unknown scenario %q (have %v)", s, Scenarios())

@@ -166,3 +166,92 @@ func TestScenarioRunsEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+func TestCapacityGridExpansion(t *testing.T) {
+	g := Grid{
+		Base:            sweepTiny(),
+		CacheCapacities: []int{8, 32, 0},
+	}
+	cells := g.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("expanded %d cells, want 3", len(cells))
+	}
+	if cells[0].Name != "flower/cap=8" || cells[2].Name != "flower/cap=inf" {
+		t.Fatalf("names: %q ... %q", cells[0].Name, cells[2].Name)
+	}
+	// Bounded cells default to LRU when the base is unbounded; the 0
+	// entry is the unbounded reference cell.
+	if cells[0].Config.CachePolicy != "lru" || cells[0].Config.CacheCapacity != 8 {
+		t.Fatalf("bounded cell config: %+v", cells[0].Config)
+	}
+	if cells[2].Config.CachePolicy != "none" || cells[2].Config.CacheCapacity != 0 {
+		t.Fatalf("unbounded cell config: %+v", cells[2].Config)
+	}
+	// A base policy survives the axis.
+	base := sweepTiny()
+	base.CachePolicy = "lfu"
+	lfu := Grid{Base: base, CacheCapacities: []int{8}}.Cells()
+	if lfu[0].Config.CachePolicy != "lfu" {
+		t.Fatalf("base policy overridden: %+v", lfu[0].Config)
+	}
+	// Every expanded cell must lower and validate.
+	for _, c := range cells {
+		if _, err := c.Config.lower(); err != nil {
+			t.Fatalf("cell %q: %v", c.Name, err)
+		}
+	}
+}
+
+func TestCachePressureScenario(t *testing.T) {
+	cfg, err := ApplyScenario(sweepTiny(), ScenarioCachePressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CachePolicy != "lru" || cfg.CacheCapacity <= 0 {
+		t.Fatalf("cache-pressure preset wrong: policy %q capacity %d", cfg.CachePolicy, cfg.CacheCapacity)
+	}
+	// An explicit policy/capacity survives the preset.
+	base := sweepTiny()
+	base.CachePolicy = "size-aware"
+	base.CacheCapacity = 99
+	kept, err := ApplyScenario(base, ScenarioCachePressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.CachePolicy != "size-aware" || kept.CacheCapacity != 99 {
+		t.Fatalf("preset clobbered explicit cache settings: %+v", kept)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("cache-pressure run produced no queries")
+	}
+}
+
+// TestCapacitySweepKnee is the façade-level acceptance check behind
+// `flowerbench -grid capacity -scenario cache-pressure`: over a small
+// capacity grid the flower hit ratio must degrade monotonically as
+// capacity shrinks, with the unbounded reference on top.
+func TestCapacitySweepKnee(t *testing.T) {
+	base, err := ApplyScenario(sweepTiny(), ScenarioCachePressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Grid{Base: base, CacheCapacities: []int{4, 24, 0}}.Cells()
+	res, err := Sweep(cells, SeedSet(1, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	small, medium, unbounded := res.Cells[0], res.Cells[1], res.Cells[2]
+	t.Logf("hit ratio: cap4 %.3f, cap24 %.3f, inf %.3f",
+		small.HitRatio.Mean, medium.HitRatio.Mean, unbounded.HitRatio.Mean)
+	if small.HitRatio.Mean > medium.HitRatio.Mean || medium.HitRatio.Mean > unbounded.HitRatio.Mean {
+		t.Fatalf("hit ratio not monotone in capacity: %.3f / %.3f / %.3f",
+			small.HitRatio.Mean, medium.HitRatio.Mean, unbounded.HitRatio.Mean)
+	}
+}
