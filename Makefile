@@ -8,10 +8,10 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-PR ?= 4
+PR ?= 5
 BENCH_JSON := BENCH_PR$(PR).json
 
-.PHONY: build test race vet fmt check bench bench-smoke fingerprint-check realtime-smoke cache-grid-smoke clean
+.PHONY: build test race vet fmt check bench bench-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke staticcheck clean
 
 build:
 	go build ./...
@@ -58,6 +58,22 @@ fingerprint-check:
 # transport, printing live per-window stats.
 realtime-smoke:
 	go run ./cmd/flowersim -backend realtime -population 50 -horizon 3s
+
+# socket-smoke runs one population across three cooperating OS
+# processes on the socket backend: real TCP between peer groups, live
+# queries answered in every process, clean shutdown. Each child exits
+# non-zero unless its queries were answered, and the parent propagates
+# any failure, so this is the full distributed-deployment assertion in
+# one command.
+socket-smoke:
+	go run ./cmd/flowersim -backend socket -spawn-local 3 -population 50 -horizon 6s
+
+# staticcheck runs the pinned version through `go run`, so CI and local
+# invocations cannot drift (CI calls this same target). Needs network
+# on first run to fetch the tool.
+STATICCHECK_VERSION := 2025.1.1
+staticcheck:
+	go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # cache-grid-smoke runs the CI-sized capacity grid under cache
 # pressure: LRU-bounded peer stores swept over per-peer capacities with

@@ -17,6 +17,13 @@
 // full protocol lifecycle:
 //
 //	flowersim -backend realtime -population 50 -horizon 5s
+//
+// With -backend socket the same live run spans cooperating OS
+// processes over TCP — one listener per process, the population
+// partitioned across them (see socket.go for the direct per-process
+// flags):
+//
+//	flowersim -backend socket -spawn-local 3 -population 50 -horizon 5s
 package main
 
 import (
@@ -60,6 +67,13 @@ func main() {
 		cacheCap    = flag.Int("cache-capacity", 0, "per-peer store capacity in objects (required >= 1 for any policy but none)")
 		series      = flag.Bool("series", false, "print the hourly hit-ratio series")
 		printParams = flag.Bool("print-params", false, "print the Table 1 parameter sheet and exit")
+
+		// Socket-backend process-group flags (see socket.go).
+		listen     = flag.String("listen", "", "socket backend: this process's TCP listen address")
+		peersList  = flag.String("peers", "", "socket backend: comma-separated index-ordered group addresses")
+		groupIdx   = flag.Int("group", -1, "socket backend: this process's index in -peers (default: position of -listen)")
+		groupCount = flag.Int("groups", 0, "socket backend: expected group count (asserted against -peers)")
+		spawnLocal = flag.Int("spawn-local", 0, "socket backend: fork N local processes into one population")
 	)
 	flag.Parse()
 
@@ -67,6 +81,46 @@ func main() {
 		for _, p := range flowercdn.Protocols() {
 			fmt.Printf("%-14s %s\n", p, flowercdn.ProtocolSummary(p))
 		}
+		return
+	}
+
+	if *backend == "socket" {
+		// Like the realtime demo, the socket demo derives its scale from
+		// -population/-horizon; warn about explicitly-set simulation-scale
+		// flags it ignores instead of silently dropping them.
+		socketFlagNames := map[string]bool{
+			"backend": true, "protocol": true, "seed": true,
+			"population": true, "horizon": true, "loss": true,
+			"cache-policy": true, "cache-capacity": true,
+			"listen": true, "peers": true, "group": true, "groups": true,
+			"spawn-local": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if !socketFlagNames[f.Name] {
+				fmt.Fprintf(os.Stderr, "flowersim: -%s is ignored with -backend socket (scale comes from -population/-horizon)\n", f.Name)
+			}
+		})
+		if *spawnLocal > 0 {
+			// Parent mode: fork the whole group locally, passing the
+			// experiment shape through to every child.
+			passthrough := []string{
+				"-protocol", *protocol,
+				"-population", fmt.Sprint(*population),
+				"-horizon", horizon.String(),
+				"-seed", fmt.Sprint(*seed),
+				"-loss", fmt.Sprint(*loss),
+				"-cache-policy", *cachePolicy,
+				"-cache-capacity", fmt.Sprint(*cacheCap),
+			}
+			spawnLocalGroup(*spawnLocal, passthrough)
+			return
+		}
+		runSocket(*protocol, *seed, *population, *horizon, *loss, *cachePolicy, *cacheCap, socketFlags{
+			listen: *listen,
+			peers:  *peersList,
+			group:  *groupIdx,
+			groups: *groupCount,
+		})
 		return
 	}
 

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"flowercdn/internal/harness"
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/runtime"
+)
+
+// This file is the socket-backend face of flowersim: one process per
+// peer group, meshed over TCP.
+//
+// Direct mode — run each process yourself (any mix of terminals or
+// machines sharing a loopback/LAN):
+//
+//	flowersim -backend socket -listen 127.0.0.1:7001 \
+//	    -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -population 50 -horizon 5s
+//	flowersim -backend socket -listen 127.0.0.1:7002 -peers ... (same list)
+//	flowersim -backend socket -listen 127.0.0.1:7003 -peers ... (same list)
+//
+// The group index defaults to the position of -listen in -peers; give
+// -group to override (e.g. when listening on 0.0.0.0). -groups, when
+// set, asserts the expected group count against the peer list.
+//
+// Convenience mode — fork the whole group locally (demos, CI):
+//
+//	flowersim -backend socket -spawn-local 3 -population 50 -horizon 5s
+
+// socketFlags collects the direct-mode flag values (spawn-local mode
+// is handled in main.go before runSocket is reached).
+type socketFlags struct {
+	listen string
+	peers  string
+	group  int
+	groups int
+}
+
+// runSocket executes one process of a socket-backend population and
+// exits non-zero unless the run completed with live queries answered —
+// the contract the socket-smoke CI job enforces.
+func runSocket(protocol string, seed uint64, population int, horizon time.Duration, loss float64,
+	cachePolicy string, cacheCap int, sf socketFlags) {
+	peers := splitPeers(sf.peers)
+	if len(peers) == 0 {
+		fatal(fmt.Errorf("socket backend needs -peers (or -spawn-local N)"))
+	}
+	if sf.groups > 0 && sf.groups != len(peers) {
+		fatal(fmt.Errorf("-groups %d but -peers lists %d addresses", sf.groups, len(peers)))
+	}
+	group := sf.group
+	if group < 0 { // default: find -listen in the peer list
+		for i, p := range peers {
+			if p == sf.listen {
+				group = i
+				break
+			}
+		}
+		if group < 0 {
+			fatal(fmt.Errorf("-listen %s not in -peers %s; give -group explicitly", sf.listen, sf.peers))
+		}
+	}
+
+	cfg := harness.SocketDemoConfig(population, horizon.Milliseconds(), runtime.SocketConfig{
+		Listen: sf.listen,
+		Peers:  peers,
+		Group:  group,
+	})
+	cfg.Protocol = harness.Protocol(protocol)
+	cfg.Seed = seed
+	cfg.MessageLossRate = loss
+	if cachePolicy != "" && cachePolicy != "none" {
+		cfg.Options["cache-policy"] = cachePolicy
+		cfg.Options["cache-capacity"] = cacheCap
+	}
+	cfg.OnWindow = func(p metrics.SeriesPoint) {
+		fmt.Printf("[%5.1fs] hit-ratio %.3f  queries %4d  lookup %5.0fms  transfer %4.0fms\n",
+			float64(p.Start+cfg.SeriesWindow)/1000, p.HitRatio, p.Queries, p.MeanLookupMs, p.MeanTransferMs)
+	}
+
+	fmt.Printf("socket group %d/%d on %s: %s, population %d (group-wide), horizon %v\n",
+		group, len(peers), sf.listen, protocol, population, horizon)
+	start := time.Now()
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("completed in %v wall time (%d events, %d messages sent, %d delivered here)\n",
+		time.Since(start).Round(time.Millisecond), res.EventsProcessed,
+		res.NetStats.MessagesSent, res.NetStats.MessagesDelivered)
+	fmt.Print(harness.FormatSummary(res))
+
+	// The smoke contract: this process issued queries and they were
+	// answered (served from a peer or the origin — not abandoned).
+	if res.Queries == 0 {
+		fatal(fmt.Errorf("no live queries issued in group %d", group))
+	}
+	if res.Hits+res.Misses == 0 {
+		fatal(fmt.Errorf("no live query answered in group %d (%d issued)", group, res.Queries))
+	}
+	fmt.Printf("group %d: clean shutdown, %d/%d queries answered\n",
+		group, res.Hits+res.Misses, res.Queries)
+}
+
+// spawnLocalGroup forks this binary N times into one localhost
+// population and relays the children's output, prefixed by group. It
+// exits non-zero if any child does — the single-command entry point
+// `make socket-smoke` builds on.
+func spawnLocalGroup(n int, passthrough []string) {
+	if n < 2 {
+		fatal(fmt.Errorf("-spawn-local needs at least 2 processes, got %d", n))
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	addrs, err := reservePorts(n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spawning %d local processes: %s\n", n, strings.Join(addrs, " "))
+
+	cmds := make([]*exec.Cmd, n)
+	var out sync.WaitGroup
+	for g := 0; g < n; g++ {
+		args := append([]string{
+			"-backend", "socket",
+			"-listen", addrs[g],
+			"-peers", strings.Join(addrs, ","),
+			"-group", strconv.Itoa(g),
+		}, passthrough...)
+		cmd := exec.Command(exe, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout // interleave, same prefix
+		if err := cmd.Start(); err != nil {
+			fatal(fmt.Errorf("spawn group %d: %w", g, err))
+		}
+		cmds[g] = cmd
+		out.Add(1)
+		go func(g int, r io.Reader) {
+			defer out.Done()
+			sc := bufio.NewScanner(r)
+			for sc.Scan() {
+				fmt.Printf("[g%d] %s\n", g, sc.Text())
+			}
+		}(g, stdout)
+	}
+
+	failed := false
+	for g, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "flowersim: group %d failed: %v\n", g, err)
+			failed = true
+		}
+	}
+	out.Wait()
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("all %d processes completed cleanly\n", n)
+}
+
+// reservePorts picks n free localhost ports. The listeners are closed
+// before the children bind them — the classic tiny race, harmless on a
+// loopback CI box.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	for _, lis := range listeners {
+		lis.Close()
+	}
+	return addrs, nil
+}
+
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -105,8 +105,14 @@ type Config struct {
 	// identical protocol code on wall-clock timers (the run genuinely
 	// takes Hours of wall time — use harness.RealtimeDemoConfig-style
 	// compressed settings, or the flowersim -backend realtime demo, for
-	// seconds-scale live runs). Backends lists the registered names.
+	// seconds-scale live runs); "socket" executes it across cooperating
+	// OS processes over TCP (set Socket; every process runs the same
+	// Config differing only in Socket.Group). Backends lists the
+	// registered names.
 	Backend string
+	// Socket describes this process's slot in a socket-backend group.
+	// Required when Backend is "socket"; leave nil otherwise.
+	Socket *SocketConfig
 	// Seed makes runs reproducible: equal seeds, equal results.
 	Seed uint64
 	// Population is P, the mean number of concurrently-online peers.
@@ -162,6 +168,20 @@ type Config struct {
 	CacheCapacity int
 }
 
+// SocketConfig describes one process of a socket-backend group: the
+// full index-ordered peer address list (identical in every process)
+// and this process's position in it. See the README's "Backends"
+// section for the process-group topology.
+type SocketConfig struct {
+	// Listen is this process's TCP listen address (host:port).
+	Listen string
+	// Peers lists every group's address, index-ordered; Peers[Group]
+	// names this process.
+	Peers []string
+	// Group is this process's index into Peers.
+	Group int
+}
+
 // DefaultConfig returns the paper's Table 1 parameters (P = 3000,
 // 24 h, 100 websites with 6 active, 500 objects each, k = 6,
 // m = 60 min, one query per 6 min, gossip/keepalive hourly, push
@@ -215,6 +235,13 @@ func (c Config) lower() (harness.Config, error) {
 		return hc, fmt.Errorf("flowercdn: unknown protocol %q (have %v)", c.Protocol, Protocols())
 	}
 	hc.Backend = c.Backend
+	if c.Socket != nil {
+		hc.Socket = &runtime.SocketConfig{
+			Listen: c.Socket.Listen,
+			Peers:  c.Socket.Peers,
+			Group:  c.Socket.Group,
+		}
+	}
 	hc.Seed = c.Seed
 	hc.Population = c.Population
 	hc.Duration = int64(c.Hours) * runtime.Hour

@@ -33,6 +33,8 @@ func init() {
 		Order:        3,
 		CheckOptions: CheckChordGlobalOptions,
 	}, NewChordGlobalDriver)
+	// Socket-backend wire types (interface-typed payloads).
+	runtime.RegisterWireType(cgQuery{}, cgHomeResp{}, cgSummary{})
 }
 
 // chordGlobalConfig tunes the baseline.
@@ -71,12 +73,16 @@ type chordGlobalConfig struct {
 // config — shared by the factory and the registry's static
 // CheckOptions hook.
 func lowerChordGlobalOptions(opts proto.Options) (chordGlobalConfig, proto.CacheConfig, error) {
+	chordCfg := chord.DefaultConfig()
+	if opts.Bool("chord-demo", false) {
+		chordCfg = chord.DemoConfig()
+	}
 	cfg := chordGlobalConfig{
-		Chord:             chord.DefaultConfig(),
+		Chord:             chordCfg,
 		ProvidersPerReply: opts.Int("providers-per-reply", 1),
 		IndexCap:          opts.Int("index-cap", 4),
 		RefreshInterval:   opts.Duration("refresh-interval", 2*opts.Duration("keepalive-interval", runtime.Hour)),
-		QueryTimeout:      10 * runtime.Second,
+		QueryTimeout:      opts.Duration("query-timeout", 10*runtime.Second),
 		QueryRetries:      3,
 	}
 	cacheCfg, err := proto.CacheConfigFromOptions(opts)
@@ -108,8 +114,10 @@ func NewChordGlobalDriver(env proto.Env, opts proto.Options) (proto.System, erro
 	if err != nil {
 		return nil, err
 	}
-	return &cgDriver{cfg: cfg, env: env, idRNG: env.RNG.Split("identities"),
-		newStore: cacheCfg.StoreFactory(env)}, nil
+	d := &cgDriver{cfg: cfg, env: env, idRNG: env.RNG.Split("identities"),
+		newStore: cacheCfg.StoreFactory(env)}
+	d.registry.BindBus(env.Net)
+	return d, nil
 }
 
 type cgDriver struct {
@@ -118,7 +126,9 @@ type cgDriver struct {
 	idRNG    *rnd.RNG
 	newStore func() *content.Store
 
-	registry []chord.Entry
+	// registry is the ring-member gateway set, mirrored across
+	// processes on multi-process backends (chord.Registry).
+	registry chord.Registry
 	spawned  uint64
 	alive    int
 	querySeq uint64
@@ -178,16 +188,7 @@ func (d *cgDriver) nextSeq() uint64 {
 
 // gateway returns an alive registry entry, pruning dead ones lazily.
 func (d *cgDriver) gateway() chord.Entry {
-	for len(d.registry) > 0 {
-		i := d.idRNG.Intn(len(d.registry))
-		e := d.registry[i]
-		if d.env.Net.Alive(e.Node) {
-			return e
-		}
-		d.registry[i] = d.registry[len(d.registry)-1]
-		d.registry = d.registry[:len(d.registry)-1]
-	}
-	return chord.NoEntry
+	return d.registry.PickAlive(d.idRNG, d.env.Net.Alive, runtime.None)
 }
 
 // siteKey hashes a website onto the ring; its successor is the site's
@@ -262,6 +263,12 @@ func (p *cgPeer) enterRing(attempts int) {
 	}
 	gw := p.d.gateway()
 	if !gw.Valid() {
+		if p.d.env.Follower {
+			// Never found a second ring on a follower process; wait for
+			// an announced gateway instead.
+			p.d.env.Clock.Schedule(200*runtime.Millisecond, func() { p.enterRing(attempts) })
+			return
+		}
 		p.node.Create()
 		p.onJoined()
 		return
@@ -282,7 +289,7 @@ func (p *cgPeer) enterRing(attempts int) {
 
 func (p *cgPeer) onJoined() {
 	p.joined = true
-	p.d.registry = append(p.d.registry, p.node.Self())
+	p.d.registry.Add(p.node.Self())
 	if p.d.env.Workload.Active(p.site) {
 		p.scheduleNextQuery(p.d.env.Workload.FirstQueryDelay(p.rng))
 	}

@@ -160,3 +160,27 @@ func TestSizeBytes(t *testing.T) {
 		t.Fatalf("SizeBytes = %d, want 512", a.SizeBytes())
 	}
 }
+
+func TestGobRoundTrip(t *testing.T) {
+	f := NewForCapacity(100, 0.02)
+	for k := uint64(0); k < 100; k += 3 {
+		f.Add(k)
+	}
+	b, err := f.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.GobDecode(b); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.Hashes() != f.Hashes() || g.ApproxCount() != f.ApproxCount() {
+		t.Fatalf("geometry changed across gob: %d/%d/%d vs %d/%d/%d",
+			g.Bits(), g.Hashes(), g.ApproxCount(), f.Bits(), f.Hashes(), f.ApproxCount())
+	}
+	for k := uint64(0); k < 100; k++ {
+		if f.Contains(k) != g.Contains(k) {
+			t.Fatalf("membership diverged at key %d", k)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package bloom
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Gob support: filters ride inside gossip summaries, which cross
+// process boundaries on the socket backend. The fields are unexported
+// (the bit array is an implementation detail), so the filter
+// serializes itself through an explicit wire struct — geometry plus
+// bits — rather than leaking field names into the format.
+
+// wireFilter is the encoded form.
+type wireFilter struct {
+	Bits   []uint64
+	NBits  uint64
+	Hashes int
+	Count  int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (f *Filter) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wireFilter{
+		Bits:   f.bits,
+		NBits:  f.nbits,
+		Hashes: f.hashes,
+		Count:  f.count,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Filter) GobDecode(b []byte) error {
+	var w wireFilter
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	f.bits = w.Bits
+	f.nbits = w.NBits
+	f.hashes = w.Hashes
+	f.count = w.Count
+	return nil
+}

@@ -106,6 +106,25 @@ func DefaultConfig() Config {
 	}
 }
 
+// DemoConfig returns the overlay timescales for compressed wall-clock
+// demos (harness.RealtimeDemoConfig and the socket backend): Table 1's
+// protocol periods compress ~3600×, and the ring's maintenance must
+// compress with them or it never stabilizes inside a seconds-scale
+// horizon. Timeouts stay bounded below by the topology's real
+// latencies (up to 500 ms one-way), so they shrink less than the
+// intervals do.
+func DemoConfig() Config {
+	cfg := DefaultConfig()
+	cfg.StabilizeInterval = 300 * runtime.Millisecond
+	cfg.FixFingersInterval = 400 * runtime.Millisecond
+	cfg.FingerPingInterval = 250 * runtime.Millisecond
+	cfg.CheckPredInterval = 450 * runtime.Millisecond
+	cfg.RPCTimeout = 1200 * runtime.Millisecond
+	cfg.LookupTimeout = 2 * runtime.Second
+	cfg.ClaimTTL = 2 * runtime.Second
+	return cfg
+}
+
 // Validate sanity-checks the configuration.
 func (c Config) Validate() error {
 	if c.SuccessorListLen < 1 {
@@ -149,6 +168,18 @@ var (
 )
 
 // ---- wire messages ----
+
+func init() {
+	// The overlay's messages cross process boundaries on the socket
+	// backend; register them with the shared wire-type registry so the
+	// gob codec can decode them out of interface-typed frame fields.
+	runtime.RegisterWireType(
+		routeMsg{}, lookupReply{}, notifyMsg{},
+		neighborsReq{}, neighborsResp{},
+		pingReq{}, pingResp{},
+		claimReq{}, claimResp{}, claimTransfer{},
+	)
+}
 
 // routeMsg is forwarded greedily toward the owner of Key.
 type routeMsg struct {

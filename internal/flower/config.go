@@ -33,6 +33,12 @@ type Config struct {
 	AuditInterval int64
 	// QueryTimeout bounds one attempt of a client query over D-ring.
 	QueryTimeout int64
+	// SeedRetryDelay is how long a bootstrap seed waits before retrying
+	// a transiently failed D-ring position claim. The paper-scale
+	// default (30 s) is negligible against a 24 h run; compressed demo
+	// timescales shrink it so multi-process bootstrap completes within
+	// a seconds-scale horizon.
+	SeedRetryDelay int64
 	// QueryRetries is how many gateways a new client tries before
 	// falling back to claiming the position itself.
 	QueryRetries int
@@ -71,6 +77,7 @@ func DefaultConfig() Config {
 		PushThreshold:     0.5,
 		AuditInterval:     4 * runtime.Minute,
 		QueryTimeout:      10 * runtime.Second,
+		SeedRetryDelay:    30 * runtime.Second,
 		QueryRetries:      3,
 		GossipCandidates:  3,
 		ProviderAttempts:  2,
@@ -101,6 +108,9 @@ func (c Config) Validate() error {
 	}
 	if c.QueryTimeout <= 0 {
 		return errors.New("flower: query timeout must be positive")
+	}
+	if c.SeedRetryDelay <= 0 {
+		return errors.New("flower: seed retry delay must be positive")
 	}
 	if c.QueryRetries < 1 {
 		return errors.New("flower: need at least one query attempt")

@@ -104,6 +104,16 @@ func (p *Peer) claimDirectoryPosition(pos ids.ID, exclude runtime.NodeID, done f
 	}
 	gw := p.sys.gateway(exclude)
 	if !gw.Valid() {
+		if p.sys.follower {
+			// A follower process never founds a ring — doing so would
+			// splinter the population into disjoint overlays. Report
+			// failure; the caller falls back to the origin and the next
+			// query retries through whatever gateway the bus announces.
+			if done != nil {
+				done(chord.NoEntry, fmt.Errorf("flower: no reachable gateway on follower process"))
+			}
+			return
+		}
 		// No ring to join: found a new one. This only happens when every
 		// registered directory is dead — the ring is gone.
 		p.becomeFoundingDirectory(pos)

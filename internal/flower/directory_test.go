@@ -278,7 +278,7 @@ func TestDemotionYieldsToWinner(t *testing.T) {
 		t.Fatal("demotion not counted")
 	}
 	// Demoted peers are pruned from the gateway registry.
-	for _, e := range f.sys.registry {
+	for _, e := range f.sys.registry.Entries {
 		if e.Node == dir.NodeID() {
 			t.Fatal("demoted peer still registered as gateway")
 		}

@@ -4,8 +4,11 @@ import (
 	"flowercdn/internal/rnd"
 	"fmt"
 
+	"flowercdn/internal/bloom"
+	"flowercdn/internal/chord"
 	"flowercdn/internal/content"
 	"flowercdn/internal/proto"
+	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
@@ -23,6 +26,18 @@ func init() {
 		Order:        0,
 		CheckOptions: CheckDriverOptions,
 	}, NewDriver)
+	// Every concrete type a flower deployment ships inside an
+	// interface-typed field (Send/Request payloads, gossip metadata,
+	// bus announcements) — the socket backend's gob codec needs them
+	// registered before any frame crosses a process boundary.
+	runtime.RegisterWireType(
+		clientQueryMsg{}, dirQueryResp{}, vacantResp{},
+		dirQueryReq{}, dirQueryReply{},
+		keepaliveReq{}, keepaliveResp{},
+		pushReq{}, pushResp{}, deadProviderReport{},
+		promoteMsg{}, promotedMsg{}, handoffMsg{},
+		ContactMeta{}, exactSummary{}, &bloom.Filter{},
+	)
 }
 
 // Option keys the flower-family drivers read (all optional; defaults
@@ -30,6 +45,10 @@ func init() {
 //
 //	gossip-period       int64 ms   petal gossip period
 //	keepalive-interval  int64 ms   content-peer keepalive (default: gossip-period)
+//	query-timeout       int64 ms   one D-ring routed query attempt (Table 1: 10 s)
+//	seed-retry-delay    int64 ms   bootstrap-claim retry pacing (default 30 s)
+//	chord-demo          bool       compressed overlay maintenance timescales
+//	                               (chord.DemoConfig) for seconds-scale demos
 //	push-threshold      float64    changed-store fraction triggering a push
 //	dir-collaboration   bool       same-website cross-locality collaboration
 //	exact-summaries     bool       exact key sets instead of Bloom summaries
@@ -61,8 +80,13 @@ const DefaultPetalUpLoadLimit = 30
 // simulation runs.
 func lowerOptions(opts proto.Options, petalUp bool) (Config, proto.CacheConfig, error) {
 	cfg := DefaultConfig()
+	if opts.Bool("chord-demo", false) {
+		cfg.Chord = chord.DemoConfig()
+	}
 	cfg.Gossip.Period = opts.Duration("gossip-period", cfg.Gossip.Period)
 	cfg.KeepaliveInterval = opts.Duration("keepalive-interval", cfg.Gossip.Period)
+	cfg.QueryTimeout = opts.Duration("query-timeout", cfg.QueryTimeout)
+	cfg.SeedRetryDelay = opts.Duration("seed-retry-delay", cfg.SeedRetryDelay)
 	cfg.PushThreshold = opts.Float("push-threshold", cfg.PushThreshold)
 	cfg.DirCollaboration = opts.Bool("dir-collaboration", cfg.DirCollaboration)
 	cfg.ExactSummaries = opts.Bool("exact-summaries", cfg.ExactSummaries)
@@ -103,6 +127,7 @@ func newDriver(env proto.Env, opts proto.Options, petalUp bool) (proto.System, e
 		Origins:  env.Origins,
 		Metrics:  env.Metrics,
 		NewStore: cacheCfg.StoreFactory(env),
+		Follower: env.Follower,
 	})
 	if err != nil {
 		return nil, err

@@ -52,8 +52,14 @@ type System struct {
 	newStore func() *content.Store
 
 	// registry holds entries believed to be alive D-ring members; dead
-	// ones are pruned lazily as they are handed out.
-	registry []chord.Entry
+	// ones are pruned lazily as they are handed out. On multi-process
+	// backends it is mirrored across processes over the transport's bus
+	// (chord.Registry) — the paper's out-of-band entry points (the
+	// supported websites) made concrete.
+	registry chord.Registry
+	// follower marks a process that must wait for an announced gateway
+	// instead of founding the D-ring (multi-process backends only).
+	follower bool
 	// peers tracks every spawned peer for measurement only; protocol
 	// logic never consults it (that would be cheating the distribution).
 	peers []*Peer
@@ -78,6 +84,9 @@ type Deps struct {
 	// NewStore builds each individual's content store; nil means
 	// unbounded (content.NewStore — the paper's storage model).
 	NewStore func() *content.Store
+	// Follower marks a process that must not found the D-ring (see
+	// proto.Env.Follower); meaningful only on multi-process backends.
+	Follower bool
 }
 
 // NewSystem validates the config and builds an empty deployment.
@@ -92,7 +101,7 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 	if newStore == nil {
 		newStore = content.NewStore
 	}
-	return &System{
+	s := &System{
 		cfg:      cfg,
 		net:      d.Net,
 		eng:      d.Net.Clock(),
@@ -101,7 +110,14 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 		origins:  d.Origins,
 		coll:     d.Metrics,
 		newStore: newStore,
-	}, nil
+		follower: d.Follower,
+	}
+	// On a multi-process backend, mirror the gateway registry over the
+	// bus: ring-member registrations announced by other processes feed
+	// our registry and vice versa, so a client anywhere can discover a
+	// directory anywhere.
+	s.registry.BindBus(d.Net)
+	return s, nil
 }
 
 // Config returns the deployment's configuration.
@@ -145,56 +161,31 @@ func (s *System) DuplicatePositions() int {
 	return dups
 }
 
-// registerDirectory records a new ring member as a bootstrap gateway.
+// registerDirectory records a new ring member as a bootstrap gateway
+// and, on multi-process backends, announces it to the other processes.
 func (s *System) registerDirectory(e chord.Entry) {
-	s.registry = append(s.registry, e)
+	s.registry.Add(e)
 }
 
 // unregisterDirectory removes a demoted peer from the gateway registry
 // (dead ones are pruned lazily, but a demoted peer is alive and would
-// otherwise swallow routed queries).
+// otherwise swallow routed queries) and mirrors the removal.
 func (s *System) unregisterDirectory(nid runtime.NodeID) {
-	for i, e := range s.registry {
-		if e.Node == nid {
-			s.registry[i] = s.registry[len(s.registry)-1]
-			s.registry = s.registry[:len(s.registry)-1]
-			return
-		}
-	}
+	s.registry.Remove(nid)
 }
 
 // gateway returns an alive registry entry, excluding one node (usually
 // the directory just observed dead), pruning dead entries as it scans.
 // Returns NoEntry when the registry is empty.
 func (s *System) gateway(exclude runtime.NodeID) chord.Entry {
-	for len(s.registry) > 0 {
-		i := s.rng.Intn(len(s.registry))
-		e := s.registry[i]
-		if s.net.Alive(e.Node) && e.Node != exclude {
-			return e
-		}
-		// Prune: swap-remove. (Excluded-but-alive entries are also
-		// removed from this scan's perspective only if dead; keep alive
-		// excluded ones by tolerating a few extra draws.)
-		if !s.net.Alive(e.Node) {
-			s.registry[i] = s.registry[len(s.registry)-1]
-			s.registry = s.registry[:len(s.registry)-1]
-			continue
-		}
-		// Alive but excluded: try again; with only the excluded node
-		// left, give up to avoid spinning.
-		if len(s.registry) == 1 {
-			return chord.NoEntry
-		}
-	}
-	return chord.NoEntry
+	return s.registry.PickAlive(s.rng, s.net.Alive, exclude)
 }
 
 // DirectoryCount returns the number of currently-alive registered
 // directory peers (diagnostic).
 func (s *System) DirectoryCount() int {
 	n := 0
-	for _, e := range s.registry {
+	for _, e := range s.registry.Entries {
 		if s.net.Alive(e.Node) {
 			n++
 		}
@@ -277,12 +268,32 @@ func (s *System) SpawnSeedDirectoryIdentity(id Identity) (*Peer, func()) {
 	p := s.newPeer(id)
 	site, loc := id.Site, id.Placement.Loc
 	pos := dringPosition(site, loc, 0)
-	if len(s.registry) == 0 {
-		p.becomeFoundingDirectory(pos)
-	} else {
+	switch {
+	case s.registry.Len() > 0:
 		p.seedClaim(pos, 5)
+	case s.follower:
+		// A follower process never founds a second, disjoint D-ring:
+		// wait for the bootstrap process's founding announcement to
+		// arrive over the bus, then claim through it.
+		p.awaitGateway(pos, 5)
+	default:
+		p.becomeFoundingDirectory(pos)
 	}
 	return p, p.kill
+}
+
+// awaitGateway polls the registry until a bus announcement provides a
+// gateway, then proceeds with the normal seed claim. The poll is cheap
+// and ends with the peer's session, so no attempt bound is needed.
+func (p *Peer) awaitGateway(pos ids.ID, attempts int) {
+	if p.dead {
+		return
+	}
+	if p.sys.registry.Len() == 0 {
+		p.eng().Schedule(200*runtime.Millisecond, func() { p.awaitGateway(pos, attempts) })
+		return
+	}
+	p.seedClaim(pos, attempts)
 }
 
 // seedClaim claims a seed position with retries: during the initial
@@ -305,7 +316,7 @@ func (p *Peer) seedClaim(pos ids.ID, attempts int) {
 			p.startLife()
 			return
 		}
-		p.eng().Schedule(30*runtime.Second, func() { p.seedClaim(pos, attempts-1) })
+		p.eng().Schedule(p.sys.cfg.SeedRetryDelay, func() { p.seedClaim(pos, attempts-1) })
 	})
 }
 

@@ -89,6 +89,11 @@ type App interface {
 	OnContactDead(peer runtime.NodeID)
 }
 
+func init() {
+	// Shuffle exchanges cross process boundaries on the socket backend.
+	runtime.RegisterWireType(shuffleReq{}, shuffleResp{})
+}
+
 // shuffleReq/shuffleResp are the exchange RPC.
 type shuffleReq struct {
 	From    runtime.NodeID

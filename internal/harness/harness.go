@@ -18,6 +18,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"flowercdn/internal/churn"
 	"flowercdn/internal/metrics"
@@ -28,10 +29,11 @@ import (
 	"flowercdn/internal/workload"
 
 	// The harness resolves backends solely through the runtime registry;
-	// importing both built-in backends keeps every harness caller able to
+	// importing the built-in backends keeps every harness caller able to
 	// name them, the same way internal/protocols registers the drivers.
 	_ "flowercdn/internal/rtnet"
 	_ "flowercdn/internal/simrt"
+	_ "flowercdn/internal/socknet"
 )
 
 // Protocol names the deployment under test; any name registered with
@@ -56,10 +58,19 @@ const (
 type Config struct {
 	Protocol Protocol
 	// Backend names the runtime backend the run executes on: "sim"
-	// (default — the deterministic discrete-event engine) or "realtime"
-	// (wall-clock timers; the run genuinely takes Duration to finish).
-	// Any name registered with internal/runtime is valid.
+	// (default — the deterministic discrete-event engine), "realtime"
+	// (wall-clock timers; the run genuinely takes Duration to finish)
+	// or "socket" (wall-clock timers with the population partitioned
+	// across cooperating OS processes over TCP — see Socket). Any name
+	// registered with internal/runtime is valid.
 	Backend string
+	// Socket describes this process's slot in a socket-backend group:
+	// listen address, the full index-ordered peer list and our index.
+	// Required when Backend is "socket"; must be nil otherwise. The
+	// harness derives the process's population share, seed subset and
+	// per-group RNG streams from it, so N processes running the same
+	// Config (differing only in Socket.Group) form one population.
+	Socket *runtime.SocketConfig
 	// Seed drives all randomness; equal seeds give identical runs on
 	// the sim backend.
 	Seed uint64
@@ -112,6 +123,25 @@ func (c Config) ResolvedBackend() string {
 		return "sim"
 	}
 	return c.Backend
+}
+
+// groupInfo returns this process's slot in the process group: (0, 1)
+// for single-process backends.
+func (c Config) groupInfo() (group, groups int) {
+	if c.Socket != nil && len(c.Socket.Peers) > 0 {
+		return c.Socket.Group, len(c.Socket.Peers)
+	}
+	return 0, 1
+}
+
+// groupShare splits an integer quantity (population, seed count)
+// evenly over the group, remainder to the low indexes.
+func groupShare(total, group, groups int) int {
+	share := total / groups
+	if group < total%groups {
+		share++
+	}
+	return share
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table 1)
@@ -180,7 +210,31 @@ func RealtimeDemoConfig(population int, horizon int64) Config {
 	cfg.Options = proto.Options{
 		"gossip-period":      250 * runtime.Millisecond,
 		"keepalive-interval": 250 * runtime.Millisecond,
+		// Table 1's 10 s query timeout and 30 s bootstrap-claim retry
+		// dwarf a seconds-scale horizon: a peer whose first routed query
+		// or seed claim fails would stall for the whole demo. Compress
+		// both like every other timescale.
+		"query-timeout":    1500 * runtime.Millisecond,
+		"seed-retry-delay": 400 * runtime.Millisecond,
+		// The ring's own maintenance must compress with everything else
+		// or it never stabilizes inside the horizon.
+		"chord-demo": true,
 	}
+	return cfg
+}
+
+// SocketDemoConfig returns RealtimeDemoConfig scaled for the socket
+// backend: the same compressed timescales, with the population spread
+// over the process group described by sock. The seed stagger is wider
+// than the realtime demo's because bootstrap seeds claim D-ring
+// positions across process boundaries — each claim needs the founding
+// announcement to have crossed the bus first. population and horizon
+// are GROUP-wide: pass the same values to every process.
+func SocketDemoConfig(population int, horizon int64, sock runtime.SocketConfig) Config {
+	cfg := RealtimeDemoConfig(population, horizon)
+	cfg.Backend = "socket"
+	cfg.Socket = &sock
+	cfg.SeedStagger = 50 * runtime.Millisecond
 	return cfg
 }
 
@@ -193,6 +247,16 @@ func (c Config) Validate() error {
 	}
 	if !runtime.BackendRegistered(c.ResolvedBackend()) {
 		return fmt.Errorf("harness: unknown backend %q (registered: %v)", c.ResolvedBackend(), runtime.Backends())
+	}
+	if c.ResolvedBackend() == "socket" {
+		if c.Socket == nil {
+			return errors.New(`harness: backend "socket" needs Config.Socket (listen address, peer list, group index)`)
+		}
+		if err := c.Socket.Validate(); err != nil {
+			return fmt.Errorf("harness: %w", err)
+		}
+	} else if c.Socket != nil {
+		return fmt.Errorf("harness: Config.Socket set but backend is %q", c.ResolvedBackend())
 	}
 	if err := proto.Check(string(c.Protocol), c.Options); err != nil {
 		return fmt.Errorf("harness: %w", err)
@@ -288,9 +352,15 @@ func Run(cfg Config) (*Result, error) {
 		Topo:     topo,
 		LossRate: cfg.MessageLossRate,
 		LossRNG:  master.Split("loss"),
+		Socket:   cfg.Socket,
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Multi-process backends hold OS resources (listener, mesh
+	// connections); release them when the run ends.
+	if closer, ok := rt.(io.Closer); ok {
+		defer closer.Close()
 	}
 	clock, net := rt.Clock(), rt.Net()
 	work, err := workload.New(cfg.Workload)
@@ -307,15 +377,28 @@ func Run(cfg Config) (*Result, error) {
 	counters := metrics.NewCounters()
 	pipe := metrics.NewPipeline(coll, counters)
 
+	// On a multi-process run every process derives its own protocol RNG
+	// stream: with the shared stream each process would mint identical
+	// individuals (same interests, same placements) — a population of
+	// clones instead of one population. Topology and loss splits stay
+	// shared so the latency model is identical everywhere.
+	group, groups := cfg.groupInfo()
+	protoRNG := master.Split(string(cfg.Protocol))
+	if groups > 1 {
+		protoRNG = protoRNG.Split(fmt.Sprintf("group-%d", group))
+	}
 	env := proto.Env{
 		Clock:        clock,
 		Net:          net,
 		Topo:         topo,
-		RNG:          master.Split(string(cfg.Protocol)),
+		RNG:          protoRNG,
 		Workload:     work,
 		Origins:      origins,
 		Metrics:      pipe,
 		LocalitySkew: cfg.LocalitySkew,
+		// Exactly one process bootstraps the overlay; the others wait
+		// for announced gateways (see proto.Env.Follower).
+		Follower: group > 0,
 	}
 	sys, err := proto.New(string(cfg.Protocol), env, cfg.Options)
 	if err != nil {
@@ -412,12 +495,32 @@ func (p *pool) release(idx int) {
 // uptime like any other peer), then let churn cycle the persistent
 // population through online sessions until the horizon. It returns the
 // number of events the backend processed.
+//
+// On a multi-process backend the choreography partitions: process g of
+// N hosts every bootstrap seed with index ≡ g (mod N) — at the seed's
+// global stagger slot, so the join storm looks identical — and runs a
+// churn process targeting its share of the population. The union over
+// processes is the same experiment a single process would run.
 func drive(cfg Config, rt runtime.Runtime, master *rnd.RNG, sys proto.System) (uint64, error) {
 	clock := rt.Clock()
+	group, groups := cfg.groupInfo()
 	churnRNG := master.Split("churn")
+	if groups > 1 {
+		churnRNG = churnRNG.Split(fmt.Sprintf("group-%d", group))
+	}
+	// A group whose population share rounds to zero hosts only its seed
+	// subset: the pool cap of 0 makes it decline every fresh churn
+	// arrival (the churn process itself needs a positive target, so it
+	// idles against the empty pool instead), keeping the union of
+	// processes at the configured population.
+	popShare := groupShare(cfg.Population, group, groups)
 	pl := &pool{
 		rng: churnRNG,
-		cap: int(float64(cfg.Population) * PopulationFactor),
+		cap: int(float64(popShare) * PopulationFactor),
+	}
+	churnTarget := popShare
+	if churnTarget < 1 {
+		churnTarget = 1
 	}
 	spawn := func() func() {
 		idx, ind, ok := pl.take()
@@ -435,7 +538,7 @@ func drive(cfg Config, rt runtime.Runtime, master *rnd.RNG, sys proto.System) (u
 			pl.release(i)
 		}
 	}
-	churnCfg := churn.Config{TargetPopulation: cfg.Population, MeanUptime: cfg.MeanUptime}
+	churnCfg := churn.Config{TargetPopulation: churnTarget, MeanUptime: cfg.MeanUptime}
 	proc, err := churn.NewProcess(churnCfg, clock, churnRNG, spawn)
 	if err != nil {
 		return 0, err
@@ -444,6 +547,9 @@ func drive(cfg Config, rt runtime.Runtime, master *rnd.RNG, sys proto.System) (u
 	sys.Start()
 	seeds := sys.SeedCount()
 	for i := 0; i < seeds; i++ {
+		if i%groups != group {
+			continue // another process hosts this seed
+		}
 		i := i
 		clock.Schedule(int64(i)*cfg.SeedStagger, func() {
 			ind, kill := sys.SpawnSeed(i)

@@ -43,6 +43,12 @@ type Env struct {
 	// paper's uniform spread, larger values Zipf-concentrate arrivals
 	// into low-index localities. Locality-blind protocols ignore it.
 	LocalitySkew float64
+	// Follower marks a process that must not found the overlay. On
+	// multi-process backends exactly one process bootstraps (creates
+	// the first ring); the others wait for a gateway announced over the
+	// transport's Bus (runtime.BusOf) instead of founding a disjoint
+	// overlay of their own. Single-process runs leave it false.
+	Follower bool
 }
 
 // Individual is the persistent half of a participant: interest,

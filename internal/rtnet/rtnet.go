@@ -1,9 +1,21 @@
+// Package rtnet is the wall-clock loopback backend: the identical
+// protocol code that runs on the deterministic simulator executes here
+// in real time. The run loop is the shared internal/wallclock Clock
+// (real time.Timers, callbacks serialized exactly like the engine), and
+// the transport is the same internal/simnet delivery logic driven by
+// that clock — per-link latency sampled from the same topology model.
+// It registers itself as the "realtime" backend.
+//
+// Runs are NOT reproducible: wall-clock arrival order replaces the
+// engine's (when, seq) total order. Everything else — loss semantics,
+// byte accounting, metrics windows — behaves identically.
 package rtnet
 
 import (
 	"flowercdn/internal/runtime"
 	"flowercdn/internal/simnet"
 	"flowercdn/internal/topology"
+	"flowercdn/internal/wallclock"
 )
 
 func init() {
@@ -16,6 +28,13 @@ func init() {
 	})
 }
 
+// Clock aliases the shared wall-clock run loop so existing callers keep
+// compiling; new code should name internal/wallclock directly.
+type Clock = wallclock.Clock
+
+// NewClock starts a wall clock at time zero (= now).
+func NewClock() *Clock { return wallclock.NewClock() }
+
 // Runtime implements runtime.Runtime over the wall clock and the
 // in-process loopback transport. The transport is the same delivery
 // logic as the deterministic simulation (internal/simnet) — latency
@@ -23,14 +42,14 @@ func init() {
 // accounting semantics — but deliveries are scheduled on real
 // time.Timers, so a run takes as long as its horizon says.
 type Runtime struct {
-	clock *Clock
+	clock *wallclock.Clock
 	net   *simnet.Network
 }
 
 // New builds a realtime backend over the given topology. The clock
 // starts at zero immediately.
 func New(topo *topology.Topology) *Runtime {
-	clock := NewClock()
+	clock := wallclock.NewClock()
 	return &Runtime{clock: clock, net: simnet.New(clock, topo)}
 }
 

@@ -29,7 +29,46 @@ type BackendConfig struct {
 	LossRate float64
 	// LossRNG draws the loss decisions; required when LossRate > 0.
 	LossRNG *rnd.RNG
+	// Socket configures the process group of a multi-process backend
+	// ("socket"); single-process backends ignore it.
+	Socket *SocketConfig
 }
+
+// SocketConfig describes one process of a socket-backend group: the
+// full index-ordered peer address list (identical in every process)
+// and this process's position in it. Every process hosts one peer
+// group — the slice of the population the harness assigns to its
+// index — and exchanges the address registry with the others at
+// startup before any protocol traffic flows.
+type SocketConfig struct {
+	// Listen is this process's TCP listen address (host:port).
+	Listen string
+	// Peers lists every group's address, index-ordered; Peers[Group]
+	// names this process. len(Peers) is the group count.
+	Peers []string
+	// Group is this process's index into Peers.
+	Group int
+}
+
+// Validate checks the group description.
+func (c *SocketConfig) Validate() error {
+	if c == nil {
+		return fmt.Errorf("runtime: nil socket config")
+	}
+	if len(c.Peers) < 1 {
+		return fmt.Errorf("runtime: socket config needs at least one peer address")
+	}
+	if c.Group < 0 || c.Group >= len(c.Peers) {
+		return fmt.Errorf("runtime: socket group %d out of range [0, %d)", c.Group, len(c.Peers))
+	}
+	if c.Listen == "" {
+		return fmt.Errorf("runtime: socket config needs a listen address")
+	}
+	return nil
+}
+
+// Groups returns the number of cooperating processes.
+func (c *SocketConfig) Groups() int { return len(c.Peers) }
 
 // BackendFactory builds a Runtime for one run.
 type BackendFactory func(cfg BackendConfig) (Runtime, error)

@@ -1,0 +1,27 @@
+package simrt
+
+import (
+	"testing"
+
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/transporttest"
+)
+
+// TestTransportConformance runs the shared Transport contract suite
+// against the deterministic loopback (the simnet reference
+// implementation driven by the discrete-event engine).
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, topoSeed uint64, lossRate float64, lossSeed uint64, _ int) *transporttest.World {
+		topo := topology.MustNew(topology.DefaultConfig(), rnd.New(topoSeed))
+		rt := New(topo)
+		if lossRate > 0 {
+			rt.Network().SetLossRate(lossRate, rnd.New(lossSeed))
+		}
+		return &transporttest.World{
+			Transports: []runtime.Transport{rt.Net()},
+			Run:        func(until int64) { rt.Run(until) },
+		}
+	})
+}

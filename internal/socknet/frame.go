@@ -1,0 +1,134 @@
+package socknet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/topology"
+)
+
+// The wire protocol: length-prefixed gob frames. Every frame is an
+// independent gob stream (type info included), prefixed by a 4-byte
+// big-endian length, so the reader can slice one frame off the
+// connection without sharing decoder state across frames — a broken
+// frame poisons nothing but itself. Interface-typed payloads decode
+// because every concrete message type crossing a process boundary is
+// gob-registered up front from the runtime wire-type registry
+// (runtime.RegisterWireType).
+
+// frameKind discriminates the frame union.
+type frameKind uint8
+
+const (
+	// frameHello opens a connection: the dialer identifies its group.
+	frameHello frameKind = iota + 1
+	// frameJoin mirrors a node registration to every other process.
+	frameJoin
+	// frameFail mirrors a node failure.
+	frameFail
+	// frameSend carries a one-way message to the target's owner.
+	frameSend
+	// frameRequest carries an RPC request leg; frameResponse the reply.
+	frameRequest
+	frameResponse
+	// frameAnnounce carries a Bus broadcast (protocol bootstrap state).
+	frameAnnounce
+)
+
+// frame is the single wire message. Which fields are meaningful
+// depends on Kind; gob omits zero fields, so the union costs little.
+type frame struct {
+	Kind frameKind
+
+	// Hello.
+	Group  int
+	Groups int
+
+	// Join / Fail subject.
+	ID    runtime.NodeID
+	Place topology.Placement
+
+	// Send / Request addressing.
+	From runtime.NodeID
+	To   runtime.NodeID
+
+	// Request / Response correlation. HasErr marks a handler
+	// application error, whose message rides in Err — an explicit flag,
+	// not an empty-string sentinel, so an error with an empty message
+	// still resolves as an error on the requester's side.
+	ReqID  uint64
+	HasErr bool
+	Err    string
+
+	// Send message, Request req, Response resp, or Announce body.
+	Payload any
+}
+
+// maxFrameBytes bounds a single frame read — anything larger indicates
+// a corrupt length prefix, not a real message.
+const maxFrameBytes = 64 << 20
+
+// encodeFrame renders one length-prefixed frame.
+func encodeFrame(f frame) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("socknet: encode %v frame: %w", f.Kind, err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	return b, nil
+}
+
+// readFrame reads one length-prefixed frame off r.
+func readFrame(r io.Reader) (frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return frame{}, 0, fmt.Errorf("socknet: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, 0, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return frame{}, 0, fmt.Errorf("socknet: decode frame: %w", err)
+	}
+	return f, int(n) + 4, nil
+}
+
+// decodeFrame decodes one encoded frame (length prefix included) —
+// the in-memory inverse of encodeFrame, used by the codec benchmark.
+func decodeFrame(b []byte) (frame, error) {
+	f, _, err := readFrame(bytes.NewReader(b))
+	return f, err
+}
+
+// RemoteError is a handler's application error reconstructed on the
+// requester's side of a process boundary. Only the message survives
+// the trip; protocols in this repository treat application errors as
+// opaque (they branch on err != nil), so that is sufficient.
+type RemoteError string
+
+func (e RemoteError) Error() string { return string(e) }
+
+// WireStats counts actual serialized traffic — the real frame bytes on
+// the wire, as opposed to TransportStats.BytesSent's modeled message
+// sizes (which stay comparable across backends). The gap between the
+// two is the serialization overhead the simulation never paid.
+type WireStats struct {
+	FramesSent    uint64
+	BytesSent     uint64
+	FramesRead    uint64
+	BytesRead     uint64
+	BrokenConns   uint64
+	FramesDropped uint64 // frames for a group whose connection was down
+}

@@ -1,0 +1,124 @@
+package socknet
+
+import (
+	"encoding/gob"
+	"testing"
+
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/topology"
+)
+
+// benchPayload stands in for a typical protocol message: a few
+// identifiers and a modest key slice, like a directory push.
+type benchPayload struct {
+	Seq  uint64
+	From runtime.NodeID
+	Keys []uint64
+}
+
+func init() { gob.Register(benchPayload{}) }
+
+func testFrame() frame {
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	return frame{
+		Kind:    frameSend,
+		From:    3,
+		To:      7,
+		Payload: benchPayload{Seq: 42, From: 3, Keys: keys},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := testFrame()
+	b, err := encodeFrame(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.From != in.From || out.To != in.To {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	p, ok := out.Payload.(benchPayload)
+	if !ok {
+		t.Fatalf("payload decoded as %T", out.Payload)
+	}
+	i := 31
+	want := uint64(i) * 0x9e3779b97f4a7c15
+	if p.Seq != 42 || len(p.Keys) != 32 || p.Keys[31] != want {
+		t.Fatalf("payload mismatch: %+v", p)
+	}
+}
+
+func TestFrameRoundTripJoin(t *testing.T) {
+	in := frame{Kind: frameJoin, ID: 12, Place: topology.Placement{Pos: topology.Point{X: 0.25, Y: 0.75}, Loc: 4}}
+	b, err := encodeFrame(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != frameJoin || out.ID != 12 || out.Place != in.Place {
+		t.Fatalf("join frame mismatch: %+v", out)
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	b, err := encodeFrame(testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := decodeFrame(b); err == nil {
+		t.Fatal("corrupt length prefix accepted")
+	}
+}
+
+// BenchmarkFrameEncode and BenchmarkFrameDecode price the gob framing:
+// the per-message serialization cost the socket backend pays that the
+// single-process backends never do.
+func BenchmarkFrameEncode(b *testing.B) {
+	f := testFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeFrame(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	buf, err := encodeFrame(testFrame())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameRoundTrip is the committed trajectory number: one
+// message through the full encode + decode path.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	f := testFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := encodeFrame(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,1067 @@
+// Package socknet is the socket backend: a runtime.Transport over real
+// TCP connections, so the identical protocol code that runs on the
+// deterministic simulator and the in-process realtime loopback runs
+// across OS process boundaries. It registers itself as the "socket"
+// backend.
+//
+// Topology of a run: N cooperating processes ("groups"), each hosting
+// one slice of the population behind a single TCP listener. The
+// peer-address registry — the full index-ordered address list — is
+// configuration every process starts with; at startup the group forms
+// a full mesh (process g dials every lower-indexed process, accepts
+// from every higher-indexed one) and exchanges hello frames before any
+// protocol traffic flows.
+//
+// NodeIDs are stride-partitioned: process g mints IDs g, g+N, g+2N, …,
+// so ownership is derivable from the ID alone with no coordination.
+// Join and Fail are mirrored to every process (a frame per event);
+// remote state — placement, aliveness — is therefore locally readable,
+// at the cost of staleness bounded by one network round trip. The
+// owning process stays authoritative: a message to a dead node is
+// dropped where the node lives, exactly like the single-process
+// backends.
+//
+// Message semantics mirror internal/simnet: Send and Request sample
+// per-link latency from the same topology model (applied on the
+// sender's clock before the frame hits the wire — localhost TCP adds
+// its real cost on top) and the same loss knob; timeouts are always
+// local to the requester. Scheduling runs on the shared
+// internal/wallclock run loop, one goroutine per process, so protocol
+// code stays lock-free here too. Like the realtime backend, runs are
+// NOT reproducible; unlike it, messages genuinely serialize — gob
+// frames, length-prefixed — which is the honest price of crossing a
+// process boundary (WireStats reports it).
+package socknet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/topology"
+	"flowercdn/internal/wallclock"
+)
+
+func init() {
+	runtime.RegisterBackend("socket", func(cfg runtime.BackendConfig) (runtime.Runtime, error) {
+		if cfg.Socket == nil {
+			return nil, errors.New(`socknet: backend "socket" needs BackendConfig.Socket (listen address, peer list, group index)`)
+		}
+		tr, err := Dial(Config{
+			Socket:   *cfg.Socket,
+			Topo:     cfg.Topo,
+			LossRate: cfg.LossRate,
+			LossRNG:  cfg.LossRNG,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The clock is created only once the mesh is up, so every
+		// process's time zero — and therefore its horizon — aligns to
+		// within a round trip rather than to process spawn skew.
+		clock := wallclock.NewClock()
+		tr.Bind(clock)
+		return &Runtime{clock: clock, net: tr}, nil
+	})
+}
+
+// Runtime implements runtime.Runtime over the wall-clock run loop and
+// the TCP transport. It additionally implements io.Closer; the harness
+// closes it when the run ends, which tears down the listener, the mesh
+// connections and the reader goroutines.
+type Runtime struct {
+	clock *wallclock.Clock
+	net   *Transport
+}
+
+// Clock returns the wall clock pacing this process.
+func (r *Runtime) Clock() runtime.Clock { return r.clock }
+
+// Net returns the TCP transport.
+func (r *Runtime) Net() runtime.Transport { return r.net }
+
+// Network exposes the concrete transport (wire stats, etc.).
+func (r *Runtime) Network() *Transport { return r.net }
+
+// Run drives the loop until the wall clock passes `until` (ms).
+func (r *Runtime) Run(until int64) uint64 { return r.clock.Run(until) }
+
+// Close shuts the transport down.
+func (r *Runtime) Close() error { return r.net.Close() }
+
+// Config assembles a Transport.
+type Config struct {
+	// Socket names the process group (listen address, index-ordered
+	// peer list, this process's index).
+	Socket runtime.SocketConfig
+	// Topo is the latency/locality model deliveries sample from. Every
+	// process must build the identical topology (same seed), since
+	// latency between two placements is computed wherever the send
+	// happens.
+	Topo *topology.Topology
+	// LossRate drops each one-way transmission with this probability;
+	// LossRNG draws the decisions (required when LossRate > 0). Loss is
+	// sampled independently per process.
+	LossRate float64
+	LossRNG  *rnd.RNG
+	// DefaultRPCTimeout is used when Request is called with timeout
+	// <= 0 (default 4 s, matching simnet).
+	DefaultRPCTimeout int64
+	// ReadyTimeout bounds mesh formation: how long Dial waits for every
+	// group to be connected (default 30 s — CI process spawns included).
+	ReadyTimeout time.Duration
+}
+
+// nodeState is one mirror entry. Remote nodes carry a nil handler.
+type nodeState struct {
+	handler runtime.Handler
+	place   topology.Placement
+	alive   bool
+	local   bool
+}
+
+// pendingReq is one outstanding cross-process RPC on the requester.
+type pendingReq struct {
+	from     runtime.NodeID
+	cb       func(resp any, err error)
+	deadline runtime.Timer
+}
+
+// conn is one mesh connection. Writes go through a bounded outbox
+// drained by a dedicated writer goroutine, so a stalled peer never
+// blocks the wall-clock run loop — the loop enqueues and moves on, and
+// a peer that cannot drain outboxCap frames (or one frame within
+// writeDeadline) is treated as gone.
+type conn struct {
+	c        net.Conn
+	out      chan []byte
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// shutdown terminates the writer and closes the socket (idempotent).
+func (cn *conn) shutdown() {
+	cn.stopOnce.Do(func() { close(cn.stop) })
+	cn.c.Close()
+}
+
+// writeDeadline bounds one frame write; a peer stalled longer than
+// this is treated as gone.
+const writeDeadline = 10 * time.Second
+
+// outboxCap bounds the frames queued toward one peer; a peer that far
+// behind is as good as dead.
+const outboxCap = 4096
+
+// Transport implements runtime.Transport (and runtime.Bus) over the
+// mesh. All state is mutex-guarded: reader goroutines update the
+// mirror directly, while handler callbacks only ever run on the
+// wall-clock goroutine.
+var _ runtime.Transport = (*Transport)(nil)
+var _ runtime.Bus = (*Transport)(nil)
+
+type Transport struct {
+	topo   *topology.Topology
+	group  int
+	groups int
+
+	mu          sync.Mutex
+	clock       runtime.Clock
+	nextLocal   runtime.NodeID
+	nodes       map[runtime.NodeID]*nodeState
+	total       int
+	alive       int
+	stats       runtime.TransportStats
+	wire        WireStats
+	lossRate    float64
+	lossRNG     *rnd.RNG
+	reqSeq      uint64
+	pending     map[uint64]*pendingReq
+	subs        []func(msg any)
+	conns       []*conn               // indexed by group; nil = self or down
+	handshakes  map[net.Conn]struct{} // accepted conns still reading hello
+	buffered    []frame               // deliverable frames that arrived before Bind
+	missing     int                   // groups not yet connected
+	readyCh     chan struct{}
+	readyClosed bool
+	handErr     error // first handshake error, surfaced by Dial
+	closed      bool
+
+	defaultRPCTimeout int64
+
+	lis net.Listener
+	wg  sync.WaitGroup
+}
+
+// Dial listens on the configured address, forms the full mesh with
+// every other group (dialing lower indexes, accepting higher ones) and
+// returns once all connections are up. The returned Transport has no
+// clock yet; Bind one before traffic flows (the backend factory does).
+func Dial(cfg Config) (*Transport, error) {
+	if err := cfg.Socket.Validate(); err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", cfg.Socket.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("socknet: listen %s: %w", cfg.Socket.Listen, err)
+	}
+	return DialListener(cfg, lis)
+}
+
+// DialListener is Dial over a pre-opened listener — tests use it to
+// bind ephemeral ports before the peer list is assembled.
+func DialListener(cfg Config, lis net.Listener) (*Transport, error) {
+	if err := cfg.Socket.Validate(); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	if cfg.Topo == nil {
+		lis.Close()
+		return nil, errors.New("socknet: config needs a topology")
+	}
+	if cfg.LossRate > 0 && cfg.LossRNG == nil {
+		lis.Close()
+		return nil, errors.New("socknet: loss rate needs an RNG")
+	}
+	if cfg.DefaultRPCTimeout <= 0 {
+		cfg.DefaultRPCTimeout = 4 * runtime.Second
+	}
+	if cfg.ReadyTimeout <= 0 {
+		cfg.ReadyTimeout = 30 * time.Second
+	}
+	registerWireTypes()
+
+	groups := cfg.Socket.Groups()
+	t := &Transport{
+		topo:              cfg.Topo,
+		group:             cfg.Socket.Group,
+		groups:            groups,
+		nextLocal:         runtime.NodeID(cfg.Socket.Group),
+		nodes:             make(map[runtime.NodeID]*nodeState),
+		lossRate:          cfg.LossRate,
+		lossRNG:           cfg.LossRNG,
+		pending:           make(map[uint64]*pendingReq),
+		conns:             make([]*conn, groups),
+		handshakes:        make(map[net.Conn]struct{}),
+		missing:           groups - 1,
+		readyCh:           make(chan struct{}),
+		defaultRPCTimeout: cfg.DefaultRPCTimeout,
+		lis:               lis,
+	}
+	if t.missing == 0 {
+		t.readyClosed = true
+		close(t.readyCh)
+	} else {
+		t.wg.Add(1)
+		go t.acceptLoop()
+		for h := 0; h < t.group; h++ {
+			h := h
+			t.wg.Add(1)
+			go t.dialPeer(h, cfg.Socket.Peers[h], cfg.ReadyTimeout)
+		}
+	}
+	if err := t.waitReady(cfg.ReadyTimeout); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// registerWireTypes teaches gob every concrete type that may appear in
+// an interface-typed frame field. Protocol packages contribute theirs
+// through runtime.RegisterWireType in their init functions, which have
+// all run by the time any transport is constructed. gob.Register is
+// idempotent for identical (name, type) pairs, so repeated Dials are
+// fine.
+func registerWireTypes() {
+	for _, v := range runtime.WireTypes() {
+		gob.Register(v)
+	}
+}
+
+// waitReady blocks until the mesh is complete or the timeout expires.
+func (t *Transport) waitReady(d time.Duration) error {
+	select {
+	case <-t.readyCh:
+	case <-time.After(d):
+		t.mu.Lock()
+		missing := t.missing
+		err := t.handErr
+		t.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("socknet: group %d mesh formation failed: %w", t.group, err)
+		}
+		return fmt.Errorf("socknet: group %d timed out with %d group(s) unconnected after %v", t.group, missing, d)
+	}
+	t.mu.Lock()
+	err := t.handErr
+	t.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("socknet: group %d mesh formation failed: %w", t.group, err)
+	}
+	return nil
+}
+
+// Bind attaches the run-loop clock and flushes any deliverable frames
+// that raced mesh formation. Must be called exactly once, before the
+// run starts.
+func (t *Transport) Bind(clock runtime.Clock) {
+	t.mu.Lock()
+	if t.clock != nil {
+		t.mu.Unlock()
+		panic("socknet: Bind called twice")
+	}
+	t.clock = clock
+	buffered := t.buffered
+	t.buffered = nil
+	t.mu.Unlock()
+	for _, f := range buffered {
+		t.dispatch(f)
+	}
+}
+
+// Group returns this process's index; Groups the process count.
+func (t *Transport) Group() int  { return t.group }
+func (t *Transport) Groups() int { return t.groups }
+
+// owner maps a NodeID to the group that hosts it.
+func (t *Transport) owner(id runtime.NodeID) int { return int(id) % t.groups }
+
+// ---- mesh formation ----
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.handshakeAccepted(c)
+	}
+}
+
+// handshakeAccepted reads the dialer's hello and registers the
+// connection. The conn is tracked while the (deadline-bounded) read is
+// in flight so Close can cut it short instead of waiting it out.
+func (t *Transport) handshakeAccepted(c net.Conn) {
+	defer t.wg.Done()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	t.handshakes[c] = struct{}{}
+	t.mu.Unlock()
+	c.SetReadDeadline(time.Now().Add(writeDeadline))
+	f, _, err := readFrame(c)
+	t.mu.Lock()
+	delete(t.handshakes, c)
+	t.mu.Unlock()
+	if err != nil || f.Kind != frameHello {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if f.Groups != t.groups || f.Group <= t.group || f.Group >= t.groups {
+		t.failHandshake(fmt.Errorf("bad hello from %s: group %d/%d (we are %d/%d)",
+			c.RemoteAddr(), f.Group, f.Groups, t.group, t.groups))
+		c.Close()
+		return
+	}
+	t.register(f.Group, c)
+}
+
+// dialPeer connects to a lower-indexed group, retrying while the
+// peer's listener comes up.
+func (t *Transport) dialPeer(group int, addr string, timeout time.Duration) {
+	defer t.wg.Done()
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		if t.isClosed() {
+			return
+		}
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			if err = t.sendHello(c); err == nil {
+				t.register(group, c)
+				return
+			}
+			c.Close()
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			t.failHandshake(fmt.Errorf("dial group %d (%s): %v", group, addr, lastErr))
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// sendHello writes the identifying first frame on a dialed connection.
+func (t *Transport) sendHello(c net.Conn) error {
+	hello, err := encodeFrame(frame{Kind: frameHello, Group: t.group, Groups: t.groups})
+	if err != nil {
+		return err
+	}
+	c.SetWriteDeadline(time.Now().Add(writeDeadline))
+	defer c.SetWriteDeadline(time.Time{})
+	_, err = c.Write(hello)
+	return err
+}
+
+// register installs a completed connection and starts its reader and
+// writer.
+func (t *Transport) register(group int, c net.Conn) {
+	t.mu.Lock()
+	if t.closed || t.conns[group] != nil {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	cn := &conn{c: c, out: make(chan []byte, outboxCap), stop: make(chan struct{})}
+	t.conns[group] = cn
+	t.missing--
+	if t.missing == 0 && !t.readyClosed {
+		t.readyClosed = true
+		close(t.readyCh)
+	}
+	t.mu.Unlock()
+	t.wg.Add(2)
+	go t.readLoop(group, cn)
+	go t.writeLoop(group, cn)
+}
+
+// writeLoop drains one connection's outbox. Runs until the connection
+// breaks or the transport shuts it down.
+func (t *Transport) writeLoop(group int, cn *conn) {
+	defer t.wg.Done()
+	for {
+		select {
+		case b := <-cn.out:
+			cn.c.SetWriteDeadline(time.Now().Add(writeDeadline))
+			if _, err := cn.c.Write(b); err != nil {
+				t.connBroken(group)
+				return
+			}
+		case <-cn.stop:
+			return
+		}
+	}
+}
+
+// failHandshake records the first mesh-formation error and unblocks
+// Dial.
+func (t *Transport) failHandshake(err error) {
+	t.mu.Lock()
+	if t.handErr == nil {
+		t.handErr = err
+	}
+	if !t.readyClosed {
+		t.readyClosed = true
+		close(t.readyCh) // unblock waitReady with the error
+	}
+	t.mu.Unlock()
+}
+
+func (t *Transport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// readLoop slices frames off one connection until it breaks.
+func (t *Transport) readLoop(group int, cn *conn) {
+	defer t.wg.Done()
+	for {
+		f, n, err := readFrame(cn.c)
+		if err != nil {
+			t.connBroken(group)
+			return
+		}
+		t.mu.Lock()
+		t.wire.FramesRead++
+		t.wire.BytesRead += uint64(n)
+		t.mu.Unlock()
+		t.dispatch(f)
+	}
+}
+
+// connBroken tears one connection down: its group's nodes are marked
+// dead (they are unreachable forever — NodeIDs are never reused) and
+// frames toward it are dropped from now on.
+func (t *Transport) connBroken(group int) {
+	t.mu.Lock()
+	cn := t.conns[group]
+	t.conns[group] = nil
+	if cn != nil && !t.closed {
+		t.wire.BrokenConns++
+		for id, st := range t.nodes {
+			if st.alive && !st.local && t.owner(id) == group {
+				st.alive = false
+				t.alive--
+			}
+		}
+	}
+	t.mu.Unlock()
+	if cn != nil {
+		cn.shutdown()
+	}
+}
+
+// writeFrame serializes f into one group's outbox. Encode failures are
+// programming bugs (an unregistered wire type) and panic with the
+// offending type. Frames toward a group whose connection is down — or
+// whose outbox is full, meaning the peer is hopelessly behind — are
+// dropped; message-bearing kinds also count as MessagesDropped, so the
+// Sent = Delivered + Dropped reconciliation the other backends satisfy
+// survives a peer's death here too.
+func (t *Transport) writeFrame(group int, f frame) {
+	b, err := encodeFrame(f)
+	if err != nil {
+		panic(fmt.Sprintf("socknet: cannot encode frame payload %T — is the type missing a runtime.RegisterWireType? (%v)", f.Payload, err))
+	}
+	t.mu.Lock()
+	cn := t.conns[group]
+	if cn == nil {
+		t.dropFrameLocked(f)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	select {
+	case cn.out <- b:
+		t.mu.Lock()
+		t.wire.FramesSent++
+		t.wire.BytesSent += uint64(len(b))
+		t.mu.Unlock()
+	case <-cn.stop:
+		t.mu.Lock()
+		t.dropFrameLocked(f)
+		t.mu.Unlock()
+	default:
+		// outboxCap frames behind: the peer is stalled beyond our
+		// tolerance. Cut it loose like a write timeout would.
+		t.mu.Lock()
+		t.dropFrameLocked(f)
+		t.mu.Unlock()
+		t.connBroken(group)
+	}
+}
+
+// dropFrameLocked accounts one undeliverable frame (mu held). Send,
+// request and response frames carry a protocol message, so their loss
+// is a message drop; join/fail/announce are control plane and count
+// only as wire-level drops.
+func (t *Transport) dropFrameLocked(f frame) {
+	t.wire.FramesDropped++
+	switch f.Kind {
+	case frameSend, frameRequest, frameResponse:
+		t.stats.MessagesDropped++
+	}
+}
+
+// broadcast writes one frame to every connected group.
+func (t *Transport) broadcast(f frame) {
+	for g := 0; g < t.groups; g++ {
+		if g == t.group {
+			continue
+		}
+		t.writeFrame(g, f)
+	}
+}
+
+// dispatch routes one received frame. Mirror updates apply
+// immediately (no clock needed — they are state, not behavior);
+// deliverable frames are handed to the run loop so handlers only ever
+// execute there.
+func (t *Transport) dispatch(f frame) {
+	switch f.Kind {
+	case frameJoin:
+		t.mu.Lock()
+		if _, dup := t.nodes[f.ID]; !dup {
+			t.nodes[f.ID] = &nodeState{place: f.Place, alive: true}
+			t.total++
+			t.alive++
+		}
+		t.mu.Unlock()
+	case frameFail:
+		t.mu.Lock()
+		if st, ok := t.nodes[f.ID]; ok && st.alive {
+			st.alive = false
+			t.alive--
+		}
+		t.mu.Unlock()
+	case frameSend, frameRequest, frameResponse, frameAnnounce:
+		t.mu.Lock()
+		clock := t.clock
+		if clock == nil {
+			t.buffered = append(t.buffered, f)
+			t.mu.Unlock()
+			return
+		}
+		t.mu.Unlock()
+		switch f.Kind {
+		case frameSend:
+			clock.Schedule(0, func() { t.deliverLocal(f.From, f.To, f.Payload) })
+		case frameRequest:
+			clock.Schedule(0, func() { t.serveRemoteRequest(f) })
+		case frameResponse:
+			clock.Schedule(0, func() { t.resolveRequest(f.ReqID, f.Payload, f.HasErr, f.Err) })
+		case frameAnnounce:
+			clock.Schedule(0, func() { t.deliverAnnounce(f.Payload) })
+		}
+	}
+}
+
+// Close shuts the transport down: listener, connections, readers. It
+// is idempotent. In-flight frames on the peers' side surface there as
+// broken connections, which mark this process's nodes dead — the same
+// observable outcome as a process crash, which is the only honest
+// story a real network can tell.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*conn, len(t.conns))
+	copy(conns, t.conns)
+	pendingHs := make([]net.Conn, 0, len(t.handshakes))
+	for c := range t.handshakes {
+		pendingHs = append(pendingHs, c)
+	}
+	t.mu.Unlock()
+	t.lis.Close()
+	for _, cn := range conns {
+		if cn != nil {
+			cn.shutdown()
+		}
+	}
+	for _, c := range pendingHs {
+		c.Close() // cut in-flight hello reads short
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// ---- runtime.Transport ----
+
+// Clock returns the bound run-loop clock.
+func (t *Transport) Clock() runtime.Clock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clock
+}
+
+// Topology returns the shared latency model.
+func (t *Transport) Topology() *topology.Topology { return t.topo }
+
+// Stats snapshots this process's traffic counters. Counters are
+// per-process: sends count where they are issued, deliveries where the
+// target lives; group-wide totals are the sum over processes.
+func (t *Transport) Stats() runtime.TransportStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// WireStats snapshots the actual serialized traffic.
+func (t *Transport) WireStats() WireStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wire
+}
+
+// Join registers a local handler and mirrors the registration to every
+// other process.
+func (t *Transport) Join(h runtime.Handler, place topology.Placement) runtime.NodeID {
+	if h == nil {
+		panic("socknet: Join with nil handler")
+	}
+	t.mu.Lock()
+	id := t.nextLocal
+	t.nextLocal += runtime.NodeID(t.groups)
+	t.nodes[id] = &nodeState{handler: h, place: place, alive: true, local: true}
+	t.total++
+	t.alive++
+	t.mu.Unlock()
+	t.broadcast(frame{Kind: frameJoin, ID: id, Place: place})
+	return id
+}
+
+// Fail marks a local node dead and mirrors the failure. Failing a
+// remote node is a protocol bug (kill closures are local) and panics;
+// failing an already-dead local node is a no-op.
+func (t *Transport) Fail(id runtime.NodeID) {
+	t.mu.Lock()
+	st, ok := t.nodes[id]
+	if !ok || !st.alive {
+		t.mu.Unlock()
+		return
+	}
+	if !st.local {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("socknet: Fail of remote node %d (owned by group %d)", id, t.owner(id)))
+	}
+	st.alive = false
+	st.handler = nil // release protocol state for GC
+	t.alive--
+	t.mu.Unlock()
+	t.broadcast(frame{Kind: frameFail, ID: id})
+}
+
+// Alive reports whether id is known and not failed. For remote nodes
+// the answer can be stale by up to a network round trip; the owning
+// process remains authoritative at delivery time.
+func (t *Transport) Alive(id runtime.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.nodes[id]
+	return ok && st.alive
+}
+
+// AliveCount returns the number of alive nodes across the whole group
+// (local + mirrored).
+func (t *Transport) AliveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.alive
+}
+
+// TotalJoined returns how many nodes ever joined across the group.
+func (t *Transport) TotalJoined() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Placement returns a node's position. Unknown local IDs are protocol
+// bugs and panic (as on simnet); an unknown *remote* ID — its join
+// frame still in flight — yields the zero Placement rather than a
+// panic, because a third process can legitimately name a node before
+// our mirror has caught up.
+func (t *Transport) Placement(id runtime.NodeID) topology.Placement {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.placementLocked(id)
+}
+
+func (t *Transport) placementLocked(id runtime.NodeID) topology.Placement {
+	if st, ok := t.nodes[id]; ok {
+		return st.place
+	}
+	if id >= 0 && t.owner(id) != t.group {
+		return topology.Placement{}
+	}
+	panic(fmt.Sprintf("socknet: Placement of unknown local node %d", id))
+}
+
+// Locality returns the physical locality of a node.
+func (t *Transport) Locality(id runtime.NodeID) topology.Locality {
+	return t.Placement(id).Loc
+}
+
+// Latency returns the modeled one-way latency between two nodes in ms.
+func (t *Transport) Latency(a, b runtime.NodeID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.latencyLocked(a, b)
+}
+
+func (t *Transport) latencyLocked(a, b runtime.NodeID) int64 {
+	sa, oka := t.nodes[a]
+	sb, okb := t.nodes[b]
+	if !oka || !okb {
+		// A mirror miss (join frame in flight): deliver without modeled
+		// delay rather than guess.
+		return 0
+	}
+	return t.topo.Latency(sa.place.Pos, sb.place.Pos)
+}
+
+func (t *Transport) lostLocked() bool {
+	return t.lossRate > 0 && t.lossRNG.Bool(t.lossRate)
+}
+
+func (t *Transport) aliveLocked(id runtime.NodeID) bool {
+	st, ok := t.nodes[id]
+	return ok && st.alive
+}
+
+// ForEachAlive visits every alive node id (ascending), local and
+// mirrored. The snapshot is taken atomically; the visitor runs outside
+// the lock and must not join or fail nodes while iterating.
+func (t *Transport) ForEachAlive(visit func(id runtime.NodeID)) {
+	t.mu.Lock()
+	ids := make([]runtime.NodeID, 0, t.alive)
+	for id, st := range t.nodes {
+		if st.alive {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		visit(id)
+	}
+}
+
+// Send delivers msg to `to` after the modeled one-way latency (plus
+// the real wire cost when `to` lives in another process). Sends to
+// unregistered local IDs panic; an unknown remote ID is forwarded to
+// its owner, who is authoritative.
+func (t *Transport) Send(from, to runtime.NodeID, msg any) {
+	if to < 0 {
+		panic(fmt.Sprintf("socknet: Send to invalid node %d", to))
+	}
+	t.mu.Lock()
+	owner := t.owner(to)
+	if _, known := t.nodes[to]; !known && owner == t.group {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("socknet: Send to unregistered node %d", to))
+	}
+	t.stats.MessagesSent++
+	t.stats.BytesSent += uint64(messageBytes(msg))
+	if t.lostLocked() {
+		t.stats.MessagesDropped++
+		t.mu.Unlock()
+		return
+	}
+	delay := t.latencyLocked(from, to)
+	clock := t.clock
+	t.mu.Unlock()
+	if owner == t.group {
+		clock.Schedule(delay, func() { t.deliverLocal(from, to, msg) })
+	} else {
+		clock.Schedule(delay, func() {
+			t.writeFrame(owner, frame{Kind: frameSend, From: from, To: to, Payload: msg})
+		})
+	}
+}
+
+// deliverLocal hands a message to a locally-hosted node (runs on the
+// clock goroutine).
+func (t *Transport) deliverLocal(from, to runtime.NodeID, msg any) {
+	t.mu.Lock()
+	st, ok := t.nodes[to]
+	if !ok || !st.alive || st.handler == nil {
+		t.stats.MessagesDropped++
+		t.mu.Unlock()
+		return
+	}
+	t.stats.MessagesDelivered++
+	h := st.handler
+	t.mu.Unlock()
+	h.HandleMessage(from, msg)
+}
+
+// Request performs an RPC with the same observable semantics as
+// simnet: cb runs exactly once — with the response, with the handler's
+// application error (reconstructed as a RemoteError across a process
+// boundary), or with ErrTimeout. Timeouts are always decided on the
+// requester's clock.
+func (t *Transport) Request(from, to runtime.NodeID, req any, timeout int64, cb func(resp any, err error)) {
+	if cb == nil {
+		panic("socknet: Request with nil callback")
+	}
+	if to < 0 {
+		panic(fmt.Sprintf("socknet: Request to invalid node %d", to))
+	}
+	t.mu.Lock()
+	owner := t.owner(to)
+	if _, known := t.nodes[to]; !known && owner == t.group {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("socknet: Request to unregistered node %d", to))
+	}
+	if timeout <= 0 {
+		timeout = t.defaultRPCTimeout
+	}
+	t.stats.RequestsIssued++
+	t.stats.MessagesSent++
+	t.stats.BytesSent += uint64(messageBytes(req))
+	t.reqSeq++
+	id := t.reqSeq
+	t.pending[id] = &pendingReq{from: from, cb: cb}
+	lost := t.lostLocked()
+	if lost {
+		t.stats.MessagesDropped++
+	}
+	delay := t.latencyLocked(from, to)
+	clock := t.clock
+	t.mu.Unlock()
+
+	dl := clock.Schedule(timeout, func() { t.requestTimeout(id) })
+	t.mu.Lock()
+	if pr, ok := t.pending[id]; ok {
+		pr.deadline = dl
+	} else {
+		dl.Cancel()
+	}
+	t.mu.Unlock()
+	if lost {
+		return // request leg dropped in transit; the deadline will fire
+	}
+	if owner == t.group {
+		clock.Schedule(delay, func() { t.serveLocalRequest(id, from, to, req) })
+	} else {
+		clock.Schedule(delay, func() {
+			t.writeFrame(owner, frame{Kind: frameRequest, ReqID: id, From: from, To: to, Payload: req})
+		})
+	}
+}
+
+// serveLocalRequest runs the target handler for a same-process RPC and
+// schedules the response leg (clock goroutine).
+func (t *Transport) serveLocalRequest(id uint64, from, to runtime.NodeID, req any) {
+	resp, hasErr, errStr, back, ok := t.runHandler(from, to, req)
+	if !ok {
+		return // dropped; the deadline will fire
+	}
+	t.clockNow().Schedule(back, func() { t.resolveRequest(id, resp, hasErr, errStr) })
+}
+
+// serveRemoteRequest runs the target handler for a cross-process RPC
+// and schedules the response frame (clock goroutine).
+func (t *Transport) serveRemoteRequest(f frame) {
+	resp, hasErr, errStr, back, ok := t.runHandler(f.From, f.To, f.Payload)
+	if !ok {
+		return
+	}
+	origin := t.owner(f.From)
+	t.clockNow().Schedule(back, func() {
+		t.writeFrame(origin, frame{Kind: frameResponse, ReqID: f.ReqID, Payload: resp, HasErr: hasErr, Err: errStr})
+	})
+}
+
+// runHandler is the shared owner-side RPC logic: deliver to the target
+// if alive, account the response leg, sample its loss, return the
+// response and the back latency. ok=false means the deadline should
+// fire instead.
+func (t *Transport) runHandler(from, to runtime.NodeID, req any) (resp any, hasErr bool, errStr string, back int64, ok bool) {
+	t.mu.Lock()
+	st, known := t.nodes[to]
+	if !known || !st.alive || st.handler == nil {
+		t.stats.MessagesDropped++
+		t.mu.Unlock()
+		return nil, false, "", 0, false
+	}
+	t.stats.MessagesDelivered++
+	h := st.handler
+	t.mu.Unlock()
+
+	r, err := h.HandleRequest(from, req)
+
+	t.mu.Lock()
+	t.stats.MessagesSent++
+	t.stats.BytesSent += uint64(messageBytes(r))
+	if t.lostLocked() {
+		t.stats.MessagesDropped++
+		t.mu.Unlock()
+		return nil, false, "", 0, false
+	}
+	back = t.latencyLocked(to, from)
+	t.mu.Unlock()
+	if err != nil {
+		hasErr = true
+		errStr = err.Error()
+	}
+	return r, hasErr, errStr, back, true
+}
+
+// clockNow returns the bound clock (never nil after Bind).
+func (t *Transport) clockNow() runtime.Clock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clock
+}
+
+// requestTimeout fires a pending request's deadline (clock goroutine).
+func (t *Transport) requestTimeout(id uint64) {
+	t.mu.Lock()
+	pr, ok := t.pending[id]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.pending, id)
+	t.stats.RequestsTimedOut++
+	alive := t.aliveLocked(pr.from)
+	t.mu.Unlock()
+	if alive { // a dead requester never observes the outcome
+		pr.cb(nil, runtime.ErrTimeout)
+	}
+}
+
+// resolveRequest completes a pending request with its response (clock
+// goroutine).
+func (t *Transport) resolveRequest(id uint64, resp any, hasErr bool, errStr string) {
+	t.mu.Lock()
+	pr, ok := t.pending[id]
+	if !ok {
+		t.mu.Unlock()
+		return // deadline beat the response
+	}
+	delete(t.pending, id)
+	alive := t.aliveLocked(pr.from)
+	dl := pr.deadline
+	t.mu.Unlock()
+	if dl != nil {
+		dl.Cancel()
+	}
+	if !alive {
+		return
+	}
+	var err error
+	if hasErr {
+		err = RemoteError(errStr)
+	}
+	pr.cb(resp, err)
+}
+
+// ---- runtime.Bus ----
+
+// Announce broadcasts msg to every other process; their subscribers
+// run on their clock goroutines. The announcing process's subscribers
+// are NOT invoked — the announcer already holds the state it is
+// sharing.
+func (t *Transport) Announce(msg any) {
+	t.broadcast(frame{Kind: frameAnnounce, Payload: msg})
+}
+
+// Subscribe adds an announcement subscriber.
+func (t *Transport) Subscribe(fn func(msg any)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.subs = append(t.subs, fn)
+}
+
+// deliverAnnounce fans one announcement out to the subscribers (clock
+// goroutine).
+func (t *Transport) deliverAnnounce(msg any) {
+	t.mu.Lock()
+	subs := make([]func(any), len(t.subs))
+	copy(subs, t.subs)
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(msg)
+	}
+}
+
+// messageBytes mirrors simnet's wire-size model so TransportStats stay
+// comparable across backends; WireStats carries the real frame bytes.
+func messageBytes(msg any) int {
+	if s, ok := msg.(runtime.Sizer); ok {
+		return s.WireBytes()
+	}
+	return runtime.DefaultMessageBytes
+}

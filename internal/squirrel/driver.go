@@ -3,8 +3,10 @@ package squirrel
 import (
 	"fmt"
 
+	"flowercdn/internal/chord"
 	"flowercdn/internal/proto"
 	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
 )
 
 // Squirrel registers itself with the protocol runtime; the harness
@@ -19,6 +21,8 @@ func init() {
 		Order:        2,
 		CheckOptions: CheckDriverOptions,
 	}, NewDriver)
+	// Socket-backend wire types (interface-typed payloads).
+	runtime.RegisterWireType(queryMsg{}, homeResp{})
 }
 
 // Option keys the driver reads (defaults in parentheses):
@@ -34,8 +38,12 @@ func init() {
 // shared by the factory and the registry's static CheckOptions hook.
 func lowerOptions(opts proto.Options) (Config, proto.CacheConfig, error) {
 	cfg := DefaultConfig()
+	if opts.Bool("chord-demo", false) {
+		cfg.Chord = chord.DemoConfig()
+	}
 	cfg.DirectoryCap = opts.Int("directory-cap", cfg.DirectoryCap)
 	cfg.ProviderAttempts = opts.Int("provider-attempts", cfg.ProviderAttempts)
+	cfg.QueryTimeout = opts.Duration("query-timeout", cfg.QueryTimeout)
 	cacheCfg, err := proto.CacheConfigFromOptions(opts)
 	if err != nil {
 		return cfg, cacheCfg, fmt.Errorf("squirrel: %w", err)
@@ -62,6 +70,7 @@ func NewDriver(env proto.Env, opts proto.Options) (proto.System, error) {
 		Origins:  env.Origins,
 		Metrics:  env.Metrics,
 		NewStore: cacheCfg.StoreFactory(env),
+		Follower: env.Follower,
 	})
 	if err != nil {
 		return nil, err

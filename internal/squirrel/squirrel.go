@@ -87,6 +87,9 @@ type Deps struct {
 	// NewStore builds each individual's content store; nil means
 	// unbounded (content.NewStore — the paper's storage model).
 	NewStore func() *content.Store
+	// Follower marks a process that must not found the ring (see
+	// proto.Env.Follower); meaningful only on multi-process backends.
+	Follower bool
 }
 
 // System is one Squirrel deployment.
@@ -100,7 +103,10 @@ type System struct {
 	coll     metrics.Emitter
 	newStore func() *content.Store
 
-	registry []chord.Entry
+	// registry is the ring-member gateway set, mirrored across
+	// processes on multi-process backends (chord.Registry).
+	registry chord.Registry
+	follower bool
 	spawned  uint64
 	querySeq uint64
 }
@@ -117,7 +123,7 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 	if newStore == nil {
 		newStore = content.NewStore
 	}
-	return &System{
+	s := &System{
 		cfg:      cfg,
 		net:      d.Net,
 		eng:      d.Net.Clock(),
@@ -126,26 +132,14 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 		origins:  d.Origins,
 		coll:     d.Metrics,
 		newStore: newStore,
-	}, nil
+		follower: d.Follower,
+	}
+	s.registry.BindBus(d.Net)
+	return s, nil
 }
 
 func (s *System) gateway(exclude runtime.NodeID) chord.Entry {
-	for len(s.registry) > 0 {
-		i := s.rng.Intn(len(s.registry))
-		e := s.registry[i]
-		if s.net.Alive(e.Node) && e.Node != exclude {
-			return e
-		}
-		if !s.net.Alive(e.Node) {
-			s.registry[i] = s.registry[len(s.registry)-1]
-			s.registry = s.registry[:len(s.registry)-1]
-			continue
-		}
-		if len(s.registry) == 1 {
-			return chord.NoEntry
-		}
-	}
-	return chord.NoEntry
+	return s.registry.PickAlive(s.rng, s.net.Alive, exclude)
 }
 
 // Identity is the persistent part of a participant (see
@@ -207,7 +201,7 @@ func (s *System) nextSeq() uint64 {
 // AliveMembers counts registered alive ring members (diagnostics).
 func (s *System) AliveMembers() int {
 	n := 0
-	for _, e := range s.registry {
+	for _, e := range s.registry.Entries {
 		if s.net.Alive(e.Node) {
 			n++
 		}
@@ -279,13 +273,19 @@ func (p *Peer) DirectorySize() int { return len(p.dir) }
 func (p *Peer) Alive() bool { return !p.dead }
 
 // enterRing joins the Chord overlay, retrying a few times during
-// bootstrap storms; the first peer creates the ring.
+// bootstrap storms; the first peer creates the ring. On a follower
+// process a peer never creates a ring of its own — it waits for a
+// gateway announced over the bus instead.
 func (p *Peer) enterRing(attempts int) {
 	if p.dead {
 		return
 	}
 	gw := p.sys.gateway(runtime.None)
 	if !gw.Valid() {
+		if p.sys.follower {
+			p.sys.eng.Schedule(200*runtime.Millisecond, func() { p.enterRing(attempts) })
+			return
+		}
 		p.node.Create()
 		p.onJoined()
 		return
@@ -306,7 +306,7 @@ func (p *Peer) enterRing(attempts int) {
 
 func (p *Peer) onJoined() {
 	p.joined = true
-	p.sys.registry = append(p.sys.registry, p.node.Self())
+	p.sys.registry.Add(p.node.Self())
 	if p.sys.work.Active(p.site) {
 		p.scheduleNextQuery(p.sys.work.FirstQueryDelay(p.rng))
 	}

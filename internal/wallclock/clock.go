@@ -1,16 +1,15 @@
-// Package rtnet is the wall-clock backend: the identical protocol code
-// that runs on the deterministic simulator executes here in real time.
-// A Clock backed by real time.Timers fires callbacks serialized onto a
-// single run loop (so protocol code stays lock-free, exactly as on the
-// engine), and the loopback transport — the same internal/simnet
-// delivery logic, driven by this clock — injects per-link latency
-// sampled from the same topology model. It registers itself as the
-// "realtime" backend.
+// Package wallclock is the single wall-clock run loop every real-time
+// backend paces itself with: a runtime.Clock backed by real
+// time.Timers that fires callbacks serialized onto one goroutine (so
+// protocol code stays lock-free, exactly as on the discrete-event
+// engine), ordered by the same (deadline, seq) total order.
 //
-// Runs are NOT reproducible: wall-clock arrival order replaces the
-// engine's (when, seq) total order. Everything else — loss semantics,
-// byte accounting, metrics windows — behaves identically.
-package rtnet
+// Two backends drive it: internal/rtnet (the in-process "realtime"
+// loopback) and internal/socknet (the multi-process "socket" TCP
+// transport). Scheduling is safe from any goroutine — transport reader
+// goroutines hand deliveries to the loop through Schedule — but
+// callbacks only ever execute inside Run, one at a time.
+package wallclock
 
 import (
 	"container/heap"
@@ -119,7 +118,7 @@ func (c *Clock) Schedule(delay int64, fn func()) runtime.Timer {
 // At runs fn when the wall clock reaches t (clamped to now).
 func (c *Clock) At(t int64, fn func()) runtime.Timer {
 	if fn == nil {
-		panic("rtnet: At called with nil function")
+		panic("wallclock: At called with nil function")
 	}
 	c.mu.Lock()
 	now := c.elapsed()
@@ -189,7 +188,7 @@ func (p *ticker) Cancelled() bool {
 // after firstDelay. Period must be positive.
 func (c *Clock) Every(firstDelay, period int64, fn func()) runtime.Ticker {
 	if period <= 0 {
-		panic("rtnet: Every called with non-positive period")
+		panic("wallclock: Every called with non-positive period")
 	}
 	p := &ticker{c: c, period: period, fn: fn}
 	// Hold p.mu across the first arm: if the timer is due immediately,

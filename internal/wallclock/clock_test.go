@@ -1,11 +1,7 @@
-package rtnet
+package wallclock
 
 import (
 	"testing"
-
-	"flowercdn/internal/rnd"
-	"flowercdn/internal/runtime"
-	"flowercdn/internal/topology"
 )
 
 // TestTimerOrdering checks that same-deadline timers fire in schedule
@@ -89,77 +85,4 @@ func TestStopInterruptsRun(t *testing.T) {
 	if c.Pending() != 1 {
 		t.Fatalf("pending %d after Stop, want 1", c.Pending())
 	}
-}
-
-// TestLoopbackDelivery runs the simnet delivery logic over the wall
-// clock: a Send arrives after the topology's link latency, and the
-// transport's accounting matches the sim backend's semantics.
-func TestLoopbackDelivery(t *testing.T) {
-	rng := rnd.New(1)
-	topo := topology.MustNew(topology.DefaultConfig(), rng)
-	rt := New(topo)
-	net := rt.Net()
-
-	var deliveredAt int64 = -1
-	a := net.Join(handlerFunc{}, topo.Place(rng))
-	b := net.Join(handlerFunc{onMsg: func() { deliveredAt = rt.Clock().Now() }}, topo.Place(rng))
-
-	net.Send(a, b, "ping")
-	lat := net.Latency(a, b)
-	rt.Run(lat + 200)
-
-	if deliveredAt < 0 {
-		t.Fatal("message never delivered")
-	}
-	if deliveredAt < lat {
-		t.Fatalf("delivered at %dms, before the %dms link latency", deliveredAt, lat)
-	}
-	st := net.Stats()
-	if st.MessagesSent != 1 || st.MessagesDelivered != 1 {
-		t.Fatalf("stats %+v, want 1 sent / 1 delivered", st)
-	}
-}
-
-// TestLoopbackRequest checks the RPC round trip over the wall clock.
-func TestLoopbackRequest(t *testing.T) {
-	rng := rnd.New(2)
-	topo := topology.MustNew(topology.DefaultConfig(), rng)
-	rt := New(topo)
-	net := rt.Net()
-
-	a := net.Join(handlerFunc{}, topo.Place(rng))
-	b := net.Join(handlerFunc{onReq: func(req any) (any, error) { return "pong", nil }}, topo.Place(rng))
-
-	var resp any
-	var rerr error
-	done := false
-	net.Request(a, b, "ping", 2*runtime.Second, func(r any, err error) {
-		resp, rerr, done = r, err, true
-	})
-	rt.Run(2*net.Latency(a, b) + 300)
-
-	if !done {
-		t.Fatal("request callback never ran")
-	}
-	if rerr != nil || resp != "pong" {
-		t.Fatalf("resp=%v err=%v, want pong/nil", resp, rerr)
-	}
-}
-
-type handlerFunc struct {
-	onMsg func()
-	onReq func(req any) (any, error)
-}
-
-func (h handlerFunc) HandleMessage(runtime.NodeID, any) {
-	if h.onMsg != nil {
-		h.onMsg()
-	}
-}
-
-func (h handlerFunc) HandleRequest(_ runtime.NodeID, req any) (any, error) {
-	if h.onReq != nil {
-		return h.onReq(req)
-	}
-	return nil, nil
 }

@@ -180,6 +180,11 @@ type originServer struct {
 	site content.SiteID
 }
 
+func init() {
+	// Fetches cross process boundaries on the socket backend.
+	runtime.RegisterWireType(FetchReq{}, FetchResp{})
+}
+
 // FetchReq asks an origin (or a content peer — protocols reuse it) for
 // an object.
 type FetchReq struct {
