@@ -8,10 +8,10 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-PR ?= 5
+PR ?= 6
 BENCH_JSON := BENCH_PR$(PR).json
 
-.PHONY: build test race vet fmt check bench bench-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke staticcheck clean
+.PHONY: build test race vet fmt check bench bench-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke invariants-smoke fuzz-smoke staticcheck clean
 
 build:
 	go build ./...
@@ -19,10 +19,13 @@ build:
 test:
 	go test ./...
 
-# race runs the suite under the race detector — the sweep fan-out is the
-# only concurrency in the repo, but it is the one that matters.
+# race runs the suite under the race detector — the sweep fan-out, the
+# wall-clock run loops and the socket reader goroutines are the
+# concurrency that matters. The raised -timeout covers the harness
+# package's simulation suite, which can exceed go test's 10-minute
+# per-package default under the race detector on slow machines.
 race:
-	go test -race ./...
+	go test -race -timeout 40m ./...
 
 vet:
 	go vet ./...
@@ -74,6 +77,25 @@ socket-smoke:
 STATICCHECK_VERSION := 2025.1.1
 staticcheck:
 	go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# invariants-smoke runs the ring-correctness oracle: every ring-based
+# protocol (flower, squirrel, chord-global, koorde-global) checked
+# against Zave's structural invariants — ordered ring, one ring,
+# connected appendages, valid de Bruijn pointers — at checkpoints
+# through four adversarial churn schedules on the deterministic
+# backend. This is the gate that keeps the latency numbers honest: a
+# lookup can "succeed" off a malformed ring, but not past this target.
+invariants-smoke:
+	go test ./internal/harness/ -run 'TestRingInvariantsUnderChurn|TestChurnScheduleActuallyChurns' -count=1 -v
+
+# fuzz-smoke gives each fuzz target a short budget — enough for CI to
+# catch a decoder panic or packing regression without open-ended fuzz
+# time. Local deep fuzzing: raise -fuzztime on the same commands.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	go test ./internal/socknet/ -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+	go test ./internal/socknet/ -run '^$$' -fuzz FuzzFrameReadPrefix -fuzztime $(FUZZTIME)
+	go test ./internal/dring/ -run '^$$' -fuzz FuzzPositionRoundTrip -fuzztime $(FUZZTIME)
 
 # cache-grid-smoke runs the CI-sized capacity grid under cache
 # pressure: LRU-bounded peer stores swept over per-peer capacities with

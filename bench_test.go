@@ -276,10 +276,12 @@ func BenchmarkAblationMessageLoss(b *testing.B) {
 	}
 }
 
-// BenchmarkBaselineBracket runs the two reference baselines the
-// pluggable runtime added: origin-only (the floor) and chord-global
-// (directory caching without locality). Their headline hit ratios are
-// reported so the trajectory files track the comparison's bracket.
+// BenchmarkBaselineBracket runs the reference baselines the pluggable
+// runtime added: origin-only (the floor), chord-global (directory
+// caching without locality) and koorde-global (the same directory over
+// de Bruijn routing). Their headline hit ratios — and the two overlays'
+// mean lookup hop counts — are reported so the trajectory files track
+// both the comparison's bracket and the routing-geometry gap.
 func BenchmarkBaselineBracket(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		og := benchConfig()
@@ -296,9 +298,19 @@ func BenchmarkBaselineBracket(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		kg := benchConfig()
+		kg.Protocol = KoordeGlobal
+		kg.Seed = uint64(i + 1)
+		kgRes, err := Run(kg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(ogRes.TailHitRatio, "origin-hit")
 		b.ReportMetric(cgRes.TailHitRatio, "chord-global-hit")
 		b.ReportMetric(cgRes.MeanTransferMs, "chord-global-transfer-ms")
+		b.ReportMetric(kgRes.TailHitRatio, "koorde-global-hit")
+		b.ReportMetric(cgRes.MeanHops, "chord-global-hops")
+		b.ReportMetric(kgRes.MeanHops, "koorde-global-hops")
 	}
 }
 

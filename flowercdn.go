@@ -48,6 +48,10 @@ const (
 	// petals — it isolates how much of Flower-CDN's win comes from
 	// locality awareness versus from directory caching at all.
 	ChordGlobal Protocol = "chord-global"
+	// KoordeGlobal is ChordGlobal's deployment routed over a Koorde de
+	// Bruijn overlay (Kaashoek & Karger, IPTPS 2003) instead of Chord
+	// fingers — same directory scheme, O(log n / log b) lookup hops.
+	KoordeGlobal Protocol = "koorde-global"
 	// OriginOnly sends every query to the origin server — the floor any
 	// CDN must beat (hit ratio zero by construction).
 	OriginOnly Protocol = "origin-only"
@@ -293,6 +297,9 @@ type Result struct {
 	MeanLookupMs float64
 	// MeanTransferMs is the mean client→provider distance.
 	MeanTransferMs float64
+	// MeanHops is the mean overlay hop count per routed directory query
+	// (0 for deployments without an overlay).
+	MeanHops float64
 
 	// LookupWithin150ms and TransferWithin100ms are the headline
 	// distribution points of Fig. 4 and Fig. 5.
@@ -325,6 +332,7 @@ func wrap(r *harness.Result) *Result {
 		TailHitRatio:        r.TailHitRatio,
 		MeanLookupMs:        r.MeanLookupMs,
 		MeanTransferMs:      r.MeanTransferMs,
+		MeanHops:            r.MeanHops,
 		LookupWithin150ms:   r.Lookup.CDFAt(150),
 		LookupBeyond1200ms:  r.Lookup.TailFraction(1200),
 		TransferWithin100ms: r.Transfer.CDFAt(100),

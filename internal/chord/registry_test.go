@@ -1,0 +1,220 @@
+package chord
+
+import (
+	"sort"
+	"testing"
+
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+)
+
+// busHub wires N fake per-process buses together the way the socket
+// backend's announcement bus does: an Announce from one process is
+// delivered to every OTHER process's subscribers, never back to the
+// announcer (the announcer already applied the change locally).
+type busHub struct {
+	peers []*fakeBus
+}
+
+type fakeBus struct {
+	// The embedded nil Transport makes the fake satisfy
+	// runtime.Transport so BindBus accepts it; the registry only ever
+	// uses the Bus half, so the nil methods are never reached.
+	runtime.Transport
+	hub  *busHub
+	subs []func(msg any)
+}
+
+func (h *busHub) bus() *fakeBus {
+	b := &fakeBus{hub: h}
+	h.peers = append(h.peers, b)
+	return b
+}
+
+func (b *fakeBus) Announce(msg any) {
+	for _, p := range b.hub.peers {
+		if p == b {
+			continue
+		}
+		for _, fn := range p.subs {
+			fn(msg)
+		}
+	}
+}
+
+func (b *fakeBus) Subscribe(fn func(msg any)) { b.subs = append(b.subs, fn) }
+
+func nodesOf(r *Registry) []runtime.NodeID {
+	var out []runtime.NodeID
+	for _, e := range r.Entries {
+		out = append(out, e.Node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameNodes(a, b []runtime.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegistryAddDeduplicates(t *testing.T) {
+	var r Registry
+	r.Add(Entry{Node: 1, ID: 10})
+	r.Add(Entry{Node: 1, ID: 10})
+	r.Add(Entry{Node: 2, ID: 20})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after duplicate Add, want 2", r.Len())
+	}
+}
+
+func TestRegistryRemoveAbsentIsNoop(t *testing.T) {
+	var r Registry
+	r.Add(Entry{Node: 1, ID: 10})
+	r.Remove(99)
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after removing an absent node, want 1", r.Len())
+	}
+	r.Remove(1)
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after removing the only node, want 0", r.Len())
+	}
+}
+
+// TestRegistryMirrorConvergence is the unit-level version of what PR
+// 5's socket smoke only checked end-to-end: registries bound to
+// cooperating buses converge on the same gateway set no matter which
+// process each Add/Remove originates from.
+func TestRegistryMirrorConvergence(t *testing.T) {
+	hub := &busHub{}
+	regs := make([]*Registry, 3)
+	for i := range regs {
+		regs[i] = &Registry{}
+		regs[i].BindBus(hub.bus())
+	}
+
+	regs[0].Add(Entry{Node: 1, ID: 10})
+	regs[1].Add(Entry{Node: 2, ID: 20})
+	regs[2].Add(Entry{Node: 3, ID: 30})
+	regs[1].Remove(1)
+
+	want := nodesOf(regs[0])
+	for i, r := range regs {
+		if got := nodesOf(r); !sameNodes(got, want) {
+			t.Fatalf("registry %d diverged: %v vs %v", i, got, want)
+		}
+	}
+	if !sameNodes(want, []runtime.NodeID{2, 3}) {
+		t.Fatalf("converged set %v, want [2 3]", want)
+	}
+}
+
+// TestRegistryAnnounceRetractRace pins down the interleaving semantics:
+// the mirrors are last-write-wins per delivery order, so whichever of
+// Add/Remove lands second decides — but every mirror must decide the
+// SAME way, and a re-Add after a retract must resurrect the entry on
+// every mirror (the dedup check must not swallow it).
+func TestRegistryAnnounceRetractRace(t *testing.T) {
+	hub := &busHub{}
+	a, b := &Registry{}, &Registry{}
+	a.BindBus(hub.bus())
+	b.BindBus(hub.bus())
+
+	// Add then retract, from different processes: everyone ends empty.
+	a.Add(Entry{Node: 7, ID: 70})
+	b.Remove(7)
+	if a.Len() != 0 || b.Len() != 0 {
+		t.Fatalf("after add/retract: a=%v b=%v, want both empty", nodesOf(a), nodesOf(b))
+	}
+
+	// Retract then re-add: the entry must come back on both sides.
+	a.Add(Entry{Node: 7, ID: 70})
+	if !sameNodes(nodesOf(a), nodesOf(b)) || a.Len() != 1 {
+		t.Fatalf("re-add did not resurrect: a=%v b=%v", nodesOf(a), nodesOf(b))
+	}
+
+	// A duplicate announce arriving at a mirror that already has the
+	// entry (both sides add the same node) must not double it.
+	b.Add(Entry{Node: 7, ID: 70})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("cross-announce duplicated the entry: a=%v b=%v", nodesOf(a), nodesOf(b))
+	}
+}
+
+// TestRegistryFollowerMirrors checks the pure-follower role: a
+// registry that only listens (a process whose own members never become
+// gateways) still tracks the leaders' announcements and retractions.
+func TestRegistryFollowerMirrors(t *testing.T) {
+	hub := &busHub{}
+	leader, follower := &Registry{}, &Registry{}
+	leader.BindBus(hub.bus())
+	follower.BindBus(hub.bus())
+
+	for i := 1; i <= 5; i++ {
+		leader.Add(Entry{Node: runtime.NodeID(i), ID: 0})
+	}
+	leader.Remove(3)
+	if got := nodesOf(follower); !sameNodes(got, []runtime.NodeID{1, 2, 4, 5}) {
+		t.Fatalf("follower mirror %v, want [1 2 4 5]", got)
+	}
+}
+
+// TestRegistryPickAlivePolls exercises the lazy liveness polling:
+// PickAlive prunes dead entries as it draws them — locally only, no
+// retraction announced — honors the exclusion, and reports NoEntry
+// once nothing eligible remains.
+func TestRegistryPickAlivePolls(t *testing.T) {
+	hub := &busHub{}
+	a, b := &Registry{}, &Registry{}
+	a.BindBus(hub.bus())
+	b.BindBus(hub.bus())
+	for i := 1; i <= 4; i++ {
+		a.Add(Entry{Node: runtime.NodeID(i), ID: 0})
+	}
+
+	// Process a's liveness view: nodes 1 and 2 died.
+	alive := func(n runtime.NodeID) bool { return n >= 3 }
+	rng := rnd.New(1)
+	for i := 0; i < 20; i++ {
+		e := a.PickAlive(rng, alive, runtime.None)
+		if !e.Valid() || !alive(e.Node) {
+			t.Fatalf("draw %d returned %v", i, e)
+		}
+	}
+	if a.Len() != 2 {
+		t.Fatalf("dead entries not pruned: Len = %d, want 2", a.Len())
+	}
+	// Prunes are local: the other mirror still holds all four until its
+	// own draws age them out.
+	if b.Len() != 4 {
+		t.Fatalf("prune leaked across the bus: follower Len = %d, want 4", b.Len())
+	}
+
+	// Excluding one of the two survivors always yields the other.
+	for i := 0; i < 20; i++ {
+		if e := a.PickAlive(rng, alive, 3); e.Node != 4 {
+			t.Fatalf("exclusion violated: drew %v", e)
+		}
+	}
+	// With only the excluded node eligible, give up rather than spin.
+	a.removeLocal(4)
+	if e := a.PickAlive(rng, alive, 3); e.Valid() {
+		t.Fatalf("PickAlive returned %v with only the excluded node left, want NoEntry", e)
+	}
+
+	// All dead: NoEntry, and the scan empties the slice.
+	everyoneDead := func(runtime.NodeID) bool { return false }
+	if e := b.PickAlive(rng, everyoneDead, runtime.None); e.Valid() {
+		t.Fatalf("PickAlive over a dead set returned %v", e)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("dead scan left %d entries", b.Len())
+	}
+}

@@ -371,6 +371,30 @@ func (n *Node) Announce(to Entry) {
 	n.net.Send(n.self.Node, to.Node, notifyMsg{From: n.self})
 }
 
+// Neighbors fetches target's predecessor and successor list — the same
+// RPC stabilize uses, exported for overlays layered on the chord
+// substrate: internal/koorde refreshes its de Bruijn pointer set from
+// the ring neighborhood of a looked-up owner. cb runs once, on this
+// node's clock goroutine; it is not called after Stop.
+func (n *Node) Neighbors(target Entry, cb func(pred Entry, succs []Entry, err error)) {
+	if !target.Valid() {
+		cb(NoEntry, nil, ErrLookupFailed)
+		return
+	}
+	n.net.Request(n.self.Node, target.Node, neighborsReq{}, n.cfg.RPCTimeout,
+		func(resp any, err error) {
+			if n.stopped {
+				return
+			}
+			if err != nil {
+				cb(NoEntry, nil, err)
+				return
+			}
+			nb := resp.(neighborsResp)
+			cb(nb.Pred, nb.Succs, nil)
+		})
+}
+
 // FingerTable returns a copy of the non-empty finger entries, for
 // diagnostics and tests.
 func (n *Node) FingerTable() []Entry {

@@ -1,0 +1,49 @@
+package dring
+
+import (
+	"testing"
+
+	"flowercdn/internal/content"
+	"flowercdn/internal/topology"
+)
+
+// FuzzPositionRoundTrip checks the bit-packing contract over the whole
+// input space: every (site, locality, instance) triple must pack into
+// an identifier whose fields extract back exactly, and the successive-
+// IDs property the paper's neighborship argument rests on must hold
+// for every adjacent instance pair.
+func FuzzPositionRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint8(0), uint8(0))
+	f.Add(uint32(1), uint8(3), uint8(200))
+	f.Add(uint32(1<<31-1), uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, rawSite uint32, rawLoc, rawInst uint8) {
+		site := content.SiteID(rawSite % (1 << 31)) // SiteID is int32; keep it non-negative
+		loc := topology.Locality(rawLoc)
+		inst := int(rawInst)
+
+		id := Position(site, loc, inst)
+		if got := LocalityOf(id); got != loc {
+			t.Fatalf("Position(%d,%d,%d): LocalityOf = %d", site, loc, inst, got)
+		}
+		if got := InstanceOf(id); got != inst {
+			t.Fatalf("Position(%d,%d,%d): InstanceOf = %d", site, loc, inst, got)
+		}
+		if !SamePetal(id, site, loc) {
+			t.Fatalf("Position(%d,%d,%d) not in its own petal", site, loc, inst)
+		}
+		if !SameSite(id, site) {
+			t.Fatalf("Position(%d,%d,%d) not in its own site", site, loc, inst)
+		}
+		// The site prefix ignores locality and instance entirely.
+		if SitePrefix(id) != SitePrefix(Position(site, 0, 0)) {
+			t.Fatalf("site prefix varies with (loc,inst) for site %d", site)
+		}
+		// Successive instances are successive identifiers — the
+		// neighborship property (paper Sec. 3.2).
+		if inst+1 < MaxInstances {
+			if next := Position(site, loc, inst+1); uint64(next) != uint64(id)+1 {
+				t.Fatalf("instances not successive: %#x then %#x", uint64(id), uint64(next))
+			}
+		}
+	})
+}

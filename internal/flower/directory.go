@@ -10,6 +10,7 @@ import (
 	"flowercdn/internal/dring"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/ids"
+	"flowercdn/internal/metrics"
 )
 
 // directoryState is the extra state a peer carries while holding a
@@ -480,6 +481,11 @@ func (p *Peer) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int
 	if !ok || p.dead {
 		return
 	}
+	// Hop accounting at the directory: the D-ring forwardings this
+	// query took, surfaced as the run's mean-hops stat.
+	now := p.eng().Now()
+	p.sys.coll.Emit(metrics.CounterEvent(now, "lookup_hops", float64(hops)))
+	p.sys.coll.Emit(metrics.CounterEvent(now, "routed_queries", 1))
 	p.handleClientQuery(key, m)
 }
 

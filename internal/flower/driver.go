@@ -188,6 +188,32 @@ func (d *runtimeDriver) Spawn(ind proto.Individual) func() {
 	return kill
 }
 
+// RingMembers implements proto.RingInspector: one snapshot record per
+// alive, integrated D-ring directory peer, in creation order. Clients
+// and not-yet-integrated claimants are not ring members.
+func (d *runtimeDriver) RingMembers() []proto.RingMember {
+	var out []proto.RingMember
+	for _, p := range d.sys.peers {
+		if p.dead || p.chordNode == nil || p.dir == nil {
+			continue
+		}
+		self := p.chordNode.Self()
+		m := proto.RingMember{Node: self.Node, ID: self.ID, Pred: ringNodeOf(p.chordNode.Predecessor())}
+		for _, s := range p.chordNode.SuccessorList() {
+			m.Succs = append(m.Succs, ringNodeOf(s))
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func ringNodeOf(e chord.Entry) proto.RingNode {
+	if !e.Valid() {
+		return proto.RingNode{Node: runtime.None}
+	}
+	return proto.RingNodeOf(e.Node, e.ID)
+}
+
 func (d *runtimeDriver) Stats() proto.Stats {
 	st := d.sys.Stats()
 	return proto.Stats{

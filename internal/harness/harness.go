@@ -49,6 +49,9 @@ const (
 	ProtocolSquirrel Protocol = "squirrel"
 	// ProtocolChordGlobal is a global Chord directory without locality.
 	ProtocolChordGlobal Protocol = "chord-global"
+	// ProtocolKoordeGlobal is chord-global's deployment scheme routed
+	// over Koorde de Bruijn edges.
+	ProtocolKoordeGlobal Protocol = "koorde-global"
 	// ProtocolOriginOnly sends every query to the origin (the floor).
 	ProtocolOriginOnly Protocol = "origin-only"
 )
@@ -114,6 +117,35 @@ type Config struct {
 	// simulation speed). It runs on the run's callback goroutine and
 	// must not block.
 	OnWindow func(metrics.SeriesPoint)
+
+	// ChurnSchedule layers deterministic adversarial churn events on
+	// top of the background Poisson churn: mass joins, correlated mass
+	// failures, flapping bursts. Events fire at their absolute sim
+	// times on the run's callback goroutine; on a multi-process backend
+	// each process applies the schedule to its own population share.
+	ChurnSchedule []ChurnEvent
+	// Checkpoints are absolute run times at which OnCheckpoint fires —
+	// the hook internal/ringcheck uses to snapshot overlay state
+	// between churn events. Ignored when OnCheckpoint is nil.
+	Checkpoints []int64
+	// OnCheckpoint runs at each checkpoint with the deployment under
+	// test (assert on it via proto.RingInspector). It runs on the
+	// run's callback goroutine and must not block.
+	OnCheckpoint func(now int64, sys proto.System)
+}
+
+// ChurnEvent is one scheduled adversarial churn action. FailFraction
+// kills that share of the currently-online sessions (uniformly chosen,
+// never announced — like every churn departure); Join brings that many
+// individuals online immediately, each with a fresh exponential
+// lifetime. A single event may do both (fail first, then join).
+type ChurnEvent struct {
+	// At is the absolute run time of the event, in ms.
+	At int64
+	// FailFraction of currently-online sessions to kill, in [0, 1].
+	FailFraction float64
+	// Join is the number of immediate arrivals.
+	Join int
 }
 
 // ResolvedBackend returns the backend this config runs on ("sim" when
@@ -279,6 +311,17 @@ func (c Config) Validate() error {
 	if c.MessageLossRate < 0 || c.MessageLossRate >= 1 {
 		return errors.New("harness: message loss rate out of [0, 1)")
 	}
+	for i, ev := range c.ChurnSchedule {
+		if ev.At < 0 {
+			return fmt.Errorf("harness: churn event %d at negative time %d", i, ev.At)
+		}
+		if ev.FailFraction < 0 || ev.FailFraction > 1 {
+			return fmt.Errorf("harness: churn event %d fail fraction %g out of [0, 1]", i, ev.FailFraction)
+		}
+		if ev.Join < 0 {
+			return fmt.Errorf("harness: churn event %d joins %d", i, ev.Join)
+		}
+	}
 	return c.Workload.Validate()
 }
 
@@ -295,6 +338,11 @@ type Result struct {
 
 	MeanLookupMs   float64
 	MeanTransferMs float64
+	// MeanHops is the mean overlay hop count per routed directory
+	// query, for deployments that report per-query hop counts through
+	// the "lookup_hops"/"routed_queries" counter pair (the structured
+	// overlays do; origin-only has no overlay and reports 0).
+	MeanHops float64
 
 	// Quantiles complement the paper's means.
 	LookupQuantiles   metrics.LatencySummary
@@ -440,6 +488,9 @@ func Run(cfg Config) (*Result, error) {
 		res.Proto[k] = v
 	}
 	res.AlivePeers = int(res.Proto[proto.StatAlivePeers])
+	if rq := res.Proto["routed_queries"]; rq > 0 {
+		res.MeanHops = res.Proto["lookup_hops"] / rq
+	}
 
 	res.NetStats = net.Stats()
 	res.EventsProcessed = processed
@@ -490,11 +541,29 @@ func (p *pool) release(idx int) {
 	p.offline = append(p.offline, idx)
 }
 
+// session is one tracked online session. A session's kill closure may
+// be claimed by several schedulers at once — its churn lifetime timer
+// and a ChurnSchedule mass failure race freely — so stop is idempotent:
+// whichever fires first wins, every later call is a no-op.
+type session struct {
+	kill func()
+	dead bool
+}
+
+func (s *session) stop() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.kill()
+}
+
 // drive runs the protocol-agnostic experiment choreography: spawn the
 // deployment's bootstrap participants (staggered, each with a limited
 // uptime like any other peer), then let churn cycle the persistent
-// population through online sessions until the horizon. It returns the
-// number of events the backend processed.
+// population through online sessions until the horizon — with any
+// ChurnSchedule events and checkpoint callbacks layered on top. It
+// returns the number of events the backend processed.
 //
 // On a multi-process backend the choreography partitions: process g of
 // N hosts every bootstrap seed with index ≡ g (mod N) — at the seed's
@@ -522,6 +591,15 @@ func drive(cfg Config, rt runtime.Runtime, master *rnd.RNG, sys proto.System) (u
 	if churnTarget < 1 {
 		churnTarget = 1
 	}
+	// Every online session is tracked so scheduled mass failures can
+	// pick victims from the genuinely-alive set without double-killing
+	// sessions whose own departure timer fires later.
+	var live []*session
+	track := func(kill func()) *session {
+		s := &session{kill: kill}
+		live = append(live, s)
+		return s
+	}
 	spawn := func() func() {
 		idx, ind, ok := pl.take()
 		if !ok {
@@ -533,10 +611,10 @@ func drive(cfg Config, rt runtime.Runtime, master *rnd.RNG, sys proto.System) (u
 		}
 		kill := sys.Spawn(ind)
 		i := idx
-		return func() {
+		return track(func() {
 			kill()
 			pl.release(i)
-		}
+		}).stop
 	}
 	churnCfg := churn.Config{TargetPopulation: churnTarget, MeanUptime: cfg.MeanUptime}
 	proc, err := churn.NewProcess(churnCfg, clock, churnRNG, spawn)
@@ -554,14 +632,49 @@ func drive(cfg Config, rt runtime.Runtime, master *rnd.RNG, sys proto.System) (u
 		clock.Schedule(int64(i)*cfg.SeedStagger, func() {
 			ind, kill := sys.SpawnSeed(i)
 			idx := pl.add(ind)
-			clock.Schedule(proc.Lifetime(), func() {
+			clock.Schedule(proc.Lifetime(), track(func() {
 				kill()
 				pl.release(idx)
-			})
+			}).stop)
 		})
 	}
 	// Client arrivals start once the bootstrap population is up.
 	clock.Schedule(int64(seeds)*cfg.SeedStagger, proc.Start)
+
+	// Scheduled adversarial churn: failures pick victims by a
+	// deterministic permutation of the (ordered) live-session slice, so
+	// sim runs replay bit-identically; joins go through the same pool
+	// and get ordinary exponential lifetimes.
+	for _, ev := range cfg.ChurnSchedule {
+		ev := ev
+		clock.Schedule(ev.At, func() {
+			kept := live[:0]
+			for _, s := range live {
+				if !s.dead {
+					kept = append(kept, s)
+				}
+			}
+			live = kept
+			if n := int(ev.FailFraction*float64(len(live)) + 0.5); n > 0 {
+				perm := churnRNG.Perm(len(live))
+				for _, j := range perm[:n] {
+					live[j].stop()
+				}
+			}
+			for i := 0; i < groupShare(ev.Join, group, groups); i++ {
+				stop := spawn()
+				if stop == nil {
+					break // pool exhausted
+				}
+				clock.Schedule(proc.Lifetime(), stop)
+			}
+		})
+	}
+	if cfg.OnCheckpoint != nil {
+		for _, at := range cfg.Checkpoints {
+			clock.Schedule(at, func() { cfg.OnCheckpoint(clock.Now(), sys) })
+		}
+	}
 	processed := rt.Run(cfg.Duration)
 	sys.Stop()
 	return processed, nil

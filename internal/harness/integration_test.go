@@ -150,7 +150,7 @@ func TestPetalUpChurnWithLoss(t *testing.T) {
 // where every eviction decision must be just as order-independent.
 func TestLossyRunsAreDeterministic(t *testing.T) {
 	for _, bounded := range []bool{false, true} {
-		for _, p := range []Protocol{ProtocolFlower, ProtocolPetalUp, ProtocolSquirrel, ProtocolChordGlobal} {
+		for _, p := range []Protocol{ProtocolFlower, ProtocolPetalUp, ProtocolSquirrel, ProtocolChordGlobal, ProtocolKoordeGlobal} {
 			cfg := tinyConfig()
 			cfg.Protocol = p
 			cfg.Options = map[string]any{}

@@ -1,9 +1,7 @@
-package baseline
+package koorde
 
 import (
 	"errors"
-	"flowercdn/internal/rnd"
-	"flowercdn/internal/runtime"
 	"fmt"
 
 	"flowercdn/internal/chord"
@@ -11,41 +9,40 @@ import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/proto"
+	"flowercdn/internal/rnd"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/topology"
 	"flowercdn/internal/workload"
 )
 
-// chord-global: every peer joins one global Chord ring; each website
-// hashes to a *home node* (the ring successor of hash(site)) that
-// keeps a directory of which peers cache which of the site's objects.
-// Queries route to the home and are redirected to a RANDOM provider —
-// there is no locality notion anywhere, which is exactly what this
-// baseline isolates: directory caching without Flower-CDN's petals.
-//
-// The directory lives only at the current home. When the home fails it
-// is lost abruptly (as in Squirrel); peers rebuild it lazily through
-// periodic content-summary refreshes to their site's current home.
+// koorde-global: the chord-global baseline's deployment shape — one
+// global ring, per-website home directories, random redirection, no
+// locality — with Koorde's de Bruijn edges carrying every routed
+// query and summary. The two baselines differ in exactly one thing,
+// the routing geometry, so their hit ratios match and their hop
+// counts isolate O(log n / log b) against O(log n).
 
 func init() {
 	proto.Register(proto.Info{
-		Name:         "chord-global",
-		Summary:      "one global Chord directory per website, no locality petals",
+		Name:         "koorde-global",
+		Summary:      "chord-global's directory scheme routed over Koorde de Bruijn edges",
 		Compare:      true,
-		Order:        3,
-		CheckOptions: CheckChordGlobalOptions,
-	}, NewChordGlobalDriver)
+		Order:        4,
+		CheckOptions: CheckDriverOptions,
+	}, NewDriver)
 	// Socket-backend wire types (interface-typed payloads).
-	runtime.RegisterWireType(cgQuery{}, cgHomeResp{}, cgSummary{})
+	runtime.RegisterWireType(kgQuery{}, kgHomeResp{}, kgSummary{})
 }
 
-// chordGlobalConfig tunes the baseline.
-type chordGlobalConfig struct {
-	Chord chord.Config
+// driverConfig tunes the deployment around the overlay.
+type driverConfig struct {
+	Koorde Config
 	// ProvidersPerReply bounds how many providers a home suggests.
 	ProvidersPerReply int
 	// IndexCap bounds remembered providers per object.
 	IndexCap int
 	// RefreshInterval is the period of content-summary pushes to the
-	// site's current home (the lazy index rebuild after home churn).
+	// site's current home.
 	RefreshInterval int64
 	// QueryTimeout bounds one routed query attempt; QueryRetries is
 	// the number of attempts before the origin fallback.
@@ -55,30 +52,33 @@ type chordGlobalConfig struct {
 
 // Option keys the driver reads (defaults in parentheses):
 //
-//	providers-per-reply  int       providers suggested per query (1, Squirrel's single random redirect)
-//	index-cap            int       providers remembered per object (4, Squirrel's delegate cap)
-//	refresh-interval     int64 ms  summary push period (2 x keepalive-interval, else 2 h —
-//	                               summaries are bulk messages, so they refresh at half
-//	                               the keepalive rate)
+//	koorde-degree-bits   int       b: bits corrected per de Bruijn hop, degree 2^b (4)
+//	providers-per-reply  int       providers suggested per query (1)
+//	index-cap            int       providers remembered per object (4)
+//	refresh-interval     int64 ms  summary push period (2 x keepalive-interval, else 2 h)
 //	keepalive-interval   int64 ms  shared-vocabulary base for the refresh default
+//	query-timeout        int64 ms  one routed query attempt (10 s)
+//	chord-demo           bool      compressed maintenance timescales for demos
 //	cache-policy         string    per-peer store eviction policy ("none")
 //	cache-capacity       int       per-peer store capacity, objects
 //
-// The redirect and cap defaults deliberately match Squirrel's, so the
-// baseline differs from it in exactly two ways — site-granular homes
-// and the summary refresh — and from Flower-CDN in exactly one:
-// locality. Unknown keys are ignored.
+// Directory defaults deliberately match chord-global's, so the only
+// variable between the two baselines is the routing geometry. Unknown
+// keys are ignored.
 
-// lowerChordGlobalOptions resolves the option map into a validated
-// config — shared by the factory and the registry's static
-// CheckOptions hook.
-func lowerChordGlobalOptions(opts proto.Options) (chordGlobalConfig, proto.CacheConfig, error) {
-	chordCfg := chord.DefaultConfig()
+// lowerDriverOptions resolves the option map into a validated config —
+// shared by the factory and the registry's static CheckOptions hook.
+func lowerDriverOptions(opts proto.Options) (driverConfig, proto.CacheConfig, error) {
+	kc := DefaultConfig()
 	if opts.Bool("chord-demo", false) {
-		chordCfg = chord.DemoConfig()
+		kc = DemoConfig()
 	}
-	cfg := chordGlobalConfig{
-		Chord:             chordCfg,
+	if b := opts.Int("koorde-degree-bits", kc.DegreeBits); b != kc.DegreeBits {
+		kc.DegreeBits = b
+		kc.Chord.SuccessorListLen = succListFor(b, chord.DefaultConfig().SuccessorListLen)
+	}
+	cfg := driverConfig{
+		Koorde:            kc,
 		ProvidersPerReply: opts.Int("providers-per-reply", 1),
 		IndexCap:          opts.Int("index-cap", 4),
 		RefreshInterval:   opts.Duration("refresh-interval", 2*opts.Duration("keepalive-interval", runtime.Hour)),
@@ -87,41 +87,44 @@ func lowerChordGlobalOptions(opts proto.Options) (chordGlobalConfig, proto.Cache
 	}
 	cacheCfg, err := proto.CacheConfigFromOptions(opts)
 	if err != nil {
-		return cfg, cacheCfg, fmt.Errorf("baseline: %w", err)
+		return cfg, cacheCfg, fmt.Errorf("koorde: %w", err)
+	}
+	if err := kc.Validate(); err != nil {
+		return cfg, cacheCfg, err
 	}
 	if cfg.ProvidersPerReply < 1 || cfg.IndexCap < 1 {
-		return cfg, cacheCfg, fmt.Errorf("baseline: chord-global provider/index bounds must be positive (%d, %d)",
+		return cfg, cacheCfg, fmt.Errorf("koorde: provider/index bounds must be positive (%d, %d)",
 			cfg.ProvidersPerReply, cfg.IndexCap)
 	}
 	if cfg.RefreshInterval <= 0 {
-		return cfg, cacheCfg, errors.New("baseline: chord-global refresh interval must be positive")
+		return cfg, cacheCfg, errors.New("koorde: refresh interval must be positive")
 	}
 	return cfg, cacheCfg, nil
 }
 
-// CheckChordGlobalOptions statically validates the driver's options.
-func CheckChordGlobalOptions(opts proto.Options) error {
-	_, _, err := lowerChordGlobalOptions(opts)
+// CheckDriverOptions statically validates the driver's options.
+func CheckDriverOptions(opts proto.Options) error {
+	_, _, err := lowerDriverOptions(opts)
 	return err
 }
 
-// NewChordGlobalDriver builds a chord-global deployment.
-func NewChordGlobalDriver(env proto.Env, opts proto.Options) (proto.System, error) {
+// NewDriver builds a koorde-global deployment.
+func NewDriver(env proto.Env, opts proto.Options) (proto.System, error) {
 	if env.Net == nil || env.RNG == nil || env.Workload == nil || env.Origins == nil || env.Metrics == nil {
-		return nil, errors.New("baseline: missing dependency for chord-global")
+		return nil, errors.New("koorde: missing dependency for koorde-global")
 	}
-	cfg, cacheCfg, err := lowerChordGlobalOptions(opts)
+	cfg, cacheCfg, err := lowerDriverOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	d := &cgDriver{cfg: cfg, env: env, idRNG: env.RNG.Split("identities"),
+	d := &kgDriver{cfg: cfg, env: env, idRNG: env.RNG.Split("identities"),
 		newStore: cacheCfg.StoreFactory(env)}
 	d.registry.BindBus(env.Net)
 	return d, nil
 }
 
-type cgDriver struct {
-	cfg      chordGlobalConfig
+type kgDriver struct {
+	cfg      driverConfig
 	env      proto.Env
 	idRNG    *rnd.RNG
 	newStore func() *content.Store
@@ -131,44 +134,44 @@ type cgDriver struct {
 	registry chord.Registry
 	// peers tracks every peer ever spawned in creation order — the
 	// RingInspector snapshot source (dead peers are skipped).
-	peers    []*cgPeer
+	peers    []*kgPeer
 	spawned  uint64
 	alive    int
 	querySeq uint64
 }
 
-func (d *cgDriver) Start() {}
-func (d *cgDriver) Stop()  {}
+func (d *kgDriver) Start() {}
+func (d *kgDriver) Stop()  {}
 
-func (d *cgDriver) SeedCount() int { return proto.DefaultSeedCount(d.env) }
+func (d *kgDriver) SeedCount() int { return proto.DefaultSeedCount(d.env) }
 
-func (d *cgDriver) SpawnSeed(int) (proto.Individual, func()) {
+func (d *kgDriver) SpawnSeed(int) (proto.Individual, func()) {
 	ind := d.NewIndividual()
 	return ind, d.Spawn(ind)
 }
 
-func (d *cgDriver) NewIndividual() proto.Individual {
-	return Identity{
+func (d *kgDriver) NewIndividual() proto.Individual {
+	return kgIdentity{
 		Site:      d.env.Workload.AssignInterest(d.idRNG),
 		Placement: d.env.Topo.Place(d.idRNG),
 		Store:     d.newStore(),
 	}
 }
 
-func (d *cgDriver) Spawn(ind proto.Individual) func() {
-	id := ind.(Identity)
+func (d *kgDriver) Spawn(ind proto.Individual) func() {
+	id := ind.(kgIdentity)
 	d.spawned++
 	d.alive++
-	p := &cgPeer{
+	p := &kgPeer{
 		d:     d,
 		site:  id.Site,
 		store: id.Store,
-		rng:   d.env.RNG.Split(fmt.Sprintf("cg-peer-%d", d.spawned)),
+		rng:   d.env.RNG.Split(fmt.Sprintf("kg-peer-%d", d.spawned)),
 		index: make(map[content.Key][]runtime.NodeID),
 	}
 	p.nid = d.env.Net.Join(p, id.Placement)
-	ringID := ids.HashString(fmt.Sprintf("cg-peer-%d", p.nid))
-	node, err := chord.NewNode(d.cfg.Chord, d.env.Net, p.rng.Split("chord"), p, p.nid, ringID)
+	ringID := ids.HashString(fmt.Sprintf("kg-peer-%d", p.nid))
+	node, err := NewNode(d.cfg.Koorde, d.env.Net, p.rng.Split("koorde"), p, p.nid, ringID)
 	if err != nil {
 		panic(err) // config validated at build time
 	}
@@ -178,7 +181,7 @@ func (d *cgDriver) Spawn(ind proto.Individual) func() {
 	return p.kill
 }
 
-func (d *cgDriver) Stats() proto.Stats {
+func (d *kgDriver) Stats() proto.Stats {
 	return proto.Stats{
 		proto.StatPeersSpawned: float64(d.spawned),
 		proto.StatAlivePeers:   float64(d.alive),
@@ -187,98 +190,110 @@ func (d *cgDriver) Stats() proto.Stats {
 
 // RingMembers implements proto.RingInspector: one snapshot record per
 // alive, joined ring member, in creation order.
-func (d *cgDriver) RingMembers() []proto.RingMember {
+func (d *kgDriver) RingMembers() []proto.RingMember {
 	var out []proto.RingMember
 	for _, p := range d.peers {
 		if p.dead || !p.joined {
 			continue
 		}
-		out = append(out, ringMemberOf(p.node))
+		self := p.node.Self()
+		m := proto.RingMember{
+			Node: self.Node,
+			ID:   self.ID,
+			Pred: ringNode(p.node.Predecessor()),
+		}
+		for _, s := range p.node.SuccessorList() {
+			m.Succs = append(m.Succs, ringNode(s))
+		}
+		m.DeBruijn = []proto.RingNode{}
+		for _, e := range p.node.Pointers() {
+			m.DeBruijn = append(m.DeBruijn, ringNode(e))
+		}
+		out = append(out, m)
 	}
 	return out
 }
 
-// ringMemberOf snapshots one chord node's ring pointers.
-func ringMemberOf(n *chord.Node) proto.RingMember {
-	self := n.Self()
-	m := proto.RingMember{Node: self.Node, ID: self.ID, Pred: ringNodeOf(n.Predecessor())}
-	for _, s := range n.SuccessorList() {
-		m.Succs = append(m.Succs, ringNodeOf(s))
-	}
-	return m
-}
-
-func ringNodeOf(e chord.Entry) proto.RingNode {
+func ringNode(e chord.Entry) proto.RingNode {
 	if !e.Valid() {
 		return proto.RingNode{Node: runtime.None}
 	}
 	return proto.RingNodeOf(e.Node, e.ID)
 }
 
-func (d *cgDriver) nextSeq() uint64 {
+func (d *kgDriver) nextSeq() uint64 {
 	d.querySeq++
 	return d.querySeq
 }
 
 // gateway returns an alive registry entry, pruning dead ones lazily.
-func (d *cgDriver) gateway() chord.Entry {
+func (d *kgDriver) gateway() chord.Entry {
 	return d.registry.PickAlive(d.idRNG, d.env.Net.Alive, runtime.None)
 }
 
 // siteKey hashes a website onto the ring; its successor is the site's
-// directory home.
+// directory home. Same derivation domain as chord-global so workloads
+// spread comparably.
 func siteKey(site content.SiteID) ids.ID {
-	return ids.HashString(fmt.Sprintf("cg-site-%d", site))
+	return ids.HashString(fmt.Sprintf("kg-site-%d", site))
 }
 
 // ---- wire messages ----
 
-// cgQuery routes over Chord to the home node of the queried site.
-type cgQuery struct {
+// kgQuery routes over the de Bruijn edges to the queried site's home.
+type kgQuery struct {
 	Seq    uint64
 	Key    content.Key
 	Client runtime.NodeID
 }
 
-// cgHomeResp is the home's redirect, sent directly to the client.
-type cgHomeResp struct {
+// kgHomeResp is the home's redirect, sent directly to the client.
+type kgHomeResp struct {
 	Seq       uint64
 	Providers []runtime.NodeID
 }
 
-// cgSummary re-registers a peer's cached keys with the site's current
-// home — the only mechanism that restores a directory after the home
-// node fails.
-type cgSummary struct {
+// kgSummary re-registers a peer's cached keys with the site's current
+// home after home churn.
+type kgSummary struct {
 	Node runtime.NodeID
 	Keys []content.Key
 }
 
 // WireBytes sizes the summary by its key list.
-func (s cgSummary) WireBytes() int { return 32 + 8*len(s.Keys) }
+func (s kgSummary) WireBytes() int { return 32 + 8*len(s.Keys) }
 
-// cgPeer is one chord-global participant.
-type cgPeer struct {
-	d     *cgDriver
+// kgIdentity is the persistent part of a participant: interest,
+// location and cached content survive offline periods; the network
+// address and ring position are per session.
+type kgIdentity struct {
+	Site      content.SiteID
+	Placement topology.Placement
+	Store     *content.Store
+}
+
+// kgPeer is one koorde-global participant.
+type kgPeer struct {
+	d     *kgDriver
 	nid   runtime.NodeID
 	rng   *rnd.RNG
 	site  content.SiteID
 	store *content.Store
-	node  *chord.Node
+	node  *Node
 
 	// index is this node's slice of the directory: for every site this
 	// node is currently home of, object → providers, capped at
 	// IndexCap. It dies with the node.
 	index map[content.Key][]runtime.NodeID
 
-	query      *cgActiveQuery
+	query      *kgActiveQuery
 	queryTimer runtime.Timer
 	refresh    runtime.Ticker
 	joined     bool
 	dead       bool
 }
 
-type cgActiveQuery struct {
+type kgActiveQuery struct {
 	seq        uint64
 	key        content.Key
 	start      int64
@@ -291,7 +306,7 @@ type cgActiveQuery struct {
 	redirected bool
 }
 
-func (p *cgPeer) enterRing(attempts int) {
+func (p *kgPeer) enterRing(attempts int) {
 	if p.dead {
 		return
 	}
@@ -321,15 +336,14 @@ func (p *cgPeer) enterRing(attempts int) {
 	})
 }
 
-func (p *cgPeer) onJoined() {
+func (p *kgPeer) onJoined() {
 	p.joined = true
 	p.d.registry.Add(p.node.Self())
 	if p.d.env.Workload.Active(p.site) {
 		p.scheduleNextQuery(p.d.env.Workload.FirstQueryDelay(p.rng))
 	}
 	// Content summaries refresh the site's directory at the current
-	// home — jittered so a whole petal-less population doesn't push in
-	// lockstep.
+	// home — jittered so the population doesn't push in lockstep.
 	p.refresh = p.d.env.Clock.Every(
 		p.rng.UniformDuration(0, p.d.cfg.RefreshInterval), p.d.cfg.RefreshInterval, p.pushSummary)
 	// A re-joining individual may carry a full cache from earlier
@@ -339,15 +353,15 @@ func (p *cgPeer) onJoined() {
 	}
 }
 
-func (p *cgPeer) pushSummary() {
+func (p *kgPeer) pushSummary() {
 	if p.dead || !p.joined || p.store.Len() == 0 {
 		return
 	}
-	p.node.Route(siteKey(p.site), cgSummary{Node: p.nid, Keys: p.store.Keys()})
+	p.node.Route(siteKey(p.site), kgSummary{Node: p.nid, Keys: p.store.Keys()})
 	p.d.env.Metrics.Emit(metrics.CounterEvent(p.d.env.Clock.Now(), "summary_pushes", 1))
 }
 
-func (p *cgPeer) scheduleNextQuery(delay int64) {
+func (p *kgPeer) scheduleNextQuery(delay int64) {
 	p.queryTimer = p.d.env.Clock.Schedule(delay, func() {
 		if p.dead {
 			return
@@ -357,7 +371,7 @@ func (p *cgPeer) scheduleNextQuery(delay int64) {
 	})
 }
 
-func (p *cgPeer) kill() {
+func (p *kgPeer) kill() {
 	if p.dead {
 		return
 	}
@@ -374,7 +388,7 @@ func (p *cgPeer) kill() {
 	p.d.env.Net.Fail(p.nid)
 }
 
-func (p *cgPeer) issueQuery() {
+func (p *kgPeer) issueQuery() {
 	if p.dead || p.query != nil || !p.joined {
 		return
 	}
@@ -382,17 +396,17 @@ func (p *cgPeer) issueQuery() {
 	if !ok {
 		return
 	}
-	q := &cgActiveQuery{seq: p.d.nextSeq(), key: key, start: p.d.env.Clock.Now()}
+	q := &kgActiveQuery{seq: p.d.nextSeq(), key: key, start: p.d.env.Clock.Now()}
 	p.query = q
 	p.sendQuery(q)
 }
 
-func (p *cgPeer) sendQuery(q *cgActiveQuery) {
+func (p *kgPeer) sendQuery(q *kgActiveQuery) {
 	if p.dead || p.query != q {
 		return
 	}
 	q.attempt++
-	p.node.Route(siteKey(q.key.Site), cgQuery{Seq: q.seq, Key: q.key, Client: p.nid})
+	p.node.Route(siteKey(q.key.Site), kgQuery{Seq: q.seq, Key: q.key, Client: p.nid})
 	q.timeout = p.d.env.Clock.Schedule(p.d.cfg.QueryTimeout, func() {
 		if p.dead || p.query != q {
 			return
@@ -405,22 +419,20 @@ func (p *cgPeer) sendQuery(q *cgActiveQuery) {
 	})
 }
 
-// OnRouted implements chord.App: this node currently terminates
+// OnRouted implements koorde.App: this node currently terminates
 // routing for some site key (it is that site's home) or receives a
 // summary for it.
-func (p *cgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
+func (p *kgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
 	if p.dead {
 		return
 	}
 	switch m := payload.(type) {
-	case cgQuery:
-		// Hop accounting at the home: the overlay forwardings this
-		// query took, surfaced as the run's mean-hops stat.
+	case kgQuery:
 		now := p.d.env.Clock.Now()
 		p.d.env.Metrics.Emit(metrics.CounterEvent(now, "lookup_hops", float64(hops)))
 		p.d.env.Metrics.Emit(metrics.CounterEvent(now, "routed_queries", 1))
 		providers := p.index[m.Key]
-		resp := cgHomeResp{Seq: m.Seq}
+		resp := kgHomeResp{Seq: m.Seq}
 		// Random redirection — no locality information exists.
 		for _, i := range p.rng.Perm(len(providers)) {
 			if len(resp.Providers) >= p.d.cfg.ProvidersPerReply {
@@ -434,14 +446,14 @@ func (p *cgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
 		// or the origin): index it optimistically.
 		p.addProvider(m.Key, m.Client)
 		p.d.env.Net.Send(p.nid, m.Client, resp)
-	case cgSummary:
+	case kgSummary:
 		for _, k := range m.Keys {
 			p.addProvider(k, m.Node)
 		}
 	}
 }
 
-func (p *cgPeer) addProvider(k content.Key, nid runtime.NodeID) {
+func (p *kgPeer) addProvider(k content.Key, nid runtime.NodeID) {
 	ps := p.index[k]
 	for _, existing := range ps {
 		if existing == nid {
@@ -455,7 +467,7 @@ func (p *cgPeer) addProvider(k content.Key, nid runtime.NodeID) {
 	p.index[k] = ps
 }
 
-func (p *cgPeer) onHomeResp(m cgHomeResp) {
+func (p *kgPeer) onHomeResp(m kgHomeResp) {
 	q := p.query
 	if q == nil || q.seq != m.Seq || q.redirected {
 		return
@@ -468,7 +480,7 @@ func (p *cgPeer) onHomeResp(m cgHomeResp) {
 	p.probeProvider(q)
 }
 
-func (p *cgPeer) probeProvider(q *cgActiveQuery) {
+func (p *kgPeer) probeProvider(q *kgActiveQuery) {
 	if p.dead || p.query != q {
 		return
 	}
@@ -493,9 +505,8 @@ func (p *cgPeer) probeProvider(q *cgActiveQuery) {
 }
 
 // resolve records metrics and performs the transfer — the same
-// lookup-latency definition as the other deployments (time to reach
-// the destination that will provide the object).
-func (p *cgPeer) resolve(q *cgActiveQuery, outcome metrics.Outcome, provider runtime.NodeID) {
+// lookup-latency definition as the other deployments.
+func (p *kgPeer) resolve(q *kgActiveQuery, outcome metrics.Outcome, provider runtime.NodeID) {
 	if p.query != q {
 		return
 	}
@@ -528,21 +539,21 @@ func (p *cgPeer) resolve(q *cgActiveQuery, outcome metrics.Outcome, provider run
 
 // ---- runtime.Handler ----
 
-func (p *cgPeer) HandleMessage(from runtime.NodeID, msg any) {
+func (p *kgPeer) HandleMessage(from runtime.NodeID, msg any) {
 	if p.dead {
 		return
 	}
 	if p.node.HandleMessage(from, msg) {
 		return
 	}
-	if m, ok := msg.(cgHomeResp); ok {
+	if m, ok := msg.(kgHomeResp); ok {
 		p.onHomeResp(m)
 	}
 }
 
-func (p *cgPeer) HandleRequest(from runtime.NodeID, req any) (any, error) {
+func (p *kgPeer) HandleRequest(from runtime.NodeID, req any) (any, error) {
 	if p.dead {
-		return nil, errors.New("baseline: dead peer")
+		return nil, errors.New("koorde: dead peer")
 	}
 	if resp, err, ok := p.node.HandleRequest(from, req); ok {
 		return resp, err
@@ -550,5 +561,5 @@ func (p *cgPeer) HandleRequest(from runtime.NodeID, req any) (any, error) {
 	if r, ok := req.(workload.FetchReq); ok {
 		return workload.FetchResp{Key: r.Key, Served: p.store.Has(r.Key)}, nil
 	}
-	return nil, fmt.Errorf("baseline: unhandled request %T", req)
+	return nil, fmt.Errorf("koorde: unhandled request %T", req)
 }

@@ -1,0 +1,53 @@
+package proto
+
+import (
+	"flowercdn/internal/ids"
+	"flowercdn/internal/runtime"
+)
+
+// This file defines the optional ring-introspection capability a
+// deployment may expose so internal/ringcheck can assert structural
+// correctness (Zave's "How to Make Chord Correct" invariants) at
+// checkpoints of a deterministic run. Inspection is read-only and
+// outside the protocol: it sees the same pointers the nodes route by,
+// but never sends a message or advances the clock.
+
+// RingNode names one ring member as seen from another member's routing
+// state: its network address and ring position. The zero value (Node
+// == 0) is only meaningful when produced against runtime.None — use
+// Valid to test.
+type RingNode struct {
+	Node runtime.NodeID
+	ID   ids.ID
+}
+
+// Valid reports whether the reference names a node.
+func (r RingNode) Valid() bool { return r.Node != runtime.None }
+
+// RingMember is a point-in-time snapshot of one ALIVE overlay member's
+// ring state: its own position plus every pointer the checker needs.
+type RingMember struct {
+	// Node and ID identify the member itself.
+	Node runtime.NodeID
+	ID   ids.ID
+	// Pred is the member's predecessor pointer (possibly invalid).
+	Pred RingNode
+	// Succs is the member's successor list, closest first.
+	Succs []RingNode
+	// DeBruijn is the member's de Bruijn pointer candidate set (koorde
+	// only; nil for plain Chord overlays).
+	DeBruijn []RingNode
+}
+
+// RingInspector is the optional capability a deployment implements so
+// the invariant harness can snapshot its overlay: one RingMember per
+// currently-alive, fully-joined ring member. Implementations must be
+// deterministic (stable order for a given state) and side-effect free.
+type RingInspector interface {
+	RingMembers() []RingMember
+}
+
+// RingNodeOf is a convenience for the common chord.Entry shape.
+func RingNodeOf(node runtime.NodeID, id ids.ID) RingNode {
+	return RingNode{Node: node, ID: id}
+}

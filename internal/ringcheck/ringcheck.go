@@ -1,0 +1,284 @@
+// Package ringcheck is a correctness oracle for the ring overlays: it
+// takes a point-in-time snapshot of every alive member's routing state
+// (proto.RingInspector) and checks the invariants Zave's "How to Make
+// Chord Correct" proves sufficient for eventual lookup correctness —
+// there is at least one ring, at most one ring, the ring is ordered,
+// and every appendage node is connected to the ring — plus, for Koorde
+// deployments, that each member's de Bruijn pointer set actually
+// brackets its pointer anchor.
+//
+// The analysis runs over the EFFECTIVE successor graph: each member's
+// first successor-list entry that is alive in the snapshot. That is
+// the edge a lookup would actually traverse after the next repair, so
+// the oracle tolerates not-yet-noticed failures without tolerating
+// real partitions. The whole check is deterministic in the snapshot
+// order, so sim-backend runs report identical violations every time.
+package ringcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"flowercdn/internal/ids"
+	"flowercdn/internal/proto"
+	"flowercdn/internal/runtime"
+)
+
+// Options tunes the oracle.
+type Options struct {
+	// DegreeBits enables the Koorde de Bruijn pointer check: each
+	// member's pointer set must bracket predecessor(id << DegreeBits).
+	// 0 disables the check (plain Chord rings).
+	DegreeBits int
+	// StaleSteps is the tolerated ring-position lag between a cached de
+	// Bruijn pointer and the true anchor — churn moves the anchor
+	// between pointer refreshes, and a lagging pointer only costs
+	// correction hops. Defaults to DefaultStaleSteps when 0.
+	StaleSteps int
+}
+
+// DefaultStaleSteps is the pointer lag tolerance when Options leaves it
+// unset.
+const DefaultStaleSteps = 8
+
+// Violation is one invariant breach, attributed to a member when the
+// breach is local.
+type Violation struct {
+	// Kind classifies the breach: "broken-chain", "no-ring",
+	// "multiple-rings", "disordered-ring", "duplicate-position",
+	// "no-pointers" or "bad-pointer".
+	Kind string
+	// Node is the member the violation is attributed to (None for
+	// global breaches like "no-ring").
+	Node runtime.NodeID
+	// Detail is a human-readable account.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s[%v]: %s", v.Kind, v.Node, v.Detail)
+}
+
+// Report is the outcome of one snapshot check.
+type Report struct {
+	// Members is the snapshot size.
+	Members int
+	// RingSize is the length of the (largest) cycle in the effective
+	// successor graph.
+	RingSize int
+	// Appendages is how many members sit off the cycle but reach it.
+	Appendages int
+	// Violations lists every invariant breach; empty means the snapshot
+	// satisfies all checked invariants.
+	Violations []Violation
+}
+
+// OK reports whether the snapshot satisfied every invariant.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) violate(kind string, node runtime.NodeID, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Kind: kind, Node: node, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Check runs the oracle over one snapshot.
+func Check(members []proto.RingMember, opts Options) Report {
+	rep := Report{Members: len(members)}
+	if len(members) == 0 {
+		rep.violate("no-ring", runtime.None, "empty snapshot")
+		return rep
+	}
+	if opts.StaleSteps <= 0 {
+		opts.StaleSteps = DefaultStaleSteps
+	}
+
+	alive := make(map[runtime.NodeID]int, len(members))
+	for i, m := range members {
+		alive[m.Node] = i
+	}
+
+	// Effective successor: the first alive successor-list entry — the
+	// edge the member's lookups traverse once repair catches up.
+	succ := make([]int, len(members))
+	for i, m := range members {
+		succ[i] = -1
+		for _, s := range m.Succs {
+			if !s.Valid() {
+				continue
+			}
+			if j, ok := alive[s.Node]; ok {
+				succ[i] = j
+				break
+			}
+		}
+		if succ[i] < 0 {
+			rep.violate("broken-chain", m.Node,
+				"no alive successor among %d entries", len(m.Succs))
+		}
+	}
+
+	// Walk the effective successor graph: every member either lies on a
+	// cycle or on a tail leading into one (a Zave "appendage"). Count
+	// the cycles; Chord correctness demands exactly one.
+	const (
+		unseen = 0
+		active = 1
+		done   = 2
+	)
+	state := make([]int, len(members))
+	onCycle := make([]bool, len(members))
+	var cycles [][]int
+	for i := range members {
+		if state[i] != unseen {
+			continue
+		}
+		var path []int
+		at := i
+		for at >= 0 && state[at] == unseen {
+			state[at] = active
+			path = append(path, at)
+			at = succ[at]
+		}
+		if at >= 0 && state[at] == active {
+			// Found a new cycle: the path suffix from the re-entry point.
+			var cyc []int
+			for j := len(path) - 1; j >= 0; j-- {
+				cyc = append([]int{path[j]}, cyc...)
+				if path[j] == at {
+					break
+				}
+			}
+			for _, v := range cyc {
+				onCycle[v] = true
+			}
+			cycles = append(cycles, cyc)
+		}
+		for _, v := range path {
+			state[v] = done
+		}
+	}
+
+	switch len(cycles) {
+	case 0:
+		rep.violate("no-ring", runtime.None, "effective successor graph has no cycle")
+		return rep
+	case 1:
+	default:
+		for _, cyc := range cycles[1:] {
+			rep.violate("multiple-rings", members[cyc[0]].Node,
+				"extra ring of %d members beside the %d-member ring", len(cyc), len(cycles[0]))
+		}
+	}
+	ring := cycles[0]
+	for _, cyc := range cycles[1:] {
+		if len(cyc) > len(ring) {
+			ring = cyc
+		}
+	}
+	rep.RingSize = len(ring)
+	rep.Appendages = 0
+	for i := range members {
+		if !onCycle[i] && succ[i] >= 0 {
+			// A functional-graph tail always reaches a cycle; reaching a
+			// secondary cycle is already reported as multiple-rings.
+			rep.Appendages++
+		}
+	}
+
+	// Ordered ring: walking the cycle must pass the zero point exactly
+	// once — i.e. the members appear in sorted ID order. Adjacent equal
+	// IDs are duplicate ring positions, a breach of their own.
+	if len(ring) > 1 {
+		descents := 0
+		for k, i := range ring {
+			j := ring[(k+1)%len(ring)]
+			a, b := members[i].ID, members[j].ID
+			if a == b {
+				rep.violate("duplicate-position", members[j].Node,
+					"shares ring position %v with %v", b, members[i].Node)
+			} else if b < a {
+				descents++
+			}
+		}
+		if descents != 1 {
+			rep.violate("disordered-ring", runtime.None,
+				"%d order wraps around the %d-member ring, want exactly 1", descents, len(ring))
+		}
+	}
+
+	if opts.DegreeBits > 0 {
+		checkPointers(&rep, members, alive, opts)
+	}
+	return rep
+}
+
+// checkPointers validates the Koorde pointer sets: each member's set
+// must contain an alive entry within StaleSteps ring positions of the
+// true predecessor of id << b over the snapshot's sorted positions.
+// Members with an empty set are skipped individually (a freshly joined
+// node fixes pointers asynchronously), but a snapshot where nobody has
+// pointers fails outright.
+func checkPointers(rep *Report, members []proto.RingMember, alive map[runtime.NodeID]int, opts Options) {
+	// Ring positions sorted by ID; position index by member.
+	order := make([]int, len(members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return members[order[a]].ID < members[order[b]].ID })
+	posOf := make([]int, len(members))
+	for p, i := range order {
+		posOf[i] = p
+	}
+	n := len(members)
+
+	// predPos returns the sorted position of the last member with
+	// ID <= target (wrapping).
+	predPos := func(target ids.ID) int {
+		lo := sort.Search(n, func(k int) bool { return members[order[k]].ID > target })
+		return ((lo - 1) + n) % n
+	}
+	ringDist := func(a, b int) int {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			d = n - d
+		}
+		return d
+	}
+
+	sawSet := false
+	for _, m := range members {
+		if m.DeBruijn == nil {
+			// Not a Koorde member (mixed snapshots route here defensively).
+			continue
+		}
+		if len(m.DeBruijn) == 0 {
+			continue // pointer fix still in flight
+		}
+		sawSet = true
+		anchor := predPos(ids.ID(uint64(m.ID) << opts.DegreeBits))
+		bestLag := n
+		for _, e := range m.DeBruijn {
+			if !e.Valid() {
+				continue
+			}
+			j, ok := alive[e.Node]
+			if !ok {
+				continue
+			}
+			if lag := ringDist(posOf[j], anchor); lag < bestLag {
+				bestLag = lag
+			}
+		}
+		if bestLag > opts.StaleSteps {
+			rep.violate("bad-pointer", m.Node,
+				"nearest alive de Bruijn pointer is %d ring positions from the anchor (tolerance %d)",
+				bestLag, opts.StaleSteps)
+		}
+	}
+	if !sawSet {
+		rep.violate("no-pointers", runtime.None,
+			"no member of the %d-member snapshot has a de Bruijn pointer set", len(members))
+	}
+}

@@ -1,0 +1,247 @@
+package ringcheck
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"flowercdn/internal/ids"
+	"flowercdn/internal/proto"
+	"flowercdn/internal/runtime"
+)
+
+// mkRing builds a healthy snapshot of n members at the given IDs: each
+// lists its s ring successors, in order.
+func mkRing(nids []runtime.NodeID, ringIDs []ids.ID, s int) []proto.RingMember {
+	n := len(nids)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ringIDs[order[a]] < ringIDs[order[b]] })
+	members := make([]proto.RingMember, n)
+	for p, i := range order {
+		m := proto.RingMember{Node: nids[i], ID: ringIDs[i]}
+		prev := order[(p-1+n)%n]
+		m.Pred = proto.RingNodeOf(nids[prev], ringIDs[prev])
+		for k := 1; k <= s && k < n+1; k++ {
+			nx := order[(p+k)%n]
+			m.Succs = append(m.Succs, proto.RingNodeOf(nids[nx], ringIDs[nx]))
+		}
+		members[i] = m
+	}
+	return members
+}
+
+func testIDs(n int) ([]runtime.NodeID, []ids.ID) {
+	nids := make([]runtime.NodeID, n)
+	ringIDs := make([]ids.ID, n)
+	for i := range nids {
+		nids[i] = runtime.NodeID(i + 1)
+		ringIDs[i] = ids.HashString(fmt.Sprintf("rc-%d", i))
+	}
+	return nids, ringIDs
+}
+
+func TestHealthyRingPasses(t *testing.T) {
+	nids, ringIDs := testIDs(24)
+	rep := Check(mkRing(nids, ringIDs, 4), Options{})
+	if !rep.OK() {
+		t.Fatalf("healthy ring rejected: %v", rep.Violations)
+	}
+	if rep.RingSize != 24 || rep.Appendages != 0 {
+		t.Fatalf("ring size %d appendages %d, want 24/0", rep.RingSize, rep.Appendages)
+	}
+}
+
+func TestEffectiveSuccessorSkipsDead(t *testing.T) {
+	nids, ringIDs := testIDs(12)
+	members := mkRing(nids, ringIDs, 4)
+	// Drop three members from the snapshot without repairing anyone's
+	// successor lists: the survivors' effective successors skip them.
+	var kept []proto.RingMember
+	dead := map[runtime.NodeID]bool{nids[2]: true, nids[5]: true, nids[9]: true}
+	for _, m := range members {
+		if !dead[m.Node] {
+			kept = append(kept, m)
+		}
+	}
+	rep := Check(kept, Options{})
+	if !rep.OK() {
+		t.Fatalf("repairable snapshot rejected: %v", rep.Violations)
+	}
+	if rep.RingSize != 9 {
+		t.Fatalf("ring size %d, want 9", rep.RingSize)
+	}
+}
+
+func TestBrokenChainReported(t *testing.T) {
+	nids, ringIDs := testIDs(8)
+	members := mkRing(nids, ringIDs, 2)
+	// One member's every successor is dead: it cannot reach the ring.
+	members[3].Succs = []proto.RingNode{proto.RingNodeOf(runtime.NodeID(900), ids.ID(1)), proto.RingNodeOf(runtime.NodeID(901), ids.ID(2))}
+	rep := Check(members, Options{})
+	if rep.OK() {
+		t.Fatal("broken chain accepted")
+	}
+	if rep.Violations[0].Kind != "broken-chain" || rep.Violations[0].Node != members[3].Node {
+		t.Fatalf("violation %v, want broken-chain at %v", rep.Violations[0], members[3].Node)
+	}
+}
+
+func TestLoopyRingReported(t *testing.T) {
+	// Two disjoint cycles over one ID space: the classic partitioned
+	// "loopy" state Chord stabilization cannot repair.
+	nids, ringIDs := testIDs(12)
+	a := make([]runtime.NodeID, 0, 6)
+	ai := make([]ids.ID, 0, 6)
+	b := make([]runtime.NodeID, 0, 6)
+	bi := make([]ids.ID, 0, 6)
+	for i := range nids {
+		if i%2 == 0 {
+			a, ai = append(a, nids[i]), append(ai, ringIDs[i])
+		} else {
+			b, bi = append(b, nids[i]), append(bi, ringIDs[i])
+		}
+	}
+	members := append(mkRing(a, ai, 2), mkRing(b, bi, 2)...)
+	rep := Check(members, Options{})
+	if rep.OK() {
+		t.Fatal("two disjoint rings accepted")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "multiple-rings" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no multiple-rings violation in %v", rep.Violations)
+	}
+}
+
+func TestDisorderedRingReported(t *testing.T) {
+	nids, ringIDs := testIDs(8)
+	members := mkRing(nids, ringIDs, 1)
+	// Swap two members' successor pointers: the cycle survives but
+	// visits positions out of ID order.
+	members[1].Succs, members[4].Succs = members[4].Succs, members[1].Succs
+	rep := Check(members, Options{})
+	if rep.OK() {
+		t.Fatal("disordered ring accepted")
+	}
+	kinds := map[string]bool{}
+	for _, v := range rep.Violations {
+		kinds[v.Kind] = true
+	}
+	if !kinds["disordered-ring"] && !kinds["multiple-rings"] {
+		t.Fatalf("no order violation in %v", rep.Violations)
+	}
+}
+
+func TestAppendageCounted(t *testing.T) {
+	nids, ringIDs := testIDs(9)
+	members := mkRing(nids[:8], ringIDs[:8], 2)
+	// A ninth member points INTO the ring but nobody points back yet —
+	// a freshly joining appendage. Still a correct configuration.
+	app := proto.RingMember{Node: nids[8], ID: ringIDs[8]}
+	app.Succs = []proto.RingNode{proto.RingNodeOf(members[0].Node, members[0].ID)}
+	members = append(members, app)
+	rep := Check(members, Options{})
+	if !rep.OK() {
+		t.Fatalf("appendage configuration rejected: %v", rep.Violations)
+	}
+	if rep.RingSize != 8 || rep.Appendages != 1 {
+		t.Fatalf("ring %d appendages %d, want 8/1", rep.RingSize, rep.Appendages)
+	}
+}
+
+func TestDuplicatePositionReported(t *testing.T) {
+	nids, ringIDs := testIDs(6)
+	members := mkRing(nids, ringIDs, 2)
+	// Give one member another's ring ID; its successor edges still make
+	// it part of the cycle.
+	members[2].ID = members[3].ID
+	rep := Check(members, Options{})
+	if rep.OK() {
+		t.Fatal("duplicate ring position accepted")
+	}
+}
+
+// deBruijnSets fills each member's pointer set with the true anchor
+// neighborhood (predecessor of id << b and a few of its successors).
+func deBruijnSets(members []proto.RingMember, b int) {
+	n := len(members)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return members[order[x]].ID < members[order[y]].ID })
+	for i := range members {
+		target := ids.ID(uint64(members[i].ID) << b)
+		lo := sort.Search(n, func(k int) bool { return members[order[k]].ID > target })
+		pred := ((lo - 1) + n) % n
+		set := []proto.RingNode{}
+		for k := 0; k < 4 && k < n; k++ {
+			j := order[(pred+k)%n]
+			set = append(set, proto.RingNodeOf(members[j].Node, members[j].ID))
+		}
+		members[i].DeBruijn = set
+	}
+}
+
+func TestDeBruijnPointersChecked(t *testing.T) {
+	nids, ringIDs := testIDs(24)
+	members := mkRing(nids, ringIDs, 4)
+	deBruijnSets(members, 4)
+	rep := Check(members, Options{DegreeBits: 4})
+	if !rep.OK() {
+		t.Fatalf("valid pointer sets rejected: %v", rep.Violations)
+	}
+
+	// Point one member's whole set at the ring-opposite of its anchor:
+	// far outside any staleness tolerance.
+	far := members[11].DeBruijn[0]
+	anchor := ids.ID(uint64(members[11].ID)<<4 + 1<<63)
+	for i := range members {
+		if ids.Distance(anchor, members[i].ID) < ids.Distance(anchor, far.ID) {
+			far = proto.RingNodeOf(members[i].Node, members[i].ID)
+		}
+	}
+	members[11].DeBruijn = []proto.RingNode{far}
+	rep = Check(members, Options{DegreeBits: 4, StaleSteps: 2})
+	if rep.OK() {
+		t.Fatal("ring-opposite pointer set accepted")
+	}
+	var bad *Violation
+	for i, v := range rep.Violations {
+		if v.Kind == "bad-pointer" {
+			bad = &rep.Violations[i]
+		}
+	}
+	if bad == nil || bad.Node != members[11].Node {
+		t.Fatalf("no bad-pointer violation at %v in %v", members[11].Node, rep.Violations)
+	}
+}
+
+func TestNoPointersAnywhereReported(t *testing.T) {
+	nids, ringIDs := testIDs(8)
+	members := mkRing(nids, ringIDs, 2)
+	for i := range members {
+		members[i].DeBruijn = []proto.RingNode{}
+	}
+	rep := Check(members, Options{DegreeBits: 4})
+	if rep.OK() {
+		t.Fatal("pointerless koorde snapshot accepted")
+	}
+	if rep.Violations[0].Kind != "no-pointers" {
+		t.Fatalf("violation %v, want no-pointers", rep.Violations[0])
+	}
+}
+
+func TestEmptySnapshotReported(t *testing.T) {
+	rep := Check(nil, Options{})
+	if rep.OK() {
+		t.Fatal("empty snapshot accepted")
+	}
+}

@@ -111,3 +111,28 @@ func (d *runtimeDriver) Stats() proto.Stats {
 		proto.StatAlivePeers:   float64(d.sys.AliveMembers()),
 	}
 }
+
+// RingMembers implements proto.RingInspector: one snapshot record per
+// alive, joined ring member, in creation order.
+func (d *runtimeDriver) RingMembers() []proto.RingMember {
+	var out []proto.RingMember
+	for _, p := range d.sys.peers {
+		if p.dead || !p.joined {
+			continue
+		}
+		self := p.node.Self()
+		m := proto.RingMember{Node: self.Node, ID: self.ID, Pred: ringNodeOf(p.node.Predecessor())}
+		for _, s := range p.node.SuccessorList() {
+			m.Succs = append(m.Succs, ringNodeOf(s))
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func ringNodeOf(e chord.Entry) proto.RingNode {
+	if !e.Valid() {
+		return proto.RingNode{Node: runtime.None}
+	}
+	return proto.RingNodeOf(e.Node, e.ID)
+}

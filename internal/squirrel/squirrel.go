@@ -106,6 +106,9 @@ type System struct {
 	// registry is the ring-member gateway set, mirrored across
 	// processes on multi-process backends (chord.Registry).
 	registry chord.Registry
+	// peers tracks every peer ever spawned in creation order, for
+	// ring-state inspection (dead peers are skipped).
+	peers    []*Peer
 	follower bool
 	spawned  uint64
 	querySeq uint64
@@ -189,9 +192,14 @@ func (s *System) SpawnIdentity(id Identity) (*Peer, func()) {
 		panic(err) // config validated
 	}
 	p.node = node
+	s.peers = append(s.peers, p)
 	p.enterRing(3)
 	return p, p.kill
 }
+
+// Peers returns every peer ever spawned, in creation order (dead ones
+// included; callers filter by Alive).
+func (s *System) Peers() []*Peer { return s.peers }
 
 func (s *System) nextSeq() uint64 {
 	s.querySeq++
@@ -375,11 +383,16 @@ func (p *Peer) sendQuery(q *activeQuery) {
 
 // OnRouted implements chord.App: this node is the home for the queried
 // object.
-func (p *Peer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, _ int) {
+func (p *Peer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
 	m, ok := payload.(queryMsg)
 	if !ok || p.dead {
 		return
 	}
+	// Hop accounting at the home: the overlay forwardings this query
+	// took, surfaced as the run's mean-hops stat.
+	now := p.sys.eng.Now()
+	p.sys.coll.Emit(metrics.CounterEvent(now, "lookup_hops", float64(hops)))
+	p.sys.coll.Emit(metrics.CounterEvent(now, "routed_queries", 1))
 	delegates := p.dir[m.Key]
 	// Random redirection — Squirrel has no locality information.
 	resp := homeResp{Seq: m.Seq}

@@ -15,12 +15,13 @@ func (r *Result) Table() string {
 	// the grid and seeds, never on how the sweep was scheduled.
 	fmt.Fprintf(&b, "Sweep: %d cells x %d seeds (%d runs)\n",
 		len(r.Cells), seedsPerCell(r), r.TotalRuns)
-	fmt.Fprintf(&b, "  %-28s %-10s %-7s %-16s %-16s %-18s %-18s\n",
-		"cell", "protocol", "P", "hit ratio", "tail hit", "lookup (ms)", "transfer (ms)")
+	fmt.Fprintf(&b, "  %-28s %-13s %-7s %-16s %-16s %-18s %-18s %-12s\n",
+		"cell", "protocol", "P", "hit ratio", "tail hit", "lookup (ms)", "transfer (ms)", "hops")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "  %-28s %-10s %-7d %-16s %-16s %-18s %-18s\n",
+		fmt.Fprintf(&b, "  %-28s %-13s %-7d %-16s %-16s %-18s %-18s %-12s\n",
 			c.Name, c.Protocol, c.Population,
-			c.HitRatio, c.TailHitRatio, msStat(c.MeanLookupMs), msStat(c.MeanTransferMs))
+			c.HitRatio, c.TailHitRatio, msStat(c.MeanLookupMs), msStat(c.MeanTransferMs),
+			hopStat(c.MeanHops))
 	}
 	return b.String()
 }
@@ -39,6 +40,18 @@ func msStat(s metrics.Stat) string {
 	return fmt.Sprintf("%.0f ±%.0f", s.Mean, s.CI95)
 }
 
+// hopStat renders the overlay hop column: "-" for deployments that
+// report no hop counts (origin-only has no overlay to hop across).
+func hopStat(s metrics.Stat) string {
+	if s.Mean == 0 {
+		return "-"
+	}
+	if s.N < 2 {
+		return fmt.Sprintf("%.2f", s.Mean)
+	}
+	return fmt.Sprintf("%.2f ±%.2f", s.Mean, s.CI95)
+}
+
 // csvHeader is the fixed column set CSV emits.
 var csvHeader = []string{
 	"cell", "protocol", "population", "seeds",
@@ -46,6 +59,7 @@ var csvHeader = []string{
 	"tail_hit_mean", "tail_hit_stddev", "tail_hit_ci95",
 	"lookup_ms_mean", "lookup_ms_stddev", "lookup_ms_ci95",
 	"transfer_ms_mean", "transfer_ms_stddev", "transfer_ms_ci95",
+	"hops_mean", "hops_stddev", "hops_ci95",
 	"queries_mean", "unresolved_mean",
 }
 
@@ -62,7 +76,7 @@ func (r *Result) CSV() string {
 			fmt.Sprintf("%d", c.Population),
 			fmt.Sprintf("%d", len(c.Seeds)),
 		}
-		for _, s := range []metrics.Stat{c.HitRatio, c.TailHitRatio, c.MeanLookupMs, c.MeanTransferMs} {
+		for _, s := range []metrics.Stat{c.HitRatio, c.TailHitRatio, c.MeanLookupMs, c.MeanTransferMs, c.MeanHops} {
 			fields = append(fields,
 				fmt.Sprintf("%g", s.Mean),
 				fmt.Sprintf("%g", s.Stddev),

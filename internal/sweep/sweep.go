@@ -83,6 +83,10 @@ type CellResult struct {
 	TailHitRatio   metrics.Stat
 	MeanLookupMs   metrics.Stat
 	MeanTransferMs metrics.Stat
+	// MeanHops summarizes overlay routing cost per routed query, for
+	// deployments that report hop counts (0 for the rest) — the metric
+	// the Koorde-vs-Chord comparison turns on.
+	MeanHops metrics.Stat
 	// Queries and Unresolved summarize load and failure diagnostics.
 	Queries    metrics.Stat
 	Unresolved metrics.Stat
@@ -162,12 +166,13 @@ func Run(spec Spec) (*Result, error) {
 			Seeds:      append([]uint64(nil), spec.Seeds...),
 			Runs:       runs,
 		}
-		var hit, tail, lookup, transfer, queries, unresolved []float64
+		var hit, tail, lookup, transfer, hops, queries, unresolved []float64
 		for _, r := range runs {
 			hit = append(hit, r.HitRatio)
 			tail = append(tail, r.TailHitRatio)
 			lookup = append(lookup, r.MeanLookupMs)
 			transfer = append(transfer, r.MeanTransferMs)
+			hops = append(hops, r.MeanHops)
 			queries = append(queries, float64(r.Queries))
 			unresolved = append(unresolved, float64(r.Unresolved))
 		}
@@ -175,6 +180,7 @@ func Run(spec Spec) (*Result, error) {
 		cr.TailHitRatio = metrics.Summarize(tail)
 		cr.MeanLookupMs = metrics.Summarize(lookup)
 		cr.MeanTransferMs = metrics.Summarize(transfer)
+		cr.MeanHops = metrics.Summarize(hops)
 		cr.Queries = metrics.Summarize(queries)
 		cr.Unresolved = metrics.Summarize(unresolved)
 		out.Cells = append(out.Cells, cr)

@@ -179,6 +179,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("RequestResponse", func(t *testing.T) { testRequestResponse(t, f) })
 	t.Run("RequestAppError", func(t *testing.T) { testRequestAppError(t, f) })
 	t.Run("RequestTimeout", func(t *testing.T) { testRequestTimeout(t, f) })
+	t.Run("LateDuplicateResponse", func(t *testing.T) { testLateDuplicateResponse(t, f) })
 	t.Run("JoinFailLifecycle", func(t *testing.T) { testJoinFailLifecycle(t, f) })
 	t.Run("LossSampling", func(t *testing.T) { testLossSampling(t, f) })
 	t.Run("StatsAccounting", func(t *testing.T) { testStatsAccounting(t, f) })
@@ -373,6 +374,86 @@ func testRequestTimeout(t *testing.T, f Factory) {
 	}
 	if st := w.aggregate(); st.RequestsTimedOut < 1 {
 		t.Errorf("aggregate stats %+v, want >=1 request timed out", st)
+	}
+}
+
+// testLateDuplicateResponse pins the stale-response contract: when a
+// handler's reply arrives after the requester's timeout already fired,
+// the backend must discard it silently — no panic, no double callback,
+// and above all no leak into a later request's correlation slot. The
+// trap is a backend that keys in-flight requests by something reusable
+// (the node pair, say, instead of a unique sequence number): the first
+// request's late reply would then resolve the second request with the
+// wrong payload.
+func testLateDuplicateResponse(t *testing.T, f Factory) {
+	w := build(t, f, 0)
+	src, dst := w.at(0), w.at(1)
+	topo := src.Topology()
+
+	// Far corners: the modeled one-way latency is large, so a timeout
+	// of half of it is guaranteed to fire before the reply's return leg
+	// lands — the reply is *in flight* when the requester gives up.
+	a := src.Join(&recorder{}, place(topo, 0.02, 0.02))
+	b := dst.Join(&recorder{onReq: func(_ runtime.NodeID, req any) (any, error) {
+		return Pong{N: req.(Ping).N}, nil
+	}}, place(topo, 0.98, 0.98))
+	w.eventually(t, "join mirrored", func() bool { return src.Alive(b) && dst.Alive(a) })
+	lat := src.Latency(a, b)
+	if lat < 100 {
+		t.Fatalf("modeled corner-to-corner latency %dms too small to race a timeout against", lat)
+	}
+
+	var mu sync.Mutex
+	firstCalls := 0
+	var firstErr error
+	src.Request(a, b, Ping{N: 1}, lat/2, func(_ any, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		firstCalls++
+		firstErr = err
+	})
+	w.eventually(t, "first request timed out", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstCalls > 0
+	})
+	mu.Lock()
+	if !errors.Is(firstErr, runtime.ErrTimeout) {
+		t.Fatalf("first request resolved with %v, want ErrTimeout", firstErr)
+	}
+	mu.Unlock()
+
+	// Let the orphaned reply complete its return leg (full round trip
+	// plus slack) while no request is outstanding: the backend must
+	// swallow it without panicking.
+	w.step(2*lat + 200)
+
+	// A second request on the same (a, b) pair must resolve with *its*
+	// response, untouched by the first request's late reply.
+	var resp any
+	var rerr error
+	secondDone := false
+	src.Request(a, b, Ping{N: 2}, 10*runtime.Second, func(r any, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		resp, rerr, secondDone = r, err, true
+	})
+	w.eventually(t, "second request resolved", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return secondDone
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if rerr != nil {
+		t.Fatalf("second request failed: %v", rerr)
+	}
+	if p, ok := resp.(Pong); !ok || p.N != 2 {
+		t.Fatalf("second request got %#v — the first request's late reply leaked in", resp)
+	}
+	if firstCalls != 1 {
+		t.Fatalf("first request's callback ran %d times, want exactly 1", firstCalls)
 	}
 }
 

@@ -28,8 +28,11 @@ type SweepCellResult struct {
 	TailHitRatio   metrics.Stat
 	MeanLookupMs   metrics.Stat
 	MeanTransferMs metrics.Stat
-	Queries        metrics.Stat
-	Unresolved     metrics.Stat
+	// MeanHops is the overlay routing cost per routed query (0 for
+	// deployments without an overlay).
+	MeanHops   metrics.Stat
+	Queries    metrics.Stat
+	Unresolved metrics.Stat
 
 	// Runs holds the underlying per-seed results, index-aligned with
 	// Seeds.
@@ -85,6 +88,7 @@ func Sweep(cells []SweepCell, seeds []uint64, workers int) (*SweepResult, error)
 			TailHitRatio:   c.TailHitRatio,
 			MeanLookupMs:   c.MeanLookupMs,
 			MeanTransferMs: c.MeanTransferMs,
+			MeanHops:       c.MeanHops,
 			Queries:        c.Queries,
 			Unresolved:     c.Unresolved,
 		}
