@@ -8,10 +8,10 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-PR ?= 6
+PR ?= 7
 BENCH_JSON := BENCH_PR$(PR).json
 
-.PHONY: build test race vet fmt check bench bench-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke invariants-smoke fuzz-smoke staticcheck clean
+.PHONY: build test race vet fmt check bench bench-smoke bench-delta fingerprint-check realtime-smoke cache-grid-smoke socket-smoke codec-smoke invariants-smoke fuzz-smoke staticcheck clean
 
 build:
 	go build ./...
@@ -44,6 +44,14 @@ bench:
 	go test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | go run ./cmd/benchjson > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 
+# bench-delta diffs this PR's committed trajectory against the
+# previous PR's: per-benchmark ns/op and allocs/op movement, slowdowns
+# past 10% flagged. Informational — trajectory files may come from
+# different machines.
+PREV_PR ?= $(shell echo $$(( $(PR) - 1 )))
+bench-delta:
+	go run ./cmd/benchjson -delta BENCH_PR$(PREV_PR).json $(BENCH_JSON)
+
 # bench-smoke is the CI-sized slice: one iteration of the cheap
 # benchmarks, just enough to catch rot in the bench harness itself.
 bench-smoke:
@@ -71,6 +79,12 @@ realtime-smoke:
 socket-smoke:
 	go run ./cmd/flowersim -backend socket -spawn-local 3 -population 50 -horizon 6s
 
+# codec-smoke is socket-smoke under the hand-rolled binary wire codec:
+# the same 3-process TCP population, every payload moving through the
+# per-type marshallers and the write-side batching path instead of gob.
+codec-smoke:
+	go run ./cmd/flowersim -backend socket -spawn-local 3 -population 50 -horizon 6s -codec binary
+
 # staticcheck runs the pinned version through `go run`, so CI and local
 # invocations cannot drift (CI calls this same target). Needs network
 # on first run to fetch the tool.
@@ -94,6 +108,8 @@ invariants-smoke:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	go test ./internal/socknet/ -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+	go test ./internal/socknet/ -run '^$$' -fuzz FuzzBinaryFrameRoundTrip -fuzztime $(FUZZTIME)
+	go test ./internal/socknet/ -run '^$$' -fuzz FuzzBinaryDecode -fuzztime $(FUZZTIME)
 	go test ./internal/socknet/ -run '^$$' -fuzz FuzzFrameReadPrefix -fuzztime $(FUZZTIME)
 	go test ./internal/dring/ -run '^$$' -fuzz FuzzPositionRoundTrip -fuzztime $(FUZZTIME)
 

@@ -8,13 +8,24 @@
 // Each benchmark line becomes one record keyed by its full name, with
 // every reported metric (ns/op, B/op, allocs/op, and custom
 // b.ReportMetric units like flower-hit) parsed into a metrics map.
+//
+// Delta mode compares two committed trajectory files instead of
+// reading stdin (see the Makefile's bench-delta target):
+//
+//	benchjson -delta BENCH_PR6.json BENCH_PR7.json
+//
+// It prints per-benchmark ns/op and allocs/op changes for every name
+// the files share, flagging slowdowns past 10% — informational, not a
+// gate, since trajectory files may come from different machines.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,6 +54,19 @@ type Output struct {
 }
 
 func main() {
+	delta := flag.Bool("delta", false, "compare two trajectory JSON files: benchjson -delta OLD NEW")
+	flag.Parse()
+	if *delta {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -delta needs exactly two files: benchjson -delta OLD NEW")
+			os.Exit(2)
+		}
+		if err := printDelta(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	out := Output{Env: map[string]string{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -98,4 +122,62 @@ func parseLine(line string) (Record, bool) {
 		rec.Metrics[rest[i+1]] = v
 	}
 	return rec, len(rec.Metrics) > 0
+}
+
+// loadTrajectory reads one committed BENCH_PR*.json document and
+// indexes its records by package-qualified benchmark name.
+func loadTrajectory(path string) (map[string]Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out Output
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	recs := make(map[string]Record, len(out.Benchmarks))
+	for _, r := range out.Benchmarks {
+		recs[r.Package+" "+r.Name] = r
+	}
+	return recs, nil
+}
+
+// printDelta renders the ns/op and allocs/op movement between two
+// trajectory files for every benchmark they share.
+func printDelta(oldPath, newPath string) error {
+	oldRecs, err := loadTrajectory(oldPath)
+	if err != nil {
+		return err
+	}
+	newRecs, err := loadTrajectory(newPath)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(newRecs))
+	for k := range newRecs {
+		if _, ok := oldRecs[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-64s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	slower := 0
+	for _, k := range keys {
+		o, n := oldRecs[k], newRecs[k]
+		oNs, nNs := o.Metrics["ns/op"], n.Metrics["ns/op"]
+		if oNs == 0 || nNs == 0 {
+			continue
+		}
+		pct := (nNs - oNs) / oNs * 100
+		mark := ""
+		if pct > 10 {
+			mark = "  ! slower"
+			slower++
+		}
+		allocs := fmt.Sprintf("%.0f -> %.0f", o.Metrics["allocs/op"], n.Metrics["allocs/op"])
+		fmt.Printf("%-64s %14.1f %14.1f %+7.1f%% %16s%s\n", n.Name, oNs, nNs, pct, allocs, mark)
+	}
+	fmt.Printf("%d shared benchmarks (%d only in %s, %d only in %s), %d past the 10%% slowdown mark\n",
+		len(keys), len(oldRecs)-len(keys), oldPath, len(newRecs)-len(keys), newPath, slower)
+	return nil
 }

@@ -74,6 +74,7 @@ func main() {
 		groupIdx   = flag.Int("group", -1, "socket backend: this process's index in -peers (default: position of -listen)")
 		groupCount = flag.Int("groups", 0, "socket backend: expected group count (asserted against -peers)")
 		spawnLocal = flag.Int("spawn-local", 0, "socket backend: fork N local processes into one population")
+		codecName  = flag.String("codec", "", fmt.Sprintf("socket backend: wire codec, one of %v (empty = gob)", flowercdn.Codecs()))
 	)
 	flag.Parse()
 
@@ -93,7 +94,7 @@ func main() {
 			"population": true, "horizon": true, "loss": true,
 			"cache-policy": true, "cache-capacity": true,
 			"listen": true, "peers": true, "group": true, "groups": true,
-			"spawn-local": true,
+			"spawn-local": true, "codec": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if !socketFlagNames[f.Name] {
@@ -111,6 +112,7 @@ func main() {
 				"-loss", fmt.Sprint(*loss),
 				"-cache-policy", *cachePolicy,
 				"-cache-capacity", fmt.Sprint(*cacheCap),
+				"-codec", *codecName,
 			}
 			spawnLocalGroup(*spawnLocal, passthrough)
 			return
@@ -120,6 +122,7 @@ func main() {
 			peers:  *peersList,
 			group:  *groupIdx,
 			groups: *groupCount,
+			codec:  *codecName,
 		})
 		return
 	}

@@ -43,6 +43,7 @@ type socketFlags struct {
 	peers  string
 	group  int
 	groups int
+	codec  string
 }
 
 // runSocket executes one process of a socket-backend population and
@@ -74,6 +75,7 @@ func runSocket(protocol string, seed uint64, population int, horizon time.Durati
 		Listen: sf.listen,
 		Peers:  peers,
 		Group:  group,
+		Codec:  sf.codec,
 	})
 	cfg.Protocol = harness.Protocol(protocol)
 	cfg.Seed = seed
@@ -97,6 +99,14 @@ func runSocket(protocol string, seed uint64, population int, horizon time.Durati
 	fmt.Printf("completed in %v wall time (%d events, %d messages sent, %d delivered here)\n",
 		time.Since(start).Round(time.Millisecond), res.EventsProcessed,
 		res.NetStats.MessagesSent, res.NetStats.MessagesDelivered)
+	if w := res.Wire; w != nil {
+		perBatch := float64(0)
+		if w.BatchesSent > 0 {
+			perBatch = float64(w.FramesSent) / float64(w.BatchesSent)
+		}
+		fmt.Printf("wire: codec=%s, %d frames in %d batches out (%.1f frames/batch), %d bytes out, %d bytes in\n",
+			w.Codec, w.FramesSent, w.BatchesSent, perBatch, w.BytesSent, w.BytesRead)
+	}
 	fmt.Print(harness.FormatSummary(res))
 
 	// The smoke contract: this process issued queries and they were

@@ -1,0 +1,46 @@
+package baseline
+
+import (
+	"flowercdn/internal/content"
+	"flowercdn/internal/runtime"
+)
+
+// Binary wire marshallers for the chord-global driver's messages.
+
+func (m cgQuery) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(m.Seq)
+	m.Key.AppendWire(w)
+	w.Node(m.Client)
+}
+
+func (cgQuery) DecodeWire(r *runtime.WireReader) any {
+	var m cgQuery
+	m.Seq = r.Uvarint()
+	m.Key = content.DecodeKeyWire(r)
+	m.Client = r.Node()
+	return m
+}
+
+func (m cgHomeResp) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(m.Seq)
+	w.Nodes(m.Providers)
+}
+
+func (cgHomeResp) DecodeWire(r *runtime.WireReader) any {
+	var m cgHomeResp
+	m.Seq = r.Uvarint()
+	m.Providers = r.Nodes()
+	return m
+}
+
+func (m cgSummary) AppendWire(w *runtime.WireWriter) {
+	w.Node(m.Node)
+	content.AppendKeysWire(w, m.Keys)
+}
+
+func (cgSummary) DecodeWire(r *runtime.WireReader) any {
+	var m cgSummary
+	m.Node = r.Node()
+	m.Keys = content.DecodeKeysWire(r)
+	return m
+}

@@ -1,0 +1,17 @@
+package baseline
+
+import (
+	"testing"
+
+	"flowercdn/internal/content"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/wiretest"
+)
+
+func TestWireRoundTrips(t *testing.T) {
+	k := content.Key{Site: 2, Object: 8}
+	wiretest.RoundTrip(t, cgQuery{Seq: 1, Key: k, Client: 3})
+	wiretest.RoundTrip(t, cgHomeResp{Seq: 1, Providers: []runtime.NodeID{2, 9}})
+	wiretest.RoundTrip(t, cgSummary{Node: 4, Keys: []content.Key{k, {Site: 2, Object: 9}}})
+	wiretest.RoundTrip(t, cgSummary{Node: 4})
+}

@@ -1,0 +1,35 @@
+package bloom
+
+import "flowercdn/internal/runtime"
+
+// Binary wire marshaller for the filter, mirroring the gob wire struct
+// (gob.go): geometry plus the bit array, without leaking the
+// unexported field names into the format.
+
+// AppendWire implements runtime.WireMessage.
+func (f *Filter) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(uint64(len(f.bits)))
+	for _, word := range f.bits {
+		w.U64(word)
+	}
+	w.U64(f.nbits)
+	w.Int(f.hashes)
+	w.Int(f.count)
+}
+
+// DecodeWire implements runtime.WireMessage; the receiver is the
+// registered prototype and is never read.
+func (*Filter) DecodeWire(r *runtime.WireReader) any {
+	f := &Filter{}
+	n := r.ArrayLen(8)
+	if r.Err() == nil && n > 0 {
+		f.bits = make([]uint64, n)
+		for i := range f.bits {
+			f.bits[i] = r.U64()
+		}
+	}
+	f.nbits = r.U64()
+	f.hashes = r.Int()
+	f.count = r.Int()
+	return f
+}

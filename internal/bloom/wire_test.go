@@ -1,0 +1,24 @@
+package bloom_test
+
+import (
+	"testing"
+
+	"flowercdn/internal/bloom"
+	// The filter's wire-type registration lives with the protocol that
+	// ships it (flower's driver init); pull it in so the binary codec
+	// has a tag for *bloom.Filter in this test binary too.
+	_ "flowercdn/internal/flower"
+	"flowercdn/internal/wiretest"
+)
+
+// TestWireRoundTrips checks a real (populated) filter survives every
+// codec — membership answers included, since DeepEqual covers the bit
+// array and geometry.
+func TestWireRoundTrips(t *testing.T) {
+	f := bloom.NewForCapacity(100, 0.01)
+	for k := uint64(0); k < 40; k++ {
+		f.Add(k * 0x9e3779b97f4a7c15)
+	}
+	wiretest.RoundTrip(t, f)
+	wiretest.RoundTrip(t, bloom.New(64, 2))
+}

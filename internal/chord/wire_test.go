@@ -1,0 +1,35 @@
+package chord
+
+import (
+	"testing"
+
+	"flowercdn/internal/ids"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/wiretest"
+)
+
+// TestWireRoundTrips pushes a populated exemplar of every chord
+// message through each registered codec. routeMsg carries a nested
+// registered payload, so the interface-tagging path (WireWriter.Any)
+// is exercised with real contents here, not just nil.
+func TestWireRoundTrips(t *testing.T) {
+	e := Entry{Node: 7, ID: ids.ID(0x9e3779b97f4a7c15)}
+	for _, msg := range []any{
+		routeMsg{Key: ids.ID(42), Payload: GatewayAnnounce{E: e}, ReqID: 9, Origin: 3, Hops: 2, Deliver: true},
+		routeMsg{Key: ids.ID(1)}, // pure lookup: nil payload survives too
+		lookupReply{ReqID: 9, Owner: e, Hops: 4},
+		notifyMsg{From: e},
+		neighborsReq{},
+		neighborsResp{Pred: e, Succs: []Entry{e, {Node: 8, ID: 1}}},
+		pingReq{},
+		pingResp{},
+		claimReq{Pos: ids.ID(77), Claimant: e},
+		claimResp{Granted: true, Current: e},
+		claimResp{Current: NoEntry},
+		claimTransfer{Pos: ids.ID(5), Claimant: e},
+		GatewayAnnounce{E: e},
+		GatewayRetract{Node: runtime.None},
+	} {
+		wiretest.RoundTrip(t, msg)
+	}
+}

@@ -1,0 +1,53 @@
+package content
+
+import (
+	"fmt"
+	"math"
+
+	"flowercdn/internal/runtime"
+)
+
+// Binary wire helpers for Key. Keys appear in nearly every protocol
+// message, so the encoding lives here once: two signed varints (site,
+// object) — both small in practice, so a key usually costs two bytes
+// against the eight of its packed form.
+
+// AppendWire appends k's canonical encoding.
+func (k Key) AppendWire(w *runtime.WireWriter) {
+	w.Varint(int64(k.Site))
+	w.Varint(int64(k.Object))
+}
+
+// DecodeKeyWire reads one Key, rejecting IDs outside the 32-bit range
+// (a wrapped cast would break the canonical re-encode property).
+func DecodeKeyWire(r *runtime.WireReader) Key {
+	site := r.Varint()
+	obj := r.Varint()
+	if r.Err() == nil && (site > math.MaxInt32 || site < math.MinInt32 ||
+		obj > math.MaxInt32 || obj < math.MinInt32) {
+		r.Fail(fmt.Errorf("content: key component out of range (%d, %d)", site, obj))
+		return Key{}
+	}
+	return Key{Site: SiteID(site), Object: ObjectID(obj)}
+}
+
+// AppendKeysWire appends a length-prefixed Key slice.
+func AppendKeysWire(w *runtime.WireWriter, ks []Key) {
+	w.Uvarint(uint64(len(ks)))
+	for _, k := range ks {
+		k.AppendWire(w)
+	}
+}
+
+// DecodeKeysWire reads a length-prefixed Key slice (nil when empty).
+func DecodeKeysWire(r *runtime.WireReader) []Key {
+	n := r.ArrayLen(2)
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]Key, n)
+	for i := range out {
+		out[i] = DecodeKeyWire(r)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package content
+
+import (
+	"testing"
+
+	"flowercdn/internal/runtime"
+)
+
+func TestKeyWireRoundTrip(t *testing.T) {
+	for _, k := range []Key{{}, {Site: 3, Object: 9}, {Site: 1<<31 - 1, Object: -(1 << 31)}} {
+		w := runtime.NewWireWriter(nil)
+		k.AppendWire(w)
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		r := runtime.NewWireReader(w.Finish())
+		got := DecodeKeyWire(r)
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if got != k || r.Len() != 0 {
+			t.Fatalf("round trip %+v -> %+v (%d trailing)", k, got, r.Len())
+		}
+	}
+}
+
+func TestKeysWireRoundTrip(t *testing.T) {
+	for _, ks := range [][]Key{nil, {{Site: 1, Object: 2}, {Site: 3, Object: 4}}} {
+		w := runtime.NewWireWriter(nil)
+		AppendKeysWire(w, ks)
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		r := runtime.NewWireReader(w.Finish())
+		got := DecodeKeysWire(r)
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ks) {
+			t.Fatalf("round trip %v -> %v", ks, got)
+		}
+		for i := range ks {
+			if got[i] != ks[i] {
+				t.Fatalf("round trip %v -> %v", ks, got)
+			}
+		}
+	}
+}
+
+// TestKeyWireRejectsOutOfRange pins the canonical-encoding guard: a
+// component outside 32 bits would decode, wrap, and re-encode to
+// different bytes, so the decoder must reject it instead.
+func TestKeyWireRejectsOutOfRange(t *testing.T) {
+	w := runtime.NewWireWriter(nil)
+	w.Varint(int64(1) << 40)
+	w.Varint(5)
+	r := runtime.NewWireReader(w.Finish())
+	DecodeKeyWire(r)
+	if r.Err() == nil {
+		t.Fatal("out-of-range key component accepted")
+	}
+}

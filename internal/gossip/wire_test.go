@@ -1,0 +1,22 @@
+package gossip
+
+import (
+	"testing"
+
+	"flowercdn/internal/wiretest"
+)
+
+// TestWireRoundTrips covers the shuffle messages under every codec.
+// Meta stays nil here — gossip does not know the application's
+// metadata types; flower's wire tests shuffle entries carrying real
+// ContactMeta.
+func TestWireRoundTrips(t *testing.T) {
+	for _, msg := range []any{
+		shuffleReq{From: 4, Entries: []Entry{{Peer: 1, Age: 0}, {Peer: 9, Age: 3}}},
+		shuffleReq{From: 2},
+		shuffleResp{Entries: []Entry{{Peer: 5, Age: 1}}},
+		shuffleResp{},
+	} {
+		wiretest.RoundTrip(t, msg)
+	}
+}

@@ -31,9 +31,11 @@ import (
 	// The harness resolves backends solely through the runtime registry;
 	// importing the built-in backends keeps every harness caller able to
 	// name them, the same way internal/protocols registers the drivers.
+	// socknet is additionally imported for its WireStats type, the
+	// serialized-traffic report the socket backend alone can produce.
 	_ "flowercdn/internal/rtnet"
 	_ "flowercdn/internal/simrt"
-	_ "flowercdn/internal/socknet"
+	"flowercdn/internal/socknet"
 )
 
 // Protocol names the deployment under test; any name registered with
@@ -381,6 +383,11 @@ type Result struct {
 
 	NetStats        runtime.TransportStats
 	EventsProcessed uint64
+	// Wire reports the actual serialized traffic — frame bytes, batch
+	// counts, the codec in use — when the backend has a wire at all
+	// (socket backend only; nil elsewhere). Compare its BytesSent with
+	// NetStats.BytesSent to see modeled versus real message sizes.
+	Wire *socknet.WireStats
 }
 
 // ProtoStat reads one generic protocol stat (0 when absent).
@@ -493,6 +500,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res.NetStats = net.Stats()
+	if ws, ok := net.(interface{ WireStats() socknet.WireStats }); ok {
+		w := ws.WireStats()
+		res.Wire = &w
+	}
 	res.EventsProcessed = processed
 	res.Fingerprint = fingerprint(coll.Windows(), obs.windowMessages(), res.NetStats)
 	return res, nil

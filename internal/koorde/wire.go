@@ -1,0 +1,72 @@
+package koorde
+
+import (
+	"flowercdn/internal/content"
+	"flowercdn/internal/ids"
+	"flowercdn/internal/runtime"
+)
+
+// Binary wire marshallers for the de Bruijn route message and the
+// koorde-global driver's messages.
+
+func (m dbRouteMsg) AppendWire(w *runtime.WireWriter) {
+	w.U64(uint64(m.Key))
+	w.U64(uint64(m.I))
+	w.U64(m.KShift)
+	w.Int(m.BitsLeft)
+	w.Any(m.Payload)
+	w.Node(m.Origin)
+	w.Int(m.Hops)
+	w.Bool(m.Deliver)
+}
+
+func (dbRouteMsg) DecodeWire(r *runtime.WireReader) any {
+	var m dbRouteMsg
+	m.Key = ids.ID(r.U64())
+	m.I = ids.ID(r.U64())
+	m.KShift = r.U64()
+	m.BitsLeft = r.Int()
+	m.Payload = r.Any()
+	m.Origin = r.Node()
+	m.Hops = r.Int()
+	m.Deliver = r.Bool()
+	return m
+}
+
+func (m kgQuery) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(m.Seq)
+	m.Key.AppendWire(w)
+	w.Node(m.Client)
+}
+
+func (kgQuery) DecodeWire(r *runtime.WireReader) any {
+	var m kgQuery
+	m.Seq = r.Uvarint()
+	m.Key = content.DecodeKeyWire(r)
+	m.Client = r.Node()
+	return m
+}
+
+func (m kgHomeResp) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(m.Seq)
+	w.Nodes(m.Providers)
+}
+
+func (kgHomeResp) DecodeWire(r *runtime.WireReader) any {
+	var m kgHomeResp
+	m.Seq = r.Uvarint()
+	m.Providers = r.Nodes()
+	return m
+}
+
+func (m kgSummary) AppendWire(w *runtime.WireWriter) {
+	w.Node(m.Node)
+	content.AppendKeysWire(w, m.Keys)
+}
+
+func (kgSummary) DecodeWire(r *runtime.WireReader) any {
+	var m kgSummary
+	m.Node = r.Node()
+	m.Keys = content.DecodeKeysWire(r)
+	return m
+}

@@ -1,0 +1,29 @@
+package koorde
+
+import (
+	"testing"
+
+	"flowercdn/internal/content"
+	"flowercdn/internal/ids"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/wiretest"
+)
+
+// TestWireRoundTrips covers the de Bruijn routing message (with a
+// nested registered payload) and the driver's query/summary messages.
+func TestWireRoundTrips(t *testing.T) {
+	k := content.Key{Site: 6, Object: 1}
+	for _, msg := range []any{
+		dbRouteMsg{
+			Key: ids.ID(11), I: ids.ID(22), KShift: 1 << 60, BitsLeft: 12,
+			Payload: kgQuery{Seq: 2, Key: k, Client: 4},
+			Origin:  4, Hops: 3, Deliver: true,
+		},
+		dbRouteMsg{Key: ids.ID(1)},
+		kgQuery{Seq: 2, Key: k, Client: 4},
+		kgHomeResp{Seq: 2, Providers: []runtime.NodeID{8}},
+		kgSummary{Node: 3, Keys: []content.Key{k}},
+	} {
+		wiretest.RoundTrip(t, msg)
+	}
+}

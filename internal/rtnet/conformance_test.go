@@ -13,15 +13,17 @@ import (
 // against the wall-clock loopback. Steps cost real time here, so the
 // suite is the slow-but-honest leg of the contract matrix.
 func TestTransportConformance(t *testing.T) {
-	transporttest.Run(t, func(t *testing.T, topoSeed uint64, lossRate float64, lossSeed uint64, _ int) *transporttest.World {
-		topo := topology.MustNew(topology.DefaultConfig(), rnd.New(topoSeed))
-		rt := New(topo)
-		if lossRate > 0 {
-			rt.Network().SetLossRate(lossRate, rnd.New(lossSeed))
-		}
-		return &transporttest.World{
-			Transports: []runtime.Transport{rt.Net()},
-			Run:        func(until int64) { rt.Run(until) },
+	transporttest.RunCodecs(t, func(string) transporttest.Factory {
+		return func(t *testing.T, topoSeed uint64, lossRate float64, lossSeed uint64, _ int) *transporttest.World {
+			topo := topology.MustNew(topology.DefaultConfig(), rnd.New(topoSeed))
+			rt := New(topo)
+			if lossRate > 0 {
+				rt.Network().SetLossRate(lossRate, rnd.New(lossSeed))
+			}
+			return &transporttest.World{
+				Transports: []runtime.Transport{rt.Net()},
+				Run:        func(until int64) { rt.Run(until) },
+			}
 		}
 	})
 }

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"flowercdn/internal/rnd"
 	"flowercdn/internal/topology"
@@ -48,6 +49,17 @@ type SocketConfig struct {
 	Peers []string
 	// Group is this process's index into Peers.
 	Group int
+	// Codec names the wire codec for payload serialization; "" means
+	// DefaultCodec. Every process of a group must configure the same
+	// codec — the handshake rejects mixed groups.
+	Codec string
+	// BatchWindow bounds how long the write side may hold a frame to
+	// coalesce it with successors into one batch (0 = backend default;
+	// negative = flush every frame immediately).
+	BatchWindow time.Duration
+	// BatchBytes caps the bytes coalesced into one batch before an
+	// immediate flush (0 = backend default).
+	BatchBytes int
 }
 
 // Validate checks the group description.
@@ -63,6 +75,12 @@ func (c *SocketConfig) Validate() error {
 	}
 	if c.Listen == "" {
 		return fmt.Errorf("runtime: socket config needs a listen address")
+	}
+	if !CodecRegistered(c.Codec) {
+		return fmt.Errorf("runtime: unknown codec %q (registered: %v)", c.Codec, Codecs())
+	}
+	if c.BatchBytes < 0 {
+		return fmt.Errorf("runtime: negative batch byte bound %d", c.BatchBytes)
 	}
 	return nil
 }

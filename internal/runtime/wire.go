@@ -1,6 +1,11 @@
 package runtime
 
-import "sync"
+import (
+	"hash/fnv"
+	"reflect"
+	"sort"
+	"sync"
+)
 
 // This file holds the two seams a *multi-process* Transport needs
 // beyond the Transport interface itself: a broadcast side-channel for
@@ -62,4 +67,24 @@ func WireTypes() []any {
 	out := make([]any, len(wireTypes))
 	copy(out, wireTypes)
 	return out
+}
+
+// WireRegistrySum fingerprints the wire-type registry: FNV-1a over the
+// sorted fully qualified type names. Two processes whose sums differ
+// were built with different protocol sets and would disagree on binary
+// type tags (or gob type availability), so the socket handshake
+// exchanges this value and fails fast on mismatch instead of
+// corrupting mid-run traffic.
+func WireRegistrySum() uint64 {
+	names := make([]string, 0, len(wireTypes))
+	for _, v := range WireTypes() {
+		names = append(names, typeKey(reflect.TypeOf(v)))
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }

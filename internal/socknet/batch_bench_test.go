@@ -1,0 +1,106 @@
+package socknet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+)
+
+// BenchmarkBatchedThroughput prices the write-side batching decision:
+// the same message stream pushed through a real localhost TCP pair as
+// one-frame batches (every message its own syscall — the pre-batching
+// behavior) versus 8 and 64 frames per batch. Each frame is encoded
+// per message, exactly like writeFrame does; the reader decodes every
+// frame through the readLoop's readBatch/forEachFrame path. The
+// msgs/s metric is the headline; ns/op is per message end to end.
+func BenchmarkBatchedThroughput(b *testing.B) {
+	for _, name := range codecNames {
+		for _, size := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/batch=%d", name, size), func(b *testing.B) {
+				benchBatchedThroughput(b, name, size)
+			})
+		}
+	}
+}
+
+func benchBatchedThroughput(b *testing.B, codecName string, size int) {
+	c := testCodec(b, codecName)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lis.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- conn
+	}()
+	cli, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	srv, ok := <-accepted
+	if !ok {
+		b.Fatal("accept failed")
+	}
+	defer srv.Close()
+
+	total := b.N
+	readDone := make(chan error, 1)
+	go func() {
+		br := bufio.NewReaderSize(srv, 1<<16)
+		var body []byte
+		seen := 0
+		for seen < total {
+			if _, err := readBatch(br, &body); err != nil {
+				readDone <- err
+				return
+			}
+			n, err := forEachFrame(body, c, func(frame) {})
+			if err != nil {
+				readDone <- err
+				return
+			}
+			seen += n
+		}
+		readDone <- nil
+	}()
+
+	f := testFrame()
+	var fb []byte
+	batch := make([]byte, batchHeader, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for sent := 0; sent < total; {
+		k := size
+		if total-sent < k {
+			k = total - sent
+		}
+		batch = batch[:batchHeader]
+		for i := 0; i < k; i++ {
+			fb, err = appendFrame(fb[:0], f, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch = appendSubFrame(batch, fb)
+		}
+		finishBatch(batch)
+		if _, err := cli.Write(batch); err != nil {
+			b.Fatal(err)
+		}
+		sent += k
+	}
+	if err := <-readDone; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(total)/s, "msgs/s")
+	}
+}

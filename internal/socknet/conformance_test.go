@@ -16,7 +16,7 @@ import (
 // TCP inside the test process: each instance listens on an ephemeral
 // port, dials the others, and gets its own wall-clock run loop — the
 // same wiring as n separate OS processes, minus the fork.
-func newLocalGroup(t *testing.T, n int, topoSeed uint64, lossRate float64, lossSeed uint64) *transporttest.World {
+func newLocalGroup(t *testing.T, n int, topoSeed uint64, lossRate float64, lossSeed uint64, codec string) *transporttest.World {
 	t.Helper()
 	listeners := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -38,7 +38,7 @@ func newLocalGroup(t *testing.T, n int, topoSeed uint64, lossRate float64, lossS
 		go func() {
 			defer wg.Done()
 			cfg := Config{
-				Socket: runtime.SocketConfig{Listen: addrs[i], Peers: addrs, Group: i},
+				Socket: runtime.SocketConfig{Listen: addrs[i], Peers: addrs, Group: i, Codec: codec},
 				// Every instance builds the identical topology from the
 				// shared seed, exactly like cooperating processes do.
 				Topo:     topology.MustNew(topology.DefaultConfig(), rnd.New(topoSeed)),
@@ -83,17 +83,21 @@ func newLocalGroup(t *testing.T, n int, topoSeed uint64, lossRate float64, lossS
 }
 
 // TestTransportConformance runs the shared Transport contract suite
-// across three genuinely TCP-connected transport instances.
+// across three genuinely TCP-connected transport instances, once per
+// registered codec: the same Send/Request/timeout/loss contracts must
+// hold whether the frames carry gob or hand-rolled binary payloads.
 func TestTransportConformance(t *testing.T) {
-	transporttest.Run(t, func(t *testing.T, topoSeed uint64, lossRate float64, lossSeed uint64, instances int) *transporttest.World {
-		return newLocalGroup(t, instances, topoSeed, lossRate, lossSeed)
+	transporttest.RunCodecs(t, func(codec string) transporttest.Factory {
+		return func(t *testing.T, topoSeed uint64, lossRate float64, lossSeed uint64, instances int) *transporttest.World {
+			return newLocalGroup(t, instances, topoSeed, lossRate, lossSeed, codec)
+		}
 	})
 }
 
 // TestStrideOwnership pins the NodeID partition scheme: instance g
 // mints g, g+N, g+2N, … so ownership needs no coordination.
 func TestStrideOwnership(t *testing.T) {
-	w := newLocalGroup(t, 3, 1, 0, 0)
+	w := newLocalGroup(t, 3, 1, 0, 0, "")
 	topo := w.Transports[0].Topology()
 	pl := topology.Placement{Pos: topology.Point{X: 0.5, Y: 0.5}, Loc: topo.LocalityOf(topology.Point{X: 0.5, Y: 0.5})}
 	defer w.Close()
@@ -114,7 +118,7 @@ func TestStrideOwnership(t *testing.T) {
 // every other instance's subscribers (on their run loops) and never
 // loops back to the announcer.
 func TestAnnounceBus(t *testing.T) {
-	w := newLocalGroup(t, 3, 1, 0, 0)
+	w := newLocalGroup(t, 3, 1, 0, 0, "binary")
 	defer w.Close()
 
 	var mu sync.Mutex
@@ -157,7 +161,7 @@ func TestAnnounceBus(t *testing.T) {
 // same observable outcome churn produces, so protocol code needs no
 // special case.
 func TestPeerShutdownMarksGroupDead(t *testing.T) {
-	w := newLocalGroup(t, 3, 1, 0, 0)
+	w := newLocalGroup(t, 3, 1, 0, 0, "")
 	defer w.Close()
 	topo := w.Transports[0].Topology()
 	pl := topology.Placement{Pos: topology.Point{X: 0.5, Y: 0.5}, Loc: topo.LocalityOf(topology.Point{X: 0.5, Y: 0.5})}

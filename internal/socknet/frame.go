@@ -1,9 +1,7 @@
 package socknet
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
 
@@ -11,23 +9,30 @@ import (
 	"flowercdn/internal/topology"
 )
 
-// The wire protocol: length-prefixed gob frames. Every frame is an
-// independent gob stream (type info included), prefixed by a 4-byte
-// big-endian length, so the reader can slice one frame off the
-// connection without sharing decoder state across frames — a broken
-// frame poisons nothing but itself. Interface-typed payloads decode
-// because every concrete message type crossing a process boundary is
-// gob-registered up front from the runtime wire-type registry
-// (runtime.RegisterWireType).
+// The wire protocol, format v2: length-prefixed BATCHES of frames.
+//
+//	batch     = u32 big-endian body length | sub-frame*
+//	sub-frame = uvarint frame length | frame
+//	frame     = kind byte | header fields | payload
+//
+// Frame headers (addressing, correlation IDs, join placements) are
+// hand-rolled canonical binary regardless of codec; only the payload —
+// the interface-typed protocol message — goes through the configured
+// runtime.Codec, so "gob" and "binary" runs share one envelope and one
+// batching path. The payload is the frame's trailing bytes: the
+// sub-frame length delimits it, no inner prefix needed.
+//
+// Connections open with a preamble (see appendPreamble), not a frame:
+// magic, format version, codec name and the wire-type registry
+// checksum, so mismatched builds fail the handshake with a clear error
+// instead of corrupting mid-run traffic — the PR-5 sharp edge.
 
 // frameKind discriminates the frame union.
 type frameKind uint8
 
 const (
-	// frameHello opens a connection: the dialer identifies its group.
-	frameHello frameKind = iota + 1
 	// frameJoin mirrors a node registration to every other process.
-	frameJoin
+	frameJoin frameKind = iota + 1
 	// frameFail mirrors a node failure.
 	frameFail
 	// frameSend carries a one-way message to the target's owner.
@@ -40,13 +45,9 @@ const (
 )
 
 // frame is the single wire message. Which fields are meaningful
-// depends on Kind; gob omits zero fields, so the union costs little.
+// depends on Kind.
 type frame struct {
 	Kind frameKind
-
-	// Hello.
-	Group  int
-	Groups int
 
 	// Join / Fail subject.
 	ID    runtime.NodeID
@@ -68,48 +69,169 @@ type frame struct {
 	Payload any
 }
 
-// maxFrameBytes bounds a single frame read — anything larger indicates
-// a corrupt length prefix, not a real message.
-const maxFrameBytes = 64 << 20
-
-// encodeFrame renders one length-prefixed frame.
-func encodeFrame(f frame) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-		return nil, fmt.Errorf("socknet: encode %v frame: %w", f.Kind, err)
+// carriesPayload reports whether k's frame ends in a codec-encoded
+// message.
+func carriesPayload(k frameKind) bool {
+	switch k {
+	case frameSend, frameRequest, frameResponse, frameAnnounce:
+		return true
 	}
-	b := buf.Bytes()
-	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
-	return b, nil
+	return false
 }
 
-// readFrame reads one length-prefixed frame off r.
-func readFrame(r io.Reader) (frame, int, error) {
-	var hdr [4]byte
+// maxBatchBytes bounds a single batch read — anything larger indicates
+// a corrupt length prefix, not real traffic.
+const maxBatchBytes = 64 << 20
+
+// batchHeader is the length-prefix placeholder a pending batch buffer
+// starts with.
+const batchHeader = 4
+
+// appendFrame appends one frame body (no sub-frame length prefix).
+func appendFrame(buf []byte, f frame, codec runtime.Codec) ([]byte, error) {
+	w := runtime.NewWireWriter(append(buf, byte(f.Kind)))
+	switch f.Kind {
+	case frameJoin:
+		w.Node(f.ID)
+		w.F64(f.Place.Pos.X)
+		w.F64(f.Place.Pos.Y)
+		w.Int(int(f.Place.Loc))
+	case frameFail:
+		w.Node(f.ID)
+	case frameSend:
+		w.Node(f.From)
+		w.Node(f.To)
+	case frameRequest:
+		w.Uvarint(f.ReqID)
+		w.Node(f.From)
+		w.Node(f.To)
+	case frameResponse:
+		w.Uvarint(f.ReqID)
+		w.Bool(f.HasErr)
+		if f.HasErr {
+			w.String(f.Err)
+		}
+	case frameAnnounce:
+	default:
+		return nil, fmt.Errorf("socknet: encode frame with invalid kind %d", f.Kind)
+	}
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	if !carriesPayload(f.Kind) {
+		return w.Finish(), nil
+	}
+	out, err := codec.AppendMessage(w.Finish(), f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("socknet: encode %T payload: %w", f.Payload, err)
+	}
+	return out, nil
+}
+
+// decodeFrameBody decodes one frame body — the inverse of appendFrame.
+// Arbitrary input yields an error, never a panic.
+func decodeFrameBody(b []byte, codec runtime.Codec) (frame, error) {
+	r := runtime.NewWireReader(b)
+	var f frame
+	f.Kind = frameKind(r.U8())
+	switch f.Kind {
+	case frameJoin:
+		f.ID = r.Node()
+		f.Place.Pos.X = r.F64()
+		f.Place.Pos.Y = r.F64()
+		f.Place.Loc = runtime.Locality(r.Int())
+	case frameFail:
+		f.ID = r.Node()
+	case frameSend:
+		f.From = r.Node()
+		f.To = r.Node()
+	case frameRequest:
+		f.ReqID = r.Uvarint()
+		f.From = r.Node()
+		f.To = r.Node()
+	case frameResponse:
+		f.ReqID = r.Uvarint()
+		f.HasErr = r.Bool()
+		if f.HasErr {
+			f.Err = r.String()
+		}
+	case frameAnnounce:
+	default:
+		if err := r.Err(); err != nil {
+			return frame{}, err
+		}
+		return frame{}, fmt.Errorf("socknet: frame kind %d out of range", f.Kind)
+	}
+	if err := r.Err(); err != nil {
+		return frame{}, err
+	}
+	if !carriesPayload(f.Kind) {
+		if r.Len() != 0 {
+			return frame{}, fmt.Errorf("socknet: %d trailing bytes after %v frame", r.Len(), f.Kind)
+		}
+		return f, nil
+	}
+	msg, err := codec.DecodeMessage(r.Rest())
+	if err != nil {
+		return frame{}, fmt.Errorf("socknet: decode %v payload: %w", f.Kind, err)
+	}
+	f.Payload = msg
+	return f, nil
+}
+
+// appendSubFrame appends one encoded frame to a batch under assembly:
+// its uvarint length, then its bytes.
+func appendSubFrame(batch, frameBytes []byte) []byte {
+	batch = binary.AppendUvarint(batch, uint64(len(frameBytes)))
+	return append(batch, frameBytes...)
+}
+
+// finishBatch patches the leading length prefix of a pending batch
+// buffer (built starting from batchHeader placeholder bytes).
+func finishBatch(batch []byte) {
+	binary.BigEndian.PutUint32(batch[:batchHeader], uint32(len(batch)-batchHeader))
+}
+
+// readBatch reads one length-prefixed batch body off r into *body
+// (reused across calls) and returns the total wire bytes consumed.
+func readBatch(r io.Reader, body *[]byte) (int, error) {
+	var hdr [batchHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return frame{}, 0, err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFrameBytes {
-		return frame{}, 0, fmt.Errorf("socknet: frame length %d out of range", n)
+	if n == 0 || n > maxBatchBytes {
+		return 0, fmt.Errorf("socknet: batch length %d out of range", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return frame{}, 0, err
+	if cap(*body) < int(n) {
+		*body = make([]byte, n)
 	}
-	var f frame
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
-		return frame{}, 0, fmt.Errorf("socknet: decode frame: %w", err)
+	*body = (*body)[:n]
+	if _, err := io.ReadFull(r, *body); err != nil {
+		return 0, err
 	}
-	return f, int(n) + 4, nil
+	return int(n) + batchHeader, nil
 }
 
-// decodeFrame decodes one encoded frame (length prefix included) —
-// the in-memory inverse of encodeFrame, used by the codec benchmark.
-func decodeFrame(b []byte) (frame, error) {
-	f, _, err := readFrame(bytes.NewReader(b))
-	return f, err
+// forEachFrame walks a batch body, decoding every sub-frame. Every
+// length prefix must account exactly for the bytes it precedes; any
+// slack is an error.
+func forEachFrame(body []byte, codec runtime.Codec, visit func(frame)) (int, error) {
+	count := 0
+	for len(body) > 0 {
+		n, sz := binary.Uvarint(body)
+		if sz <= 0 || n == 0 || n > uint64(len(body)-sz) {
+			return count, fmt.Errorf("socknet: bad sub-frame length prefix")
+		}
+		f, err := decodeFrameBody(body[sz:sz+int(n)], codec)
+		if err != nil {
+			return count, err
+		}
+		visit(f)
+		count++
+		body = body[sz+int(n):]
+	}
+	return count, nil
 }
 
 // RemoteError is a handler's application error reconstructed on the
@@ -124,11 +246,15 @@ func (e RemoteError) Error() string { return string(e) }
 // the wire, as opposed to TransportStats.BytesSent's modeled message
 // sizes (which stay comparable across backends). The gap between the
 // two is the serialization overhead the simulation never paid.
+// Frames-per-batch is FramesSent/BatchesSent (resp. read side).
 type WireStats struct {
+	Codec         string
 	FramesSent    uint64
 	BytesSent     uint64
+	BatchesSent   uint64
 	FramesRead    uint64
 	BytesRead     uint64
+	BatchesRead   uint64
 	BrokenConns   uint64
 	FramesDropped uint64 // frames for a group whose connection was down
 }

@@ -1,7 +1,7 @@
 package socknet
 
 import (
-	"encoding/gob"
+	"bytes"
 	"testing"
 
 	"flowercdn/internal/runtime"
@@ -9,14 +9,52 @@ import (
 )
 
 // benchPayload stands in for a typical protocol message: a few
-// identifiers and a modest key slice, like a directory push.
+// identifiers and a modest key slice, like a directory push. It is
+// registered like any protocol wire type and carries a binary
+// marshaller, so every codec can move it.
 type benchPayload struct {
 	Seq  uint64
 	From runtime.NodeID
 	Keys []uint64
 }
 
-func init() { gob.Register(benchPayload{}) }
+func (p benchPayload) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(p.Seq)
+	w.Node(p.From)
+	w.Uvarint(uint64(len(p.Keys)))
+	for _, k := range p.Keys {
+		w.U64(k)
+	}
+}
+
+func (benchPayload) DecodeWire(r *runtime.WireReader) any {
+	var p benchPayload
+	p.Seq = r.Uvarint()
+	p.From = r.Node()
+	n := r.ArrayLen(8)
+	if r.Err() == nil && n > 0 {
+		p.Keys = make([]uint64, n)
+		for i := range p.Keys {
+			p.Keys[i] = r.U64()
+		}
+	}
+	return p
+}
+
+func init() { runtime.RegisterWireType(benchPayload{}) }
+
+func testCodec(t testing.TB, name string) runtime.Codec {
+	t.Helper()
+	c, err := runtime.NewCodec(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// codecNames enumerates the registered codecs every frame test runs
+// under.
+var codecNames = []string{"gob", "binary"}
 
 func testFrame() frame {
 	keys := make([]uint64, 32)
@@ -31,94 +69,184 @@ func testFrame() frame {
 	}
 }
 
+// encodeBatch renders frames as one wire batch (the flusher's output).
+func encodeBatch(t testing.TB, c runtime.Codec, frames ...frame) []byte {
+	t.Helper()
+	batch := make([]byte, batchHeader)
+	for _, f := range frames {
+		b, err := appendFrame(nil, f, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = appendSubFrame(batch, b)
+	}
+	finishBatch(batch)
+	return batch
+}
+
 func TestFrameRoundTrip(t *testing.T) {
-	in := testFrame()
-	b, err := encodeFrame(in)
-	if err != nil {
-		t.Fatal(err)
-	}
-	out, err := decodeFrame(b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if out.Kind != in.Kind || out.From != in.From || out.To != in.To {
-		t.Fatalf("header mismatch: %+v vs %+v", out, in)
-	}
-	p, ok := out.Payload.(benchPayload)
-	if !ok {
-		t.Fatalf("payload decoded as %T", out.Payload)
-	}
-	i := 31
-	want := uint64(i) * 0x9e3779b97f4a7c15
-	if p.Seq != 42 || len(p.Keys) != 32 || p.Keys[31] != want {
-		t.Fatalf("payload mismatch: %+v", p)
+	for _, name := range codecNames {
+		t.Run(name, func(t *testing.T) {
+			c := testCodec(t, name)
+			in := testFrame()
+			b, err := appendFrame(nil, in, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := decodeFrameBody(b, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Kind != in.Kind || out.From != in.From || out.To != in.To {
+				t.Fatalf("header mismatch: %+v vs %+v", out, in)
+			}
+			p, ok := out.Payload.(benchPayload)
+			if !ok {
+				t.Fatalf("payload decoded as %T", out.Payload)
+			}
+			i := 31
+			want := uint64(i) * 0x9e3779b97f4a7c15
+			if p.Seq != 42 || len(p.Keys) != 32 || p.Keys[31] != want {
+				t.Fatalf("payload mismatch: %+v", p)
+			}
+		})
 	}
 }
 
 func TestFrameRoundTripJoin(t *testing.T) {
-	in := frame{Kind: frameJoin, ID: 12, Place: topology.Placement{Pos: topology.Point{X: 0.25, Y: 0.75}, Loc: 4}}
-	b, err := encodeFrame(in)
-	if err != nil {
-		t.Fatal(err)
-	}
-	out, err := decodeFrame(b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if out.Kind != frameJoin || out.ID != 12 || out.Place != in.Place {
-		t.Fatalf("join frame mismatch: %+v", out)
+	for _, name := range codecNames {
+		t.Run(name, func(t *testing.T) {
+			c := testCodec(t, name)
+			in := frame{Kind: frameJoin, ID: 12, Place: topology.Placement{Pos: topology.Point{X: 0.25, Y: 0.75}, Loc: 4}}
+			b, err := appendFrame(nil, in, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := decodeFrameBody(b, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Kind != frameJoin || out.ID != 12 || out.Place != in.Place {
+				t.Fatalf("join frame mismatch: %+v", out)
+			}
+		})
 	}
 }
 
-func TestFrameRejectsOversizedLength(t *testing.T) {
-	b, err := encodeFrame(testFrame())
-	if err != nil {
-		t.Fatal(err)
+func TestBatchRoundTrip(t *testing.T) {
+	for _, name := range codecNames {
+		t.Run(name, func(t *testing.T) {
+			c := testCodec(t, name)
+			in := []frame{
+				{Kind: frameJoin, ID: 5, Place: topology.Placement{Loc: 2}},
+				testFrame(),
+				{Kind: frameFail, ID: 5},
+			}
+			batch := encodeBatch(t, c, in...)
+			var body []byte
+			n, err := readBatch(bytes.NewReader(batch), &body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(batch) {
+				t.Fatalf("readBatch consumed %d of %d bytes", n, len(batch))
+			}
+			var got []frame
+			count, err := forEachFrame(body, c, func(f frame) { got = append(got, f) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != len(in) || len(got) != len(in) {
+				t.Fatalf("decoded %d frames, want %d", count, len(in))
+			}
+			for i := range in {
+				if got[i].Kind != in[i].Kind || got[i].ID != in[i].ID {
+					t.Fatalf("frame %d header mismatch: %+v vs %+v", i, got[i], in[i])
+				}
+			}
+		})
 	}
-	b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0xff
-	if _, err := decodeFrame(b); err == nil {
+}
+
+func TestBatchRejectsOversizedLength(t *testing.T) {
+	c := testCodec(t, "binary")
+	batch := encodeBatch(t, c, testFrame())
+	batch[0], batch[1], batch[2], batch[3] = 0xff, 0xff, 0xff, 0xff
+	var body []byte
+	if _, err := readBatch(bytes.NewReader(batch), &body); err == nil {
 		t.Fatal("corrupt length prefix accepted")
 	}
 }
 
-// BenchmarkFrameEncode and BenchmarkFrameDecode price the gob framing:
-// the per-message serialization cost the socket backend pays that the
-// single-process backends never do.
+func TestUnmarshallableTypePanicsWithName(t *testing.T) {
+	c := testCodec(t, "binary")
+	type localOnly struct{ X int }
+	if _, err := appendFrame(nil, frame{Kind: frameSend, Payload: localOnly{X: 1}}, c); err == nil {
+		t.Fatal("unregistered payload encoded")
+	}
+}
+
+// BenchmarkFrameEncode and BenchmarkFrameDecode price the framing per
+// codec: the per-message serialization cost the socket backend pays
+// that the single-process backends never do.
 func BenchmarkFrameEncode(b *testing.B) {
-	f := testFrame()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := encodeFrame(f); err != nil {
-			b.Fatal(err)
-		}
+	for _, name := range codecNames {
+		b.Run(name, func(b *testing.B) {
+			c := testCodec(b, name)
+			f := testFrame()
+			var buf []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = appendFrame(buf[:0], f, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkFrameDecode(b *testing.B) {
-	buf, err := encodeFrame(testFrame())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := decodeFrame(buf); err != nil {
-			b.Fatal(err)
-		}
+	for _, name := range codecNames {
+		b.Run(name, func(b *testing.B) {
+			c := testCodec(b, name)
+			buf, err := appendFrame(nil, testFrame(), c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := decodeFrameBody(buf, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkFrameRoundTrip is the committed trajectory number: one
 // message through the full encode + decode path.
 func BenchmarkFrameRoundTrip(b *testing.B) {
-	f := testFrame()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		buf, err := encodeFrame(f)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := decodeFrame(buf); err != nil {
-			b.Fatal(err)
-		}
+	for _, name := range codecNames {
+		b.Run(name, func(b *testing.B) {
+			c := testCodec(b, name)
+			f := testFrame()
+			var buf []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = appendFrame(buf[:0], f, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := decodeFrameBody(buf, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

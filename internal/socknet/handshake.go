@@ -1,0 +1,115 @@
+package socknet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"flowercdn/internal/runtime"
+)
+
+// Connection preamble: the first bytes BOTH sides write on a fresh
+// mesh connection, before any frame. It pins everything two processes
+// must agree on to exchange traffic at all — wire format version,
+// payload codec, and the wire-type registry fingerprint (which fixes
+// the binary codec's tag table) — plus the sender's group coordinates.
+// A mismatched peer fails the handshake with a named cause instead of
+// a gob decode panic or a silent mark-dead.
+//
+//	preamble = "FCDN" | version u8 | registry sum u64 BE |
+//	           group u32 BE | groups u32 BE | codec len u8 | codec name
+
+var preambleMagic = [4]byte{'F', 'C', 'D', 'N'}
+
+// wireVersion is the frame format version; bump on any envelope
+// change (v2: batched frames, codec-encoded payloads).
+const wireVersion = 2
+
+// preambleFixed is the byte count before the variable-length codec name.
+const preambleFixed = 4 + 1 + 8 + 4 + 4 + 1
+
+// preamble is one side's identity announcement.
+type preamble struct {
+	version byte
+	sum     uint64
+	group   int
+	groups  int
+	codec   string
+}
+
+// handshakeError marks a definitive protocol disagreement: retrying
+// the dial cannot help, so dialPeer surfaces it immediately instead of
+// burning the mesh-formation deadline.
+type handshakeError struct{ msg string }
+
+func (e *handshakeError) Error() string { return e.msg }
+
+func handshakeErrf(format string, args ...any) error {
+	return &handshakeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// appendPreamble renders our preamble.
+func appendPreamble(b []byte, codec string, group, groups int) []byte {
+	if len(codec) > 255 {
+		panic("socknet: codec name too long for preamble")
+	}
+	b = append(b, preambleMagic[:]...)
+	b = append(b, wireVersion)
+	b = binary.BigEndian.AppendUint64(b, runtime.WireRegistrySum())
+	b = binary.BigEndian.AppendUint32(b, uint32(group))
+	b = binary.BigEndian.AppendUint32(b, uint32(groups))
+	b = append(b, byte(len(codec)))
+	return append(b, codec...)
+}
+
+// readPreamble reads the peer's preamble off the connection.
+func readPreamble(r io.Reader) (preamble, error) {
+	var hdr [preambleFixed]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return preamble{}, fmt.Errorf("socknet: read preamble: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], preambleMagic[:]) {
+		return preamble{}, handshakeErrf("peer is not a flowercdn socket backend (bad magic %q)", hdr[:4])
+	}
+	p := preamble{
+		version: hdr[4],
+		sum:     binary.BigEndian.Uint64(hdr[5:13]),
+		group:   int(binary.BigEndian.Uint32(hdr[13:17])),
+		groups:  int(binary.BigEndian.Uint32(hdr[17:21])),
+	}
+	name := make([]byte, hdr[21])
+	if _, err := io.ReadFull(r, name); err != nil {
+		return preamble{}, fmt.Errorf("socknet: read preamble codec: %w", err)
+	}
+	p.codec = string(name)
+	return p, nil
+}
+
+// checkPreamble verifies the peer's preamble against our own identity.
+// expectGroup is the peer group we dialed, or -1 on the accepting side
+// (where any higher-indexed group is legitimate).
+func (t *Transport) checkPreamble(p preamble, expectGroup int) error {
+	if p.version != wireVersion {
+		return handshakeErrf("wire format version mismatch: peer runs v%d, we run v%d", p.version, wireVersion)
+	}
+	if p.codec != t.codec.Name() {
+		return handshakeErrf("codec mismatch: peer runs %q, we run %q", p.codec, t.codec.Name())
+	}
+	if p.sum != runtime.WireRegistrySum() {
+		return handshakeErrf("wire-type registry mismatch (%#x vs %#x): peers built with different protocol sets", p.sum, runtime.WireRegistrySum())
+	}
+	if p.groups != t.groups {
+		return handshakeErrf("group count mismatch: peer says %d groups, we say %d", p.groups, t.groups)
+	}
+	if expectGroup >= 0 {
+		if p.group != expectGroup {
+			return handshakeErrf("dialed group %d but peer claims to be group %d", expectGroup, p.group)
+		}
+		return nil
+	}
+	if p.group <= t.group || p.group >= t.groups {
+		return handshakeErrf("accepted hello from group %d (we are %d of %d; dial order inverted?)", p.group, t.group, t.groups)
+	}
+	return nil
+}

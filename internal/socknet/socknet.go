@@ -28,13 +28,14 @@
 // local to the requester. Scheduling runs on the shared
 // internal/wallclock run loop, one goroutine per process, so protocol
 // code stays lock-free here too. Like the realtime backend, runs are
-// NOT reproducible; unlike it, messages genuinely serialize — gob
-// frames, length-prefixed — which is the honest price of crossing a
-// process boundary (WireStats reports it).
+// NOT reproducible; unlike it, messages genuinely serialize — batched,
+// length-prefixed frames whose payloads go through a pluggable
+// runtime.Codec ("gob" by default, "binary" for the hand-rolled hot
+// path) — which is the honest price of crossing a process boundary
+// (WireStats reports it).
 package socknet
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -118,6 +119,19 @@ type Config struct {
 	ReadyTimeout time.Duration
 }
 
+// Batching defaults: a sub-millisecond Nagle-style window bounds the
+// latency cost, the byte cap bounds batch size (and memory) under
+// load. cfg.Socket can override both.
+const (
+	defaultBatchWindow = 200 * time.Microsecond
+	defaultBatchBytes  = 64 << 10
+)
+
+// maxPendBytes bounds the bytes queued toward one peer; a peer that
+// far behind is as good as dead (the batching-era analogue of the old
+// outbox-capacity cutoff).
+const maxPendBytes = 32 << 20
+
 // nodeState is one mirror entry. Remote nodes carry a nil handler.
 type nodeState struct {
 	handler runtime.Handler
@@ -133,16 +147,44 @@ type pendingReq struct {
 	deadline runtime.Timer
 }
 
-// conn is one mesh connection. Writes go through a bounded outbox
-// drained by a dedicated writer goroutine, so a stalled peer never
-// blocks the wall-clock run loop — the loop enqueues and moves on, and
-// a peer that cannot drain outboxCap frames (or one frame within
-// writeDeadline) is treated as gone.
+// conn is one mesh connection. Writes coalesce: the run loop appends
+// encoded frames to the pending batch and moves on; a dedicated writer
+// goroutine flushes the batch — one length prefix, one syscall — when
+// the coalescing window elapses or the byte cap is hit. A stalled peer
+// therefore never blocks the run loop; one that falls maxPendBytes
+// behind (or cannot take one batch within writeDeadline) is treated as
+// gone.
 type conn struct {
-	c        net.Conn
-	out      chan []byte
+	c net.Conn
+
+	mu         sync.Mutex
+	pend       []byte // batch under assembly (starts with the length placeholder)
+	spare      []byte // previous batch buffer, recycled by the flusher
+	pendFrames int
+	pendMsgs   int // message-bearing frames pending (drop accounting)
+	firstAt    time.Time
+
+	kick     chan struct{} // cap 1: pending data / early-flush signal
 	stop     chan struct{}
 	stopOnce sync.Once
+}
+
+// take swaps the pending batch out for flushing (nil if empty).
+func (cn *conn) take() (batch []byte, frames int) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.pendFrames == 0 {
+		return nil, 0
+	}
+	batch, frames = cn.pend, cn.pendFrames
+	if cn.spare == nil {
+		cn.spare = make([]byte, batchHeader, defaultBatchBytes+batchHeader)
+	}
+	cn.pend = cn.spare[:batchHeader]
+	cn.spare = nil
+	cn.pendFrames = 0
+	cn.pendMsgs = 0
+	return batch, frames
 }
 
 // shutdown terminates the writer and closes the socket (idempotent).
@@ -151,13 +193,9 @@ func (cn *conn) shutdown() {
 	cn.c.Close()
 }
 
-// writeDeadline bounds one frame write; a peer stalled longer than
+// writeDeadline bounds one batch write; a peer stalled longer than
 // this is treated as gone.
 const writeDeadline = 10 * time.Second
-
-// outboxCap bounds the frames queued toward one peer; a peer that far
-// behind is as good as dead.
-const outboxCap = 4096
 
 // Transport implements runtime.Transport (and runtime.Bus) over the
 // mesh. All state is mutex-guarded: reader goroutines update the
@@ -170,6 +208,10 @@ type Transport struct {
 	topo   *topology.Topology
 	group  int
 	groups int
+
+	codec       runtime.Codec
+	batchWindow time.Duration
+	batchBytes  int
 
 	mu          sync.Mutex
 	clock       runtime.Clock
@@ -235,13 +277,31 @@ func DialListener(cfg Config, lis net.Listener) (*Transport, error) {
 	if cfg.ReadyTimeout <= 0 {
 		cfg.ReadyTimeout = 30 * time.Second
 	}
-	registerWireTypes()
+	codec, err := runtime.NewCodec(cfg.Socket.Codec)
+	if err != nil {
+		lis.Close()
+		return nil, fmt.Errorf("socknet: %w", err)
+	}
+	batchWindow := cfg.Socket.BatchWindow
+	switch {
+	case batchWindow == 0:
+		batchWindow = defaultBatchWindow
+	case batchWindow < 0:
+		batchWindow = 0 // flush every frame immediately
+	}
+	batchBytes := cfg.Socket.BatchBytes
+	if batchBytes <= 0 {
+		batchBytes = defaultBatchBytes
+	}
 
 	groups := cfg.Socket.Groups()
 	t := &Transport{
 		topo:              cfg.Topo,
 		group:             cfg.Socket.Group,
 		groups:            groups,
+		codec:             codec,
+		batchWindow:       batchWindow,
+		batchBytes:        batchBytes,
 		nextLocal:         runtime.NodeID(cfg.Socket.Group),
 		nodes:             make(map[runtime.NodeID]*nodeState),
 		lossRate:          cfg.LossRate,
@@ -271,18 +331,6 @@ func DialListener(cfg Config, lis net.Listener) (*Transport, error) {
 		return nil, err
 	}
 	return t, nil
-}
-
-// registerWireTypes teaches gob every concrete type that may appear in
-// an interface-typed frame field. Protocol packages contribute theirs
-// through runtime.RegisterWireType in their init functions, which have
-// all run by the time any transport is constructed. gob.Register is
-// idempotent for identical (name, type) pairs, so repeated Dials are
-// fine.
-func registerWireTypes() {
-	for _, v := range runtime.WireTypes() {
-		gob.Register(v)
-	}
 }
 
 // waitReady blocks until the mesh is complete or the timeout expires.
@@ -347,9 +395,22 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// handshakeAccepted reads the dialer's hello and registers the
-// connection. The conn is tracked while the (deadline-bounded) read is
-// in flight so Close can cut it short instead of waiting it out.
+// exchangePreambles writes our preamble and reads the peer's, both
+// under deadlines. Writing first on both sides cannot deadlock: a
+// preamble is far smaller than any socket buffer.
+func (t *Transport) exchangePreambles(c net.Conn) (preamble, error) {
+	c.SetDeadline(time.Now().Add(writeDeadline))
+	defer c.SetDeadline(time.Time{})
+	if _, err := c.Write(appendPreamble(nil, t.codec.Name(), t.group, t.groups)); err != nil {
+		return preamble{}, fmt.Errorf("socknet: write preamble: %w", err)
+	}
+	return readPreamble(c)
+}
+
+// handshakeAccepted exchanges preambles with a dialer and registers
+// the connection. The conn is tracked while the (deadline-bounded)
+// exchange is in flight so Close can cut it short instead of waiting
+// it out.
 func (t *Transport) handshakeAccepted(c net.Conn) {
 	defer t.wg.Done()
 	t.mu.Lock()
@@ -360,27 +421,30 @@ func (t *Transport) handshakeAccepted(c net.Conn) {
 	}
 	t.handshakes[c] = struct{}{}
 	t.mu.Unlock()
-	c.SetReadDeadline(time.Now().Add(writeDeadline))
-	f, _, err := readFrame(c)
+	p, err := t.exchangePreambles(c)
 	t.mu.Lock()
 	delete(t.handshakes, c)
 	t.mu.Unlock()
-	if err != nil || f.Kind != frameHello {
+	if err == nil {
+		err = t.checkPreamble(p, -1)
+	}
+	if err != nil {
+		// A definitive disagreement fails the whole mesh with its cause;
+		// a garbled or abandoned connection (port scanner, dying peer)
+		// just goes away — the dialer retries.
+		var he *handshakeError
+		if errors.As(err, &he) {
+			t.failHandshake(fmt.Errorf("hello from %s: %w", c.RemoteAddr(), err))
+		}
 		c.Close()
 		return
 	}
-	c.SetReadDeadline(time.Time{})
-	if f.Groups != t.groups || f.Group <= t.group || f.Group >= t.groups {
-		t.failHandshake(fmt.Errorf("bad hello from %s: group %d/%d (we are %d/%d)",
-			c.RemoteAddr(), f.Group, f.Groups, t.group, t.groups))
-		c.Close()
-		return
-	}
-	t.register(f.Group, c)
+	t.register(p.group, c)
 }
 
 // dialPeer connects to a lower-indexed group, retrying while the
-// peer's listener comes up.
+// peer's listener comes up. A preamble mismatch is fatal immediately —
+// redialing an incompatible peer cannot succeed.
 func (t *Transport) dialPeer(group int, addr string, timeout time.Duration) {
 	defer t.wg.Done()
 	deadline := time.Now().Add(timeout)
@@ -391,11 +455,20 @@ func (t *Transport) dialPeer(group int, addr string, timeout time.Duration) {
 		}
 		c, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
-			if err = t.sendHello(c); err == nil {
+			var p preamble
+			if p, err = t.exchangePreambles(c); err == nil {
+				err = t.checkPreamble(p, group)
+			}
+			if err == nil {
 				t.register(group, c)
 				return
 			}
 			c.Close()
+			var he *handshakeError
+			if errors.As(err, &he) {
+				t.failHandshake(fmt.Errorf("dial group %d (%s): %w", group, addr, err))
+				return
+			}
 		}
 		lastErr = err
 		if time.Now().After(deadline) {
@@ -404,18 +477,6 @@ func (t *Transport) dialPeer(group int, addr string, timeout time.Duration) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-}
-
-// sendHello writes the identifying first frame on a dialed connection.
-func (t *Transport) sendHello(c net.Conn) error {
-	hello, err := encodeFrame(frame{Kind: frameHello, Group: t.group, Groups: t.groups})
-	if err != nil {
-		return err
-	}
-	c.SetWriteDeadline(time.Now().Add(writeDeadline))
-	defer c.SetWriteDeadline(time.Time{})
-	_, err = c.Write(hello)
-	return err
 }
 
 // register installs a completed connection and starts its reader and
@@ -427,7 +488,13 @@ func (t *Transport) register(group int, c net.Conn) {
 		c.Close()
 		return
 	}
-	cn := &conn{c: c, out: make(chan []byte, outboxCap), stop: make(chan struct{})}
+	cn := &conn{
+		c:     c,
+		pend:  make([]byte, batchHeader, defaultBatchBytes+batchHeader),
+		spare: make([]byte, batchHeader, defaultBatchBytes+batchHeader),
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
 	t.conns[group] = cn
 	t.missing--
 	if t.missing == 0 && !t.readyClosed {
@@ -440,22 +507,80 @@ func (t *Transport) register(group int, c net.Conn) {
 	go t.writeLoop(group, cn)
 }
 
-// writeLoop drains one connection's outbox. Runs until the connection
-// breaks or the transport shuts it down.
+// writeLoop flushes one connection's pending batches. Woken by the
+// first frame of a batch (and again when the byte cap is crossed), it
+// holds the batch open for the coalescing window, then writes it with
+// one syscall. Runs until the connection breaks or the transport shuts
+// it down.
 func (t *Transport) writeLoop(group int, cn *conn) {
 	defer t.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
 		select {
-		case b := <-cn.out:
-			cn.c.SetWriteDeadline(time.Now().Add(writeDeadline))
-			if _, err := cn.c.Write(b); err != nil {
-				t.connBroken(group)
-				return
-			}
 		case <-cn.stop:
 			return
+		case <-cn.kick:
+		}
+		for {
+			cn.mu.Lock()
+			size := len(cn.pend) - batchHeader
+			firstAt := cn.firstAt
+			cn.mu.Unlock()
+			if size <= 0 {
+				break // batch flushed under us; wait for the next kick
+			}
+			if size < t.batchBytes {
+				if wait := t.batchWindow - time.Since(firstAt); wait > 0 {
+					timer.Reset(wait)
+					select {
+					case <-cn.stop:
+						timer.Stop()
+						return
+					case <-cn.kick:
+						// Byte cap crossed mid-window: re-evaluate now.
+						if !timer.Stop() {
+							<-timer.C
+						}
+						continue
+					case <-timer.C:
+					}
+				}
+			}
+			if !t.flushConn(group, cn) {
+				return
+			}
 		}
 	}
+}
+
+// flushConn writes the pending batch (if any) as one frame-batch.
+// Returns false when the connection broke.
+func (t *Transport) flushConn(group int, cn *conn) bool {
+	batch, frames := cn.take()
+	if frames == 0 {
+		return true
+	}
+	finishBatch(batch)
+	cn.c.SetWriteDeadline(time.Now().Add(writeDeadline))
+	_, err := cn.c.Write(batch)
+	if err != nil {
+		t.connBroken(group)
+		return false
+	}
+	t.mu.Lock()
+	t.wire.BatchesSent++
+	t.wire.FramesSent += uint64(frames)
+	t.wire.BytesSent += uint64(len(batch))
+	t.mu.Unlock()
+	cn.mu.Lock()
+	if cn.spare == nil {
+		cn.spare = batch[:batchHeader] // recycle for the next swap
+	}
+	cn.mu.Unlock()
+	return true
 }
 
 // failHandshake records the first mesh-formation error and unblocks
@@ -478,26 +603,36 @@ func (t *Transport) isClosed() bool {
 	return t.closed
 }
 
-// readLoop slices frames off one connection until it breaks.
+// readLoop slices batches off one connection until it breaks. The body
+// buffer is reused across batches — decoded frames never alias it (the
+// wire vocabulary copies, codecs guarantee no aliasing).
 func (t *Transport) readLoop(group int, cn *conn) {
 	defer t.wg.Done()
+	var body []byte
 	for {
-		f, n, err := readFrame(cn.c)
+		n, err := readBatch(cn.c, &body)
 		if err != nil {
 			t.connBroken(group)
 			return
 		}
+		frames, err := forEachFrame(body, t.codec, t.dispatch)
 		t.mu.Lock()
-		t.wire.FramesRead++
+		t.wire.BatchesRead++
+		t.wire.FramesRead += uint64(frames)
 		t.wire.BytesRead += uint64(n)
 		t.mu.Unlock()
-		t.dispatch(f)
+		if err != nil {
+			t.connBroken(group)
+			return
+		}
 	}
 }
 
 // connBroken tears one connection down: its group's nodes are marked
 // dead (they are unreachable forever — NodeIDs are never reused) and
-// frames toward it are dropped from now on.
+// frames toward it are dropped from now on. Frames still pending in
+// the write batch die with it, so they are accounted as drops — the
+// Sent = Delivered + Dropped reconciliation survives a peer's death.
 func (t *Transport) connBroken(group int) {
 	t.mu.Lock()
 	cn := t.conns[group]
@@ -510,6 +645,12 @@ func (t *Transport) connBroken(group int) {
 				t.alive--
 			}
 		}
+		cn.mu.Lock()
+		t.wire.FramesDropped += uint64(cn.pendFrames)
+		t.stats.MessagesDropped += uint64(cn.pendMsgs)
+		cn.pendFrames = 0
+		cn.pendMsgs = 0
+		cn.mu.Unlock()
 	}
 	t.mu.Unlock()
 	if cn != nil {
@@ -517,43 +658,68 @@ func (t *Transport) connBroken(group int) {
 	}
 }
 
-// writeFrame serializes f into one group's outbox. Encode failures are
-// programming bugs (an unregistered wire type) and panic with the
-// offending type. Frames toward a group whose connection is down — or
-// whose outbox is full, meaning the peer is hopelessly behind — are
+// framePool recycles per-frame encode scratch buffers, so the steady
+// state allocates nothing on the encode path.
+var framePool = sync.Pool{New: func() any { return &frameScratch{} }}
+
+type frameScratch struct{ b []byte }
+
+// writeFrame serializes f into one group's pending batch and wakes its
+// flusher. Encode failures are programming bugs (an unregistered or
+// unmarshallable wire type) and panic with the offending type. Frames
+// toward a group whose connection is down — or whose pending batch has
+// grown past maxPendBytes, meaning the peer is hopelessly behind — are
 // dropped; message-bearing kinds also count as MessagesDropped, so the
 // Sent = Delivered + Dropped reconciliation the other backends satisfy
 // survives a peer's death here too.
 func (t *Transport) writeFrame(group int, f frame) {
-	b, err := encodeFrame(f)
+	fs := framePool.Get().(*frameScratch)
+	b, err := appendFrame(fs.b[:0], f, t.codec)
 	if err != nil {
-		panic(fmt.Sprintf("socknet: cannot encode frame payload %T — is the type missing a runtime.RegisterWireType? (%v)", f.Payload, err))
+		panic(fmt.Sprintf("socknet: cannot encode frame payload %T — is the type missing a runtime.RegisterWireType or a runtime.WireMessage implementation? (%v)", f.Payload, err))
 	}
+	fs.b = b
 	t.mu.Lock()
 	cn := t.conns[group]
 	if cn == nil {
 		t.dropFrameLocked(f)
 		t.mu.Unlock()
+		framePool.Put(fs)
 		return
 	}
 	t.mu.Unlock()
-	select {
-	case cn.out <- b:
-		t.mu.Lock()
-		t.wire.FramesSent++
-		t.wire.BytesSent += uint64(len(b))
-		t.mu.Unlock()
-	case <-cn.stop:
+
+	cn.mu.Lock()
+	if len(cn.pend)+len(b) > maxPendBytes {
+		cn.mu.Unlock()
+		framePool.Put(fs)
 		t.mu.Lock()
 		t.dropFrameLocked(f)
 		t.mu.Unlock()
-	default:
-		// outboxCap frames behind: the peer is stalled beyond our
-		// tolerance. Cut it loose like a write timeout would.
-		t.mu.Lock()
-		t.dropFrameLocked(f)
-		t.mu.Unlock()
+		// maxPendBytes behind: the peer is stalled beyond our tolerance.
+		// Cut it loose like a write timeout would.
 		t.connBroken(group)
+		return
+	}
+	first := cn.pendFrames == 0
+	if first {
+		cn.firstAt = time.Now()
+	}
+	cn.pend = appendSubFrame(cn.pend, b)
+	cn.pendFrames++
+	switch f.Kind {
+	case frameSend, frameRequest, frameResponse:
+		cn.pendMsgs++
+	}
+	capped := len(cn.pend)-batchHeader >= t.batchBytes
+	cn.mu.Unlock()
+	framePool.Put(fs)
+
+	if first || capped {
+		select {
+		case cn.kick <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -679,7 +845,9 @@ func (t *Transport) Stats() runtime.TransportStats {
 func (t *Transport) WireStats() WireStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.wire
+	ws := t.wire
+	ws.Codec = t.codec.Name()
+	return ws
 }
 
 // Join registers a local handler and mirrors the registration to every

@@ -1,0 +1,34 @@
+package squirrel
+
+import (
+	"flowercdn/internal/content"
+	"flowercdn/internal/runtime"
+)
+
+// Binary wire marshallers for the driver's messages.
+
+func (m queryMsg) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(m.Seq)
+	m.Key.AppendWire(w)
+	w.Node(m.Client)
+}
+
+func (queryMsg) DecodeWire(r *runtime.WireReader) any {
+	var m queryMsg
+	m.Seq = r.Uvarint()
+	m.Key = content.DecodeKeyWire(r)
+	m.Client = r.Node()
+	return m
+}
+
+func (m homeResp) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(m.Seq)
+	w.Nodes(m.Providers)
+}
+
+func (homeResp) DecodeWire(r *runtime.WireReader) any {
+	var m homeResp
+	m.Seq = r.Uvarint()
+	m.Providers = r.Nodes()
+	return m
+}

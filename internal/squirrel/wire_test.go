@@ -1,0 +1,16 @@
+package squirrel
+
+import (
+	"testing"
+
+	"flowercdn/internal/content"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/wiretest"
+)
+
+func TestWireRoundTrips(t *testing.T) {
+	k := content.Key{Site: 4, Object: 2}
+	wiretest.RoundTrip(t, queryMsg{Seq: 3, Key: k, Client: 7})
+	wiretest.RoundTrip(t, homeResp{Seq: 3, Providers: []runtime.NodeID{1, 5}})
+	wiretest.RoundTrip(t, homeResp{Seq: 4})
+}

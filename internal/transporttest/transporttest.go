@@ -186,6 +186,19 @@ func Run(t *testing.T, f Factory) {
 	t.Run("ForEachAliveAscending", func(t *testing.T) { testForEachAlive(t, f) })
 }
 
+// RunCodecs executes the conformance suite once per registered wire
+// codec. build returns a Factory configured for the named codec; the
+// single-process backends have no serialization layer and simply
+// ignore the name — running them anyway pins that the contract
+// semantics are codec-independent, so a gob run and a binary run of
+// the same scenario stay interchangeable.
+func RunCodecs(t *testing.T, build func(codec string) Factory) {
+	for _, name := range runtime.Codecs() {
+		f := build(name)
+		t.Run("codec="+name, func(t *testing.T) { Run(t, f) })
+	}
+}
+
 func build(t *testing.T, f Factory, lossRate float64) *World {
 	t.Helper()
 	w := f(t, 1, lossRate, 99, Instances)

@@ -1,0 +1,18 @@
+package transporttest
+
+import "flowercdn/internal/runtime"
+
+// Binary wire marshallers for the contract suite's probe messages, so
+// the suite itself runs under every codec.
+
+func (m Ping) AppendWire(w *runtime.WireWriter) { w.Int(m.N) }
+
+func (Ping) DecodeWire(r *runtime.WireReader) any { return Ping{N: r.Int()} }
+
+func (m Pong) AppendWire(w *runtime.WireWriter) { w.Int(m.N) }
+
+func (Pong) DecodeWire(r *runtime.WireReader) any { return Pong{N: r.Int()} }
+
+func (m Sized) AppendWire(w *runtime.WireWriter) { w.Int(m.N) }
+
+func (Sized) DecodeWire(r *runtime.WireReader) any { return Sized{N: r.Int()} }

@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"flowercdn/internal/content"
+	"flowercdn/internal/runtime"
+)
+
+// Binary wire marshallers for the fetch RPC.
+
+func (m FetchReq) AppendWire(w *runtime.WireWriter) { m.Key.AppendWire(w) }
+
+func (FetchReq) DecodeWire(r *runtime.WireReader) any {
+	return FetchReq{Key: content.DecodeKeyWire(r)}
+}
+
+func (m FetchResp) AppendWire(w *runtime.WireWriter) {
+	m.Key.AppendWire(w)
+	w.Bool(m.Served)
+}
+
+func (FetchResp) DecodeWire(r *runtime.WireReader) any {
+	var m FetchResp
+	m.Key = content.DecodeKeyWire(r)
+	m.Served = r.Bool()
+	return m
+}

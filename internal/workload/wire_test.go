@@ -1,0 +1,15 @@
+package workload
+
+import (
+	"testing"
+
+	"flowercdn/internal/content"
+	"flowercdn/internal/wiretest"
+)
+
+func TestWireRoundTrips(t *testing.T) {
+	k := content.Key{Site: 2, Object: 31}
+	wiretest.RoundTrip(t, FetchReq{Key: k})
+	wiretest.RoundTrip(t, FetchResp{Key: k, Served: true})
+	wiretest.RoundTrip(t, FetchResp{Key: k})
+}
