@@ -8,10 +8,10 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-PR ?= 7
+PR ?= 8
 BENCH_JSON := BENCH_PR$(PR).json
 
-.PHONY: build test race vet fmt check bench bench-smoke bench-delta fingerprint-check realtime-smoke cache-grid-smoke socket-smoke codec-smoke invariants-smoke fuzz-smoke staticcheck clean
+.PHONY: build test race vet fmt check bench bench-smoke bench-delta bigcell-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke codec-smoke invariants-smoke fuzz-smoke staticcheck clean
 
 build:
 	go build ./...
@@ -46,8 +46,11 @@ bench:
 
 # bench-delta diffs this PR's committed trajectory against the
 # previous PR's: per-benchmark ns/op and allocs/op movement, slowdowns
-# past 10% flagged. Informational — trajectory files may come from
-# different machines.
+# past 10% flagged (informational — trajectory files may come from
+# different machines) — plus the machine-portable memory metrics
+# (bytes/node, allocs/query), which ARE a gate: a >20% regression
+# exits non-zero. BENCH_DELTA_WARN_ONLY=1 downgrades the gate to a
+# warning for PRs that intentionally trade memory away.
 PREV_PR ?= $(shell echo $$(( $(PR) - 1 )))
 bench-delta:
 	go run ./cmd/benchjson -delta BENCH_PR$(PREV_PR).json $(BENCH_JSON)
@@ -56,6 +59,18 @@ bench-delta:
 # benchmarks, just enough to catch rot in the bench harness itself.
 bench-smoke:
 	go test -run '^$$' -bench 'BenchmarkSchedule|BenchmarkPeriodic|BenchmarkEngine|BenchmarkTable1' -benchtime 1x -benchmem ./... | go run ./cmd/benchjson
+
+# bigcell-smoke exercises the big-cell scale path at CI size: one
+# process hosting a 50k-node cell for one simulated hour on the sim
+# backend — petal-structured flower (every peer in a locality petal,
+# ~100 directory nodes on the ring) and koorde-global (every peer in
+# one global overlay, the memory-hostile extreme). Each run prints
+# live-heap bytes/node; the 4 KiB/node budget itself is enforced at
+# P=100k by BenchmarkBigCell (see `make bench`), which `make race`
+# excludes via a build tag.
+bigcell-smoke:
+	go run ./cmd/flowersim -p 50000 -hours 1 -protocol flower -measure-mem
+	go run ./cmd/flowersim -p 50000 -hours 1 -protocol koorde-global -measure-mem
 
 # fingerprint-check runs the same simulation cell in two separate
 # processes and diffs the run fingerprints (FNV-1a over per-window

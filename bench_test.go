@@ -11,6 +11,7 @@ package flowercdn
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"testing"
 
 	"flowercdn/internal/petalup"
@@ -92,17 +93,25 @@ func BenchmarkFig5TransferDistanceDistribution(b *testing.B) {
 
 // BenchmarkTable2Scalability regenerates Table 2: the population sweep
 // with both protocols. It reports the largest-population improvement
-// factors, the paper's headline scalability claim.
+// factors (the paper's headline scalability claim) plus the memory
+// trajectory the big-cell path budgets against: live-heap bytes/node at
+// the largest population and mean allocations per query over the whole
+// sweep.
 func BenchmarkTable2Scalability(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Hours = 4
+	cfg.MeasureMem = true
 	pops := []int{150, 250, 350}
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
+		var before goruntime.MemStats
+		goruntime.ReadMemStats(&before)
 		rows, err := RunScalability(cfg, pops)
 		if err != nil {
 			b.Fatal(err)
 		}
+		var after goruntime.MemStats
+		goruntime.ReadMemStats(&after)
 		last := rows[len(rows)-1]
 		if last.Flower.MeanLookupMs > 0 {
 			b.ReportMetric(last.Squirrel.MeanLookupMs/last.Flower.MeanLookupMs, "lookup-factor")
@@ -111,6 +120,53 @@ func BenchmarkTable2Scalability(b *testing.B) {
 			b.ReportMetric(last.Squirrel.MeanTransferMs/last.Flower.MeanTransferMs, "transfer-factor")
 		}
 		b.ReportMetric(last.Flower.TailHitRatio, "flower-hit-largest-P")
+		if last.Flower.MemStats != nil {
+			b.ReportMetric(last.Flower.MemStats.BytesPerNode, "bytes/node")
+		}
+		var queries uint64
+		for _, r := range rows {
+			queries += r.Flower.Queries + r.Squirrel.Queries
+		}
+		if queries > 0 {
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(queries), "allocs/query")
+		}
+	}
+}
+
+// bigCellBudgetBytes is the per-node live-heap budget the big-cell
+// scale path holds: a 100k-node cell must fit one process in ≤4 KiB of
+// steady-state heap per node (≈400 MiB for the whole cell).
+const bigCellBudgetBytes = 4096
+
+// BenchmarkBigCell runs the big-cell scale path: one process hosting a
+// P=100k flower cell on the sim backend over a short horizon, reporting
+// live-heap bytes/node (forced-GC heap over population) and failing the
+// benchmark if the footprint leaves the 4 KiB/node budget. Excluded
+// from race builds — the detector's shadow memory would both blow the
+// budget it measures and dominate the run time.
+func BenchmarkBigCell(b *testing.B) {
+	if raceEnabled {
+		b.Skip("100k-node cell skipped under the race detector")
+	}
+	cfg := benchConfig()
+	cfg.Population = 100000
+	cfg.Hours = 1
+	cfg.MeasureMem = true
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MemStats == nil {
+			b.Fatal("MeasureMem set but no MemStats in result")
+		}
+		b.ReportMetric(res.MemStats.BytesPerNode, "bytes/node")
+		b.ReportMetric(res.TailHitRatio, "hit")
+		if res.MemStats.BytesPerNode > bigCellBudgetBytes {
+			b.Errorf("big cell over budget: %.0f B/node live heap (budget %d)",
+				res.MemStats.BytesPerNode, bigCellBudgetBytes)
+		}
 	}
 }
 

@@ -15,8 +15,13 @@
 //	benchjson -delta BENCH_PR6.json BENCH_PR7.json
 //
 // It prints per-benchmark ns/op and allocs/op changes for every name
-// the files share, flagging slowdowns past 10% — informational, not a
-// gate, since trajectory files may come from different machines.
+// the files share, flagging slowdowns past 10% — informational, since
+// trajectory files may come from different machines. Machine-portable
+// named metrics are gated, however: a >20% regression on a memory
+// metric (bytes/node, allocs/query — deterministic functions of the
+// code, not the machine) makes delta mode exit non-zero. Set
+// BENCH_DELTA_WARN_ONLY=1 to downgrade that gate to a warning (e.g.
+// while a PR intentionally trades memory for something else).
 package main
 
 import (
@@ -61,8 +66,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -delta needs exactly two files: benchjson -delta OLD NEW")
 			os.Exit(2)
 		}
-		if err := printDelta(flag.Arg(0), flag.Arg(1)); err != nil {
+		regressions, err := printDelta(flag.Arg(0), flag.Arg(1))
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			if os.Getenv("BENCH_DELTA_WARN_ONLY") != "" {
+				fmt.Fprintf(os.Stderr, "benchjson: %d memory-metric regression(s) past %.0f%% (BENCH_DELTA_WARN_ONLY set; not failing)\n",
+					regressions, gatedRegressionPct)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %d memory-metric regression(s) past %.0f%% (set BENCH_DELTA_WARN_ONLY=1 to override)\n",
+				regressions, gatedRegressionPct)
 			os.Exit(1)
 		}
 		return
@@ -142,16 +158,28 @@ func loadTrajectory(path string) (map[string]Record, error) {
 	return recs, nil
 }
 
+// gatedMetrics are the named benchmark metrics delta mode gates on:
+// unlike ns/op they are deterministic functions of the code (allocation
+// counts and live-heap footprints), so a regression between trajectory
+// files is a real regression even across machines.
+var gatedMetrics = []string{"bytes/node", "allocs/query"}
+
+// gatedRegressionPct is how far a gated metric may rise before delta
+// mode fails.
+const gatedRegressionPct = 20.0
+
 // printDelta renders the ns/op and allocs/op movement between two
-// trajectory files for every benchmark they share.
-func printDelta(oldPath, newPath string) error {
+// trajectory files for every benchmark they share, then the gated
+// memory metrics. It returns how many gated metrics regressed past
+// gatedRegressionPct.
+func printDelta(oldPath, newPath string) (int, error) {
 	oldRecs, err := loadTrajectory(oldPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	newRecs, err := loadTrajectory(newPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	keys := make([]string, 0, len(newRecs))
 	for k := range newRecs {
@@ -179,5 +207,33 @@ func printDelta(oldPath, newPath string) error {
 	}
 	fmt.Printf("%d shared benchmarks (%d only in %s, %d only in %s), %d past the 10%% slowdown mark\n",
 		len(keys), len(oldRecs)-len(keys), oldPath, len(newRecs)-len(keys), newPath, slower)
-	return nil
+
+	// Gated memory metrics: print every shared occurrence, count the
+	// regressions past the threshold.
+	regressions, header := 0, false
+	for _, k := range keys {
+		o, n := oldRecs[k], newRecs[k]
+		for _, metric := range gatedMetrics {
+			oV, oOK := o.Metrics[metric]
+			nV, nOK := n.Metrics[metric]
+			if !oOK || !nOK || oV == 0 {
+				continue
+			}
+			if !header {
+				fmt.Printf("\n%-64s %-14s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "delta")
+				header = true
+			}
+			pct := (nV - oV) / oV * 100
+			mark := ""
+			if pct > gatedRegressionPct {
+				mark = "  ! regression"
+				regressions++
+			}
+			fmt.Printf("%-64s %-14s %14.1f %14.1f %+7.1f%%%s\n", n.Name, metric, oV, nV, pct, mark)
+		}
+	}
+	if header {
+		fmt.Printf("%d memory-metric regression(s) past the %.0f%% gate\n", regressions, gatedRegressionPct)
+	}
+	return regressions, nil
 }

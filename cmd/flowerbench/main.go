@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"flowercdn"
+	"flowercdn/internal/prof"
 )
 
 func main() {
@@ -60,8 +61,22 @@ func main() {
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		csvPath    = flag.String("csv", "", "also write sweep aggregates as CSV to this file ('-' = stdout)")
 		seriesPath = flag.String("series-csv", "", "also write the per-window hit-ratio/latency series as CSV to this file ('-' = stdout)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering every run to this file")
+		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			fatal(err)
+		}
+	}()
 
 	cfg := flowercdn.QuickConfig()
 	pops := []int{200, 300, 400, 500}

@@ -35,6 +35,7 @@ import (
 	"flowercdn"
 	"flowercdn/internal/harness"
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/prof"
 )
 
 func main() {
@@ -67,6 +68,9 @@ func main() {
 		cacheCap    = flag.Int("cache-capacity", 0, "per-peer store capacity in objects (required >= 1 for any policy but none)")
 		series      = flag.Bool("series", false, "print the hourly hit-ratio series")
 		printParams = flag.Bool("print-params", false, "print the Table 1 parameter sheet and exit")
+		measureMem  = flag.Bool("measure-mem", false, "sample the live heap after the run (forced GC) and print bytes/node")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 
 		// Socket-backend process-group flags (see socket.go).
 		listen     = flag.String("listen", "", "socket backend: this process's TCP listen address")
@@ -136,13 +140,22 @@ func main() {
 			"population": true, "horizon": true, "loss": true,
 			"print-fingerprint": true,
 			"cache-policy":      true, "cache-capacity": true,
+			"cpuprofile": true, "memprofile": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if !realtimeFlags[f.Name] {
 				fmt.Fprintf(os.Stderr, "flowersim: -%s is ignored with -backend realtime (scale comes from -population/-horizon)\n", f.Name)
 			}
 		})
+		stopCPU, err := prof.StartCPU(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
 		runRealtime(*protocol, *seed, *population, *horizon, *loss, *printFP, *cachePolicy, *cacheCap)
+		stopCPU()
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -168,6 +181,7 @@ func main() {
 		InterestSkew:       *intSkew,
 		CachePolicy:        *cachePolicy,
 		CacheCapacity:      *cacheCap,
+		MeasureMem:         *measureMem,
 	}
 
 	if *printParams {
@@ -181,9 +195,17 @@ func main() {
 
 	cfg.Backend = *backend
 
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
 	res, err := flowercdn.Run(cfg)
+	stopCPU()
 	if err != nil {
+		fatal(err)
+	}
+	if err := prof.WriteHeap(*memProfile); err != nil {
 		fatal(err)
 	}
 	if *printFP {
@@ -197,6 +219,12 @@ func main() {
 	fmt.Printf("lookup: %.0f%% within 150 ms, %.0f%% beyond 1200 ms\n",
 		100*res.LookupWithin150ms, 100*res.LookupBeyond1200ms)
 	fmt.Printf("transfer: %.0f%% within 100 ms\n", 100*res.TransferWithin100ms)
+	if res.MemStats != nil {
+		fmt.Printf("memory: %.0f B/node live heap (%.1f MiB total, %d mallocs)\n",
+			res.MemStats.BytesPerNode,
+			float64(res.MemStats.HeapAllocBytes)/(1<<20),
+			res.MemStats.Mallocs)
+	}
 	if *series {
 		fmt.Println("hour  hit-ratio  queries")
 		for _, pt := range res.Series {

@@ -174,6 +174,10 @@ type Config struct {
 	// size-aware policy converts it to a byte budget at the workload's
 	// 8 KiB mean object size). Required >= 1 for any policy but none.
 	CacheCapacity int
+	// MeasureMem samples end-of-run heap statistics (live heap after a
+	// forced GC, bytes per node) into Result.MemStats — the measurement
+	// the big-cell benchmarks track. Single-process backends only.
+	MeasureMem bool
 }
 
 // SocketConfig describes one process of a socket-backend group: the
@@ -284,6 +288,7 @@ func (c Config) lower() (harness.Config, error) {
 		"cache-policy":       cachePolicy,
 		"cache-capacity":     c.CacheCapacity,
 	}
+	hc.MeasureMem = c.MeasureMem
 	return hc, nil
 }
 
@@ -331,6 +336,9 @@ type Result struct {
 	// deterministic function of the configuration (see the harness
 	// documentation and make fingerprint-check).
 	Fingerprint uint64
+	// MemStats is the end-of-run heap sample (nil unless
+	// Config.MeasureMem was set).
+	MemStats *harness.MemStats
 
 	inner *harness.Result
 }
@@ -352,6 +360,7 @@ func wrap(r *harness.Result) *Result {
 		Misses:              r.Misses,
 		Backend:             r.Backend,
 		Fingerprint:         r.Fingerprint,
+		MemStats:            r.MemStats,
 		inner:               r,
 	}
 	for i, p := range r.Series {

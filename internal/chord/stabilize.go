@@ -56,15 +56,21 @@ func (n *Node) rememberContact(e Entry) {
 	const cap = 16
 	for i, c := range n.contacts {
 		if c.Node == e.Node {
-			// Move to the back (freshest).
-			n.contacts = append(append(n.contacts[:i:i], n.contacts[i+1:]...), e)
+			// Move to the back (freshest) in place: this runs for every
+			// successor-list entry of every stabilize round, so it must
+			// not reallocate.
+			copy(n.contacts[i:], n.contacts[i+1:])
+			n.contacts[len(n.contacts)-1] = e
 			return
 		}
 	}
-	n.contacts = append(n.contacts, e)
-	if len(n.contacts) > cap {
-		n.contacts = n.contacts[len(n.contacts)-cap:]
+	if len(n.contacts) >= cap {
+		// Evict the stalest in place, keeping the backing array.
+		copy(n.contacts, n.contacts[1:])
+		n.contacts[len(n.contacts)-1] = e
+		return
 	}
+	n.contacts = append(n.contacts, e)
 }
 
 // rescue attempts an emergency re-join via the freshest cached contact:
@@ -98,7 +104,7 @@ func (n *Node) rescue() {
 // adoptSuccessor makes e the immediate successor and keeps the tail.
 func (n *Node) adoptSuccessor(e Entry, tail []Entry) {
 	n.rememberContact(e)
-	list := make([]Entry, 0, n.cfg.SuccessorListLen)
+	list := n.succsSpare[:0]
 	list = append(list, e)
 	for _, s := range n.succs {
 		if len(list) >= n.cfg.SuccessorListLen {
@@ -116,13 +122,16 @@ func (n *Node) adoptSuccessor(e Entry, tail []Entry) {
 			list = append(list, s)
 		}
 	}
+	// Double-buffer: the list was built into the spare while reading the
+	// live one; swap so next round reuses today's live backing array.
+	n.succsSpare = n.succs[:0]
 	n.succs = list
 }
 
 // mergeSuccList rebuilds the successor list as succ followed by succ's
 // own list.
 func (n *Node) mergeSuccList(succ Entry, theirs []Entry) {
-	list := make([]Entry, 0, n.cfg.SuccessorListLen)
+	list := n.succsSpare[:0]
 	list = append(list, succ)
 	n.rememberContact(succ)
 	for _, s := range theirs {
@@ -134,6 +143,7 @@ func (n *Node) mergeSuccList(succ Entry, theirs []Entry) {
 			list = append(list, s)
 		}
 	}
+	n.succsSpare = n.succs[:0]
 	n.succs = list
 }
 
@@ -306,19 +316,20 @@ func (n *Node) pingFingers() {
 	if n.stopped {
 		return
 	}
-	// Collect distinct finger nodes in table order.
-	var nodes []Entry
-	seen := make(map[runtime.NodeID]struct{}, n.cfg.FingersPerPing*2)
+	// Collect distinct finger nodes in table order, reusing the node's
+	// scratch slice (this fires every FingerPingInterval on every node;
+	// the distinct-node count is small, so linear dedup beats a map).
+	nodes := n.pingScratch[:0]
 	for _, f := range n.fingers {
 		if !f.Valid() || f.Node == n.self.Node {
 			continue
 		}
-		if _, dup := seen[f.Node]; dup {
+		if containsNode(nodes, f.Node) {
 			continue
 		}
-		seen[f.Node] = struct{}{}
 		nodes = append(nodes, f)
 	}
+	n.pingScratch = nodes
 	if len(nodes) == 0 {
 		return
 	}

@@ -1,0 +1,42 @@
+package content
+
+import (
+	"testing"
+
+	"flowercdn/internal/cache"
+)
+
+// TestBoundedAddAllocs pins the bounded-store Add path's steady-state
+// allocation count. Unlike the engine and transport hot paths this one
+// is not zero — the LRU policy allocates a list element and an entry
+// per newly-admitted key — but the store's own bookkeeping (the packed
+// sorted key slice, the push delta, the interned summary invalidation)
+// must stay allocation-free once warm. The ceiling is the policy's two
+// objects per admission; growth past it means store bookkeeping
+// regressed onto the heap.
+func TestBoundedAddAllocs(t *testing.T) {
+	pol, err := cache.New("lru", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStoreWith(StoreOptions{Policy: pol})
+	keys := make([]Key, 32)
+	for i := range keys {
+		keys[i] = Key{Site: SiteID(i % 4), Object: ObjectID(i)}
+	}
+	for i := 0; i < 256; i++ { // warm up: slices reach steady capacity
+		s.Add(keys[i%len(keys)])
+	}
+	i := 256
+	avg := testing.AllocsPerRun(200, func() {
+		s.Add(keys[i%len(keys)])
+		i++
+	})
+	// Every admission is a new key here (the cycle is 4x the capacity,
+	// so re-adds never hit): budget the LRU's two allocations, nothing
+	// for the store itself.
+	const ceiling = 2.0
+	if avg > ceiling {
+		t.Errorf("bounded Add allocates %.2f objects per admission; ceiling %.0f", avg, ceiling)
+	}
+}

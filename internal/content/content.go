@@ -14,7 +14,6 @@ package content
 
 import (
 	"fmt"
-	"sort"
 
 	"flowercdn/internal/bloom"
 	"flowercdn/internal/cache"
@@ -82,14 +81,40 @@ func (c *Catalog) Valid(k Key) bool {
 // The zero value is not usable; use NewStore (unbounded, the paper's
 // model) or NewStoreWith (capacity-bounded by an eviction policy).
 type Store struct {
-	have  map[Key]struct{}
+	// have holds the cached keys packed (Key.Uint64) and sorted: 8
+	// bytes per key against a map's several-times-larger buckets, which
+	// is what makes 100k-node populations fit one process. Packed order
+	// equals (site, object) order, so every iteration over the store is
+	// deterministic for free.
+	have  []uint64
 	delta []Key // keys added since the last MarkPushed
+
+	// summary is the interned Bloom filter of the current contents,
+	// invalidated (set nil) on every membership change and rebuilt
+	// lazily. It is shared with everyone Summary was handed to, so it
+	// is never mutated in place — see Summary.
+	summary *bloom.Filter
 
 	// Eviction seam; all nil/zero on an unbounded store.
 	policy  cache.Policy
 	cost    func(Key) int64 // nil = unit cost (capacity in objects)
 	onEvict func(Key)
 	evicted uint64
+}
+
+// find returns the insertion index of packed key u and whether it is
+// present.
+func (s *Store) find(u uint64) (int, bool) {
+	lo, hi := 0, len(s.have)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.have[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.have) && s.have[lo] == u
 }
 
 // StoreOptions configures a capacity-bounded store.
@@ -105,7 +130,7 @@ type StoreOptions struct {
 
 // NewStore returns an empty unbounded store.
 func NewStore() *Store {
-	return &Store{have: make(map[Key]struct{})}
+	return &Store{}
 }
 
 // NewStoreWith returns an empty store governed by the given options.
@@ -128,10 +153,15 @@ func (s *Store) Evictions() uint64 { return s.evicted }
 // bounded store the insertion may evict other keys — or k itself, when
 // a single object exceeds the whole budget.
 func (s *Store) Add(k Key) bool {
-	if _, ok := s.have[k]; ok {
+	u := k.Uint64()
+	i, ok := s.find(u)
+	if ok {
 		return false
 	}
-	s.have[k] = struct{}{}
+	s.have = append(s.have, 0)
+	copy(s.have[i+1:], s.have[i:])
+	s.have[i] = u
+	s.summary = nil
 	s.delta = append(s.delta, k)
 	if s.policy != nil {
 		c := int64(1)
@@ -154,7 +184,10 @@ func (s *Store) evictOverCapacity() {
 		}
 		s.policy.Remove(v)
 		k := KeyFromUint64(v)
-		delete(s.have, k)
+		if i, ok := s.find(v); ok {
+			s.have = append(s.have[:i], s.have[i+1:]...)
+			s.summary = nil
+		}
 		// An evicted key must not be advertised by the next push: drop
 		// it from the pending delta (linear, but deltas are short —
 		// they flush at a fraction of the store size).
@@ -176,7 +209,7 @@ func (s *Store) evictOverCapacity() {
 // the eviction policy) — both serving a fetch and skipping an
 // already-cached object keep that object warm.
 func (s *Store) Has(k Key) bool {
-	_, ok := s.have[k]
+	_, ok := s.find(k.Uint64())
 	if ok && s.policy != nil {
 		s.policy.OnHit(k.Uint64())
 	}
@@ -189,15 +222,9 @@ func (s *Store) Len() int { return len(s.have) }
 // Keys returns all cached keys in deterministic (sorted) order.
 func (s *Store) Keys() []Key {
 	out := make([]Key, 0, len(s.have))
-	for k := range s.have {
-		out = append(out, k)
+	for _, u := range s.have {
+		out = append(out, KeyFromUint64(u))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Site != out[j].Site {
-			return out[i].Site < out[j].Site
-		}
-		return out[i].Object < out[j].Object
-	})
 	return out
 }
 
@@ -230,17 +257,27 @@ func (s *Store) TakeDelta() []Key {
 // followed by a directory fallback, so 2% is plenty.
 const SummaryFPRate = 0.02
 
-// Summary builds a Bloom filter of everything in the store, sized for
+// Summary returns a Bloom filter of everything in the store, sized for
 // the store's current population (minimum capacity keeps tiny stores
-// from degenerate geometry).
+// from degenerate geometry). The filter is interned: repeated calls
+// between membership changes return the same filter, so a peer
+// gossiping its summary to its whole view ships one shared filter
+// instead of re-building (and re-holding) one per contact. Callers and
+// recipients must treat it as immutable — after a change the store
+// builds a fresh filter rather than mutating the one already handed
+// out, so held references stay consistent snapshots.
 func (s *Store) Summary() *bloom.Filter {
+	if s.summary != nil {
+		return s.summary
+	}
 	capacity := len(s.have)
 	if capacity < 16 {
 		capacity = 16
 	}
 	f := bloom.NewForCapacity(capacity, SummaryFPRate)
-	for k := range s.have {
-		f.Add(k.Uint64())
+	for _, u := range s.have {
+		f.Add(u)
 	}
+	s.summary = f
 	return f
 }

@@ -23,7 +23,11 @@ type directoryState struct {
 	pos      ids.ID
 	instance int
 
-	index   map[content.Key]map[runtime.NodeID]struct{}
+	// index maps each object to the sorted NodeIDs of the content peers
+	// caching it. A sorted slice instead of a per-key set: 8 bytes per
+	// pointer, deterministic iteration by construction, and provider
+	// lists are short (bounded in practice by petal size).
+	index   map[content.Key][]runtime.NodeID
 	members map[runtime.NodeID]*memberInfo
 
 	// oldSummaries is the gossip-view snapshot taken at promotion.
@@ -47,6 +51,49 @@ type directoryState struct {
 type memberInfo struct {
 	lastSeen int64
 	keys     map[content.Key]struct{}
+}
+
+// searchNode locates nid in a sorted NodeID slice: the insertion index
+// and whether it is present.
+func searchNode(ps []runtime.NodeID, nid runtime.NodeID) (int, bool) {
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ps[mid] < nid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(ps) && ps[lo] == nid
+}
+
+// addProvider records nid as a provider of k, keeping the list sorted.
+func (d *directoryState) addProvider(k content.Key, nid runtime.NodeID) {
+	ps := d.index[k]
+	i, ok := searchNode(ps, nid)
+	if ok {
+		return
+	}
+	ps = append(ps, 0)
+	copy(ps[i+1:], ps[i:])
+	ps[i] = nid
+	d.index[k] = ps
+}
+
+// removeProvider forgets nid as a provider of k.
+func (d *directoryState) removeProvider(k content.Key, nid runtime.NodeID) {
+	ps := d.index[k]
+	i, ok := searchNode(ps, nid)
+	if !ok {
+		return
+	}
+	ps = append(ps[:i], ps[i+1:]...)
+	if len(ps) == 0 {
+		delete(d.index, k)
+	} else {
+		d.index[k] = ps
+	}
 }
 
 // Pos returns the directory's ring position.
@@ -155,14 +202,14 @@ func (p *Peer) becomeDirectory(pos ids.ID) {
 	p.dir = &directoryState{
 		pos:      pos,
 		instance: dring.InstanceOf(pos),
-		index:    make(map[content.Key]map[runtime.NodeID]struct{}),
+		index:    make(map[content.Key][]runtime.NodeID),
 		members:  make(map[runtime.NodeID]*memberInfo),
 	}
 	// Keep the content summaries gathered while a content peer; they
 	// answer queries until pushes rebuild the index (Sec. 5.2.2: "p can
 	// try to answer first received queries from its content summaries").
 	if wasContent {
-		for _, e := range p.gsp.Entries() {
+		for _, e := range p.gsp.View() {
 			if meta, ok := e.Meta.(ContactMeta); ok && meta.Summary != nil {
 				p.dir.oldSummaries = append(p.dir.oldSummaries, e)
 				_ = meta
@@ -286,12 +333,7 @@ func (p *Peer) removeMember(nid runtime.NodeID) {
 	}
 	delete(p.dir.members, nid)
 	for k := range m.keys {
-		if ps, ok := p.dir.index[k]; ok {
-			delete(ps, nid)
-			if len(ps) == 0 {
-				delete(p.dir.index, k)
-			}
-		}
+		p.dir.removeProvider(k, nid)
 	}
 }
 
@@ -325,12 +367,7 @@ func (p *Peer) onPush(from runtime.NodeID, r pushReq) (any, error) {
 	m := p.admitMember(from)
 	for _, k := range r.Keys {
 		m.keys[k] = struct{}{}
-		ps, ok := p.dir.index[k]
-		if !ok {
-			ps = make(map[runtime.NodeID]struct{})
-			p.dir.index[k] = ps
-		}
-		ps[from] = struct{}{}
+		p.dir.addProvider(k, from)
 	}
 	return pushResp{}, nil
 }
@@ -391,11 +428,9 @@ func (p *Peer) collabSiblings() []chord.Entry {
 // asking client — the locality-aware server selection that keeps
 // transfer distances short. The asker itself is never returned.
 func (d *directoryState) lookupProviders(p *Peer, key content.Key, asker runtime.NodeID) (providers []runtime.NodeID, fromSummary bool) {
-	if ps, ok := d.index[key]; ok {
-		for nid := range ps {
-			if nid != asker {
-				providers = append(providers, nid)
-			}
+	for _, nid := range d.index[key] {
+		if nid != asker {
+			providers = append(providers, nid)
 		}
 	}
 	if len(providers) == 0 && d.oldSummaries != nil {
@@ -632,10 +667,7 @@ func (p *Peer) Leave() {
 		if best != runtime.None {
 			h := handoffMsg{Pos: p.dir.pos, Index: make(map[content.Key][]runtime.NodeID, len(p.dir.index))}
 			for k, ps := range p.dir.index {
-				for nid := range ps {
-					h.Index[k] = append(h.Index[k], nid)
-				}
-				sort.Slice(h.Index[k], func(i, j int) bool { return h.Index[k][i] < h.Index[k][j] })
+				h.Index[k] = append([]runtime.NodeID(nil), ps...) // already sorted
 			}
 			for nid := range p.dir.members {
 				h.Members = append(h.Members, nid)
@@ -669,18 +701,14 @@ func (p *Peer) onHandoff(m handoffMsg) {
 			p.dir.members[nid] = &memberInfo{lastSeen: now, keys: make(map[content.Key]struct{})}
 		}
 		for k, ps := range index {
-			set := make(map[runtime.NodeID]struct{}, len(ps))
 			for _, nid := range ps {
 				if nid == p.nid {
 					continue
 				}
-				set[nid] = struct{}{}
+				p.dir.addProvider(k, nid)
 				if mi, ok := p.dir.members[nid]; ok {
 					mi.keys[k] = struct{}{}
 				}
-			}
-			if len(set) > 0 {
-				p.dir.index[k] = set
 			}
 		}
 	})

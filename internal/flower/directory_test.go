@@ -61,12 +61,7 @@ func TestLookupProvidersOrderingAndCap(t *testing.T) {
 	for _, m := range members {
 		mi := dir.admitMember(m.NodeID())
 		mi.keys[key] = struct{}{}
-		ps, ok := d.index[key]
-		if !ok {
-			ps = map[runtime.NodeID]struct{}{}
-			d.index[key] = ps
-		}
-		ps[m.NodeID()] = struct{}{}
+		d.addProvider(key, m.NodeID())
 	}
 	asker := members[0].NodeID()
 	providers, fromSummary := d.lookupProviders(dir, key, asker)
@@ -161,7 +156,7 @@ func TestMemberExpiryRemovesIndexEntries(t *testing.T) {
 	ghost := runtime.NodeID(31337) // never sends keepalives
 	mi := dir.admitMember(ghost)
 	mi.keys[key] = struct{}{}
-	d.index[key] = map[runtime.NodeID]struct{}{ghost: {}}
+	d.addProvider(key, ghost)
 	// Two sweeps beyond the TTL clear it.
 	f.run(3 * f.sys.cfg.KeepaliveInterval)
 	if _, ok := d.members[ghost]; ok {
@@ -181,7 +176,7 @@ func TestDeadProviderReportPrunesIndex(t *testing.T) {
 	dead := runtime.NodeID(777)
 	mi := dir.admitMember(dead)
 	mi.keys[key] = struct{}{}
-	d.index[key] = map[runtime.NodeID]struct{}{dead: {}}
+	d.addProvider(key, dead)
 	dir.HandleMessage(runtime.NodeID(1), deadProviderReport{Dead: dead})
 	if _, ok := d.members[dead]; ok {
 		t.Fatal("reported-dead member still in view")

@@ -70,6 +70,12 @@ type Peer struct {
 	// Active query state machine (a peer has at most one outstanding
 	// query: the mean think time of 6 minutes dwarfs resolution time).
 	query *activeQuery
+	// qspare recycles the previous activeQuery; candScratch is the
+	// reusable candidate-selection buffer of contentQuery. Both exist
+	// because a query fires every few simulated minutes on every active
+	// peer, so per-query allocations add up across a whole run.
+	qspare      *activeQuery
+	candScratch []provCand
 
 	keepaliveTimer runtime.Ticker
 	queryTimer     runtime.Timer

@@ -32,8 +32,20 @@ func (s querySource) outcome() metrics.Outcome {
 	}
 }
 
+// provCand is one gossip-path provider candidate during selection.
+type provCand struct {
+	peer runtime.NodeID
+	lat  int64
+}
+
 // activeQuery is the in-flight query state machine. A peer runs at most
 // one at a time (think time, 6 min mean, dwarfs resolution time).
+//
+// Queries are pooled per peer (getQuery/putQuery): every callback that
+// may outlive a query captures the seq it was created for and checks it
+// against q.seq, because after recycling the same *activeQuery pointer
+// identifies a different query. seq values are process-unique, so a
+// stale callback can never pass the check.
 type activeQuery struct {
 	seq      uint64
 	key      content.Key
@@ -51,6 +63,25 @@ type activeQuery struct {
 	// (Foreign queries carry no CollabWith), so collaboration is one
 	// level deep.
 	collab []chord.Entry
+}
+
+// getQuery takes the recycled query record (or allocates the peer's
+// first); putQuery returns it once the query fully resolved. The
+// candidate buffer's backing array survives recycling.
+func (p *Peer) getQuery() *activeQuery {
+	q := p.qspare
+	if q == nil {
+		return &activeQuery{}
+	}
+	p.qspare = nil
+	*q = activeQuery{candidates: q.candidates[:0]}
+	return q
+}
+
+func (p *Peer) putQuery(q *activeQuery) {
+	q.timeout = nil
+	q.collab = nil
+	p.qspare = q
 }
 
 // ensureQueryLoop starts the periodic query process once, for peers of
@@ -73,11 +104,10 @@ func (p *Peer) issueQuery() {
 	if !ok {
 		return // caches the whole catalog: nothing left to request
 	}
-	q := &activeQuery{
-		seq:   p.sys.nextQuerySeq(),
-		key:   key,
-		start: p.eng().Now(),
-	}
+	q := p.getQuery()
+	q.seq = p.sys.nextQuerySeq()
+	q.key = key
+	q.start = p.eng().Now()
 	p.query = q
 	if p.role == RoleClient {
 		p.sendRoutedQuery(q)
@@ -92,12 +122,11 @@ func (p *Peer) startClientQuery(key content.Key, joinOnly bool) {
 	if p.query != nil {
 		return
 	}
-	q := &activeQuery{
-		seq:      p.sys.nextQuerySeq(),
-		key:      key,
-		start:    p.eng().Now(),
-		joinOnly: joinOnly,
-	}
+	q := p.getQuery()
+	q.seq = p.sys.nextQuerySeq()
+	q.key = key
+	q.start = p.eng().Now()
+	q.joinOnly = joinOnly
 	p.query = q
 	p.sendRoutedQuery(q)
 }
@@ -133,11 +162,12 @@ func (p *Peer) sendRoutedQuery(q *activeQuery) {
 		JoinOnly: q.joinOnly,
 	})
 	q.attempt++
-	q.timeout = p.eng().Schedule(p.sys.cfg.QueryTimeout, func() { p.routedQueryTimedOut(q) })
+	seq := q.seq
+	q.timeout = p.eng().Schedule(p.sys.cfg.QueryTimeout, func() { p.routedQueryTimedOut(q, seq) })
 }
 
-func (p *Peer) routedQueryTimedOut(q *activeQuery) {
-	if p.dead || p.query != q {
+func (p *Peer) routedQueryTimedOut(q *activeQuery, seq uint64) {
+	if p.dead || p.query != q || q.seq != seq {
 		return
 	}
 	if q.attempt < p.sys.cfg.QueryRetries {
@@ -169,8 +199,9 @@ func (p *Peer) claimFromQuery(q *activeQuery) {
 		return
 	}
 	pos := dringPosition(p.site, p.loc, 0)
+	seq := q.seq
 	p.claimDirectoryPosition(pos, runtime.None, func(current chord.Entry, err error) {
-		if p.dead || p.query != q {
+		if p.dead || p.query != q || q.seq != seq {
 			return
 		}
 		if err == nil {
@@ -193,7 +224,7 @@ func (p *Peer) claimFromQuery(q *activeQuery) {
 				Seq: q.seq, Key: q.key, Client: p.nid,
 				Site: p.site, Loc: p.loc, JoinOnly: q.joinOnly,
 			})
-			q.timeout = p.eng().Schedule(p.sys.cfg.QueryTimeout, func() { p.routedQueryTimedOut(q) })
+			q.timeout = p.eng().Schedule(p.sys.cfg.QueryTimeout, func() { p.routedQueryTimedOut(q, seq) })
 			return
 		}
 		// Ring unreachable altogether.
@@ -275,6 +306,7 @@ func (p *Peer) joinPetal(seed []gossip.Entry) {
 func (p *Peer) finishJoinOnly(q *activeQuery) {
 	if p.query == q {
 		p.query = nil
+		p.putQuery(q)
 	}
 }
 
@@ -284,20 +316,17 @@ func (p *Peer) finishJoinOnly(q *activeQuery) {
 func (p *Peer) contentQuery(q *activeQuery) {
 	// Locality-aware candidate selection: every petal contact whose
 	// summary claims the object, nearest first.
-	type cand struct {
-		peer runtime.NodeID
-		lat  int64
-	}
-	var cands []cand
-	for _, e := range p.gsp.Entries() {
+	cands := p.candScratch[:0]
+	for _, e := range p.gsp.View() {
 		meta, ok := e.Meta.(ContactMeta)
 		if !ok || meta.Summary == nil {
 			continue
 		}
 		if meta.Summary.Contains(q.key.Uint64()) {
-			cands = append(cands, cand{peer: e.Peer, lat: p.net().Latency(p.nid, e.Peer)})
+			cands = append(cands, provCand{peer: e.Peer, lat: p.net().Latency(p.nid, e.Peer)})
 		}
 	}
+	p.candScratch = cands[:0]
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].lat != cands[j].lat {
 			return cands[i].lat < cands[j].lat
@@ -342,9 +371,10 @@ func (p *Peer) probeCandidate(q *activeQuery, gossipPath bool) {
 	// multi-second timeout for a neighbour 40 ms away would dominate
 	// lookup latency under churn.
 	timeout := 2*p.net().Latency(p.nid, target) + 300*runtime.Millisecond
+	seq := q.seq
 	p.net().Request(p.nid, target, workload.FetchReq{Key: q.key}, timeout,
 		func(resp any, err error) {
-			if p.dead || p.query != q {
+			if p.dead || p.query != q || q.seq != seq {
 				return
 			}
 			if err != nil {
@@ -395,9 +425,10 @@ func (p *Peer) directoryQuery(q *activeQuery) {
 		return
 	}
 	dirNode := p.dirInfo.Node
+	seq := q.seq
 	p.net().Request(p.nid, dirNode, dirQueryReq{Key: q.key, Client: p.nid}, p.sys.cfg.Chord.RPCTimeout,
 		func(resp any, err error) {
-			if p.dead || p.query != q {
+			if p.dead || p.query != q || q.seq != seq {
 				if err != nil && !p.dead {
 					p.dirContactFailed(dirNode)
 				}
@@ -438,9 +469,10 @@ func (p *Peer) collabQuery(q *activeQuery) {
 	}
 	sib := q.collab[0]
 	q.collab = q.collab[1:]
+	seq := q.seq
 	p.net().Request(p.nid, sib.Node, dirQueryReq{Key: q.key, Client: p.nid, Foreign: true},
 		p.sys.cfg.Chord.RPCTimeout, func(resp any, err error) {
-			if p.dead || p.query != q {
+			if p.dead || p.query != q || q.seq != seq {
 				return
 			}
 			if err != nil {
@@ -492,19 +524,21 @@ func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider runtime
 		lookup -= dist
 	}
 	p.sys.coll.Emit(metrics.QueryEvent(now, outcome, lookup, dist))
+	key := q.key // q recycles now; the fetch callback outlives it
+	p.putQuery(q)
 	if outcome == metrics.Miss {
 		// The object still has to travel from the origin.
-		p.net().Request(p.nid, provider, workload.FetchReq{Key: q.key}, 0,
+		p.net().Request(p.nid, provider, workload.FetchReq{Key: key}, 0,
 			func(resp any, err error) {
 				if p.dead || err != nil {
 					return
 				}
-				p.acquire(q.key)
+				p.acquire(key)
 			})
 		return
 	}
 	// Hit paths already verified the provider served the object.
-	p.acquire(q.key)
+	p.acquire(key)
 }
 
 // acquire stores a fetched object and runs the push-threshold check

@@ -119,8 +119,14 @@ type Protocol struct {
 	me  runtime.NodeID
 	app App
 
-	order  []runtime.NodeID // deterministic iteration order
-	byPeer map[runtime.NodeID]*Entry
+	// view holds the contacts in insertion order — the deterministic
+	// iteration order everything below relies on — and idx maps a peer
+	// to its position in it. One flat slice instead of an order slice
+	// plus a map of individually-allocated entries: views grow with
+	// petal size, and at 100k-node populations the per-entry pointer
+	// and bucket overhead is most of a peer's footprint.
+	view []Entry
+	idx  map[runtime.NodeID]int32
 
 	timer   runtime.Ticker
 	stopped bool
@@ -138,13 +144,13 @@ func New(cfg Config, net runtime.Transport, rng *rnd.RNG, me runtime.NodeID, app
 		return nil, errors.New("gossip: nil app")
 	}
 	return &Protocol{
-		cfg:    cfg,
-		net:    net,
-		eng:    net.Clock(),
-		rng:    rng,
-		me:     me,
-		app:    app,
-		byPeer: make(map[runtime.NodeID]*Entry),
+		cfg: cfg,
+		net: net,
+		eng: net.Clock(),
+		rng: rng,
+		me:  me,
+		app: app,
+		idx: make(map[runtime.NodeID]int32),
 	}, nil
 }
 
@@ -166,27 +172,30 @@ func (g *Protocol) Stop() {
 }
 
 // Size returns the current view size.
-func (g *Protocol) Size() int { return len(g.order) }
+func (g *Protocol) Size() int { return len(g.view) }
 
 // Contains reports whether peer is in the view.
 func (g *Protocol) Contains(peer runtime.NodeID) bool {
-	_, ok := g.byPeer[peer]
+	_, ok := g.idx[peer]
 	return ok
 }
 
 // Entries returns a copy of the view in insertion order.
 func (g *Protocol) Entries() []Entry {
-	out := make([]Entry, 0, len(g.order))
-	for _, p := range g.order {
-		out = append(out, *g.byPeer[p])
-	}
+	out := make([]Entry, len(g.view))
+	copy(out, g.view)
 	return out
 }
 
+// View returns the live view in insertion order, valid until the next
+// protocol call. Read-only: callers must neither mutate nor retain it.
+// This is the allocation-free variant of Entries for per-query scans.
+func (g *Protocol) View() []Entry { return g.view }
+
 // Meta returns the stored metadata for peer, or nil.
 func (g *Protocol) Meta(peer runtime.NodeID) any {
-	if e, ok := g.byPeer[peer]; ok {
-		return e.Meta
+	if i, ok := g.idx[peer]; ok {
+		return g.view[i].Meta
 	}
 	return nil
 }
@@ -206,23 +215,28 @@ func (g *Protocol) AddContact(peer runtime.NodeID, meta any) {
 // UpdateMeta replaces the metadata of an existing contact; unknown
 // peers are ignored (use AddContact to insert).
 func (g *Protocol) UpdateMeta(peer runtime.NodeID, meta any) {
-	if e, ok := g.byPeer[peer]; ok {
-		e.Meta = meta
+	if i, ok := g.idx[peer]; ok {
+		g.view[i].Meta = meta
+	}
+}
+
+// removeAt deletes the view entry at position i, preserving insertion
+// order (in place: shift the tail and re-index it).
+func (g *Protocol) removeAt(i int) {
+	delete(g.idx, g.view[i].Peer)
+	copy(g.view[i:], g.view[i+1:])
+	g.view[len(g.view)-1] = Entry{} // release the Meta reference
+	g.view = g.view[:len(g.view)-1]
+	for j := i; j < len(g.view); j++ {
+		g.idx[g.view[j].Peer] = int32(j)
 	}
 }
 
 // RemoveContact drops a contact (e.g. the application learned it died
 // through another channel).
 func (g *Protocol) RemoveContact(peer runtime.NodeID) {
-	if _, ok := g.byPeer[peer]; !ok {
-		return
-	}
-	delete(g.byPeer, peer)
-	for i, p := range g.order {
-		if p == peer {
-			g.order = append(g.order[:i], g.order[i+1:]...)
-			break
-		}
+	if i, ok := g.idx[peer]; ok {
+		g.removeAt(int(i))
 	}
 }
 
@@ -233,7 +247,8 @@ func (g *Protocol) insert(e Entry) {
 	if e.Peer == g.me || e.Peer == runtime.None {
 		return
 	}
-	if cur, ok := g.byPeer[e.Peer]; ok {
+	if i, ok := g.idx[e.Peer]; ok {
+		cur := &g.view[i]
 		if e.Age <= cur.Age {
 			cur.Age = e.Age
 			if e.Meta != nil {
@@ -242,37 +257,35 @@ func (g *Protocol) insert(e Entry) {
 		}
 		return
 	}
-	if g.cfg.MaxView > 0 && len(g.order) >= g.cfg.MaxView {
+	if g.cfg.MaxView > 0 && len(g.view) >= g.cfg.MaxView {
 		g.evictOldest()
 	}
-	cp := e
-	g.byPeer[e.Peer] = &cp
-	g.order = append(g.order, e.Peer)
+	g.idx[e.Peer] = int32(len(g.view))
+	g.view = append(g.view, e)
 }
 
 func (g *Protocol) evictOldest() {
-	if len(g.order) == 0 {
+	if len(g.view) == 0 {
 		return
 	}
-	oldest, idx := g.order[0], 0
-	for i, p := range g.order {
-		if g.byPeer[p].Age > g.byPeer[oldest].Age {
-			oldest, idx = p, i
+	idx := 0
+	for i := range g.view {
+		if g.view[i].Age > g.view[idx].Age {
+			idx = i
 		}
 	}
-	delete(g.byPeer, oldest)
-	g.order = append(g.order[:idx], g.order[idx+1:]...)
+	g.removeAt(idx)
 }
 
 // Tick runs one gossip round: age the view, pick the oldest contact,
 // and exchange samples with it. Exposed so tests and protocols can
 // force a round.
 func (g *Protocol) Tick() {
-	if g.stopped || len(g.order) == 0 {
+	if g.stopped || len(g.view) == 0 {
 		return
 	}
-	for _, p := range g.order {
-		g.byPeer[p].Age++
+	for i := range g.view {
+		g.view[i].Age++
 	}
 	target := g.oldest()
 	sample := g.sample(target, true)
@@ -293,20 +306,20 @@ func (g *Protocol) Tick() {
 			for _, e := range sr.Entries {
 				g.insert(e)
 			}
-			if e, ok := g.byPeer[target]; ok {
-				e.Age = 0 // exchange proved it alive
+			if i, ok := g.idx[target]; ok {
+				g.view[i].Age = 0 // exchange proved it alive
 			}
 		})
 }
 
 func (g *Protocol) oldest() runtime.NodeID {
-	best := g.order[0]
-	for _, p := range g.order[1:] {
-		if g.byPeer[p].Age > g.byPeer[best].Age {
-			best = p
+	best := 0
+	for i := range g.view[1:] {
+		if g.view[i+1].Age > g.view[best].Age {
+			best = i + 1
 		}
 	}
-	return best
+	return g.view[best].Peer
 }
 
 // sample draws up to ShuffleSize entries: our own fresh descriptor plus
@@ -316,16 +329,15 @@ func (g *Protocol) sample(exclude runtime.NodeID, includeSelf bool) []Entry {
 	if includeSelf {
 		out = append(out, Entry{Peer: g.me, Age: 0, Meta: g.app.SelfDescriptor()})
 	}
-	perm := g.rng.Perm(len(g.order))
+	perm := g.rng.Perm(len(g.view))
 	for _, i := range perm {
 		if len(out) >= g.cfg.ShuffleSize {
 			break
 		}
-		p := g.order[i]
-		if p == exclude {
+		if g.view[i].Peer == exclude {
 			continue
 		}
-		out = append(out, *g.byPeer[p])
+		out = append(out, g.view[i])
 	}
 	return out
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	goruntime "runtime" // aliased: flowercdn/internal/runtime owns the plain name
 
 	"flowercdn/internal/churn"
 	"flowercdn/internal/metrics"
@@ -134,6 +135,12 @@ type Config struct {
 	// test (assert on it via proto.RingInspector). It runs on the
 	// run's callback goroutine and must not block.
 	OnCheckpoint func(now int64, sys proto.System)
+	// MeasureMem samples Go heap statistics at the end of the run (after
+	// a forced GC, with the deployment still live) into Result.MemStats.
+	// The per-node quotient is the number the big-cell benchmarks track;
+	// it is meaningful only when this process hosts the whole population,
+	// so it is left nil for multi-process socket groups.
+	MeasureMem bool
 }
 
 // ChurnEvent is one scheduled adversarial churn action. FailFraction
@@ -388,6 +395,25 @@ type Result struct {
 	// (socket backend only; nil elsewhere). Compare its BytesSent with
 	// NetStats.BytesSent to see modeled versus real message sizes.
 	Wire *socknet.WireStats
+	// MemStats is the end-of-run heap sample (nil unless
+	// Config.MeasureMem was set).
+	MemStats *MemStats
+}
+
+// MemStats is the end-of-run memory sample taken when Config.MeasureMem
+// is set: live heap after a forced GC while the deployment (every peer,
+// view, store and overlay table) is still reachable, so BytesPerNode is
+// the steady-state per-node footprint the big-cell path budgets against.
+type MemStats struct {
+	// HeapAllocBytes is the live heap after runtime.GC().
+	HeapAllocBytes uint64
+	// TotalAllocBytes is cumulative bytes allocated over the process
+	// lifetime (monotone; includes freed memory).
+	TotalAllocBytes uint64
+	// Mallocs is the cumulative allocation count.
+	Mallocs uint64
+	// BytesPerNode is HeapAllocBytes / Config.Population.
+	BytesPerNode float64
 }
 
 // ProtoStat reads one generic protocol stat (0 when absent).
@@ -506,6 +532,21 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.EventsProcessed = processed
 	res.Fingerprint = fingerprint(coll.Windows(), obs.windowMessages(), res.NetStats)
+	if _, groups := cfg.groupInfo(); cfg.MeasureMem && groups == 1 {
+		// Sample while sys (and through it every peer) is still
+		// reachable, so the forced GC cannot collect the deployment we
+		// are trying to weigh.
+		goruntime.GC()
+		var m goruntime.MemStats
+		goruntime.ReadMemStats(&m)
+		res.MemStats = &MemStats{
+			HeapAllocBytes:  m.HeapAlloc,
+			TotalAllocBytes: m.TotalAlloc,
+			Mallocs:         m.Mallocs,
+			BytesPerNode:    float64(m.HeapAlloc) / float64(cfg.Population),
+		}
+		goruntime.KeepAlive(sys)
+	}
 	return res, nil
 }
 

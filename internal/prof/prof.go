@@ -1,0 +1,52 @@
+// Package prof wraps runtime/pprof for the command-line tools: a CPU
+// profile spanning a run and an end-of-run heap profile, each gated on
+// a path being set. The profiling workflow lives here so flowersim and
+// flowerbench expose identical -cpuprofile/-memprofile semantics.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins writing a CPU profile to path and returns the stop
+// function that finishes it. An empty path is a no-op (the returned
+// stop is still safe to call).
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path after a forced GC, so the
+// profile shows live retention rather than garbage awaiting collection.
+// An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: create heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("prof: write heap profile: %w", err)
+	}
+	return nil
+}

@@ -55,7 +55,9 @@ type SocketConfig struct {
 	Codec string
 	// BatchWindow bounds how long the write side may hold a frame to
 	// coalesce it with successors into one batch (0 = backend default;
-	// negative = flush every frame immediately).
+	// negative = flush every frame immediately). The effective window
+	// adapts per connection to the observed frame rate, from immediate
+	// flushing when idle up to this bound under load.
 	BatchWindow time.Duration
 	// BatchBytes caps the bytes coalesced into one batch before an
 	// immediate flush (0 = backend default).

@@ -87,6 +87,157 @@ type Network struct {
 	// reliable-link model.
 	lossRate float64
 	lossRNG  *rnd.RNG
+
+	// Free lists for the per-message delivery records and per-RPC state
+	// records. Every Send schedules one closure and every Request up to
+	// three; allocating those closures per call dominated object churn
+	// in whole-run profiles. The records carry pre-bound closures, so a
+	// steady-state Send or Request allocates nothing. Single-goroutine
+	// like the rest of the switch, so plain slices suffice.
+	deliveryPool []*delivery
+	rpcPool      []*rpcState
+}
+
+// delivery is the pooled one-way message-delivery record: the closure
+// handed to the clock is bound once, at record creation, and the record
+// is recycled the moment its fields are copied out — before the handler
+// runs, so reentrant Sends can reuse it immediately.
+type delivery struct {
+	n        *Network
+	from, to NodeID
+	msg      any
+	run      func()
+}
+
+func (n *Network) getDelivery() *delivery {
+	if len(n.deliveryPool) > 0 {
+		d := n.deliveryPool[len(n.deliveryPool)-1]
+		n.deliveryPool = n.deliveryPool[:len(n.deliveryPool)-1]
+		return d
+	}
+	d := &delivery{n: n}
+	d.run = d.deliver
+	return d
+}
+
+func (d *delivery) deliver() {
+	n, from, to, msg := d.n, d.from, d.to, d.msg
+	d.msg = nil
+	n.deliveryPool = append(n.deliveryPool, d)
+	st := &n.nodes[to]
+	if !st.alive {
+		n.stats.MessagesDropped++
+		return
+	}
+	n.stats.MessagesDelivered++
+	st.handler.HandleMessage(from, msg)
+}
+
+// rpcState is the pooled per-Request record. Up to three scheduled
+// closures reference it (deadline, request leg, response leg); refs
+// counts the ones still outstanding and the record returns to the pool
+// only when the last of them has run or been provably cancelled —
+// recycling earlier would let a stale response leg fire with a reused
+// record's fields.
+type rpcState struct {
+	n        *Network
+	from, to NodeID
+	resp     any
+	err      error
+	cb       func(resp any, err error)
+	deadline runtime.Timer
+
+	refs          int
+	done          bool
+	deadlineFired bool
+
+	onDeadline func()
+	onDeliver  func()
+	onRespond  func()
+
+	req any
+}
+
+func (n *Network) getRPC() *rpcState {
+	if len(n.rpcPool) > 0 {
+		r := n.rpcPool[len(n.rpcPool)-1]
+		n.rpcPool = n.rpcPool[:len(n.rpcPool)-1]
+		return r
+	}
+	r := &rpcState{n: n}
+	r.onDeadline = r.deadlineFire
+	r.onDeliver = r.deliverReq
+	r.onRespond = r.deliverResp
+	return r
+}
+
+// finish runs the callback exactly once; a dead requester never
+// observes the outcome.
+func (r *rpcState) finish(resp any, err error) {
+	if r.done {
+		return
+	}
+	r.done = true
+	if !r.n.Alive(r.from) {
+		return
+	}
+	r.cb(resp, err)
+}
+
+func (r *rpcState) maybeRecycle() {
+	if r.refs != 0 {
+		return
+	}
+	n := r.n
+	r.req, r.resp, r.err, r.cb = nil, nil, nil, nil
+	r.deadline = nil
+	n.rpcPool = append(n.rpcPool, r)
+}
+
+func (r *rpcState) deadlineFire() {
+	r.deadlineFired = true
+	r.refs--
+	if !r.done {
+		r.n.stats.RequestsTimedOut++
+	}
+	r.finish(nil, ErrTimeout)
+	r.maybeRecycle()
+}
+
+func (r *rpcState) deliverReq() {
+	r.refs--
+	n := r.n
+	st := &n.nodes[r.to]
+	if !st.alive {
+		// Dropped on the floor; the deadline will fire.
+		n.stats.MessagesDropped++
+		r.maybeRecycle()
+		return
+	}
+	n.stats.MessagesDelivered++
+	resp, err := st.handler.HandleRequest(r.from, r.req)
+	// Response leg.
+	n.stats.MessagesSent++
+	n.stats.BytesSent += uint64(messageBytes(resp))
+	if n.lost() {
+		n.stats.MessagesDropped++
+		r.maybeRecycle()
+		return
+	}
+	r.resp, r.err = resp, err
+	r.refs++
+	n.clock.Schedule(n.Latency(r.to, r.from), r.onRespond)
+}
+
+func (r *rpcState) deliverResp() {
+	r.refs--
+	if !r.deadlineFired {
+		// The deadline can no longer fire; release its reference too.
+		r.deadline.Cancel()
+		r.refs--
+	}
+	r.finish(r.resp, r.err)
+	r.maybeRecycle()
 }
 
 // New builds an empty network delivering through the given clock and
@@ -223,15 +374,9 @@ func (n *Network) Send(from, to NodeID, msg any) {
 		return
 	}
 	delay := n.Latency(from, to)
-	n.clock.Schedule(delay, func() {
-		st := &n.nodes[to]
-		if !st.alive {
-			n.stats.MessagesDropped++
-			return
-		}
-		n.stats.MessagesDelivered++
-		st.handler.HandleMessage(from, msg)
-	})
+	d := n.getDelivery()
+	d.from, d.to, d.msg = from, to, msg
+	n.clock.Schedule(delay, d.run)
 }
 
 // Request performs an RPC: req travels to the target (one-way latency),
@@ -257,55 +402,21 @@ func (n *Network) Request(from, to NodeID, req any, timeout int64, cb func(resp 
 	n.stats.MessagesSent++
 	n.stats.BytesSent += uint64(messageBytes(req))
 
-	done := false
-	finish := func(resp any, err error) {
-		if done {
-			return
-		}
-		done = true
-		// A dead requester never observes the outcome.
-		if !n.Alive(from) {
-			return
-		}
-		cb(resp, err)
-	}
+	r := n.getRPC()
+	r.from, r.to, r.req, r.cb = from, to, req, cb
+	r.done, r.deadlineFired = false, false
 
 	// Deadline: fires unless a response beat it.
-	deadline := n.clock.Schedule(timeout, func() {
-		if !done {
-			n.stats.RequestsTimedOut++
-		}
-		finish(nil, ErrTimeout)
-	})
+	r.refs = 1
+	r.deadline = n.clock.Schedule(timeout, r.onDeadline)
 
 	if n.lost() {
 		// Request leg dropped in transit; the deadline will fire.
 		n.stats.MessagesDropped++
 		return
 	}
-	out := n.Latency(from, to)
-	n.clock.Schedule(out, func() {
-		st := &n.nodes[to]
-		if !st.alive {
-			// Dropped on the floor; the deadline will fire.
-			n.stats.MessagesDropped++
-			return
-		}
-		n.stats.MessagesDelivered++
-		resp, err := st.handler.HandleRequest(from, req)
-		// Response leg.
-		n.stats.MessagesSent++
-		n.stats.BytesSent += uint64(messageBytes(resp))
-		if n.lost() {
-			n.stats.MessagesDropped++
-			return
-		}
-		back := n.Latency(to, from)
-		n.clock.Schedule(back, func() {
-			deadline.Cancel()
-			finish(resp, err)
-		})
-	})
+	r.refs++
+	n.clock.Schedule(n.Latency(from, to), r.onDeliver)
 }
 
 // ForEachAlive visits every alive node id (ascending). The visitor must

@@ -1,0 +1,73 @@
+package socknet
+
+import "time"
+
+// Adaptive batching: the Nagle-style coalescing window only pays for
+// itself when more frames are coming. A connection observing a high
+// frame rate holds batches open for the full configured window (many
+// frames per syscall); a trickling or idle connection flushes
+// immediately, since waiting would add latency and coalesce nothing.
+// The estimator below tracks the observed per-connection frame rate
+// and scales the effective window between those two extremes.
+const (
+	// rateAlpha is the EWMA weight of the newest inter-arrival gap
+	// (TCP RTT-estimator style: smooth, but responsive within ~8
+	// samples).
+	rateAlpha = 0.125
+	// idleResetNs: a gap this long means the connection went idle, so
+	// the smoothed gap restarts from the observed one instead of
+	// averaging the idle period in over many samples. Chosen far above
+	// any plausible batch window and below human-visible latency.
+	idleResetNs = int64(50 * time.Millisecond)
+	// fullWindowFrames is the expected frame count within one full
+	// window at which the window stops growing: at 8+ expected frames
+	// per batch the syscall amortization is already won.
+	fullWindowFrames = 8.0
+)
+
+// rateEstimator smooths a connection's frame inter-arrival gap.
+// Guarded by the owning conn's mutex; the zero value is ready to use
+// and reports "idle".
+type rateEstimator struct {
+	lastNs int64   // arrival time of the previous frame (0 = none yet)
+	gapNs  float64 // EWMA inter-arrival gap (0 = no estimate yet)
+}
+
+// observe records one frame arrival at nowNs (monotonic-based
+// nanoseconds; only differences are used).
+func (e *rateEstimator) observe(nowNs int64) {
+	if e.lastNs != 0 {
+		switch gap := float64(nowNs - e.lastNs); {
+		case nowNs-e.lastNs >= idleResetNs:
+			// The connection was idle: clear the estimate instead of
+			// blending the idle eternity in — the next decision treats
+			// the connection as fresh (immediate flush), and two busy
+			// frames rebuild the estimate from scratch.
+			e.gapNs = 0
+		case e.gapNs == 0:
+			e.gapNs = gap
+		default:
+			e.gapNs += rateAlpha * (gap - e.gapNs)
+		}
+	}
+	e.lastNs = nowNs
+}
+
+// window returns the effective coalescing window in [0, max] for the
+// current rate estimate. With no estimate (or a gap so long that no
+// second frame is expected within max) it returns 0 — idle flushes
+// immediately. As the expected number of frames per full window rises
+// from 1 toward fullWindowFrames the window ramps linearly up to max.
+func (e *rateEstimator) window(max time.Duration) time.Duration {
+	if max <= 0 || e.gapNs <= 0 {
+		return 0
+	}
+	expected := float64(max) / e.gapNs // frames expected within a full window
+	if expected <= 1 {
+		return 0
+	}
+	if expected >= fullWindowFrames {
+		return max
+	}
+	return time.Duration(float64(max) * (expected - 1) / (fullWindowFrames - 1))
+}

@@ -1,0 +1,112 @@
+package socknet
+
+import (
+	"testing"
+	"time"
+)
+
+// feed pushes n arrivals with a fixed gap into e, starting at start,
+// and returns the time after the last arrival.
+func feed(e *rateEstimator, start int64, n int, gap int64) int64 {
+	now := start
+	for i := 0; i < n; i++ {
+		e.observe(now)
+		now += gap
+	}
+	return now
+}
+
+func TestRateEstimatorZeroValueIsIdle(t *testing.T) {
+	var e rateEstimator
+	if w := e.window(200 * time.Microsecond); w != 0 {
+		t.Errorf("zero-value estimator window = %v, want 0 (no history must flush immediately)", w)
+	}
+	// A single observation still has no gap estimate.
+	e.observe(1_000_000)
+	if w := e.window(200 * time.Microsecond); w != 0 {
+		t.Errorf("single-arrival window = %v, want 0", w)
+	}
+}
+
+func TestRateEstimatorBusyReachesFullWindow(t *testing.T) {
+	const max = 200 * time.Microsecond
+	var e rateEstimator
+	// Frames every 10µs: 20 expected per window, far past the ramp.
+	feed(&e, 1_000_000, 32, int64(10*time.Microsecond))
+	if w := e.window(max); w != max {
+		t.Errorf("busy connection window = %v, want the full %v", w, max)
+	}
+}
+
+func TestRateEstimatorSlowFlushesImmediately(t *testing.T) {
+	const max = 200 * time.Microsecond
+	var e rateEstimator
+	// One frame per millisecond: no second frame expected inside max,
+	// so holding the batch open would only add latency.
+	feed(&e, 1_000_000, 32, int64(time.Millisecond))
+	if w := e.window(max); w != 0 {
+		t.Errorf("slow connection window = %v, want 0", w)
+	}
+}
+
+func TestRateEstimatorRampIsMonotonic(t *testing.T) {
+	const max = 200 * time.Microsecond
+	// Between 1 and fullWindowFrames expected frames per window the
+	// window must grow with the rate and stay inside (0, max).
+	gaps := []int64{
+		int64(150 * time.Microsecond), // ~1.3 expected
+		int64(100 * time.Microsecond), // 2 expected
+		int64(50 * time.Microsecond),  // 4 expected
+		int64(30 * time.Microsecond),  // ~6.7 expected
+	}
+	var prev time.Duration
+	for _, gap := range gaps {
+		var e rateEstimator
+		feed(&e, 1_000_000, 64, gap)
+		w := e.window(max)
+		if w <= 0 || w >= max {
+			t.Fatalf("gap %v: window %v outside the open ramp (0, %v)", time.Duration(gap), w, max)
+		}
+		if w <= prev {
+			t.Fatalf("gap %v: window %v not greater than %v at the previous (slower) rate", time.Duration(gap), w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestRateEstimatorIdleGapResets(t *testing.T) {
+	const max = 200 * time.Microsecond
+	var e rateEstimator
+	now := feed(&e, 1_000_000, 64, int64(10*time.Microsecond))
+	if w := e.window(max); w != max {
+		t.Fatalf("precondition: busy window = %v, want %v", w, max)
+	}
+	// The connection goes quiet, then one frame arrives. The idle gap
+	// must replace the estimate, not be EWMA-blended in: the very next
+	// window decision sees an idle connection and flushes immediately.
+	e.observe(now + idleResetNs)
+	if w := e.window(max); w != 0 {
+		t.Errorf("window after idle gap = %v, want 0 (idle reset)", w)
+	}
+}
+
+func TestRateEstimatorRecoversAfterIdle(t *testing.T) {
+	const max = 200 * time.Microsecond
+	var e rateEstimator
+	now := feed(&e, 1_000_000, 64, int64(10*time.Microsecond))
+	now += idleResetNs // idle pause resets the estimate
+	// Traffic resumes at a busy clip: the estimator must converge back
+	// to the full window.
+	feed(&e, now, 32, int64(10*time.Microsecond))
+	if w := e.window(max); w != max {
+		t.Errorf("window after busy recovery = %v, want %v", w, max)
+	}
+}
+
+func TestRateEstimatorDisabledWindow(t *testing.T) {
+	var e rateEstimator
+	feed(&e, 1_000_000, 32, int64(10*time.Microsecond))
+	if w := e.window(0); w != 0 {
+		t.Errorf("window(0) = %v, want 0 (immediate-flush configuration)", w)
+	}
+}

@@ -163,6 +163,7 @@ type conn struct {
 	pendFrames int
 	pendMsgs   int // message-bearing frames pending (drop accounting)
 	firstAt    time.Time
+	rate       rateEstimator // scales the coalescing window with load
 
 	kick     chan struct{} // cap 1: pending data / early-flush signal
 	stop     chan struct{}
@@ -528,12 +529,16 @@ func (t *Transport) writeLoop(group int, cn *conn) {
 			cn.mu.Lock()
 			size := len(cn.pend) - batchHeader
 			firstAt := cn.firstAt
+			// The window adapts to the observed frame rate: full
+			// t.batchWindow on a busy connection, zero on an idle one
+			// (flush immediately — waiting would coalesce nothing).
+			window := cn.rate.window(t.batchWindow)
 			cn.mu.Unlock()
 			if size <= 0 {
 				break // batch flushed under us; wait for the next kick
 			}
 			if size < t.batchBytes {
-				if wait := t.batchWindow - time.Since(firstAt); wait > 0 {
+				if wait := window - time.Since(firstAt); wait > 0 {
 					timer.Reset(wait)
 					select {
 					case <-cn.stop:
@@ -701,9 +706,11 @@ func (t *Transport) writeFrame(group int, f frame) {
 		t.connBroken(group)
 		return
 	}
+	now := time.Now()
+	cn.rate.observe(now.UnixNano())
 	first := cn.pendFrames == 0
 	if first {
-		cn.firstAt = time.Now()
+		cn.firstAt = now
 	}
 	cn.pend = appendSubFrame(cn.pend, b)
 	cn.pendFrames++

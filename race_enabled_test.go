@@ -1,0 +1,10 @@
+//go:build race
+
+package flowercdn
+
+// raceEnabled reports whether the test binary was built with the race
+// detector. The 100k-node big-cell benchmark skips itself under race:
+// the detector's per-allocation shadow memory multiplies the cell's
+// footprint and run time far past CI budgets, and the benchmark's
+// subject (bytes/node) is meaningless with shadow overhead included.
+const raceEnabled = true
