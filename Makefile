@@ -8,10 +8,10 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-PR ?= 8
+PR ?= 9
 BENCH_JSON := BENCH_PR$(PR).json
 
-.PHONY: build test race vet fmt check bench bench-smoke bench-delta bigcell-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke codec-smoke invariants-smoke fuzz-smoke staticcheck clean
+.PHONY: build test race vet fmt check bench bench-smoke bench-delta bigcell-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke codec-smoke invariants-smoke trace-smoke fuzz-smoke staticcheck clean
 
 build:
 	go build ./...
@@ -117,6 +117,22 @@ staticcheck:
 invariants-smoke:
 	go test ./internal/harness/ -run 'TestRingInvariantsUnderChurn|TestChurnScheduleActuallyChurns' -count=1 -v
 
+# trace-smoke exercises the per-query tracing surfaces end to end: a
+# traced quick sim cell written as hop-level CSV, then a realtime run
+# serving the live observability endpoint, probed over HTTP
+# (/metrics and /traces) while the run is still in flight.
+TRACE_OBS_ADDR ?= 127.0.0.1:7946
+trace-smoke:
+	go run ./cmd/flowersim -p 200 -hours 2 -trace-csv /tmp/trace-smoke.csv
+	@test -s /tmp/trace-smoke.csv && head -3 /tmp/trace-smoke.csv
+	go run ./cmd/flowersim -backend realtime -population 50 -horizon 5s \
+		-trace-csv /dev/null -obs $(TRACE_OBS_ADDR) & pid=$$!; \
+	sleep 3; \
+	curl -sf http://$(TRACE_OBS_ADDR)/metrics; \
+	curl -sf "http://$(TRACE_OBS_ADDR)/traces?n=2" > /dev/null; \
+	wait $$pid
+	@echo "trace-smoke OK"
+
 # fuzz-smoke gives each fuzz target a short budget — enough for CI to
 # catch a decoder panic or packing regression without open-ended fuzz
 # time. Local deep fuzzing: raise -fuzztime on the same commands.
@@ -127,6 +143,7 @@ fuzz-smoke:
 	go test ./internal/socknet/ -run '^$$' -fuzz FuzzBinaryDecode -fuzztime $(FUZZTIME)
 	go test ./internal/socknet/ -run '^$$' -fuzz FuzzFrameReadPrefix -fuzztime $(FUZZTIME)
 	go test ./internal/dring/ -run '^$$' -fuzz FuzzPositionRoundTrip -fuzztime $(FUZZTIME)
+	go test ./internal/trace/ -run '^$$' -fuzz FuzzRecordWire -fuzztime $(FUZZTIME)
 
 # cache-grid-smoke runs the CI-sized capacity grid under cache
 # pressure: LRU-bounded peer stores swept over per-peer capacities with

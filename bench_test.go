@@ -370,6 +370,38 @@ func BenchmarkBaselineBracket(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead runs the same cell with tracing off and on.
+// The untraced leg is the zero-overhead contract's run-scale view (the
+// nil-tracer fast path; its alloc-free guarantee is pinned exactly by
+// internal/trace's AllocsPerRun test), the traced leg prices what
+// -trace-csv/-trace actually costs, and the pair in the trajectory
+// file keeps that price visible across PRs.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		traced := traced
+		name := "untraced"
+		if traced {
+			name = "traced"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Trace = traced
+				cfg.Seed = uint64(i + 1)
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if traced != (len(res.Traces()) > 0) {
+					b.Fatalf("traced=%v but %d trace records", traced, len(res.Traces()))
+				}
+				b.ReportMetric(float64(len(res.Traces())), "trace-records")
+				b.ReportMetric(res.TailHitRatio, "hit")
+			}
+		})
+	}
+}
+
 // BenchmarkEngineThroughput measures the raw discrete-event engine —
 // the substrate every experiment's cost reduces to. The engine's
 // allocation work (slab timers, reused periodic timers, pre-sized

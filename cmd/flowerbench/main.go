@@ -44,6 +44,7 @@ import (
 
 	"flowercdn"
 	"flowercdn/internal/prof"
+	"flowercdn/internal/trace"
 )
 
 func main() {
@@ -54,6 +55,8 @@ func main() {
 		full  = flag.Bool("full", false, "paper scale (P up to 5000, 24 h) instead of quick scale")
 		seed  = flag.Uint64("seed", 1, "simulation seed (sweeps use seeds seed..seed+n-1)")
 		pop   = flag.Int("p", 0, "override population P")
+
+		traceFlag = flag.Bool("trace", false, "run every comparable protocol with per-query tracing and print the per-hop latency breakdown")
 
 		grid       = flag.String("grid", "", "run a sweep over a named grid: compare, scalability, churn, gossip, capacity")
 		scenario   = flag.String("scenario", "table1", "workload scenario: table1, flash-crowd, locality-skew, cache-pressure")
@@ -87,6 +90,11 @@ func main() {
 	cfg.Seed = *seed
 	if *pop > 0 {
 		cfg.Population = *pop
+	}
+
+	if *traceFlag {
+		runTraceBreakdown(cfg)
+		return
 	}
 
 	if *grid != "" {
@@ -257,6 +265,30 @@ func writeArtifact(path string, render func() string) {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", path)
+	}
+}
+
+// runTraceBreakdown answers "where does flower's locality win come
+// from?" with data instead of argument: every comparable protocol runs
+// on the same cell with per-query tracing on, and each run's hop-by-hop
+// records are folded into a per-hop-kind latency breakdown (link vs
+// queue split via the modeled topology latency).
+func runTraceBreakdown(cfg flowercdn.Config) {
+	cfg.Trace = true
+	for _, p := range flowercdn.CompareProtocols() {
+		c := cfg
+		c.Protocol = p
+		start := time.Now()
+		res, err := flowercdn.Run(c)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s (P=%d, %d h, seed %d; %d queries, hit %.3f, lookup %.0f ms; %v)\n",
+			p, c.Population, c.Hours, c.Seed,
+			res.Queries, res.TailHitRatio, res.MeanLookupMs,
+			time.Since(start).Round(time.Millisecond))
+		fmt.Print(trace.Analyze(res.Traces(), res.HopLatency()).Format())
+		fmt.Println()
 	}
 }
 

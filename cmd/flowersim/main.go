@@ -29,13 +29,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"flowercdn"
 	"flowercdn/internal/harness"
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/obs"
 	"flowercdn/internal/prof"
+	"flowercdn/internal/trace"
 )
 
 func main() {
@@ -69,6 +72,8 @@ func main() {
 		series      = flag.Bool("series", false, "print the hourly hit-ratio series")
 		printParams = flag.Bool("print-params", false, "print the Table 1 parameter sheet and exit")
 		measureMem  = flag.Bool("measure-mem", false, "sample the live heap after the run (forced GC) and print bytes/node")
+		traceCSV    = flag.String("trace-csv", "", "enable per-query tracing and write hop-by-hop records to this CSV file (socket backend: group 0 only)")
+		obsAddr     = flag.String("obs", "", "wall-clock backends: serve live /metrics and /traces on this address during the run (implies tracing)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 
@@ -99,6 +104,7 @@ func main() {
 			"cache-policy": true, "cache-capacity": true,
 			"listen": true, "peers": true, "group": true, "groups": true,
 			"spawn-local": true, "codec": true,
+			"trace-csv": true, "obs": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if !socketFlagNames[f.Name] {
@@ -117,16 +123,22 @@ func main() {
 				"-cache-policy", *cachePolicy,
 				"-cache-capacity", fmt.Sprint(*cacheCap),
 				"-codec", *codecName,
+				// Tracing flags reach every child; only group 0 writes
+				// the CSV or binds the observability endpoint.
+				"-trace-csv", *traceCSV,
+				"-obs", *obsAddr,
 			}
 			spawnLocalGroup(*spawnLocal, passthrough)
 			return
 		}
 		runSocket(*protocol, *seed, *population, *horizon, *loss, *cachePolicy, *cacheCap, socketFlags{
-			listen: *listen,
-			peers:  *peersList,
-			group:  *groupIdx,
-			groups: *groupCount,
-			codec:  *codecName,
+			listen:   *listen,
+			peers:    *peersList,
+			group:    *groupIdx,
+			groups:   *groupCount,
+			codec:    *codecName,
+			traceCSV: *traceCSV,
+			obsAddr:  *obsAddr,
 		})
 		return
 	}
@@ -141,6 +153,7 @@ func main() {
 			"print-fingerprint": true,
 			"cache-policy":      true, "cache-capacity": true,
 			"cpuprofile": true, "memprofile": true,
+			"trace-csv": true, "obs": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if !realtimeFlags[f.Name] {
@@ -151,7 +164,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runRealtime(*protocol, *seed, *population, *horizon, *loss, *printFP, *cachePolicy, *cacheCap)
+		runRealtime(*protocol, *seed, *population, *horizon, *loss, *printFP, *cachePolicy, *cacheCap, *traceCSV, *obsAddr)
 		stopCPU()
 		if err := prof.WriteHeap(*memProfile); err != nil {
 			fatal(err)
@@ -182,6 +195,10 @@ func main() {
 		CachePolicy:        *cachePolicy,
 		CacheCapacity:      *cacheCap,
 		MeasureMem:         *measureMem,
+		Trace:              *traceCSV != "",
+	}
+	if *obsAddr != "" {
+		fmt.Fprintln(os.Stderr, "flowersim: -obs is for wall-clock backends (realtime/socket); ignored on sim")
 	}
 
 	if *printParams {
@@ -215,6 +232,9 @@ func main() {
 		return
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+	if *traceCSV != "" {
+		writeTraceCSV(*traceCSV, res.Traces())
+	}
 	fmt.Print(res.Summary())
 	fmt.Printf("lookup: %.0f%% within 150 ms, %.0f%% beyond 1200 ms\n",
 		100*res.LookupWithin150ms, 100*res.LookupBeyond1200ms)
@@ -236,7 +256,7 @@ func main() {
 // runRealtime executes a live wall-clock run: compressed timescales,
 // per-window stats printed as each window closes.
 func runRealtime(protocol string, seed uint64, population int, horizon time.Duration, loss float64, printFP bool,
-	cachePolicy string, cacheCap int) {
+	cachePolicy string, cacheCap int, traceCSV, obsAddr string) {
 	cfg := harness.RealtimeDemoConfig(population, horizon.Milliseconds())
 	cfg.Protocol = harness.Protocol(protocol)
 	cfg.Seed = seed
@@ -244,6 +264,13 @@ func runRealtime(protocol string, seed uint64, population int, horizon time.Dura
 	if cachePolicy != "" && cachePolicy != "none" {
 		cfg.Options["cache-policy"] = cachePolicy
 		cfg.Options["cache-capacity"] = cacheCap
+	}
+	if traceCSV != "" || obsAddr != "" {
+		cfg.Trace = &harness.TraceConfig{}
+	}
+	if obsAddr != "" {
+		stop := startObs(&cfg, obsAddr)
+		defer stop()
 	}
 	if printFP {
 		// One line, like the sim path — though on this backend the value
@@ -268,7 +295,41 @@ func runRealtime(protocol string, seed uint64, population int, horizon time.Dura
 	}
 	fmt.Printf("completed in %v wall time (%d events, %d messages)\n",
 		time.Since(start).Round(time.Millisecond), res.EventsProcessed, res.NetStats.MessagesSent)
+	if traceCSV != "" {
+		writeTraceCSV(traceCSV, res.Traces)
+	}
 	fmt.Print(harness.FormatSummary(res))
+}
+
+// writeTraceCSV writes collected trace records to path (stdout for
+// "-"), reporting the count.
+func writeTraceCSV(path string, recs []*trace.Record) {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, recs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("traces: %d records written to %s\n", len(recs), path)
+}
+
+// startObs binds the live observability endpoint, attaches it to the
+// run config, and returns its stop function.
+func startObs(cfg *harness.Config, addr string) func() {
+	srv := obs.NewServer(0)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Obs = srv
+	fmt.Printf("observability: serving /metrics and /traces on http://%s\n", bound)
+	return func() { srv.Stop() }
 }
 
 func fatal(err error) {

@@ -39,11 +39,13 @@ import (
 // socketFlags collects the direct-mode flag values (spawn-local mode
 // is handled in main.go before runSocket is reached).
 type socketFlags struct {
-	listen string
-	peers  string
-	group  int
-	groups int
-	codec  string
+	listen   string
+	peers    string
+	group    int
+	groups   int
+	codec    string
+	traceCSV string
+	obsAddr  string
 }
 
 // runSocket executes one process of a socket-backend population and
@@ -84,6 +86,16 @@ func runSocket(protocol string, seed uint64, population int, horizon time.Durati
 		cfg.Options["cache-policy"] = cachePolicy
 		cfg.Options["cache-capacity"] = cacheCap
 	}
+	// Tracing is enabled group-wide (followers ship their records home
+	// over the bus); the CSV and observability endpoint belong to
+	// group 0, where the whole population's records accumulate.
+	if sf.traceCSV != "" || sf.obsAddr != "" {
+		cfg.Trace = &harness.TraceConfig{}
+	}
+	if sf.obsAddr != "" && group == 0 {
+		stop := startObs(&cfg, sf.obsAddr)
+		defer stop()
+	}
 	cfg.OnWindow = func(p metrics.SeriesPoint) {
 		fmt.Printf("[%5.1fs] hit-ratio %.3f  queries %4d  lookup %5.0fms  transfer %4.0fms\n",
 			float64(p.Start+cfg.SeriesWindow)/1000, p.HitRatio, p.Queries, p.MeanLookupMs, p.MeanTransferMs)
@@ -106,6 +118,9 @@ func runSocket(protocol string, seed uint64, population int, horizon time.Durati
 		}
 		fmt.Printf("wire: codec=%s, %d frames in %d batches out (%.1f frames/batch), %d bytes out, %d bytes in\n",
 			w.Codec, w.FramesSent, w.BatchesSent, perBatch, w.BytesSent, w.BytesRead)
+	}
+	if sf.traceCSV != "" && group == 0 {
+		writeTraceCSV(sf.traceCSV, res.Traces)
 	}
 	fmt.Print(harness.FormatSummary(res))
 

@@ -1,0 +1,63 @@
+// Command tracediff compares two per-query trace CSVs (written by
+// flowersim -trace-csv) and reports structural differences: record
+// counts, per-kind hop mixes, mean route hops, and — for query numbers
+// present in both — whether each query took the same node path.
+//
+// Its intended use is checking that a socket run of a cell routes the
+// same way the simulator says it should:
+//
+//	flowersim -p 50 -hours 1 -trace-csv sim.csv
+//	flowersim -backend socket -spawn-local 2 -population 50 \
+//	    -horizon 5s -trace-csv sock.csv
+//	tracediff sim.csv sock.csv
+//
+// Exit status is 0 when the traces are structurally identical and 1
+// when they differ (2 on usage/IO errors), so it slots into CI.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flowercdn/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: tracediff <a.csv> <b.csv>")
+		os.Exit(2)
+	}
+	a := readTraces(os.Args[1])
+	b := readTraces(os.Args[2])
+
+	labelA := filepath.Base(os.Args[1])
+	labelB := filepath.Base(os.Args[2])
+	if labelA == labelB {
+		labelA, labelB = os.Args[1], os.Args[2]
+	}
+
+	rep := trace.Diff(labelA, a, labelB, b)
+	fmt.Print(rep.Format())
+	if len(rep.Warnings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func readTraces(path string) []*trace.Record {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadCSV(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return recs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracediff:", err)
+	os.Exit(2)
+}

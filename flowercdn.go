@@ -30,6 +30,7 @@ import (
 	"flowercdn/internal/proto"
 	_ "flowercdn/internal/protocols" // register every built-in protocol driver
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Protocol selects which system a run simulates. Any name registered
@@ -178,6 +179,13 @@ type Config struct {
 	// forced GC, bytes per node) into Result.MemStats — the measurement
 	// the big-cell benchmarks track. Single-process backends only.
 	MeasureMem bool
+	// Trace opts the run into per-query lookup tracing: every completed
+	// query records its hop-by-hop resolution path (overlay forwardings,
+	// directory consults, provider probes with false-positive flags,
+	// the serving node), retrievable via Result.Traces. False — the
+	// default — is the zero-overhead disabled state; enabling tracing
+	// does not change modeled traffic or the run fingerprint.
+	Trace bool
 }
 
 // SocketConfig describes one process of a socket-backend group: the
@@ -289,6 +297,9 @@ func (c Config) lower() (harness.Config, error) {
 		"cache-capacity":     c.CacheCapacity,
 	}
 	hc.MeasureMem = c.MeasureMem
+	if c.Trace {
+		hc.Trace = &harness.TraceConfig{}
+	}
 	return hc, nil
 }
 
@@ -382,6 +393,16 @@ func (r *Result) Summary() string { return harness.FormatSummary(r.inner) }
 // ("alive_directories", "dir_promotions", "summary_pushes", ... — each
 // driver documents its vocabulary; 0 when absent).
 func (r *Result) ProtoStat(name string) float64 { return r.inner.ProtoStat(name) }
+
+// Traces returns the run's per-query trace records (nil unless
+// Config.Trace was set). See internal/trace for the record model and
+// the Analyze/WriteCSV helpers.
+func (r *Result) Traces() []*trace.Record { return r.inner.Traces }
+
+// HopLatency returns the run's modeled link-latency function — the
+// attribution input trace.Analyze uses to split each hop's latency
+// contribution into link vs queue/processing time.
+func (r *Result) HopLatency() trace.LatencyFunc { return r.inner.HopLatency }
 
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {

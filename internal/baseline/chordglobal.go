@@ -11,6 +11,7 @@ import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/proto"
+	"flowercdn/internal/trace"
 	"flowercdn/internal/workload"
 )
 
@@ -244,6 +245,9 @@ type cgQuery struct {
 type cgHomeResp struct {
 	Seq       uint64
 	Providers []runtime.NodeID
+	// Path carries the query's overlay route plus the home hop back to
+	// the client on traced runs (nil otherwise).
+	Path []trace.Hop
 }
 
 // cgSummary re-registers a peer's cached keys with the site's current
@@ -289,6 +293,8 @@ type cgActiveQuery struct {
 	// the query's seq, so a late duplicate must not restart the probe
 	// chain mid-probe.
 	redirected bool
+	// path is the hop-by-hop trace on traced runs (nil otherwise).
+	path []trace.Hop
 }
 
 func (p *cgPeer) enterRing(attempts int) {
@@ -383,6 +389,10 @@ func (p *cgPeer) issueQuery() {
 		return
 	}
 	q := &cgActiveQuery{seq: p.d.nextSeq(), key: key, start: p.d.env.Clock.Now()}
+	if p.d.env.Trace.Enabled() {
+		q.path = trace.Append(q.path, trace.Hop{
+			Kind: trace.HopIssue, Node: p.nid, Loc: p.d.env.Net.Locality(p.nid), At: q.start})
+	}
 	p.query = q
 	p.sendQuery(q)
 }
@@ -392,7 +402,14 @@ func (p *cgPeer) sendQuery(q *cgActiveQuery) {
 		return
 	}
 	q.attempt++
-	p.node.Route(siteKey(q.key.Site), cgQuery{Seq: q.seq, Key: q.key, Client: p.nid})
+	msg := cgQuery{Seq: q.seq, Key: q.key, Client: p.nid}
+	if p.d.env.Trace.Enabled() {
+		// The routed path segment starts empty; the home ships it back
+		// (with its own hop appended) in cgHomeResp.Path.
+		p.node.RouteTraced(siteKey(q.key.Site), msg, nil)
+	} else {
+		p.node.Route(siteKey(q.key.Site), msg)
+	}
 	q.timeout = p.d.env.Clock.Schedule(p.d.cfg.QueryTimeout, func() {
 		if p.dead || p.query != q {
 			return
@@ -408,7 +425,7 @@ func (p *cgPeer) sendQuery(q *cgActiveQuery) {
 // OnRouted implements chord.App: this node currently terminates
 // routing for some site key (it is that site's home) or receives a
 // summary for it.
-func (p *cgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
+func (p *cgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int, path []trace.Hop) {
 	if p.dead {
 		return
 	}
@@ -419,8 +436,13 @@ func (p *cgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
 		now := p.d.env.Clock.Now()
 		p.d.env.Metrics.Emit(metrics.CounterEvent(now, "lookup_hops", float64(hops)))
 		p.d.env.Metrics.Emit(metrics.CounterEvent(now, "routed_queries", 1))
+		p.d.env.Trace.Delivered(hops)
 		providers := p.index[m.Key]
 		resp := cgHomeResp{Seq: m.Seq}
+		if p.d.env.Trace.Enabled() {
+			resp.Path = trace.Append(path, trace.Hop{
+				Kind: trace.HopHome, Node: p.nid, Loc: p.d.env.Net.Locality(p.nid), At: now})
+		}
 		// Random redirection — no locality information exists.
 		for _, i := range p.rng.Perm(len(providers)) {
 			if len(resp.Providers) >= p.d.cfg.ProvidersPerReply {
@@ -465,6 +487,7 @@ func (p *cgPeer) onHomeResp(m cgHomeResp) {
 		q.timeout.Cancel()
 	}
 	q.candidates = m.Providers
+	q.path = trace.Concat(q.path, m.Path)
 	p.probeProvider(q)
 }
 
@@ -484,7 +507,17 @@ func (p *cgPeer) probeProvider(q *cgActiveQuery) {
 			if p.dead || p.query != q {
 				return
 			}
-			if err != nil || !resp.(workload.FetchResp).Served {
+			served := err == nil && resp.(workload.FetchResp).Served
+			if p.d.env.Trace.Enabled() {
+				q.path = trace.Append(q.path, trace.Hop{
+					Kind: trace.HopProbe, Node: target,
+					Loc: p.d.env.Net.Locality(target), At: p.d.env.Clock.Now(),
+					// A probe that answered but could not serve is a stale
+					// directory entry — the summary false-positive flag.
+					FalsePositive: err == nil && !served,
+				})
+			}
+			if !served {
 				p.probeProvider(q)
 				return
 			}
@@ -513,6 +546,14 @@ func (p *cgPeer) resolve(q *cgActiveQuery, outcome metrics.Outcome, provider run
 		lookup -= dist
 	}
 	env.Metrics.Emit(metrics.QueryEvent(now, outcome, lookup, dist))
+	if tr := env.Trace; tr.Enabled() {
+		tr.Emit(now, &trace.Record{
+			Query: q.seq, Client: p.nid, Loc: env.Net.Locality(p.nid),
+			Key: q.key.Uint64(), Outcome: outcome, Attempts: q.attempt,
+			Hops: trace.Append(q.path, trace.Hop{
+				Kind: trace.HopServe, Node: provider, Loc: env.Net.Locality(provider), At: now}),
+		})
+	}
 	if outcome == metrics.Miss {
 		env.Net.Request(p.nid, provider, workload.FetchReq{Key: q.key}, 0,
 			func(_ any, err error) {

@@ -3,6 +3,7 @@ package baseline
 import (
 	"flowercdn/internal/content"
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Binary wire marshallers for the chord-global driver's messages.
@@ -24,12 +25,14 @@ func (cgQuery) DecodeWire(r *runtime.WireReader) any {
 func (m cgHomeResp) AppendWire(w *runtime.WireWriter) {
 	w.Uvarint(m.Seq)
 	w.Nodes(m.Providers)
+	trace.AppendHopsWire(w, m.Path)
 }
 
 func (cgHomeResp) DecodeWire(r *runtime.WireReader) any {
 	var m cgHomeResp
 	m.Seq = r.Uvarint()
 	m.Providers = r.Nodes()
+	m.Path = trace.DecodeHopsWire(r)
 	return m
 }
 

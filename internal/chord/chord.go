@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"flowercdn/internal/ids"
+	"flowercdn/internal/trace"
 )
 
 // Entry identifies a ring member: its network address and ring
@@ -155,8 +156,10 @@ func (c Config) Validate() error {
 type App interface {
 	// OnRouted runs at the node that terminates routing for key. origin
 	// is the network address that issued Route (it may not be a ring
-	// member); hops is the number of overlay forwardings taken.
-	OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int)
+	// member); hops is the number of overlay forwardings taken. path is
+	// the hop-by-hop trace accumulated along the way — nil unless the
+	// payload was injected with RouteTraced/RouteViaTraced.
+	OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int, path []trace.Hop)
 }
 
 // Errors reported by lookups and joins.
@@ -189,6 +192,11 @@ type routeMsg struct {
 	Origin  runtime.NodeID
 	Hops    int
 	Deliver bool // set on the final hop: receiver is the owner
+	// Traced marks a traced query: every forwarding appends a HopRoute
+	// to Path. Untraced messages never touch Path, so the disabled
+	// tracing path allocates nothing.
+	Traced bool
+	Path   []trace.Hop
 }
 
 // lookupReply answers a Lookup directly to its origin.

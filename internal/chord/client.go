@@ -3,6 +3,7 @@ package chord
 import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Client lets a peer that is NOT a ring member issue lookups and route
@@ -64,6 +65,14 @@ func (c *Client) timedOut(req uint64, gateway Entry) {
 // origin directly.
 func (c *Client) RouteVia(gateway Entry, key ids.ID, payload any) {
 	c.net.Send(c.me, gateway.Node, routeMsg{Key: key, Payload: payload, Origin: c.me})
+}
+
+// RouteViaTraced is RouteVia with hop tracing: path (owned by the
+// message from here on) accumulates one HopRoute per overlay
+// forwarding. The gateway handoff itself is not a ring forwarding and
+// adds no hop, matching the Hops accounting.
+func (c *Client) RouteViaTraced(gateway Entry, key ids.ID, payload any, path []trace.Hop) {
+	c.net.Send(c.me, gateway.Node, routeMsg{Key: key, Payload: payload, Origin: c.me, Traced: true, Path: path})
 }
 
 // HandleMessage consumes lookup replies addressed to this client. It

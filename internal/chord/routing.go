@@ -3,6 +3,7 @@ package chord
 import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Lookup resolves the owner (successor) of key, retrying on timeout.
@@ -64,6 +65,13 @@ func (n *Node) Route(key ids.ID, payload any) {
 	n.routeLocal(routeMsg{Key: key, Payload: payload, Origin: n.self.Node})
 }
 
+// RouteTraced is Route with hop tracing: path (owned by the message
+// from here on) accumulates one HopRoute per overlay forwarding and
+// arrives at the owner's OnRouted.
+func (n *Node) RouteTraced(key ids.ID, payload any, path []trace.Hop) {
+	n.routeLocal(routeMsg{Key: key, Payload: payload, Origin: n.self.Node, Traced: true, Path: path})
+}
+
 // routeLocal treats this node as the current routing step without
 // consuming network latency (a node consulting itself is local work).
 func (n *Node) routeLocal(m routeMsg) {
@@ -92,6 +100,7 @@ func (n *Node) routeStep(m routeMsg) {
 		// Our successor owns the key: final hop.
 		m.Deliver = true
 		m.Hops++
+		n.traceForward(&m, succ.Node)
 		n.net.Send(n.self.Node, succ.Node, m)
 		return
 	}
@@ -102,7 +111,23 @@ func (n *Node) routeStep(m routeMsg) {
 		next = succ
 	}
 	m.Hops++
+	n.traceForward(&m, next.Node)
 	n.net.Send(n.self.Node, next.Node, m)
+}
+
+// traceForward records one overlay forwarding on a traced message —
+// kept beside the Hops increments so the traced path's HopRoute count
+// equals Hops by construction.
+func (n *Node) traceForward(m *routeMsg, dest runtime.NodeID) {
+	if !m.Traced {
+		return
+	}
+	m.Path = trace.Append(m.Path, trace.Hop{
+		Kind: trace.HopRoute,
+		Node: dest,
+		Loc:  n.net.Locality(dest),
+		At:   n.eng.Now(),
+	})
 }
 
 // deliver terminates routing at this node.
@@ -117,7 +142,7 @@ func (n *Node) deliver(m routeMsg) {
 		}
 	}
 	if m.Payload != nil {
-		n.app.OnRouted(m.Key, m.Payload, m.Origin, m.Hops)
+		n.app.OnRouted(m.Key, m.Payload, m.Origin, m.Hops, m.Path)
 	}
 }
 

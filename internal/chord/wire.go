@@ -3,6 +3,7 @@ package chord
 import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Binary wire marshallers for the overlay's messages (the
@@ -53,6 +54,8 @@ func (m routeMsg) AppendWire(w *runtime.WireWriter) {
 	w.Node(m.Origin)
 	w.Int(m.Hops)
 	w.Bool(m.Deliver)
+	w.Bool(m.Traced)
+	trace.AppendHopsWire(w, m.Path)
 }
 
 func (routeMsg) DecodeWire(r *runtime.WireReader) any {
@@ -63,6 +66,8 @@ func (routeMsg) DecodeWire(r *runtime.WireReader) any {
 	m.Origin = r.Node()
 	m.Hops = r.Int()
 	m.Deliver = r.Bool()
+	m.Traced = r.Bool()
+	m.Path = trace.DecodeHopsWire(r)
 	return m
 }
 

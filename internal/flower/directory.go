@@ -11,6 +11,7 @@ import (
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/trace"
 )
 
 // directoryState is the extra state a peer carries while holding a
@@ -511,17 +512,19 @@ func (p *Peer) viewSeed(exclude runtime.NodeID) []gossip.Entry {
 
 // OnRouted implements chord.App: a clientQueryMsg routed over D-ring
 // lands here, at the node owning the queried position's arc.
-func (p *Peer) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int) {
+func (p *Peer) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int, path []trace.Hop) {
 	m, ok := payload.(clientQueryMsg)
 	if !ok || p.dead {
 		return
 	}
 	// Hop accounting at the directory: the D-ring forwardings this
-	// query took, surfaced as the run's mean-hops stat.
+	// query took, surfaced as the run's mean-hops stat. The tracer keeps
+	// the same tally so traces and counters can be cross-checked.
 	now := p.eng().Now()
 	p.sys.coll.Emit(metrics.CounterEvent(now, "lookup_hops", float64(hops)))
 	p.sys.coll.Emit(metrics.CounterEvent(now, "routed_queries", 1))
-	p.handleClientQuery(key, m)
+	p.sys.tracer.Delivered(hops)
+	p.handleClientQuery(key, m, path)
 }
 
 // onDirectClientQuery serves a clientQueryMsg that arrived as a plain
@@ -530,14 +533,17 @@ func (p *Peer) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int
 // the client back to D-ring discovery via a vacancy signal.
 func (p *Peer) onDirectClientQuery(m clientQueryMsg) {
 	if p.dir != nil && dring.SamePetal(p.dir.pos, m.Site, m.Loc) {
-		p.handleClientQuery(p.dir.pos, m)
+		p.handleClientQuery(p.dir.pos, m, m.Path)
 		return
 	}
 	p.net().Send(p.nid, m.Client, vacantResp{Seq: m.Seq, Pos: dringPosition(m.Site, m.Loc, 0)})
 }
 
 // handleClientQuery serves a routed or directly-sent client query.
-func (p *Peer) handleClientQuery(routedKey ids.ID, m clientQueryMsg) {
+// path is the traced hop segment accumulated since the client issued
+// the query (ring forwardings, earlier scan hops); nil when tracing is
+// off or the message arrived by direct send.
+func (p *Peer) handleClientQuery(routedKey ids.ID, m clientQueryMsg, path []trace.Hop) {
 	if p.dir == nil || p.dir.pos != routedKey {
 		// We merely cover the arc containing the position: it is vacant
 		// (Sec. 5.2.2 join case 2 trigger).
@@ -553,6 +559,12 @@ func (p *Peer) handleClientQuery(routedKey ids.ID, m clientQueryMsg) {
 		if succ.Valid() && succ.ID == next && m.Scanned < dring.MaxInstances {
 			m.Scanned++
 			p.dir.queriesScanned++
+			if p.sys.tracer.Enabled() {
+				m.Path = trace.Append(path, trace.Hop{
+					Kind: trace.HopScan, Node: succ.Node,
+					Loc: p.net().Locality(succ.Node), At: p.eng().Now(),
+				})
+			}
 			p.net().Send(p.nid, succ.Node, m)
 			return
 		}
@@ -575,6 +587,12 @@ func (p *Peer) handleClientQuery(routedKey ids.ID, m clientQueryMsg) {
 		if len(resp.Providers) == 0 {
 			resp.CollabWith = p.collabSiblings()
 		}
+	}
+	if p.sys.tracer.Enabled() {
+		resp.Path = trace.Append(path, trace.Hop{
+			Kind: trace.HopHome, Node: p.nid,
+			Loc: p.net().Locality(p.nid), At: p.eng().Now(),
+		})
 	}
 	p.net().Send(p.nid, m.Client, resp)
 }

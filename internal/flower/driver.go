@@ -128,6 +128,7 @@ func newDriver(env proto.Env, opts proto.Options, petalUp bool) (proto.System, e
 		Metrics:  env.Metrics,
 		NewStore: cacheCfg.StoreFactory(env),
 		Follower: env.Follower,
+		Trace:    env.Trace,
 	})
 	if err != nil {
 		return nil, err

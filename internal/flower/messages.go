@@ -7,6 +7,7 @@ import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
 )
 
 // DirInfo is the record every content peer keeps about its directory
@@ -68,6 +69,9 @@ type clientQueryMsg struct {
 	// Scanned counts the PetalUp directory instances this query has
 	// visited (Sec. 4's sequential scan).
 	Scanned int
+	// Path carries trace hops accumulated on the directory side (scan
+	// forwards between PetalUp instances); empty when tracing is off.
+	Path []trace.Hop
 }
 
 // dirQueryResp answers a routed clientQueryMsg directly to the client.
@@ -88,6 +92,10 @@ type dirQueryResp struct {
 	// the object (Sec. 3.2: "directory peers of the same website ws may
 	// collaborate to provide content of ws").
 	CollabWith []chord.Entry
+	// Path is the traced directory-side hop segment (ring route + scan
+	// forwards + the answering directory); empty when tracing is off.
+	// Trace hops do not count toward the modeled response size.
+	Path []trace.Hop
 }
 
 func (r dirQueryResp) WireBytes() int { return 64 + len(r.Providers)*8 + len(r.Seed)*192 }

@@ -8,6 +8,7 @@ import (
 	"flowercdn/internal/content"
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/trace"
 	"flowercdn/internal/workload"
 )
 
@@ -63,6 +64,10 @@ type activeQuery struct {
 	// (Foreign queries carry no CollabWith), so collaboration is one
 	// level deep.
 	collab []chord.Entry
+
+	// path accumulates trace hops while tracing is enabled; always
+	// empty otherwise. The backing array survives recycling.
+	path []trace.Hop
 }
 
 // getQuery takes the recycled query record (or allocates the peer's
@@ -74,7 +79,7 @@ func (p *Peer) getQuery() *activeQuery {
 		return &activeQuery{}
 	}
 	p.qspare = nil
-	*q = activeQuery{candidates: q.candidates[:0]}
+	*q = activeQuery{candidates: q.candidates[:0], path: q.path[:0]}
 	return q
 }
 
@@ -82,6 +87,18 @@ func (p *Peer) putQuery(q *activeQuery) {
 	q.timeout = nil
 	q.collab = nil
 	p.qspare = q
+}
+
+// traceHop appends one hop to the active query's path when tracing is
+// enabled; a no-op otherwise.
+func (p *Peer) traceHop(q *activeQuery, kind trace.HopKind, node runtime.NodeID, fp bool) {
+	if !p.sys.tracer.Enabled() {
+		return
+	}
+	q.path = trace.Append(q.path, trace.Hop{
+		Kind: kind, Node: node, Loc: p.net().Locality(node),
+		At: p.eng().Now(), FalsePositive: fp,
+	})
 }
 
 // ensureQueryLoop starts the periodic query process once, for peers of
@@ -109,6 +126,7 @@ func (p *Peer) issueQuery() {
 	q.key = key
 	q.start = p.eng().Now()
 	p.query = q
+	p.traceHop(q, trace.HopIssue, p.nid, false)
 	if p.role == RoleClient {
 		p.sendRoutedQuery(q)
 		return
@@ -128,6 +146,7 @@ func (p *Peer) startClientQuery(key content.Key, joinOnly bool) {
 	q.start = p.eng().Now()
 	q.joinOnly = joinOnly
 	p.query = q
+	p.traceHop(q, trace.HopIssue, p.nid, false)
 	p.sendRoutedQuery(q)
 }
 
@@ -153,14 +172,22 @@ func (p *Peer) sendRoutedQuery(q *activeQuery) {
 		p.chordClient = cl
 	}
 	pos := dringPosition(p.site, p.loc, 0)
-	p.chordClient.RouteVia(gw, pos, clientQueryMsg{
+	msg := clientQueryMsg{
 		Seq:      q.seq,
 		Key:      q.key,
 		Client:   p.nid,
 		Site:     p.site,
 		Loc:      p.loc,
 		JoinOnly: q.joinOnly,
-	})
+	}
+	if p.sys.tracer.Enabled() {
+		// The routed segment starts empty at the client: the overlay
+		// stamps each forwarding and the directory ships the whole
+		// segment back in its response.
+		p.chordClient.RouteViaTraced(gw, pos, msg, nil)
+	} else {
+		p.chordClient.RouteVia(gw, pos, msg)
+	}
 	q.attempt++
 	seq := q.seq
 	q.timeout = p.eng().Schedule(p.sys.cfg.QueryTimeout, func() { p.routedQueryTimedOut(q, seq) })
@@ -244,6 +271,11 @@ func (p *Peer) onDirQueryResp(m dirQueryResp) {
 	}
 	if q.timeout != nil {
 		q.timeout.Cancel()
+	}
+	if p.sys.tracer.Enabled() {
+		// Merge the directory-side segment (ring route + scan forwards +
+		// the answering directory) behind the client's issue hop.
+		q.path = trace.Concat(q.path, m.Path)
 	}
 	// Adopt the directory and join the petal (Sec. 3.2: the client
 	// "can join petal(ws, loc) as a content peer"). A peer that became
@@ -377,6 +409,10 @@ func (p *Peer) probeCandidate(q *activeQuery, gossipPath bool) {
 			if p.dead || p.query != q || q.seq != seq {
 				return
 			}
+			served := err == nil && resp.(workload.FetchResp).Served
+			// An answered probe without the object is a stale summary or
+			// Bloom false positive — the flag the per-hop report keys on.
+			p.traceHop(q, trace.HopProbe, target, err == nil && !served)
 			if err != nil {
 				if gossipPath {
 					// The contact is gone; drop it from the view so
@@ -390,9 +426,7 @@ func (p *Peer) probeCandidate(q *activeQuery, gossipPath bool) {
 				p.probeCandidate(q, gossipPath)
 				return
 			}
-			fr := resp.(workload.FetchResp)
-			if !fr.Served {
-				// Stale summary or Bloom false positive.
+			if !served {
 				p.probeCandidate(q, gossipPath)
 				return
 			}
@@ -415,6 +449,7 @@ func (p *Peer) directoryQuery(q *activeQuery) {
 			q.source = srcDirectory
 		}
 		q.candidates = providers
+		p.traceHop(q, trace.HopHome, p.nid, false)
 		p.probeCandidate(q, false)
 		return
 	}
@@ -441,6 +476,7 @@ func (p *Peer) directoryQuery(q *activeQuery) {
 			}
 			p.dirMisses = 0
 			p.dirInfo.Age = 0 // fresh contact
+			p.traceHop(q, trace.HopHome, dirNode, false)
 			rep := resp.(dirQueryReply)
 			if rep.FromSummary {
 				q.source = srcDirSummary
@@ -479,6 +515,7 @@ func (p *Peer) collabQuery(q *activeQuery) {
 				p.collabQuery(q)
 				return
 			}
+			p.traceHop(q, trace.HopHome, sib.Node, false)
 			rep := resp.(dirQueryReply)
 			if len(rep.Providers) == 0 {
 				p.collabQuery(q)
@@ -524,6 +561,22 @@ func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider runtime
 		lookup -= dist
 	}
 	p.sys.coll.Emit(metrics.QueryEvent(now, outcome, lookup, dist))
+	if p.sys.tracer.Enabled() {
+		// The record owns a copy of the path: q recycles below and its
+		// backing array will be reused by the peer's next query.
+		p.sys.tracer.Emit(now, &trace.Record{
+			Query:    q.seq,
+			Client:   p.nid,
+			Loc:      p.loc,
+			Key:      q.key.Uint64(),
+			Outcome:  outcome,
+			Attempts: q.attempt,
+			Hops: trace.Append(trace.CopyHops(q.path), trace.Hop{
+				Kind: trace.HopServe, Node: provider,
+				Loc: p.net().Locality(provider), At: now,
+			}),
+		})
+	}
 	key := q.key // q recycles now; the fetch callback outlives it
 	p.putQuery(q)
 	if outcome == metrics.Miss {

@@ -32,6 +32,7 @@ import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
 	"flowercdn/internal/workload"
 )
 
@@ -47,6 +48,7 @@ type System struct {
 	work    *workload.Workload
 	origins *workload.Origins
 	coll    metrics.Emitter
+	tracer  *trace.Tracer
 	// newStore builds each individual's content store (unbounded by
 	// default, policy-bounded when the run sets cache options).
 	newStore func() *content.Store
@@ -87,6 +89,8 @@ type Deps struct {
 	// Follower marks a process that must not found the D-ring (see
 	// proto.Env.Follower); meaningful only on multi-process backends.
 	Follower bool
+	// Trace is the optional per-query tracer; nil disables tracing.
+	Trace *trace.Tracer
 }
 
 // NewSystem validates the config and builds an empty deployment.
@@ -109,6 +113,7 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 		work:     d.Workload,
 		origins:  d.Origins,
 		coll:     d.Metrics,
+		tracer:   d.Trace,
 		newStore: newStore,
 		follower: d.Follower,
 	}

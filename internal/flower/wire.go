@@ -10,6 +10,7 @@ import (
 	"flowercdn/internal/gossip"
 	"flowercdn/internal/ids"
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Binary wire marshallers for every flower message registered in
@@ -37,6 +38,7 @@ func (m clientQueryMsg) AppendWire(w *runtime.WireWriter) {
 	w.Int(int(m.Loc))
 	w.Bool(m.JoinOnly)
 	w.Int(m.Scanned)
+	trace.AppendHopsWire(w, m.Path)
 }
 
 func (clientQueryMsg) DecodeWire(r *runtime.WireReader) any {
@@ -48,6 +50,7 @@ func (clientQueryMsg) DecodeWire(r *runtime.WireReader) any {
 	m.Loc = runtime.Locality(r.Int())
 	m.JoinOnly = r.Bool()
 	m.Scanned = r.Int()
+	m.Path = trace.DecodeHopsWire(r)
 	return m
 }
 
@@ -58,6 +61,7 @@ func (m dirQueryResp) AppendWire(w *runtime.WireWriter) {
 	m.Dir.AppendWire(w)
 	gossip.AppendEntriesWire(w, m.Seed)
 	chord.AppendEntriesWire(w, m.CollabWith)
+	trace.AppendHopsWire(w, m.Path)
 }
 
 func (dirQueryResp) DecodeWire(r *runtime.WireReader) any {
@@ -68,6 +72,7 @@ func (dirQueryResp) DecodeWire(r *runtime.WireReader) any {
 	m.Dir = chord.DecodeEntryWire(r)
 	m.Seed = gossip.DecodeEntriesWire(r)
 	m.CollabWith = chord.DecodeEntriesWire(r)
+	m.Path = trace.DecodeHopsWire(r)
 	return m
 }
 

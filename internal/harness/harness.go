@@ -23,10 +23,12 @@ import (
 
 	"flowercdn/internal/churn"
 	"flowercdn/internal/metrics"
+	"flowercdn/internal/obs"
 	"flowercdn/internal/proto"
 	"flowercdn/internal/rnd"
 	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
 	"flowercdn/internal/workload"
 
 	// The harness resolves backends solely through the runtime registry;
@@ -141,6 +143,29 @@ type Config struct {
 	// it is meaningful only when this process hosts the whole population,
 	// so it is left nil for multi-process socket groups.
 	MeasureMem bool
+
+	// Trace opts the run into per-query lookup tracing (see
+	// internal/trace). Nil — the default — is the zero-overhead
+	// disabled state: drivers skip all hop construction and the run
+	// fingerprint is unchanged. When set, every completed query's
+	// hop-by-hop record lands in Result.Traces; on a socket group,
+	// follower processes additionally ship their records home over the
+	// announcement bus, so group 0 collects the whole population's.
+	Trace *TraceConfig
+
+	// Obs, when set, is attached to the run's metrics pipeline so the
+	// caller-owned live observability server sees queries, counters
+	// and traces as they happen (realtime/socket runs; works on sim
+	// too). The caller starts and stops the server.
+	Obs *obs.Server
+}
+
+// TraceConfig opts a run into per-query lookup tracing.
+type TraceConfig struct {
+	// OnRecord, when set, receives every completed query's record as
+	// it is emitted, on the run's callback goroutine; it must not
+	// block. Records are also collected into Result.Traces regardless.
+	OnRecord func(*trace.Record)
 }
 
 // ChurnEvent is one scheduled adversarial churn action. FailFraction
@@ -398,6 +423,20 @@ type Result struct {
 	// MemStats is the end-of-run heap sample (nil unless
 	// Config.MeasureMem was set).
 	MemStats *MemStats
+
+	// Traces holds every trace record this process collected (nil when
+	// Config.Trace was nil). On a socket group, group 0 also receives
+	// the records follower processes shipped home over the bus.
+	Traces []*trace.Record
+	// TraceStats is the tracer's delivery tally — by construction it
+	// reconciles exactly with the "lookup_hops"/"routed_queries"
+	// counter pair behind MeanHops.
+	TraceStats trace.Stats
+	// HopLatency is the run's modeled link-latency function, kept for
+	// per-hop breakdown attribution (trace.Analyze). Like Traces it is
+	// only set on traced runs: a func value would defeat the DeepEqual
+	// comparisons the sweep determinism tests run on untraced results.
+	HopLatency trace.LatencyFunc
 }
 
 // MemStats is the end-of-run memory sample taken when Config.MeasureMem
@@ -457,6 +496,9 @@ func Run(cfg Config) (*Result, error) {
 	coll := metrics.NewCollector(cfg.SeriesWindow)
 	counters := metrics.NewCounters()
 	pipe := metrics.NewPipeline(coll, counters)
+	if cfg.Obs != nil {
+		pipe.Attach(cfg.Obs)
+	}
 
 	// On a multi-process run every process derives its own protocol RNG
 	// stream: with the shared stream each process would mint identical
@@ -468,6 +510,38 @@ func Run(cfg Config) (*Result, error) {
 	if groups > 1 {
 		protoRNG = protoRNG.Split(fmt.Sprintf("group-%d", group))
 	}
+
+	// Optional per-query tracing: the tracer streams completed records
+	// into the pipeline, a trace.Collector gathers them for the Result,
+	// and on a socket group follower processes ship each record home
+	// over the announcement bus so group 0 sees the whole population's.
+	var tracer *trace.Tracer
+	var traceColl *trace.Collector
+	if cfg.Trace != nil {
+		tracer = trace.New(pipe)
+		traceColl = &trace.Collector{}
+		pipe.Attach(traceColl)
+		if fn := cfg.Trace.OnRecord; fn != nil {
+			pipe.Attach(traceTap{fn})
+		}
+		if bus := runtime.BusOf(net); bus != nil {
+			if group > 0 {
+				pipe.Attach(traceShip{bus})
+			} else {
+				bus.Subscribe(func(msg any) {
+					rec, ok := msg.(*trace.Record)
+					if !ok {
+						return
+					}
+					traceColl.Add(rec)
+					if cfg.Obs != nil {
+						cfg.Obs.AddTrace(rec)
+					}
+				})
+			}
+		}
+	}
+
 	env := proto.Env{
 		Clock:        clock,
 		Net:          net,
@@ -476,6 +550,7 @@ func Run(cfg Config) (*Result, error) {
 		Workload:     work,
 		Origins:      origins,
 		Metrics:      pipe,
+		Trace:        tracer,
 		LocalitySkew: cfg.LocalitySkew,
 		// Exactly one process bootstraps the overlay; the others wait
 		// for announced gateways (see proto.Env.Follower).
@@ -525,6 +600,12 @@ func Run(cfg Config) (*Result, error) {
 		res.MeanHops = res.Proto["lookup_hops"] / rq
 	}
 
+	if traceColl != nil {
+		res.Traces = traceColl.Records()
+		res.TraceStats = tracer.Stats()
+		res.HopLatency = net.Latency
+	}
+
 	res.NetStats = net.Stats()
 	if ws, ok := net.(interface{ WireStats() socknet.WireStats }); ok {
 		w := ws.WireStats()
@@ -548,6 +629,34 @@ func Run(cfg Config) (*Result, error) {
 		goruntime.KeepAlive(sys)
 	}
 	return res, nil
+}
+
+// traceTap forwards each emitted trace record to the run's OnRecord
+// callback.
+type traceTap struct{ fn func(*trace.Record) }
+
+// Observe implements metrics.Sink.
+func (t traceTap) Observe(ev metrics.Event) {
+	if ev.Kind != metrics.KindTrace {
+		return
+	}
+	if rec, ok := ev.Trace.(*trace.Record); ok {
+		t.fn(rec)
+	}
+}
+
+// traceShip announces each locally-emitted record on the process-group
+// bus so group 0 collects the whole population's traces.
+type traceShip struct{ bus runtime.Bus }
+
+// Observe implements metrics.Sink.
+func (t traceShip) Observe(ev metrics.Event) {
+	if ev.Kind != metrics.KindTrace {
+		return
+	}
+	if rec, ok := ev.Trace.(*trace.Record); ok {
+		t.bus.Announce(rec)
+	}
 }
 
 // PopulationFactor is Table 1's "Total network size P * 1.3": the pool

@@ -12,6 +12,7 @@ import (
 	"flowercdn/internal/rnd"
 	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
 	"flowercdn/internal/workload"
 )
 
@@ -251,6 +252,9 @@ type kgQuery struct {
 type kgHomeResp struct {
 	Seq       uint64
 	Providers []runtime.NodeID
+	// Path carries the query's overlay route plus the home hop back to
+	// the client on traced runs (nil otherwise).
+	Path []trace.Hop
 }
 
 // kgSummary re-registers a peer's cached keys with the site's current
@@ -304,6 +308,8 @@ type kgActiveQuery struct {
 	// the query's seq, so a late duplicate must not restart the probe
 	// chain mid-probe.
 	redirected bool
+	// path is the hop-by-hop trace on traced runs (nil otherwise).
+	path []trace.Hop
 }
 
 func (p *kgPeer) enterRing(attempts int) {
@@ -397,6 +403,10 @@ func (p *kgPeer) issueQuery() {
 		return
 	}
 	q := &kgActiveQuery{seq: p.d.nextSeq(), key: key, start: p.d.env.Clock.Now()}
+	if p.d.env.Trace.Enabled() {
+		q.path = trace.Append(q.path, trace.Hop{
+			Kind: trace.HopIssue, Node: p.nid, Loc: p.d.env.Net.Locality(p.nid), At: q.start})
+	}
 	p.query = q
 	p.sendQuery(q)
 }
@@ -406,7 +416,14 @@ func (p *kgPeer) sendQuery(q *kgActiveQuery) {
 		return
 	}
 	q.attempt++
-	p.node.Route(siteKey(q.key.Site), kgQuery{Seq: q.seq, Key: q.key, Client: p.nid})
+	msg := kgQuery{Seq: q.seq, Key: q.key, Client: p.nid}
+	if p.d.env.Trace.Enabled() {
+		// The routed path segment starts empty; the home ships it back
+		// (with its own hop appended) in kgHomeResp.Path.
+		p.node.RouteTraced(siteKey(q.key.Site), msg, nil)
+	} else {
+		p.node.Route(siteKey(q.key.Site), msg)
+	}
 	q.timeout = p.d.env.Clock.Schedule(p.d.cfg.QueryTimeout, func() {
 		if p.dead || p.query != q {
 			return
@@ -422,7 +439,7 @@ func (p *kgPeer) sendQuery(q *kgActiveQuery) {
 // OnRouted implements koorde.App: this node currently terminates
 // routing for some site key (it is that site's home) or receives a
 // summary for it.
-func (p *kgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
+func (p *kgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int, path []trace.Hop) {
 	if p.dead {
 		return
 	}
@@ -431,8 +448,13 @@ func (p *kgPeer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
 		now := p.d.env.Clock.Now()
 		p.d.env.Metrics.Emit(metrics.CounterEvent(now, "lookup_hops", float64(hops)))
 		p.d.env.Metrics.Emit(metrics.CounterEvent(now, "routed_queries", 1))
+		p.d.env.Trace.Delivered(hops)
 		providers := p.index[m.Key]
 		resp := kgHomeResp{Seq: m.Seq}
+		if p.d.env.Trace.Enabled() {
+			resp.Path = trace.Append(path, trace.Hop{
+				Kind: trace.HopHome, Node: p.nid, Loc: p.d.env.Net.Locality(p.nid), At: now})
+		}
 		// Random redirection — no locality information exists.
 		for _, i := range p.rng.Perm(len(providers)) {
 			if len(resp.Providers) >= p.d.cfg.ProvidersPerReply {
@@ -477,6 +499,7 @@ func (p *kgPeer) onHomeResp(m kgHomeResp) {
 		q.timeout.Cancel()
 	}
 	q.candidates = m.Providers
+	q.path = trace.Concat(q.path, m.Path)
 	p.probeProvider(q)
 }
 
@@ -496,7 +519,17 @@ func (p *kgPeer) probeProvider(q *kgActiveQuery) {
 			if p.dead || p.query != q {
 				return
 			}
-			if err != nil || !resp.(workload.FetchResp).Served {
+			served := err == nil && resp.(workload.FetchResp).Served
+			if p.d.env.Trace.Enabled() {
+				q.path = trace.Append(q.path, trace.Hop{
+					Kind: trace.HopProbe, Node: target,
+					Loc: p.d.env.Net.Locality(target), At: p.d.env.Clock.Now(),
+					// A probe that answered but could not serve is a stale
+					// directory entry — the summary false-positive flag.
+					FalsePositive: err == nil && !served,
+				})
+			}
+			if !served {
 				p.probeProvider(q)
 				return
 			}
@@ -524,6 +557,14 @@ func (p *kgPeer) resolve(q *kgActiveQuery, outcome metrics.Outcome, provider run
 		lookup -= dist
 	}
 	env.Metrics.Emit(metrics.QueryEvent(now, outcome, lookup, dist))
+	if tr := env.Trace; tr.Enabled() {
+		tr.Emit(now, &trace.Record{
+			Query: q.seq, Client: p.nid, Loc: env.Net.Locality(p.nid),
+			Key: q.key.Uint64(), Outcome: outcome, Attempts: q.attempt,
+			Hops: trace.Append(q.path, trace.Hop{
+				Kind: trace.HopServe, Node: provider, Loc: env.Net.Locality(provider), At: now}),
+		})
+	}
 	if outcome == metrics.Miss {
 		env.Net.Request(p.nid, provider, workload.FetchReq{Key: q.key}, 0,
 			func(_ any, err error) {

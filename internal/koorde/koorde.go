@@ -24,6 +24,7 @@ import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/rnd"
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Config tunes the overlay.
@@ -115,6 +116,10 @@ type dbRouteMsg struct {
 	Origin   runtime.NodeID
 	Hops     int
 	Deliver  bool // set on the final hop: receiver is the owner
+	// Traced marks a traced query: every forwarding appends a HopRoute
+	// to Path (untraced messages never touch Path).
+	Traced bool
+	Path   []trace.Hop
 }
 
 // App receives application payloads routed over the de Bruijn edges —
@@ -145,9 +150,9 @@ type Node struct {
 // an App and forwarding keeps the node well-behaved if something does.
 type ringApp struct{ n *Node }
 
-func (a ringApp) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int) {
+func (a ringApp) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int, path []trace.Hop) {
 	if a.n.app != nil {
-		a.n.app.OnRouted(key, payload, origin, hops)
+		a.n.app.OnRouted(key, payload, origin, hops, path)
 	}
 }
 
@@ -300,6 +305,19 @@ func (n *Node) Route(key ids.ID, payload any) {
 	})
 }
 
+// RouteTraced is Route with hop tracing: path (owned by the message
+// from here on) accumulates one HopRoute per de Bruijn / correction
+// forwarding and arrives at the owner's OnRouted.
+func (n *Node) RouteTraced(key ids.ID, payload any, path []trace.Hop) {
+	self, succ := n.ring.Self(), n.ring.Successor()
+	i, kshift, bits := imaginaryStart(self.ID, succ.ID, key, n.cfg.DegreeBits)
+	n.routeStep(dbRouteMsg{
+		Key: key, I: i, KShift: kshift, BitsLeft: bits,
+		Payload: payload, Origin: self.Node,
+		Traced: true, Path: path,
+	})
+}
+
 // imaginaryStart picks the imaginary de Bruijn node i the walk begins
 // at: the position in (self, succ] whose low-order bits embed the most
 // high-order key bits (Koorde §3's "best imaginary node" optimization).
@@ -369,6 +387,7 @@ func (n *Node) routeStep(m dbRouteMsg) {
 		// Our successor owns the key: final hop.
 		m.Deliver = true
 		m.Hops++
+		n.traceForward(&m, succ.Node)
 		n.net.Send(self.Node, succ.Node, m)
 		return
 	}
@@ -397,12 +416,14 @@ func (n *Node) routeStep(m dbRouteMsg) {
 				}
 				m.Deliver = true
 				m.Hops++
+				n.traceForward(&m, owner.Node)
 				n.net.Send(self.Node, owner.Node, m)
 				return
 			}
 		}
 		if next := n.bestPointer(m.I); next.Valid() && next.Node != self.Node {
 			m.Hops++
+			n.traceForward(&m, next.Node)
 			n.net.Send(self.Node, next.Node, m)
 			return
 		}
@@ -422,7 +443,23 @@ func (n *Node) routeStep(m dbRouteMsg) {
 		return // no live neighbor at all: drop; the application retries
 	}
 	m.Hops++
+	n.traceForward(&m, next.Node)
 	n.net.Send(self.Node, next.Node, m)
+}
+
+// traceForward records one overlay forwarding on a traced message —
+// kept beside the Hops increments so the traced path's HopRoute count
+// equals Hops by construction.
+func (n *Node) traceForward(m *dbRouteMsg, dest runtime.NodeID) {
+	if !m.Traced {
+		return
+	}
+	m.Path = trace.Append(m.Path, trace.Hop{
+		Kind: trace.HopRoute,
+		Node: dest,
+		Loc:  n.net.Locality(dest),
+		At:   n.eng.Now(),
+	})
 }
 
 // ownerInSet scans ring-consecutive pointer-set pairs for one flanking
@@ -489,7 +526,7 @@ func (n *Node) bestPointer(target ids.ID) chord.Entry {
 // deliver terminates routing at this node.
 func (n *Node) deliver(m dbRouteMsg) {
 	if m.Payload != nil {
-		n.app.OnRouted(m.Key, m.Payload, m.Origin, m.Hops)
+		n.app.OnRouted(m.Key, m.Payload, m.Origin, m.Hops, m.Path)
 	}
 }
 

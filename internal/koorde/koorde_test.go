@@ -11,6 +11,7 @@ import (
 	"flowercdn/internal/runtime"
 	"flowercdn/internal/simrt"
 	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
 )
 
 // testPeer is the minimal application peer wrapping a koorde Node.
@@ -27,7 +28,7 @@ type routedRecord struct {
 	pay    any
 }
 
-func (p *testPeer) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int) {
+func (p *testPeer) OnRouted(key ids.ID, payload any, origin runtime.NodeID, hops int, _ []trace.Hop) {
 	p.routed = append(p.routed, routedRecord{key: key, origin: origin, hops: hops, pay: payload})
 }
 

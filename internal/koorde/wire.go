@@ -4,6 +4,7 @@ import (
 	"flowercdn/internal/content"
 	"flowercdn/internal/ids"
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Binary wire marshallers for the de Bruijn route message and the
@@ -18,6 +19,8 @@ func (m dbRouteMsg) AppendWire(w *runtime.WireWriter) {
 	w.Node(m.Origin)
 	w.Int(m.Hops)
 	w.Bool(m.Deliver)
+	w.Bool(m.Traced)
+	trace.AppendHopsWire(w, m.Path)
 }
 
 func (dbRouteMsg) DecodeWire(r *runtime.WireReader) any {
@@ -30,6 +33,8 @@ func (dbRouteMsg) DecodeWire(r *runtime.WireReader) any {
 	m.Origin = r.Node()
 	m.Hops = r.Int()
 	m.Deliver = r.Bool()
+	m.Traced = r.Bool()
+	m.Path = trace.DecodeHopsWire(r)
 	return m
 }
 
@@ -50,12 +55,14 @@ func (kgQuery) DecodeWire(r *runtime.WireReader) any {
 func (m kgHomeResp) AppendWire(w *runtime.WireWriter) {
 	w.Uvarint(m.Seq)
 	w.Nodes(m.Providers)
+	trace.AppendHopsWire(w, m.Path)
 }
 
 func (kgHomeResp) DecodeWire(r *runtime.WireReader) any {
 	var m kgHomeResp
 	m.Seq = r.Uvarint()
 	m.Providers = r.Nodes()
+	m.Path = trace.DecodeHopsWire(r)
 	return m
 }
 

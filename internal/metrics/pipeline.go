@@ -21,6 +21,12 @@ const (
 	// registrations, recoveries — whatever the deployment wants tallied
 	// without the harness knowing the vocabulary.
 	KindCounter
+	// KindTrace carries one completed query's hop-by-hop trace record
+	// (a *trace.Record, typed as any to keep this package dependency-
+	// free). Only trace-aware sinks consume it; every aggregate sink
+	// lets it fall through, so an enabled tracer never perturbs the
+	// paper metrics or the run fingerprint.
+	KindTrace
 )
 
 // Event is one typed observation streamed by a protocol deployment.
@@ -37,6 +43,9 @@ type Event struct {
 	// Counter fields (KindCounter).
 	Counter string
 	Delta   float64
+
+	// Trace field (KindTrace): the completed query's *trace.Record.
+	Trace any
 }
 
 // QueryEvent builds a KindQuery event.
@@ -47,6 +56,12 @@ func QueryEvent(when int64, o Outcome, lookup, transfer int64) Event {
 // CounterEvent builds a KindCounter event.
 func CounterEvent(when int64, name string, delta float64) Event {
 	return Event{When: when, Kind: KindCounter, Counter: name, Delta: delta}
+}
+
+// TraceEvent builds a KindTrace event carrying one query's trace
+// record.
+func TraceEvent(when int64, rec any) Event {
+	return Event{When: when, Kind: KindTrace, Trace: rec}
 }
 
 // CounterEvictions is the well-known counter name bounded content

@@ -17,6 +17,7 @@ import (
 	"flowercdn/internal/rnd"
 	"flowercdn/internal/runtime"
 	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
 	"flowercdn/internal/workload"
 )
 
@@ -39,6 +40,10 @@ type Env struct {
 	Origins *workload.Origins
 	// Metrics receives the deployment's typed observation stream.
 	Metrics metrics.Emitter
+	// Trace is the per-query lookup tracer; nil (the common case) means
+	// tracing is disabled and every tracer method is a free no-op.
+	// Drivers gate per-hop work on Trace.Enabled().
+	Trace *trace.Tracer
 	// LocalitySkew biases arriving clients over localities: 0 is the
 	// paper's uniform spread, larger values Zipf-concentrate arrivals
 	// into low-index localities. Locality-blind protocols ignore it.

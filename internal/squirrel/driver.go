@@ -71,6 +71,7 @@ func NewDriver(env proto.Env, opts proto.Options) (proto.System, error) {
 		Metrics:  env.Metrics,
 		NewStore: cacheCfg.StoreFactory(env),
 		Follower: env.Follower,
+		Trace:    env.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -25,6 +25,7 @@ import (
 	"flowercdn/internal/ids"
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/topology"
+	"flowercdn/internal/trace"
 	"flowercdn/internal/workload"
 )
 
@@ -90,6 +91,8 @@ type Deps struct {
 	// Follower marks a process that must not found the ring (see
 	// proto.Env.Follower); meaningful only on multi-process backends.
 	Follower bool
+	// Trace is the optional per-query lookup tracer (nil = disabled).
+	Trace *trace.Tracer
 }
 
 // System is one Squirrel deployment.
@@ -101,6 +104,7 @@ type System struct {
 	work     *workload.Workload
 	origins  *workload.Origins
 	coll     metrics.Emitter
+	tracer   *trace.Tracer
 	newStore func() *content.Store
 
 	// registry is the ring-member gateway set, mirrored across
@@ -134,6 +138,7 @@ func NewSystem(cfg Config, d Deps) (*System, error) {
 		work:     d.Workload,
 		origins:  d.Origins,
 		coll:     d.Metrics,
+		tracer:   d.Trace,
 		newStore: newStore,
 		follower: d.Follower,
 	}
@@ -230,6 +235,9 @@ type queryMsg struct {
 type homeResp struct {
 	Seq       uint64
 	Providers []runtime.NodeID
+	// Path carries the query's overlay route plus the home hop back to
+	// the client on traced runs (nil otherwise).
+	Path []trace.Hop
 }
 
 // Peer is one Squirrel participant.
@@ -263,6 +271,8 @@ type activeQuery struct {
 	// the query's seq, so a late duplicate must not restart the probe
 	// chain mid-probe.
 	redirected bool
+	// path is the hop-by-hop trace on traced runs (nil otherwise).
+	path []trace.Hop
 }
 
 // NodeID returns the peer's network address.
@@ -358,6 +368,10 @@ func (p *Peer) issueQuery() {
 		return
 	}
 	q := &activeQuery{seq: p.sys.nextSeq(), key: key, start: p.sys.eng.Now()}
+	if p.sys.tracer.Enabled() {
+		q.path = trace.Append(q.path, trace.Hop{
+			Kind: trace.HopIssue, Node: p.nid, Loc: p.sys.net.Locality(p.nid), At: q.start})
+	}
 	p.query = q
 	p.sendQuery(q)
 }
@@ -367,7 +381,14 @@ func (p *Peer) sendQuery(q *activeQuery) {
 		return
 	}
 	q.attempt++
-	p.node.Route(objectKey(q.key), queryMsg{Seq: q.seq, Key: q.key, Client: p.nid})
+	msg := queryMsg{Seq: q.seq, Key: q.key, Client: p.nid}
+	if p.sys.tracer.Enabled() {
+		// The routed path segment starts empty; the home ships it back
+		// (with its own hop appended) in homeResp.Path.
+		p.node.RouteTraced(objectKey(q.key), msg, nil)
+	} else {
+		p.node.Route(objectKey(q.key), msg)
+	}
 	q.timeout = p.sys.eng.Schedule(p.sys.cfg.QueryTimeout, func() {
 		if p.dead || p.query != q {
 			return
@@ -383,7 +404,7 @@ func (p *Peer) sendQuery(q *activeQuery) {
 
 // OnRouted implements chord.App: this node is the home for the queried
 // object.
-func (p *Peer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
+func (p *Peer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int, path []trace.Hop) {
 	m, ok := payload.(queryMsg)
 	if !ok || p.dead {
 		return
@@ -393,9 +414,14 @@ func (p *Peer) OnRouted(_ ids.ID, payload any, _ runtime.NodeID, hops int) {
 	now := p.sys.eng.Now()
 	p.sys.coll.Emit(metrics.CounterEvent(now, "lookup_hops", float64(hops)))
 	p.sys.coll.Emit(metrics.CounterEvent(now, "routed_queries", 1))
+	p.sys.tracer.Delivered(hops)
 	delegates := p.dir[m.Key]
 	// Random redirection — Squirrel has no locality information.
 	resp := homeResp{Seq: m.Seq}
+	if p.sys.tracer.Enabled() {
+		resp.Path = trace.Append(path, trace.Hop{
+			Kind: trace.HopHome, Node: p.nid, Loc: p.sys.net.Locality(p.nid), At: now})
+	}
 	perm := p.rng.Perm(len(delegates))
 	for _, i := range perm {
 		if len(resp.Providers) >= p.sys.cfg.ProviderAttempts {
@@ -436,6 +462,7 @@ func (p *Peer) onHomeResp(m homeResp) {
 		q.timeout.Cancel()
 	}
 	q.candidates = m.Providers
+	q.path = trace.Concat(q.path, m.Path)
 	p.probeDelegate(q)
 }
 
@@ -455,11 +482,17 @@ func (p *Peer) probeDelegate(q *activeQuery) {
 			if p.dead || p.query != q {
 				return
 			}
-			if err != nil {
-				p.probeDelegate(q)
-				return
+			served := err == nil && resp.(workload.FetchResp).Served
+			if p.sys.tracer.Enabled() {
+				q.path = trace.Append(q.path, trace.Hop{
+					Kind: trace.HopProbe, Node: target,
+					Loc: p.sys.net.Locality(target), At: p.sys.eng.Now(),
+					// A probe that answered but could not serve is a stale
+					// delegate entry — the summary false-positive flag.
+					FalsePositive: err == nil && !served,
+				})
 			}
-			if !resp.(workload.FetchResp).Served {
+			if !served {
 				p.probeDelegate(q)
 				return
 			}
@@ -487,6 +520,14 @@ func (p *Peer) resolve(q *activeQuery, outcome metrics.Outcome, provider runtime
 		lookup -= dist
 	}
 	p.sys.coll.Emit(metrics.QueryEvent(now, outcome, lookup, dist))
+	if tr := p.sys.tracer; tr.Enabled() {
+		tr.Emit(now, &trace.Record{
+			Query: q.seq, Client: p.nid, Loc: p.sys.net.Locality(p.nid),
+			Key: q.key.Uint64(), Outcome: outcome, Attempts: q.attempt,
+			Hops: trace.Append(q.path, trace.Hop{
+				Kind: trace.HopServe, Node: provider, Loc: p.sys.net.Locality(provider), At: now}),
+		})
+	}
 	if outcome == metrics.Miss {
 		p.sys.net.Request(p.nid, provider, workload.FetchReq{Key: q.key}, 0,
 			func(_ any, err error) {

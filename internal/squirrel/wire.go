@@ -3,6 +3,7 @@ package squirrel
 import (
 	"flowercdn/internal/content"
 	"flowercdn/internal/runtime"
+	"flowercdn/internal/trace"
 )
 
 // Binary wire marshallers for the driver's messages.
@@ -24,11 +25,13 @@ func (queryMsg) DecodeWire(r *runtime.WireReader) any {
 func (m homeResp) AppendWire(w *runtime.WireWriter) {
 	w.Uvarint(m.Seq)
 	w.Nodes(m.Providers)
+	trace.AppendHopsWire(w, m.Path)
 }
 
 func (homeResp) DecodeWire(r *runtime.WireReader) any {
 	var m homeResp
 	m.Seq = r.Uvarint()
 	m.Providers = r.Nodes()
+	m.Path = trace.DecodeHopsWire(r)
 	return m
 }

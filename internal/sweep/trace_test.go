@@ -1,0 +1,52 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"flowercdn/internal/harness"
+	"flowercdn/internal/trace"
+)
+
+// TestTracedSweepDeterministicAcrossWorkerCounts extends the sweep's
+// scheduling-independence contract to tracing: the same traced grid
+// produces identical per-query trace streams at workers 1 and 8.
+// Traces are per-run state behind a run-local collector, so worker
+// interleaving has nothing to perturb — this pins that it stays true.
+func TestTracedSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	traced := func() []Cell {
+		cells := tinyGrid()[:2] // flower + squirrel: routed and local paths
+		for i := range cells {
+			cells[i].Config.Trace = &harness.TraceConfig{}
+		}
+		return cells
+	}
+	seeds := []uint64{1, 2, 3}
+	serial, err := Run(Spec{Cells: traced(), Seeds: seeds, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(Spec{Cells: traced(), Seeds: seeds, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		for j := range s.Runs {
+			if len(s.Runs[j].Traces) == 0 {
+				t.Fatalf("cell %q seed %d: traced run collected no records", s.Name, seeds[j])
+			}
+			var a, b bytes.Buffer
+			if err := trace.WriteCSV(&a, s.Runs[j].Traces); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteCSV(&b, p.Runs[j].Traces); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("cell %q seed %d: per-query traces differ between worker counts",
+					s.Name, seeds[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"flowercdn/internal/runtime"
+)
+
+// Per-hop latency breakdown: the report answering the paper's "where
+// does flower's locality win come from" question. Each consecutive
+// hop pair contributes its timestamp delta to the later hop's kind;
+// when the caller can supply the backend's modeled link latency
+// (harness exposes it as Result.HopLatency), the delta further splits
+// into link time vs queue/processing time.
+
+// LatencyFunc returns the modeled one-way link latency between two
+// nodes in ms (the topology's distance function).
+type LatencyFunc func(from, to runtime.NodeID) int64
+
+// KindStats aggregates the latency contribution of one hop kind.
+type KindStats struct {
+	// Hops counts hops of this kind across all records.
+	Hops int
+	// TotalMs sums the timestamp deltas attributed to this kind.
+	TotalMs int64
+	// LinkMs/QueueMs split TotalMs into modeled propagation vs
+	// queue+processing time; both stay 0 without a LatencyFunc.
+	LinkMs  int64
+	QueueMs int64
+}
+
+// Breakdown is the aggregate per-hop latency decomposition of a trace
+// set.
+type Breakdown struct {
+	// Records and Hops count the inputs.
+	Records int
+	Hops    int
+	// ByKind indexes KindStats by HopKind.
+	ByKind [numHopKinds]KindStats
+	// MeanRouteHops is the mean number of overlay forwardings per
+	// record.
+	MeanRouteHops float64
+	// WithinLocality is the fraction of records whose serving node sits
+	// in the client's own locality.
+	WithinLocality float64
+	// FalsePositives counts probe hops flagged as summary false
+	// positives.
+	FalsePositives int
+	// MeanTotalMs is the mean issue-to-serve wall time per record.
+	MeanTotalMs float64
+	// Split reports whether a LatencyFunc was available for the
+	// link/queue decomposition.
+	Split bool
+}
+
+// Analyze computes the per-hop latency breakdown of a record set.
+// latFn may be nil; then only the per-kind totals are reported.
+func Analyze(recs []*Record, latFn LatencyFunc) Breakdown {
+	var b Breakdown
+	b.Split = latFn != nil
+	routeHops := 0
+	within := 0
+	var totalMs int64
+	for _, rec := range recs {
+		if rec == nil || len(rec.Hops) == 0 {
+			continue
+		}
+		b.Records++
+		prev := rec.Hops[0]
+		b.ByKind[prev.Kind].Hops++
+		b.Hops++
+		for _, h := range rec.Hops[1:] {
+			b.Hops++
+			ks := &b.ByKind[h.Kind]
+			ks.Hops++
+			delta := h.At - prev.At
+			if delta < 0 {
+				delta = 0
+			}
+			ks.TotalMs += delta
+			if latFn != nil {
+				link := latFn(prev.Node, h.Node)
+				if link > delta {
+					link = delta
+				}
+				if link < 0 {
+					link = 0
+				}
+				ks.LinkMs += link
+				ks.QueueMs += delta - link
+			}
+			if h.Kind == HopRoute {
+				routeHops++
+			}
+			if h.Kind == HopProbe && h.FalsePositive {
+				b.FalsePositives++
+			}
+			prev = h
+		}
+		totalMs += prev.At - rec.Hops[0].At
+		last := rec.Hops[len(rec.Hops)-1]
+		if last.Kind == HopServe && last.Loc == rec.Loc {
+			within++
+		}
+	}
+	if b.Records > 0 {
+		b.MeanRouteHops = float64(routeHops) / float64(b.Records)
+		b.WithinLocality = float64(within) / float64(b.Records)
+		b.MeanTotalMs = float64(totalMs) / float64(b.Records)
+	}
+	return b
+}
+
+// Format renders the breakdown as the flowerbench report block.
+func (b Breakdown) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "traces: %d records, %d hops, mean %.2f route hops, %.1f%% served within locality, mean %.1f ms issue→serve\n",
+		b.Records, b.Hops, b.MeanRouteHops, 100*b.WithinLocality, b.MeanTotalMs)
+	if b.FalsePositives > 0 {
+		fmt.Fprintf(&sb, "summary false positives: %d probe hops\n", b.FalsePositives)
+	}
+	fmt.Fprintf(&sb, "%-8s %8s %12s", "kind", "hops", "total-ms")
+	if b.Split {
+		fmt.Fprintf(&sb, " %12s %12s", "link-ms", "queue-ms")
+	}
+	sb.WriteByte('\n')
+	for k := HopKind(0); k < numHopKinds; k++ {
+		ks := b.ByKind[k]
+		if ks.Hops == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-8s %8d %12d", k.String(), ks.Hops, ks.TotalMs)
+		if b.Split {
+			fmt.Fprintf(&sb, " %12d %12d", ks.LinkMs, ks.QueueMs)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DiffReport compares two trace sets of the same cell — typically a
+// sim run against a socket run — distributionally: per-kind hop
+// counts, route-hop distribution, and outcome mix.
+type DiffReport struct {
+	A, B     Breakdown
+	ALabel   string
+	BLabel   string
+	Warnings []string
+}
+
+// Diff analyzes both record sets (without latency split — the two
+// backends model time differently, so only structure is comparable)
+// and collects structural discrepancies.
+func Diff(aLabel string, a []*Record, bLabel string, b []*Record) DiffReport {
+	rep := DiffReport{
+		A:      Analyze(a, nil),
+		B:      Analyze(b, nil),
+		ALabel: aLabel,
+		BLabel: bLabel,
+	}
+	if rep.A.Records != rep.B.Records {
+		rep.Warnings = append(rep.Warnings,
+			fmt.Sprintf("record count differs: %s=%d %s=%d", aLabel, rep.A.Records, bLabel, rep.B.Records))
+	}
+	for k := HopKind(0); k < numHopKinds; k++ {
+		ah, bh := rep.A.ByKind[k].Hops, rep.B.ByKind[k].Hops
+		if ah != bh {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("%s hop count differs: %s=%d %s=%d", k.String(), aLabel, ah, bLabel, bh))
+		}
+	}
+	if d := math.Abs(rep.A.MeanRouteHops - rep.B.MeanRouteHops); d > 1e-9 {
+		rep.Warnings = append(rep.Warnings,
+			fmt.Sprintf("mean route hops differ by %.3f: %s=%.3f %s=%.3f",
+				d, aLabel, rep.A.MeanRouteHops, bLabel, rep.B.MeanRouteHops))
+	}
+	// Per-query structural comparison where both sets carry the same
+	// query sequence numbers.
+	byQuery := func(recs []*Record) map[uint64]*Record {
+		m := make(map[uint64]*Record, len(recs))
+		for _, r := range recs {
+			if r != nil {
+				m[r.Query] = r
+			}
+		}
+		return m
+	}
+	am, bm := byQuery(a), byQuery(b)
+	mismatched := 0
+	var sample []uint64
+	for q, ar := range am {
+		br, ok := bm[q]
+		if !ok {
+			continue
+		}
+		if !samePath(ar, br) {
+			mismatched++
+			if len(sample) < 5 {
+				sample = append(sample, q)
+			}
+		}
+	}
+	if mismatched > 0 {
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		rep.Warnings = append(rep.Warnings,
+			fmt.Sprintf("%d shared queries resolve along different paths (e.g. %v)", mismatched, sample))
+	}
+	return rep
+}
+
+// samePath reports whether two records traversed the same node
+// sequence with the same hop kinds and outcome (timestamps are
+// backend-specific and excluded).
+func samePath(a, b *Record) bool {
+	if a.Outcome != b.Outcome || len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i].Kind != b.Hops[i].Kind || a.Hops[i].Node != b.Hops[i].Node {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the diff report.
+func (d DiffReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n%s", d.ALabel, d.A.Format())
+	fmt.Fprintf(&sb, "--- %s\n%s", d.BLabel, d.B.Format())
+	if len(d.Warnings) == 0 {
+		sb.WriteString("structurally identical: same hop mix, same per-query paths\n")
+	} else {
+		for _, w := range d.Warnings {
+			fmt.Fprintf(&sb, "warn: %s\n", w)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/runtime"
+)
+
+// CSV export/import: one row per hop, records ordered by query
+// sequence number. The ordering makes the stream a canonical function
+// of the record set, so two deterministic runs of the same cell
+// produce byte-identical files regardless of collection order — the
+// property the determinism test and the sim-vs-socket trace diff rely
+// on.
+
+var csvHeader = []string{
+	"query", "client", "loc", "key", "outcome", "attempts",
+	"hop", "kind", "node", "hop_loc", "at_ms", "false_positive",
+}
+
+// SortRecords orders records canonically: by query sequence, then
+// client (retry-free tiebreak for merged multi-process streams).
+func SortRecords(recs []*Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Query != recs[j].Query {
+			return recs[i].Query < recs[j].Query
+		}
+		return recs[i].Client < recs[j].Client
+	})
+}
+
+// WriteCSV writes the records (canonically sorted) as CSV.
+func WriteCSV(w io.Writer, recs []*Record) error {
+	sorted := make([]*Record, len(recs))
+	copy(sorted, recs)
+	SortRecords(sorted)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, rec := range sorted {
+		for i, h := range rec.Hops {
+			row[0] = strconv.FormatUint(rec.Query, 10)
+			row[1] = strconv.FormatInt(int64(rec.Client), 10)
+			row[2] = strconv.Itoa(int(rec.Loc))
+			row[3] = strconv.FormatUint(rec.Key, 10)
+			row[4] = strconv.Itoa(int(rec.Outcome))
+			row[5] = strconv.Itoa(rec.Attempts)
+			row[6] = strconv.Itoa(i)
+			row[7] = h.Kind.String()
+			row[8] = strconv.FormatInt(int64(h.Node), 10)
+			row[9] = strconv.Itoa(int(h.Loc))
+			row[10] = strconv.FormatInt(h.At, 10)
+			row[11] = strconv.FormatBool(h.FalsePositive)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// kindFromString inverts HopKind.String for the CSV reader.
+func kindFromString(s string) (HopKind, error) {
+	for k := HopKind(0); k < numHopKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown hop kind %q", s)
+}
+
+// ReadCSV parses a WriteCSV stream back into records.
+func ReadCSV(r io.Reader) ([]*Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	var out []*Record
+	var cur *Record
+	for _, row := range rows[1:] {
+		ints := make([]int64, 0, 9)
+		for _, idx := range []int{0, 1, 2, 4, 5, 6, 8, 9, 10} {
+			v, err := strconv.ParseInt(row[idx], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad CSV field %q: %w", row[idx], err)
+			}
+			ints = append(ints, v)
+		}
+		key, err := strconv.ParseUint(row[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad key %q: %w", row[3], err)
+		}
+		kind, err := kindFromString(row[7])
+		if err != nil {
+			return nil, err
+		}
+		fp, err := strconv.ParseBool(row[11])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad false_positive %q: %w", row[11], err)
+		}
+		query, client, loc := uint64(ints[0]), runtime.NodeID(ints[1]), runtime.Locality(ints[2])
+		outcome, attempts, hopIdx := metrics.Outcome(ints[3]), int(ints[4]), int(ints[5])
+		if cur == nil || hopIdx == 0 {
+			cur = &Record{
+				Query: query, Client: client, Loc: loc, Key: key,
+				Outcome: outcome, Attempts: attempts,
+			}
+			out = append(out, cur)
+		}
+		cur.Hops = append(cur.Hops, Hop{
+			Kind:          kind,
+			Node:          runtime.NodeID(ints[6]),
+			Loc:           runtime.Locality(ints[7]),
+			At:            ints[8],
+			FalsePositive: fp,
+		})
+	}
+	return out, nil
+}

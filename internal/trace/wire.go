@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/runtime"
+)
+
+// The trace record is a registered wire message so socket-backend
+// follower processes can ship completed traces home to group 0 over
+// the announcement bus. Hop paths embedded in protocol messages
+// (route messages, directory responses) reuse the same field
+// encoding through AppendHopsWire/DecodeHopsWire. Trace payloads are
+// telemetry: no WireBytes method, so modeled traffic accounting — and
+// with it the run fingerprint — is independent of tracing.
+
+func init() {
+	runtime.RegisterWireType(&Record{})
+}
+
+// hopWireBytes is the minimum encoded size of one hop (kind byte +
+// three one-byte varints + flag byte), the ArrayLen bound hostile
+// length prefixes are checked against.
+const hopWireBytes = 5
+
+// AppendHopsWire appends a length-prefixed hop path.
+func AppendHopsWire(w *runtime.WireWriter, hops []Hop) {
+	w.Uvarint(uint64(len(hops)))
+	for _, h := range hops {
+		w.U8(byte(h.Kind))
+		w.Node(h.Node)
+		w.Varint(int64(h.Loc))
+		w.Varint(h.At)
+		w.Bool(h.FalsePositive)
+	}
+}
+
+// DecodeHopsWire decodes a length-prefixed hop path (nil when empty).
+func DecodeHopsWire(r *runtime.WireReader) []Hop {
+	n := r.ArrayLen(hopWireBytes)
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]Hop, n)
+	for i := range out {
+		// Any kind byte is accepted: the codec contract (socknet's
+		// equivalence test) requires binary to deliver exactly what gob
+		// delivers, and an unknown kind still re-encodes canonically.
+		out[i] = Hop{
+			Kind:          HopKind(r.U8()),
+			Node:          r.Node(),
+			Loc:           runtime.Locality(r.Varint()),
+			At:            r.Varint(),
+			FalsePositive: r.Bool(),
+		}
+	}
+	return out
+}
+
+// AppendWire implements runtime.WireMessage.
+func (rec *Record) AppendWire(w *runtime.WireWriter) {
+	w.Uvarint(rec.Query)
+	w.Node(rec.Client)
+	w.Varint(int64(rec.Loc))
+	w.U64(rec.Key)
+	w.Varint(int64(rec.Outcome))
+	w.Varint(int64(rec.Attempts))
+	AppendHopsWire(w, rec.Hops)
+}
+
+// DecodeWire implements runtime.WireMessage; it returns a *Record to
+// match the registered pointer type.
+func (*Record) DecodeWire(r *runtime.WireReader) any {
+	rec := &Record{
+		Query:    r.Uvarint(),
+		Client:   r.Node(),
+		Loc:      runtime.Locality(r.Varint()),
+		Key:      r.U64(),
+		Outcome:  metrics.Outcome(r.Varint()),
+		Attempts: int(r.Varint()),
+	}
+	rec.Hops = DecodeHopsWire(r)
+	return rec
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"flowercdn/internal/metrics"
+	"flowercdn/internal/runtime"
+	"flowercdn/internal/wiretest"
+)
+
+// exemplar is a fully populated trace record — every field non-zero,
+// every hop kind represented — so the round trip exercises the whole
+// encoding.
+func exemplar() *Record {
+	return &Record{
+		Query:    7,
+		Client:   42,
+		Loc:      3,
+		Key:      0xdeadbeefcafe,
+		Outcome:  metrics.HitDirectory,
+		Attempts: 2,
+		Hops: []Hop{
+			{Kind: HopIssue, Node: 42, Loc: 3, At: 100},
+			{Kind: HopRoute, Node: 7, Loc: 1, At: 130},
+			{Kind: HopScan, Node: 8, Loc: 2, At: 140},
+			{Kind: HopHome, Node: 9, Loc: 0, At: 160},
+			{Kind: HopProbe, Node: 11, Loc: 3, At: 180, FalsePositive: true},
+			{Kind: HopServe, Node: 12, Loc: 3, At: 200},
+		},
+	}
+}
+
+func TestRecordWireRoundTrip(t *testing.T) {
+	wiretest.RoundTrip(t, exemplar())
+	wiretest.RoundTrip(t, &Record{Query: 1, Client: runtime.None}) // no hops
+}
+
+// FuzzRecordWire is the trace record's binary-wire hardening: records
+// cross process boundaries on the socket backend's announcement bus,
+// so the decoder must reject arbitrary bytes cleanly — never panic —
+// and anything it accepts must re-encode to exactly the input bytes
+// (the codec's canonical-encoding property).
+func FuzzRecordWire(f *testing.F) {
+	for _, rec := range []*Record{
+		exemplar(),
+		{Query: 1, Client: runtime.None},
+		{Hops: []Hop{{Kind: HopServe, Node: 0, At: 1}}},
+	} {
+		w := runtime.NewWireWriter(nil)
+		rec.AppendWire(w)
+		if w.Err() != nil {
+			f.Fatal(w.Err())
+		}
+		f.Add(w.Finish())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := runtime.NewWireReader(data)
+		dec := (*Record)(nil).DecodeWire(r)
+		if r.Err() != nil || r.Len() != 0 {
+			return // rejected (or trailing garbage) — that is the contract
+		}
+		rec, ok := dec.(*Record)
+		if !ok {
+			t.Fatalf("DecodeWire returned %T", dec)
+		}
+		w := runtime.NewWireWriter(nil)
+		rec.AppendWire(w)
+		if w.Err() != nil {
+			t.Fatalf("accepted record does not re-encode: %v (%+v)", w.Err(), rec)
+		}
+		if enc := w.Finish(); !bytes.Equal(enc, data) {
+			t.Fatalf("accepted record is not canonical:\n in: %x\nout: %x", data, enc)
+		}
+	})
+}
