@@ -8,10 +8,10 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-PR ?= 9
+PR ?= 10
 BENCH_JSON := BENCH_PR$(PR).json
 
-.PHONY: build test race vet fmt check bench bench-smoke bench-delta bigcell-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke codec-smoke invariants-smoke trace-smoke fuzz-smoke staticcheck clean
+.PHONY: build test race vet fmt check bench bench-smoke bench-delta bigcell-smoke fingerprint-check realtime-smoke cache-grid-smoke socket-smoke codec-smoke invariants-smoke trace-smoke fuzz-smoke dist-smoke docs-check staticcheck clean
 
 build:
 	go build ./...
@@ -144,6 +144,39 @@ fuzz-smoke:
 	go test ./internal/socknet/ -run '^$$' -fuzz FuzzFrameReadPrefix -fuzztime $(FUZZTIME)
 	go test ./internal/dring/ -run '^$$' -fuzz FuzzPositionRoundTrip -fuzztime $(FUZZTIME)
 	go test ./internal/trace/ -run '^$$' -fuzz FuzzRecordWire -fuzztime $(FUZZTIME)
+
+# dist-smoke is the distributed-sweep equality gate: the same CI-sized
+# grid runs once in-process and once sharded across a coordinator plus
+# two spawned worker processes (resuming from a fresh out-dir), and the
+# aggregate and per-window series CSVs must match byte for byte. This
+# is the PR's headline invariant — distribution changes scheduling,
+# never results.
+DIST_TMP := /tmp/flowercdn-dist-smoke
+dist-smoke:
+	go build -o $(DIST_TMP)-bench ./cmd/flowerbench
+	rm -rf $(DIST_TMP)-out
+	$(DIST_TMP)-bench -grid compare -seeds 2 -p 100 \
+		-csv $(DIST_TMP)-a.csv -series-csv $(DIST_TMP)-as.csv
+	$(DIST_TMP)-bench -grid compare -seeds 2 -p 100 \
+		-dist-coordinator 127.0.0.1:0 -spawn-workers 2 -out-dir $(DIST_TMP)-out \
+		-csv $(DIST_TMP)-b.csv -series-csv $(DIST_TMP)-bs.csv
+	cmp $(DIST_TMP)-a.csv $(DIST_TMP)-b.csv
+	cmp $(DIST_TMP)-as.csv $(DIST_TMP)-bs.csv
+	@echo "dist-smoke OK: distributed aggregates byte-identical to in-process"
+
+# docs-check keeps the documentation surfaces honest: every internal
+# package must open with a real godoc package comment, and the files
+# the operator's manual links to must exist.
+docs-check:
+	@missing=0; for d in internal/*/; do \
+		pkg=$$(basename $$d); \
+		if ! grep -rlq "^// Package $$pkg" $$d*.go 2>/dev/null; then \
+			echo "missing package comment: $$pkg" >&2; missing=1; fi; \
+	done; [ $$missing -eq 0 ]
+	@for f in docs/OPERATIONS.md docs/PAPER.md README.md ROADMAP.md; do \
+		test -s $$f || { echo "missing doc: $$f" >&2; exit 1; }; done
+	go vet ./...
+	@echo "docs-check OK"
 
 # cache-grid-smoke runs the CI-sized capacity grid under cache
 # pressure: LRU-bounded peer stores swept over per-peer capacities with

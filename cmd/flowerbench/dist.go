@@ -1,0 +1,169 @@
+package main
+
+// The distributed face of -grid sweeps: one coordinator process shards
+// the sweep's (cell, seed) jobs over worker processes.
+//
+// Manual mode — start each process yourself (terminals, machines):
+//
+//	flowerbench -grid compare -seeds 5 -dist-coordinator 127.0.0.1:7100
+//	flowerbench -grid compare -seeds 5 -dist-worker 127.0.0.1:7100   # x N, anywhere
+//
+// Convenience mode — fork the workers locally (demos, CI):
+//
+//	flowerbench -grid compare -seeds 5 -dist-coordinator 127.0.0.1:0 -spawn-workers 2
+//
+// Every process must be given the same sweep flags (-grid, -scenario,
+// -seeds, -seed, -full, -p) on the same binary: configurations never
+// cross the wire; the coordinator verifies a spec fingerprint at
+// connect time and refuses a worker whose flags drifted.
+//
+// The sweep is resumable: completed runs persist under -out-dir, and a
+// restarted coordinator (same flags, same directory) re-runs only what
+// is missing. Aggregates are bit-identical to the in-process sweep at
+// any worker count — `make dist-smoke` diffs the two CSVs in CI.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"flowercdn"
+)
+
+// distFlags collects the distributed-mode flag values.
+type distFlags struct {
+	coordinator  string // -dist-coordinator listen address
+	worker       string // -dist-worker coordinator address
+	spawnWorkers int
+	outDir       string
+	codec        string
+	lease        time.Duration
+	verbose      bool
+}
+
+// runDistCoordinator shards the sweep across workers and prints the
+// same artifacts runSweep would.
+func runDistCoordinator(cells []flowercdn.SweepCell, seedSet []uint64,
+	gridName, scenarioName string, df distFlags, csvPath, seriesPath string) {
+
+	fmt.Printf("distributed sweep %q (scenario %s): %d cells x %d seeds, out-dir %s\n",
+		gridName, scenarioName, len(cells), len(seedSet), df.outDir)
+
+	var spawned sync.WaitGroup
+	start := time.Now()
+	res, err := flowercdn.DistSweepCoordinator(cells, seedSet, flowercdn.DistSweepOptions{
+		Listen: df.coordinator,
+		OutDir: df.outDir,
+		Codec:  df.codec,
+		Lease:  df.lease,
+		OnListen: func(addr string) {
+			fmt.Printf("coordinator listening on %s\n", addr)
+			if df.spawnWorkers > 0 {
+				spawnWorkers(df.spawnWorkers, addr, &spawned)
+			}
+		},
+		OnEvent: func(e string) {
+			if df.verbose {
+				fmt.Printf("[coord] %s\n", e)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Spawned workers exit on the coordinator's Shutdown; collect them
+	// so their trailing output lands before the table.
+	spawned.Wait()
+	fmt.Printf("done in %v (%d runs, %d workers)\n\n",
+		time.Since(start).Round(time.Millisecond), res.TotalRuns, res.Workers)
+	fmt.Print(res.Table())
+
+	writeArtifact(csvPath, res.CSV)
+	writeArtifact(seriesPath, res.SeriesCSV)
+}
+
+// runDistWorker serves one worker process until the coordinator
+// finishes the sweep.
+func runDistWorker(cells []flowercdn.SweepCell, seedSet []uint64, df distFlags) {
+	err := flowercdn.DistSweepWorker(cells, seedSet, flowercdn.DistSweepWorkerOptions{
+		Coordinator: df.worker,
+		Codec:       df.codec,
+		OnEvent:     func(e string) { fmt.Println(e) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// spawnWorkers forks this binary as -dist-worker children pointed at
+// addr, relaying their output with a [wN] prefix. Children re-derive
+// the sweep from the same flags this process was started with, minus
+// the coordinator/spawn flags.
+func spawnWorkers(n int, addr string, wg *sync.WaitGroup) {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	args := []string{"-dist-worker", addr}
+	args = append(args, sweepArgs(os.Args[1:])...)
+	for w := 0; w < n; w++ {
+		cmd := exec.Command(exe, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			fatal(fmt.Errorf("spawn worker %d: %w", w, err))
+		}
+		wg.Add(1)
+		go func(w int, cmd *exec.Cmd, r io.Reader) {
+			defer wg.Done()
+			sc := bufio.NewScanner(r)
+			for sc.Scan() {
+				fmt.Printf("[w%d] %s\n", w, sc.Text())
+			}
+			if err := cmd.Wait(); err != nil {
+				// The coordinator's own failure surfaces the cause; a worker
+				// exit here is informational.
+				fmt.Fprintf(os.Stderr, "flowerbench: worker %d: %v\n", w, err)
+			}
+		}(w, cmd, stdout)
+	}
+	fmt.Printf("spawned %d local worker(s) -> %s\n", n, addr)
+}
+
+// sweepArgs filters this process's arguments down to the ones that
+// define the sweep itself, dropping coordinator-only and output flags
+// so children don't recurse or clobber artifacts.
+func sweepArgs(args []string) []string {
+	drop := map[string]bool{
+		"-dist-coordinator": true, "-spawn-workers": true,
+		"-dist-worker": true, "-csv": true, "-series-csv": true,
+		"-out-dir": true, "-cpuprofile": true, "-memprofile": true,
+	}
+	var out []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name := strings.TrimPrefix(a, "-") // flag accepts - and --
+		name = "-" + name
+		hasValue := false
+		if j := strings.IndexByte(name, '='); j >= 0 {
+			name = name[:j]
+			hasValue = true
+		}
+		if drop[name] {
+			if !hasValue && i+1 < len(args) { // separate value form
+				i++
+			}
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -13,6 +13,12 @@
 //	flowerbench -grid capacity -scenario cache-pressure # hit ratio vs per-peer cache capacity
 //	flowerbench -grid compare -csv out.csv             # machine-readable aggregates
 //
+// Sweeps also run distributed: -dist-coordinator shards the grid's
+// (cell, seed) jobs across worker processes (-dist-worker, or forked
+// locally via -spawn-workers), with resumable result files under
+// -out-dir and aggregates byte-identical to the in-process sweep at
+// any worker count. See dist.go and docs/OPERATIONS.md.
+//
 // Grids: compare (every protocol registered with the runtime: flower,
 // petalup, squirrel, chord-global — origin-only is reachable via
 // flowersim -protocol origin-only), scalability (flower/squirrel x
@@ -65,6 +71,14 @@ func main() {
 		csvPath    = flag.String("csv", "", "also write sweep aggregates as CSV to this file ('-' = stdout)")
 		seriesPath = flag.String("series-csv", "", "also write the per-window hit-ratio/latency series as CSV to this file ('-' = stdout)")
 
+		distCoordinator = flag.String("dist-coordinator", "", "run the -grid sweep as a distributed coordinator listening on this address (':0' for an ephemeral port)")
+		distWorker      = flag.String("dist-worker", "", "serve a distributed sweep as a worker of the coordinator at this address (same sweep flags required)")
+		spawnN          = flag.Int("spawn-workers", 0, "with -dist-coordinator: also fork N local worker processes")
+		outDir          = flag.String("out-dir", "dist-out", "coordinator result-record directory (makes the sweep resumable)")
+		distCodec       = flag.String("dist-codec", "", "coordinator/worker wire codec: binary (default) or gob")
+		distLease       = flag.Duration("lease", 0, "per-job liveness deadline before reassignment (default 2m)")
+		distVerbose     = flag.Bool("dist-verbose", false, "print coordinator scheduling events (assignments, completions, reassignments)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering every run to this file")
 		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
@@ -94,6 +108,28 @@ func main() {
 
 	if *traceFlag {
 		runTraceBreakdown(cfg)
+		return
+	}
+
+	if *distCoordinator != "" || *distWorker != "" {
+		if *grid == "" {
+			fatal(fmt.Errorf("distributed mode needs -grid (the sweep definition every process shares)"))
+		}
+		cells, seedSet := buildSweepInputs(cfg, pops, *grid, *scenario, *seed, *seeds)
+		df := distFlags{
+			coordinator:  *distCoordinator,
+			worker:       *distWorker,
+			spawnWorkers: *spawnN,
+			outDir:       *outDir,
+			codec:        *distCodec,
+			lease:        *distLease,
+			verbose:      *distVerbose,
+		}
+		if *distWorker != "" {
+			runDistWorker(cells, seedSet, df)
+			return
+		}
+		runDistCoordinator(cells, seedSet, *grid, *scenario, df, *csvPath, *seriesPath)
 		return
 	}
 
@@ -202,9 +238,11 @@ func buildGrid(base flowercdn.Config, pops []int, name string) ([]flowercdn.Swee
 	}
 }
 
-// runSweep is the -grid entry point: expand, fan out, aggregate, print.
-func runSweep(base flowercdn.Config, pops []int, gridName, scenarioName string,
-	seedBase uint64, nSeeds, workers int, csvPath, seriesPath string) {
+// buildSweepInputs expands the sweep definition flags into the cells
+// and seed set — deterministically, so a distributed coordinator and
+// its workers (same flags, same binary) derive the identical spec.
+func buildSweepInputs(base flowercdn.Config, pops []int, gridName, scenarioName string,
+	seedBase uint64, nSeeds int) ([]flowercdn.SweepCell, []uint64) {
 
 	cfg, err := flowercdn.ApplyScenario(base, flowercdn.Scenario(scenarioName))
 	if err != nil {
@@ -217,6 +255,14 @@ func runSweep(base flowercdn.Config, pops []int, gridName, scenarioName string,
 	if nSeeds < 1 {
 		fatal(fmt.Errorf("need at least one seed, got %d", nSeeds))
 	}
+	return cells, flowercdn.SeedSet(seedBase, nSeeds)
+}
+
+// runSweep is the -grid entry point: expand, fan out, aggregate, print.
+func runSweep(base flowercdn.Config, pops []int, gridName, scenarioName string,
+	seedBase uint64, nSeeds, workers int, csvPath, seriesPath string) {
+
+	cells, seedSet := buildSweepInputs(base, pops, gridName, scenarioName, seedBase, nSeeds)
 	// Fail on an unwritable CSV path before the sweep, not after
 	// minutes of simulation (O_CREATE without O_TRUNC keeps any
 	// existing content until the real write).
@@ -229,7 +275,6 @@ func runSweep(base flowercdn.Config, pops []int, gridName, scenarioName string,
 			f.Close()
 		}
 	}
-	seedSet := flowercdn.SeedSet(seedBase, nSeeds)
 
 	fmt.Printf("sweep %q (scenario %s): %d cells x %d seeds...\n",
 		gridName, scenarioName, len(cells), nSeeds)

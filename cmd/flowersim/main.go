@@ -320,7 +320,9 @@ func writeTraceCSV(path string, recs []*trace.Record) {
 }
 
 // startObs binds the live observability endpoint, attaches it to the
-// run config, and returns its stop function.
+// run config, and returns its stop function. The harness also stops
+// the server when the run returns (Stop is idempotent); the returned
+// function covers paths that fatal out before the run starts.
 func startObs(cfg *harness.Config, addr string) func() {
 	srv := obs.NewServer(0)
 	bound, err := srv.Start(addr)

@@ -154,9 +154,11 @@ type Config struct {
 	Trace *TraceConfig
 
 	// Obs, when set, is attached to the run's metrics pipeline so the
-	// caller-owned live observability server sees queries, counters
-	// and traces as they happen (realtime/socket runs; works on sim
-	// too). The caller starts and stops the server.
+	// live observability server sees queries, counters and traces as
+	// they happen (realtime/socket runs; works on sim too). The caller
+	// builds and starts the server; the harness stops it when the run
+	// returns (Stop is idempotent, so a caller-side stop stays safe),
+	// keeping the endpoint's lifetime tied to the run it reports on.
 	Obs *obs.Server
 }
 
@@ -498,6 +500,12 @@ func Run(cfg Config) (*Result, error) {
 	pipe := metrics.NewPipeline(coll, counters)
 	if cfg.Obs != nil {
 		pipe.Attach(cfg.Obs)
+		// The endpoint's lifetime is the run's: without this, a process
+		// that returns early (a socket follower whose group finishes
+		// first, an error path) leaves the HTTP server answering with
+		// frozen aggregates until process exit. Stop is idempotent, so
+		// an owner that also stops it races nothing.
+		defer cfg.Obs.Stop() //nolint:errcheck // shutdown is best-effort
 	}
 
 	// On a multi-process run every process derives its own protocol RNG

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"flowercdn/internal/metrics"
 	"flowercdn/internal/obs"
 	"flowercdn/internal/proto"
 	_ "flowercdn/internal/protocols"
@@ -250,7 +251,11 @@ func TestGoldenTraces(t *testing.T) {
 
 // TestTraceLiveEndpoint exercises the observability server end to end
 // on a realtime run: /metrics serves the live aggregate lines and
-// /traces serves the collected records as JSON.
+// /traces serves the collected records as JSON. The endpoints are
+// probed from the window hook — mid-run — because the harness stops an
+// attached server when the run returns; a post-run probe would hit a
+// closed listener by design. It also asserts exactly that: the
+// endpoint must be gone once Run is over.
 func TestTraceLiveEndpoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock test skipped in -short mode")
@@ -262,9 +267,21 @@ func TestTraceLiveEndpoint(t *testing.T) {
 	}
 	defer srv.Stop()
 
+	// The window hook runs on the run loop, not the test goroutine, so
+	// it only records; all assertions happen after Run returns. Each
+	// window overwrites the bodies — the last successful probe wins.
+	var metricsBody, tracesBody string
 	cfg := RealtimeDemoConfig(50, 1500)
 	cfg.Trace = &TraceConfig{}
 	cfg.Obs = srv
+	cfg.OnWindow = func(metrics.SeriesPoint) {
+		if b, err := tryGet(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+			metricsBody = b
+		}
+		if b, err := tryGet(fmt.Sprintf("http://%s/traces", addr)); err == nil {
+			tracesBody = b
+		}
+	}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -273,10 +290,12 @@ func TestTraceLiveEndpoint(t *testing.T) {
 		t.Fatal("no queries on the realtime run")
 	}
 
-	body := httpGet(t, fmt.Sprintf("http://%s/metrics", addr))
+	if metricsBody == "" {
+		t.Fatal("no successful /metrics probe during the run")
+	}
 	for _, want := range []string{"queries_total", "hit_ratio", "traces_total"} {
-		if !strings.Contains(body, want) {
-			t.Fatalf("/metrics is missing %q:\n%s", want, body)
+		if !strings.Contains(metricsBody, want) {
+			t.Fatalf("/metrics is missing %q:\n%s", want, metricsBody)
 		}
 	}
 
@@ -286,30 +305,37 @@ func TestTraceLiveEndpoint(t *testing.T) {
 			Kind string `json:"kind"`
 		} `json:"hops"`
 	}
-	if err := json.Unmarshal([]byte(httpGet(t, fmt.Sprintf("http://%s/traces", addr))), &traces); err != nil {
+	if err := json.Unmarshal([]byte(tracesBody), &traces); err != nil {
 		t.Fatalf("/traces is not JSON: %v", err)
 	}
 	if len(traces) == 0 {
-		t.Fatal("/traces served no records after a traced run")
+		t.Fatal("/traces served no records mid-run")
 	}
 	if last := traces[len(traces)-1]; len(last.Hops) == 0 || last.Hops[len(last.Hops)-1].Kind != "serve" {
 		t.Fatalf("served trace is malformed: %+v", last)
 	}
+
+	// The run is over; the harness must have shut the endpoint down
+	// with it (the follower-shutdown contract).
+	if _, err := tryGet(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		t.Fatal("obs endpoint still serving after the run returned")
+	}
 }
 
-func httpGet(t *testing.T, url string) string {
-	t.Helper()
+// tryGet is an HTTP GET without test plumbing, callable off the test
+// goroutine.
+func tryGet(url string) (string, error) {
 	resp, err := http.Get(url)
 	if err != nil {
-		t.Fatal(err)
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET %s: %s", url, resp.Status)
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		t.Fatal(err)
+		return "", err
 	}
-	return string(b)
+	return string(b), nil
 }

@@ -11,13 +11,18 @@
 //	/traces   the most recent trace records as JSON (?n= caps the
 //	          count; default all retained).
 //
-// The server is caller-owned: build with NewServer, attach to a run,
-// Start to bind, Stop when done. Observe is safe to call concurrently
-// with HTTP reads; on the sim backend it works too (the endpoint just
-// sees simulated time race by).
+// The server is caller-built: NewServer, Start to bind, attach to a
+// run. The harness stops an attached server when the run returns, so
+// the endpoint's lifetime matches the run it observes (a socket
+// follower that exits early would otherwise leave the port serving
+// stale aggregates); Stop is idempotent, so the owning process may
+// also stop it explicitly. Observe is safe to call concurrently with
+// HTTP reads; on the sim backend it works too (the endpoint just sees
+// simulated time race by).
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -25,6 +30,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"flowercdn/internal/metrics"
 	"flowercdn/internal/trace"
@@ -49,8 +55,12 @@ type Server struct {
 	next   int
 	total  uint64
 
-	ln  net.Listener
-	srv *http.Server
+	// srvMu guards the listener/server pair: Start, Stop and Addr can
+	// race when the harness stops the server as the run unwinds while
+	// the owning process is also shutting it down.
+	srvMu sync.Mutex
+	ln    net.Listener
+	srv   *http.Server
 }
 
 // NewServer builds a server retaining the last keep traces
@@ -117,26 +127,48 @@ func (s *Server) Start(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/traces", s.handleTraces)
+	s.srvMu.Lock()
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Stop
+	srv := s.srv
+	s.srvMu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Stop
 	return ln.Addr().String(), nil
 }
 
 // Addr returns the bound address ("" before Start).
 func (s *Server) Addr() string {
+	s.srvMu.Lock()
+	defer s.srvMu.Unlock()
 	if s.ln == nil {
 		return ""
 	}
 	return s.ln.Addr().String()
 }
 
-// Stop closes the listener and server.
+// stopGrace bounds how long Stop waits for in-flight scrapes.
+const stopGrace = 2 * time.Second
+
+// Stop shuts the endpoint down gracefully: the listener closes at
+// once, in-flight /metrics and /traces responses get stopGrace to
+// finish, stragglers are cut off. Stop is idempotent and safe to call
+// concurrently — the harness stops an attached server when its run
+// returns, and the owning process may stop it again on its own way
+// out.
 func (s *Server) Stop() error {
-	if s.srv == nil {
+	s.srvMu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.srvMu.Unlock()
+	if srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), stopGrace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
 }
 
 // snapshotTraces returns the retained records, oldest first.

@@ -1,3 +1,10 @@
+// Package rnd is the deterministic randomness spine of the simulator:
+// a splittable PCG-backed RNG where every subsystem draws from its own
+// named stream derived from the run's master seed. Splitting by name
+// (rng.Split("churn"), rng.Split("workload")) isolates consumption —
+// adding draws to one subsystem never perturbs another's sequence — so
+// run fingerprints stay stable as the codebase grows and a single seed
+// reproduces an entire population across backends and process counts.
 package rnd
 
 import (

@@ -3,6 +3,7 @@ package socknet
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -47,6 +48,15 @@ func (e *handshakeError) Error() string { return e.msg }
 
 func handshakeErrf(format string, args ...any) error {
 	return &handshakeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsHandshakeError reports whether err is a definitive protocol
+// disagreement (bad magic, version/codec/registry mismatch, wrong
+// endpoint kind). Dial-retry loops give up immediately on these:
+// redialing cannot change what either binary was built with.
+func IsHandshakeError(err error) bool {
+	var he *handshakeError
+	return errors.As(err, &he)
 }
 
 // appendPreamble renders our preamble.

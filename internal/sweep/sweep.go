@@ -156,7 +156,23 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}
 
-	out := &Result{Workers: workers, TotalRuns: jobs}
+	out := Aggregate(spec, results)
+	out.Workers = workers
+	return out, nil
+}
+
+// Aggregate folds per-run results into the sweep's per-cell aggregates.
+// results must hold one result per (cell, seed) pair in cell-major
+// order: results[c*len(spec.Seeds)+s] is cell c under seed s.
+//
+// Run calls it on its own fan-out; the distributed sweep coordinator
+// (internal/distsweep) calls it on records merged back from worker
+// processes. Both paths reduce through this one function over the same
+// job ordering, which is what makes a distributed sweep's aggregates
+// bit-identical to an in-process run's.
+func Aggregate(spec Spec, results []*harness.Result) *Result {
+	nc, ns := len(spec.Cells), len(spec.Seeds)
+	out := &Result{TotalRuns: nc * ns}
 	for c := 0; c < nc; c++ {
 		runs := results[c*ns : (c+1)*ns]
 		cr := CellResult{
@@ -185,5 +201,5 @@ func Run(spec Spec) (*Result, error) {
 		cr.Unresolved = metrics.Summarize(unresolved)
 		out.Cells = append(out.Cells, cr)
 	}
-	return out, nil
+	return out
 }

@@ -65,18 +65,34 @@ func (r *SweepResult) SeriesCSV() string { return r.inner.SeriesCSV() }
 // GOMAXPROCS). Identical cells and seeds produce identical results at
 // any worker count.
 func Sweep(cells []SweepCell, seeds []uint64, workers int) (*SweepResult, error) {
-	spec := sweep.Spec{Seeds: seeds, Workers: workers}
-	for _, c := range cells {
-		hc, err := c.Config.lower()
-		if err != nil {
-			return nil, fmt.Errorf("flowercdn: sweep cell %q: %w", c.Name, err)
-		}
-		spec.Cells = append(spec.Cells, sweep.Cell{Name: c.Name, Config: hc})
+	spec, err := lowerSpec(cells, seeds, workers)
+	if err != nil {
+		return nil, err
 	}
 	res, err := sweep.Run(spec)
 	if err != nil {
 		return nil, err
 	}
+	return wrapSweep(res), nil
+}
+
+// lowerSpec lowers public sweep cells onto the internal spec — the
+// shared front half of Sweep, DistSweepCoordinator and DistSweepWorker
+// (which must all lower identically for spec fingerprints to agree).
+func lowerSpec(cells []SweepCell, seeds []uint64, workers int) (sweep.Spec, error) {
+	spec := sweep.Spec{Seeds: seeds, Workers: workers}
+	for _, c := range cells {
+		hc, err := c.Config.lower()
+		if err != nil {
+			return sweep.Spec{}, fmt.Errorf("flowercdn: sweep cell %q: %w", c.Name, err)
+		}
+		spec.Cells = append(spec.Cells, sweep.Cell{Name: c.Name, Config: hc})
+	}
+	return spec, nil
+}
+
+// wrapSweep lifts an internal sweep result onto the public facade.
+func wrapSweep(res *sweep.Result) *SweepResult {
 	out := &SweepResult{Workers: res.Workers, TotalRuns: res.TotalRuns, inner: res}
 	for _, c := range res.Cells {
 		cr := SweepCellResult{
@@ -97,7 +113,7 @@ func Sweep(cells []SweepCell, seeds []uint64, workers int) (*SweepResult, error)
 		}
 		out.Cells = append(out.Cells, cr)
 	}
-	return out, nil
+	return out
 }
 
 // SeedSet returns n consecutive seeds starting at base — the usual way
